@@ -1,0 +1,22 @@
+//! Figure 7 regeneration bench: the per-phase performance-debugging profile
+//! of the stock option pricing model (comp/comm/overhead per phase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use report::experiments::figure7;
+use std::hint::black_box;
+
+fn bench_figure7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure7");
+    g.sample_size(10);
+    g.bench_function("financial_phase_profile/n256/p4", |b| {
+        b.iter(|| {
+            let phases = figure7(black_box(256), black_box(4));
+            assert_eq!(phases.len(), 2);
+            phases
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure7);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 8 regeneration bench: the cost comparison itself — how long the
+//! interpretive path takes vs the "run it on the machine" path for the same
+//! experiment. Criterion's per-target timing IS the figure's data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use report::pipeline::{predict_source, simulate_source, PredictOptions, SimulateOptions};
+use std::hint::black_box;
+
+fn bench_paths(c: &mut Criterion) {
+    let src = kernels::kernel_by_name("Laplace (Blk-X)").unwrap().source(128, 4);
+    let mut g = c.benchmark_group("figure8");
+    g.sample_size(10);
+    g.bench_function("interpreter_path", |b| {
+        b.iter(|| predict_source(black_box(&src), &PredictOptions::with_nodes(4)).unwrap())
+    });
+    g.bench_function("machine_path_1000runs", |b| {
+        b.iter(|| {
+            let mut o = SimulateOptions::with_nodes(4);
+            o.sim.runs = 1000;
+            simulate_source(black_box(&src), &o).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

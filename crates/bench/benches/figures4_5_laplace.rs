@@ -1,0 +1,45 @@
+//! Figures 4 & 5 regeneration bench: predict + measure one Laplace point
+//! per distribution per machine size. The series these produce are the
+//! figure's curves (estimated and measured execution time vs problem size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::{Kernel, KernelKind, LaplaceDist};
+use report::pipeline::{predict_source, simulate_source, PredictOptions, SimulateOptions};
+use std::hint::black_box;
+
+fn kernel(dist: LaplaceDist) -> Kernel {
+    Kernel {
+        kind: KernelKind::Laplace(dist),
+        name: "Laplace",
+        description: "",
+        is_kernel: false,
+        size_range: (16, 256),
+    }
+}
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures4_5");
+    g.sample_size(10);
+    for procs in [4usize, 8] {
+        for dist in [LaplaceDist::BlockBlock, LaplaceDist::BlockStar, LaplaceDist::StarBlock] {
+            let src = kernel(dist).source(128, procs);
+            g.bench_function(format!("estimate/{}/p{procs}", dist.label()), |b| {
+                b.iter(|| {
+                    predict_source(black_box(&src), &PredictOptions::with_nodes(procs)).unwrap()
+                })
+            });
+            g.bench_function(format!("measure/{}/p{procs}", dist.label()), |b| {
+                b.iter(|| {
+                    let mut o = SimulateOptions::with_nodes(procs);
+                    o.sim.runs = 20;
+                    o.use_profile = false;
+                    simulate_source(black_box(&src), &o).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_laplace);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks of the prediction pipeline stages: parse → analyze →
+//! compile (Phase 1) → abstract (AAG) → interpret (Phase 2). The point of
+//! the paper is that this whole chain is interactive-speed; these benches
+//! quantify it stage by stage.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hpf_compiler::{compile, CompileOptions};
+use hpf_lang::{analyze, parse_program};
+use interp::InterpretationEngine;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn laplace_src() -> String {
+    kernels::kernel_by_name("Laplace (Blk-X)").unwrap().source(256, 4)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let src = laplace_src();
+    let mut g = c.benchmark_group("pipeline");
+
+    g.bench_function("parse", |b| b.iter(|| parse_program(black_box(&src)).unwrap()));
+
+    let parsed = parse_program(&src).unwrap();
+    g.bench_function("analyze", |b| {
+        b.iter(|| analyze(black_box(&parsed), &BTreeMap::new()).unwrap())
+    });
+
+    let analyzed = analyze(&parsed, &BTreeMap::new()).unwrap();
+    let copts = CompileOptions { nodes: 4, ..Default::default() };
+    g.bench_function("compile_phase1", |b| {
+        b.iter(|| compile(black_box(&analyzed), &copts).unwrap())
+    });
+
+    let spmd = compile(&analyzed, &copts).unwrap();
+    g.bench_function("abstraction_parse", |b| {
+        b.iter(|| appgraph::build_aag(black_box(&spmd)))
+    });
+
+    let aag = appgraph::build_aag(&spmd);
+    let machine = ipsc_sim::calibrate(4);
+    let engine = InterpretationEngine::new(&machine);
+    g.bench_function("interpretation_parse", |b| {
+        b.iter(|| engine.interpret(black_box(&aag)))
+    });
+
+    g.bench_function("end_to_end_predict", |b| {
+        b.iter_batched(
+            || src.clone(),
+            |s| {
+                report::pipeline::predict_source(
+                    &s,
+                    &report::pipeline::PredictOptions::with_nodes(4),
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 2 regeneration bench: one predicted-vs-measured accuracy sample
+//! per representative application class (a Livermore kernel, a Purdue
+//! problem, and each "real-life" application). Each iteration performs the
+//! full prediction *and* the simulated measurement, i.e. one Table-2 cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use report::experiments::{accuracy_sample, SweepConfig};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut cfg = SweepConfig::quick();
+    cfg.runs = 20;
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for (name, size, procs) in [
+        ("LFK 1", 256usize, 4usize),
+        ("LFK 22", 256, 4),
+        ("PBS 4", 256, 4),
+        ("PI", 512, 8),
+        ("N-Body", 64, 4),
+        ("Financial", 128, 4),
+        ("Laplace (Blk-X)", 64, 4),
+    ] {
+        let kernel = kernels::kernel_by_name(name).unwrap();
+        g.bench_function(format!("{name}/n{size}/p{procs}"), |b| {
+            b.iter(|| {
+                let s = accuracy_sample(black_box(&kernel), size, procs, &cfg).unwrap();
+                assert!(s.abs_error_pct.is_finite());
+                s
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

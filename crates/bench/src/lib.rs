@@ -1,0 +1,3 @@
+//! Criterion benchmark crate: bench targets live under `benches/`.
+//! See `hpf-report` for the experiment drivers they exercise.
+

@@ -1,0 +1,1006 @@
+//! Lowering: sequentialization and communication detection (§4.1 steps 3-5).
+//!
+//! Walks the normalized AST and emits the loosely synchronous SPMD program:
+//! each forall becomes (collective-communication level, local-computation
+//! level[, collective write-back level]) exactly as Figure 2 of the paper
+//! shows; reductions become partial-computation + global-combine phases;
+//! scalar code becomes replicated `Seq` blocks.
+
+use crate::dist::{ArrayDist, DistributionTable};
+use crate::normalize::normalize;
+use crate::ops::{count_assign, count_expr, OpCounts};
+use crate::spmd::{CommPhase, CompPhase, SeqBlock, SpmdNode, SpmdProgram};
+use hpf_lang::ast::*;
+use hpf_lang::sema::{const_eval_in, AnalyzedProgram};
+use hpf_lang::Span;
+use machine::CollectiveOp;
+use std::collections::BTreeMap;
+
+/// Options steering compilation and the static heuristics (the knobs the
+/// paper exposes to the user: critical-variable values, optimization
+/// toggles, machine size).
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Physical node count (overrides the PROCESSORS total when different).
+    pub nodes: usize,
+    /// Static mask-density heuristic for masked foralls (the predictor's
+    /// guess when no profile exists; ground truth comes from execution).
+    pub mask_density_hint: f64,
+    /// Trip-count guess for DO WHILE loops the tracer cannot resolve.
+    pub while_trips_hint: u64,
+    /// Branch-probability heuristic for IF arms.
+    pub branch_prob_hint: f64,
+    /// User-supplied critical-variable values (§4.2: "allowing the user to
+    /// explicitly specify their values").
+    pub critical_values: BTreeMap<String, i64>,
+    /// Compiler optimization toggle: reorder generated loops for stride-1
+    /// inner access where legal (§4.2 "loop re-ordering etc.").
+    pub loop_reorder: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            nodes: 8,
+            mask_density_hint: 1.0,
+            while_trips_hint: 16,
+            branch_prob_hint: 0.5,
+            critical_values: BTreeMap::new(),
+            loop_reorder: false,
+        }
+    }
+}
+
+/// Compilation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+type CResult<T> = Result<T, CompileError>;
+
+fn cerr<T>(message: impl Into<String>, span: Span) -> CResult<T> {
+    Err(CompileError { message: message.into(), span })
+}
+
+/// Compile an analyzed program to the SPMD IR.
+pub fn compile(analyzed: &AnalyzedProgram, opts: &CompileOptions) -> CResult<SpmdProgram> {
+    let normalized = normalize(analyzed)
+        .map_err(|e| CompileError { message: e.message, span: e.span })?;
+    let dist = crate::dist::partition(analyzed, Some(opts.nodes))
+        .map_err(|e| CompileError { message: e.message, span: e.span })?;
+
+    let mut lw = Lower {
+        analyzed,
+        dist: &dist,
+        opts,
+        loop_env: BTreeMap::new(),
+    };
+    let mut body = Vec::new();
+    for st in &normalized {
+        lw.stmt(st, &mut body)?;
+    }
+
+    Ok(SpmdProgram {
+        name: analyzed.program.name.clone(),
+        nodes: opts.nodes,
+        grid: dist.grid.clone(),
+        dist,
+        body,
+        symbols: analyzed.symbols.clone(),
+    })
+}
+
+struct Lower<'a> {
+    analyzed: &'a AnalyzedProgram,
+    dist: &'a DistributionTable,
+    opts: &'a CompileOptions,
+    /// Enclosing DO variables bound to representative (midpoint) values so
+    /// that dependent bounds (triangular loops) still resolve statically.
+    loop_env: BTreeMap<String, i64>,
+}
+
+impl<'a> Lower<'a> {
+    /// Constant-evaluate an expression using parameters, traced critical
+    /// variables, user-specified critical values, and loop midpoints.
+    fn eval_i64(&self, e: &Expr) -> CResult<i64> {
+        let mut env = self.loop_env.clone();
+        for (k, v) in &self.analyzed.resolved_critical {
+            env.entry(k.clone()).or_insert(*v);
+        }
+        for (k, v) in &self.opts.critical_values {
+            env.insert(k.clone(), *v);
+        }
+        match const_eval_in(e, &self.analyzed.symbols, &env) {
+            Ok(v) => v.as_i64().ok_or_else(|| CompileError {
+                message: "bound did not evaluate to an integer".into(),
+                span: e.span(),
+            }),
+            Err(err) => cerr(
+                format!(
+                    "cannot statically resolve `{}` ({}); supply the critical variable's value",
+                    hpf_lang::pretty_expr(e),
+                    err.message
+                ),
+                e.span(),
+            ),
+        }
+    }
+
+    fn stmt(&mut self, st: &Stmt, out: &mut Vec<SpmdNode>) -> CResult<()> {
+        match st {
+            Stmt::Forall { header, body, span } => self.lower_forall(header, body, *span, out),
+            Stmt::Assign { lhs, rhs, span } => self.lower_scalar_assign(lhs, rhs, *span, out),
+            Stmt::Do { var, lo, hi, step, body, span } => {
+                let lo_v = self.eval_i64(lo)?;
+                let hi_v = self.eval_i64(hi)?;
+                let st_v = match step {
+                    Some(s) => self.eval_i64(s)?,
+                    None => 1,
+                };
+                if st_v == 0 {
+                    return cerr("DO step of zero", *span);
+                }
+                let trips = if (st_v > 0 && lo_v > hi_v) || (st_v < 0 && lo_v < hi_v) {
+                    0
+                } else {
+                    ((hi_v - lo_v) / st_v + 1).max(0) as u64
+                };
+                // Bind the loop variable to its midpoint for nested bounds.
+                let mid = lo_v + ((hi_v - lo_v) / 2 / st_v.max(1)) * st_v.max(1);
+                let prev = self.loop_env.insert(var.clone(), mid);
+                let mut inner = Vec::new();
+                for s in body {
+                    self.stmt(s, &mut inner)?;
+                }
+                match prev {
+                    Some(p) => {
+                        self.loop_env.insert(var.clone(), p);
+                    }
+                    None => {
+                        self.loop_env.remove(var);
+                    }
+                }
+                out.push(SpmdNode::Loop {
+                    var: var.clone(),
+                    trips,
+                    estimated: false,
+                    body: inner,
+                    span: *span,
+                });
+                Ok(())
+            }
+            Stmt::DoWhile { cond, body, span } => {
+                // Induction-variable recognition: `DO WHILE (v > c)` with a
+                // body step `v = v / k` is a geometric loop with a statically
+                // known trip count (the LFK-2 ICCG level loop). The induction
+                // variable is bound to its geometric mean for dependent
+                // bounds — still a heuristic, so recursive-halving kernels
+                // keep a deliberate residual error.
+                let induction = self.recognize_geometric(cond, body);
+                let (trips, estimated, bind) = match induction {
+                    Some((var, trips, geo_mid)) => (trips, false, Some((var, geo_mid))),
+                    None => (self.opts.while_trips_hint, true, None),
+                };
+                let prev = bind
+                    .as_ref()
+                    .map(|(var, mid)| (var.clone(), self.loop_env.insert(var.clone(), *mid)));
+
+                let mut inner = Vec::new();
+                // Charge the condition evaluation per trip as a Seq block.
+                let cond_ops = count_expr(cond, self.analyzed, &BTreeMap::new());
+                inner.push(SpmdNode::Seq(SeqBlock {
+                    label: "while-test".into(),
+                    span: *span,
+                    ops: cond_ops,
+                }));
+                for s in body {
+                    self.stmt(s, &mut inner)?;
+                }
+                if let Some((var, old)) = prev {
+                    match old {
+                        Some(v) => {
+                            self.loop_env.insert(var, v);
+                        }
+                        None => {
+                            self.loop_env.remove(&var);
+                        }
+                    }
+                }
+                out.push(SpmdNode::Loop {
+                    var: "<while>".into(),
+                    trips,
+                    estimated,
+                    body: inner,
+                    span: *span,
+                });
+                Ok(())
+            }
+            Stmt::If { arms, else_body, span } => {
+                let mut spmd_arms = Vec::new();
+                for (cond, body) in arms {
+                    let mut inner = Vec::new();
+                    let cond_ops = count_expr(cond, self.analyzed, &BTreeMap::new());
+                    inner.push(SpmdNode::Seq(SeqBlock {
+                        label: "if-test".into(),
+                        span: cond.span(),
+                        ops: cond_ops,
+                    }));
+                    for s in body {
+                        self.stmt(s, &mut inner)?;
+                    }
+                    spmd_arms.push((self.opts.branch_prob_hint, inner));
+                }
+                let mut els = Vec::new();
+                for s in else_body {
+                    self.stmt(s, &mut els)?;
+                }
+                out.push(SpmdNode::Branch { arms: spmd_arms, else_body: els, span: *span });
+                Ok(())
+            }
+            Stmt::Print { items, span } => {
+                let mut ops = OpCounts::zero();
+                for e in items {
+                    ops += count_expr(e, self.analyzed, &BTreeMap::new());
+                }
+                ops.calls += 1.0; // I/O library call
+                out.push(SpmdNode::Seq(SeqBlock { label: "print".into(), span: *span, ops }));
+                Ok(())
+            }
+            Stmt::Stop { .. } => Ok(()),
+            Stmt::Where { span, .. } => {
+                cerr("WHERE should have been normalized away", *span)
+            }
+            Stmt::Call { name, span, .. } => {
+                cerr(format!("CALL `{name}`: user procedures are outside the subset"), *span)
+            }
+        }
+    }
+
+    /// Recognize `DO WHILE (v > c)` / `DO WHILE (v >= c)` with a body step
+    /// `v = v / k` (k ≥ 2) and a statically known initial `v`: returns
+    /// (variable, exact trip count, geometric-mean value of `v`).
+    fn recognize_geometric(&self, cond: &Expr, body: &[Stmt]) -> Option<(String, u64, i64)> {
+        let (var, limit, strict) = match cond {
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let v = match lhs.as_ref() {
+                    Expr::Ref(r) if r.subs.is_empty() => r.name.clone(),
+                    _ => return None,
+                };
+                let c = self.eval_i64(rhs).ok()?;
+                match op {
+                    BinOp::Gt => (v, c, true),
+                    BinOp::Ge => (v, c, false),
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        };
+        // Find the division step.
+        let mut k = None;
+        for st in body {
+            if let Stmt::Assign { lhs, rhs, .. } = st {
+                if lhs.name == var && lhs.subs.is_empty() {
+                    if let Expr::Binary { op: BinOp::Div, lhs: l, rhs: r, .. } = rhs {
+                        if matches!(l.as_ref(), Expr::Ref(rr) if rr.name == var && rr.subs.is_empty())
+                        {
+                            if let Expr::IntLit(kk, _) = r.as_ref() {
+                                if *kk >= 2 {
+                                    k = Some(*kk);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let k = k?;
+        let init = self.eval_i64(&Expr::var(var.clone())).ok()?;
+        let mut v = init;
+        let mut trips = 0u64;
+        let mut post_sum = 0i64;
+        while (strict && v > limit) || (!strict && v >= limit) {
+            v /= k;
+            post_sum += v;
+            trips += 1;
+            if trips > 64 {
+                return None; // not a plausible geometric loop
+            }
+        }
+        if trips == 0 {
+            return None;
+        }
+        // Work-preserving representative: the mean of the post-step values
+        // (dependent loop bounds are linear in the induction variable, so
+        // trips × mean reproduces the total iteration count).
+        let mean = (post_sum as f64 / trips as f64).round() as i64;
+        Some((var, trips, mean.max(1)))
+    }
+
+    // ---- scalar assignments (incl. reductions) ---------------------------
+
+    fn lower_scalar_assign(
+        &mut self,
+        lhs: &DataRef,
+        rhs: &Expr,
+        span: Span,
+        out: &mut Vec<SpmdNode>,
+    ) -> CResult<()> {
+        // Detect a top-level reduction structure: the RHS contains one or
+        // more transformational reductions over distributed arrays.
+        let mut reductions = Vec::new();
+        collect_reductions(rhs, &mut reductions);
+        if reductions.is_empty() {
+            let ops = count_assign(lhs, rhs, self.analyzed, &BTreeMap::new());
+            out.push(SpmdNode::Seq(SeqBlock {
+                label: format!("{} = …", lhs.name),
+                span,
+                ops,
+            }));
+            return Ok(());
+        }
+
+        for (intr, args, rspan) in reductions {
+            let arr = match args.first() {
+                Some(Expr::Ref(r)) if r.subs.is_empty() => r.name.clone(),
+                _ => return cerr("reduction argument must be a whole array", rspan),
+            };
+            let ad = self.dist.get(&arr).ok_or_else(|| CompileError {
+                message: format!("no distribution for `{arr}`"),
+                span: rspan,
+            })?;
+            let elem_bytes = ad.elem_bytes;
+
+            // Partial-reduction computation phase over locally owned elems.
+            let nodes = self.dist.grid.total();
+            let mut per_node = Vec::with_capacity(nodes);
+            for n in 0..nodes {
+                per_node.push(ad.local_elems(&self.dist.grid.coords(n)));
+            }
+            let total: u64 = if ad.replicated { ad.elems() } else { per_node.iter().sum() };
+            let mut per_iter = OpCounts { loads: 1.0, ..OpCounts::zero() };
+            per_iter.index += 1.0;
+            let (op, label) = match intr {
+                Intrinsic::Sum => {
+                    per_iter.fadd += 1.0;
+                    (CollectiveOp::Reduce, "global sum")
+                }
+                Intrinsic::Product => {
+                    per_iter.fmul += 1.0;
+                    (CollectiveOp::Reduce, "global product")
+                }
+                Intrinsic::MaxVal | Intrinsic::MinVal => {
+                    per_iter.cmp += 1.0;
+                    (CollectiveOp::Reduce, "global max/min")
+                }
+                Intrinsic::MaxLoc | Intrinsic::MinLoc => {
+                    per_iter.cmp += 1.0;
+                    per_iter.int_ops += 1.0;
+                    (CollectiveOp::ReduceLoc, "maxloc")
+                }
+                Intrinsic::DotProduct => {
+                    per_iter.loads += 1.0;
+                    per_iter.index += 1.0;
+                    per_iter.fadd += 1.0;
+                    per_iter.fmul += 1.0;
+                    (CollectiveOp::Reduce, "dot product")
+                }
+                other => {
+                    return cerr(
+                        format!("{} is not a supported reduction", other.name()),
+                        rspan,
+                    )
+                }
+            };
+            let ws = per_node.iter().copied().max().unwrap_or(0) * elem_bytes;
+            out.push(SpmdNode::Comp(CompPhase {
+                label: format!("partial {label} over {arr}"),
+                span: rspan,
+                total_iters: total,
+                per_node_iters: per_node,
+                per_iter,
+                masked_ops: None,
+                mask_density_hint: None,
+                loop_depth: 1,
+                working_set_bytes: ws,
+                locality: 1.0,
+            }));
+            if !ad.replicated && nodes > 1 {
+                out.push(SpmdNode::Comm(CommPhase {
+                    label: format!("{label} combine"),
+                    span: rspan,
+                    op,
+                    bytes_per_node: elem_bytes,
+                    participants: nodes,
+                    contiguous: true,
+                    shift_grid_dim: None,
+                    arrays: vec![arr],
+                }));
+            }
+        }
+
+        // Residual scalar work combining the reduction results.
+        let mut ops = OpCounts { stores: 1.0, ..OpCounts::zero() };
+        ops += count_residual(rhs, self.analyzed);
+        out.push(SpmdNode::Seq(SeqBlock { label: format!("{} = …", lhs.name), span, ops }));
+        Ok(())
+    }
+
+    // ---- forall -----------------------------------------------------------
+
+    fn lower_forall(
+        &mut self,
+        header: &ForallHeader,
+        body: &[Stmt],
+        span: Span,
+        out: &mut Vec<SpmdNode>,
+    ) -> CResult<()> {
+        // Resolve the index space.
+        struct TripletR {
+            var: String,
+            lo: i64,
+            hi: i64,
+            st: i64,
+        }
+        let mut trips = Vec::new();
+        for t in &header.triplets {
+            let lo = self.eval_i64(&t.lo)?;
+            let hi = self.eval_i64(&t.hi)?;
+            let st = match &t.stride {
+                Some(s) => self.eval_i64(s)?,
+                None => 1,
+            };
+            if st == 0 {
+                return cerr("forall stride of zero", span);
+            }
+            trips.push(TripletR { var: t.var.clone(), lo, hi, st });
+        }
+        let count_of = |t: &TripletR| -> u64 { (((t.hi - t.lo) / t.st) + 1).max(0) as u64 };
+        let dummies: BTreeMap<String, ()> =
+            trips.iter().map(|t| (t.var.clone(), ())).collect();
+
+        for st_body in body {
+            let (lhs, rhs) = match st_body {
+                Stmt::Assign { lhs, rhs, .. } => (lhs, rhs),
+                Stmt::Forall { header: h2, body: b2, span: s2 } => {
+                    // Nested forall: lower independently (iteration-space
+                    // product is approximated by scaling inside a Loop).
+                    let outer: u64 = trips.iter().map(count_of).product();
+                    let mut inner = Vec::new();
+                    self.lower_forall(h2, b2, *s2, &mut inner)?;
+                    out.push(SpmdNode::Loop {
+                        var: "<forall>".into(),
+                        trips: outer,
+                        estimated: false,
+                        body: inner,
+                        span: *s2,
+                    });
+                    continue;
+                }
+                other => {
+                    return cerr("forall body must be assignments", other.span());
+                }
+            };
+
+            let nodes = self.dist.grid.total();
+            let lhs_dist = self.dist.get(&lhs.name).ok_or_else(|| CompileError {
+                message: format!("no distribution for `{}`", lhs.name),
+                span: lhs.span,
+            })?;
+
+            // Map each triplet dummy to the LHS dimension it indexes
+            // (affine, stride ±1) — the owner-computes partitioning basis.
+            // dummy -> (lhs_dim, a, b) with index = a*dummy + b.
+            let mut dummy_dim: BTreeMap<String, (usize, i64, i64)> = BTreeMap::new();
+            let mut lhs_indirect = false;
+            for (d, s) in lhs.subs.iter().enumerate() {
+                match s {
+                    Subscript::Index(e) => match affine_in(e, &dummies) {
+                        Some((Some(v), a, b)) => {
+                            dummy_dim.insert(v, (d, a, b));
+                        }
+                        Some((None, _, _)) => {} // constant subscript
+                        None => lhs_indirect = true,
+                    },
+                    Subscript::Triplet { .. } => {
+                        return cerr("LHS sections inside forall bodies", lhs.span)
+                    }
+                }
+            }
+
+            // Per-node iteration counts (owner-computes on the LHS).
+            let mut per_node = vec![1u64; nodes];
+            let mut total: u64 = 1;
+            for t in &trips {
+                let cnt = count_of(t);
+                total = total.saturating_mul(cnt);
+                match dummy_dim.get(&t.var) {
+                    Some(&(d, a, b)) if lhs_dist.dims[d].is_distributed() && !lhs_indirect => {
+                        let pdim = lhs_dist.dims[d].pdim().expect("distributed");
+                        for (n, pn) in per_node.iter_mut().enumerate() {
+                            let c = self.dist.grid.coords(n)[pdim];
+                            // index values: a*dummy+b over dummy range
+                            let (ilo, ihi, ist) = (a * t.lo + b, a * t.hi + b, a * t.st);
+                            *pn = pn.saturating_mul(lhs_dist.owned_count_in_range(
+                                d, c, ilo, ihi, ist,
+                            ));
+                        }
+                    }
+                    _ => {
+                        for pn in per_node.iter_mut() {
+                            *pn = pn.saturating_mul(cnt);
+                        }
+                    }
+                }
+            }
+            if lhs_dist.replicated || lhs_indirect {
+                // replicated LHS: every node executes everything
+                per_node = vec![total; nodes];
+            }
+
+            // ---- communication detection over RHS (and mask) ----
+            let trip_counts: BTreeMap<String, u64> =
+                trips.iter().map(|t| (t.var.clone(), count_of(t))).collect();
+            let mut comm_phases: Vec<CommPhase> = Vec::new();
+            let analyze_expr = |e: &Expr, phases: &mut Vec<CommPhase>| -> CResult<()> {
+                let mut refs = Vec::new();
+                collect_refs(e, &mut refs);
+                for r in refs {
+                    if let Some(ph) = self.classify_ref(
+                        &r, lhs, lhs_dist, &dummy_dim, &dummies, &trip_counts, nodes,
+                    )? {
+                        merge_phase(phases, ph);
+                    }
+                }
+                Ok(())
+            };
+            analyze_expr(rhs, &mut comm_phases)?;
+            if let Some(m) = &header.mask {
+                analyze_expr(m, &mut comm_phases)?;
+            }
+
+            // ---- operation counts ----
+            let assign_ops = count_assign(lhs, rhs, self.analyzed, &dummies);
+            let (per_iter, masked_ops, mask_hint) = match &header.mask {
+                None => (assign_ops, None, None),
+                Some(m) => {
+                    let mut mask_ops = count_expr(m, self.analyzed, &dummies);
+                    mask_ops.branches += 1.0;
+                    (mask_ops, Some(assign_ops), Some(self.opts.mask_density_hint))
+                }
+            };
+
+            // ---- locality model ----
+            // Generated loop nest follows header order, last triplet
+            // innermost. Memory stride of the inner loop = product of the
+            // *local* extents of LHS dims faster-varying than the indexed
+            // dim (column-major).
+            let locality = if self.opts.loop_reorder {
+                // optimizer picks a stride-1 ordering when some dummy
+                // indexes dim 0
+                if trips.iter().any(|t| dummy_dim.get(&t.var).map(|&(d, ..)| d) == Some(0)) {
+                    1.0
+                } else {
+                    self.inner_locality(&trips.last().map(|t| t.var.clone()), &dummy_dim, lhs_dist)
+                }
+            } else {
+                self.inner_locality(&trips.last().map(|t| t.var.clone()), &dummy_dim, lhs_dist)
+            };
+
+            // ---- working set ----
+            let mut arrays_touched: Vec<String> = vec![lhs.name.clone()];
+            let mut refs = Vec::new();
+            collect_refs(rhs, &mut refs);
+            if let Some(m) = &header.mask {
+                collect_refs(m, &mut refs);
+            }
+            for r in &refs {
+                if !arrays_touched.contains(&r.name) {
+                    arrays_touched.push(r.name.clone());
+                }
+            }
+            let max_iters = per_node.iter().copied().max().unwrap_or(0);
+            let ws: u64 = arrays_touched
+                .iter()
+                .map(|a| {
+                    let eb = self.dist.get(a).map(|d| d.elem_bytes).unwrap_or(4);
+                    max_iters * eb
+                })
+                .sum();
+
+            // Figure-2 order: gather level, then computation level, then
+            // (when needed) the write-back level.
+            for ph in comm_phases {
+                out.push(SpmdNode::Comm(ph));
+            }
+            out.push(SpmdNode::Comp(CompPhase {
+                label: format!("forall -> {}", lhs.name),
+                span,
+                total_iters: total,
+                per_node_iters: per_node.clone(),
+                per_iter,
+                masked_ops,
+                mask_density_hint: mask_hint,
+                loop_depth: trips.len() as u32,
+                working_set_bytes: ws,
+                locality,
+            }));
+            if lhs_indirect && !lhs_dist.replicated && nodes > 1 {
+                // Scatter computed values to their owners.
+                let bytes = max_iters * lhs_dist.elem_bytes * (nodes as u64 - 1) / nodes as u64;
+                out.push(SpmdNode::Comm(CommPhase {
+                    label: format!("scatter -> {}", lhs.name),
+                    span,
+                    op: CollectiveOp::Scatter,
+                    bytes_per_node: bytes.max(1),
+                    participants: nodes,
+                    contiguous: false,
+                    shift_grid_dim: None,
+                    arrays: vec![lhs.name.clone()],
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Locality of the innermost generated loop: 1.0 when it strides unit
+    /// through local memory, decreasing as the stride (in elements) grows.
+    fn inner_locality(
+        &self,
+        inner_var: &Option<String>,
+        dummy_dim: &BTreeMap<String, (usize, i64, i64)>,
+        lhs_dist: &ArrayDist,
+    ) -> f64 {
+        let Some(var) = inner_var else { return 1.0 };
+        let Some(&(d, _, _)) = dummy_dim.get(var) else { return 0.5 };
+        if d == 0 {
+            return 1.0; // first dimension: unit stride in column-major
+        }
+        // Stride = product of local extents of faster dims.
+        let mut stride_elems: i64 = 1;
+        for dd in 0..d {
+            let pc = lhs_dist.dims[dd].pcount();
+            stride_elems *= (lhs_dist.extent(dd) + pc - 1) / pc.max(1);
+        }
+        let line = 32.0; // cache line bytes (i860)
+        let stride_bytes = stride_elems as f64 * lhs_dist.elem_bytes as f64;
+        (line / stride_bytes).clamp(0.05, 1.0)
+    }
+
+    /// Classify one RHS array reference against the LHS home distribution,
+    /// returning the communication phase it requires (None = local).
+    #[allow(clippy::too_many_arguments)]
+    fn classify_ref(
+        &self,
+        r: &DataRef,
+        lhs: &DataRef,
+        lhs_dist: &ArrayDist,
+        dummy_dim: &BTreeMap<String, (usize, i64, i64)>,
+        dummies: &BTreeMap<String, ()>,
+        trip_counts: &BTreeMap<String, u64>,
+        nodes: usize,
+    ) -> CResult<Option<CommPhase>> {
+        if r.subs.is_empty() {
+            return Ok(None); // scalar
+        }
+        let Some(rd) = self.dist.get(&r.name) else { return Ok(None) };
+        if rd.replicated {
+            return Ok(None);
+        }
+        // Reads of the LHS array at identical subscripts are local.
+        let elem = rd.elem_bytes;
+
+        // Max per-node iteration volume (for gather sizing).
+        let total_iters: u64 = trip_counts.values().product();
+        let per_node_iters = (total_iters / nodes as u64).max(1);
+
+        let mut worst: Option<CommPhase> = None;
+        let mut consider = |ph: CommPhase| {
+            let rank = |op: CollectiveOp| match op {
+                CollectiveOp::Shift => 1,
+                CollectiveOp::Broadcast => 2,
+                CollectiveOp::Gather => 3,
+                CollectiveOp::AllToAll => 4,
+                _ => 0,
+            };
+            match &worst {
+                Some(w) if rank(w.op) >= rank(ph.op) => {}
+                _ => worst = Some(ph),
+            }
+        };
+
+        for (d, s) in r.subs.iter().enumerate() {
+            let Subscript::Index(e) = s else {
+                return cerr("sections inside forall bodies", r.span);
+            };
+            if !rd.dims[d].is_distributed() {
+                continue; // this dimension is local regardless of the index
+            }
+            let pdim = rd.dims[d].pdim().expect("distributed");
+            match affine_in(e, dummies) {
+                Some((Some(v), a, b)) => {
+                    // Which LHS dim does this dummy drive, and is it mapped
+                    // to the same grid dimension?
+                    match dummy_dim.get(&v) {
+                        Some(&(ld, la, lb2)) => {
+                            let lhs_mapped =
+                                lhs_dist.dims.get(ld).map(|dd| dd.pdim()).unwrap_or(None);
+                            if lhs_mapped == Some(pdim) && a == la {
+                                // Same grid dim, same direction: offset-only.
+                                // Template-space offset:
+                                let (ras, rao) = rd.align[d];
+                                let (las, lao) = lhs_dist.align[ld];
+                                let t_off = (ras * b + rao) - (las * lb2 + lao);
+                                if t_off == 0 && ras == las {
+                                    continue; // perfectly aligned: local
+                                }
+                                // Shift volume: for BLOCK, only the |off|
+                                // boundary planes cross processors; for
+                                // CYCLIC, *every* element's neighbor lives on
+                                // another processor, so the whole local
+                                // portion of the shifted dimension moves.
+                                let pc_shift = lhs_dist.dims[ld].pcount() as u64;
+                                let own_count = trip_counts.get(&v).copied().unwrap_or(1);
+                                let delta = match lhs_dist.dims[ld] {
+                                    crate::dist::DimDist::Cyclic { k, .. } => {
+                                        // δ of every k-block crosses: the
+                                        // local share scaled by min(δ/k, 1).
+                                        let local = own_count.div_ceil(pc_shift.max(1)).max(1);
+                                        let frac_num = t_off.unsigned_abs().min(k as u64);
+                                        (local * frac_num / k.max(1) as u64).max(1)
+                                    }
+                                    _ => t_off.unsigned_abs().max(1),
+                                };
+                                let cross: u64 = trip_counts
+                                    .iter()
+                                    .filter(|(k, _)| **k != v)
+                                    .map(|(k, c)| {
+                                        // local share if that dummy's dim distributed
+                                        match dummy_dim.get(k) {
+                                            Some(&(dd, ..))
+                                                if lhs_dist.dims[dd].is_distributed() =>
+                                            {
+                                                let pc = lhs_dist.dims[dd].pcount() as u64;
+                                                (*c).div_ceil(pc).max(1)
+                                            }
+                                            _ => *c,
+                                        }
+                                    })
+                                    .product();
+                                // Contiguous boundary iff the fixed dim is
+                                // the last dimension (column-major hyperplane).
+                                let contiguous = d == rd.rank() - 1 || rd.rank() == 1;
+                                consider(CommPhase {
+                                    label: format!(
+                                        "shift {} (δ={t_off}, dim {})",
+                                        r.name,
+                                        d + 1
+                                    ),
+                                    span: r.span,
+                                    op: CollectiveOp::Shift,
+                                    bytes_per_node: (delta * cross * elem).max(1),
+                                    participants: nodes,
+                                    contiguous,
+                                    shift_grid_dim: Some(pdim),
+                                    arrays: vec![r.name.clone()],
+                                });
+                            } else {
+                                // Transposed or cross-mapped access.
+                                consider(CommPhase {
+                                    label: format!("remap {}", r.name),
+                                    span: r.span,
+                                    op: CollectiveOp::AllToAll,
+                                    bytes_per_node: per_node_iters * elem,
+                                    participants: nodes,
+                                    contiguous: false,
+                                    shift_grid_dim: None,
+                                    arrays: vec![r.name.clone()],
+                                });
+                            }
+                        }
+                        None => {
+                            // Dummy not partitioned on LHS: iteration runs the
+                            // full range on every node, reading a distributed
+                            // dim → gather of the remote part.
+                            let cnt = trip_counts.get(&v).copied().unwrap_or(1);
+                            let remote = cnt * elem * (nodes as u64 - 1) / nodes as u64;
+                            consider(CommPhase {
+                                label: format!("gather {}", r.name),
+                                span: r.span,
+                                op: CollectiveOp::Gather,
+                                bytes_per_node: remote.max(1),
+                                participants: nodes,
+                                contiguous: false,
+                                shift_grid_dim: None,
+                                arrays: vec![r.name.clone()],
+                            });
+                        }
+                    }
+                }
+                Some((None, _, c)) => {
+                    // Constant subscript of a distributed dim: the slice
+                    // lives on one coordinate — broadcast it.
+                    let _ = c;
+                    let cross: u64 = trip_counts.values().product::<u64>()
+                        / trip_counts.values().copied().max().unwrap_or(1).max(1);
+                    consider(CommPhase {
+                        label: format!("broadcast {}", r.name),
+                        span: r.span,
+                        op: CollectiveOp::Broadcast,
+                        bytes_per_node: (cross.max(1) * elem).max(1),
+                        participants: nodes,
+                        contiguous: true,
+                        shift_grid_dim: None,
+                        arrays: vec![r.name.clone()],
+                    });
+                }
+                None => {
+                    // Indirect (data-dependent) subscript: unstructured gather.
+                    consider(CommPhase {
+                        label: format!("gather {} (indirect)", r.name),
+                        span: r.span,
+                        op: CollectiveOp::Gather,
+                        bytes_per_node: (per_node_iters * elem * (nodes as u64 - 1)
+                            / nodes as u64)
+                            .max(1),
+                        participants: nodes,
+                        contiguous: false,
+                        shift_grid_dim: None,
+                        arrays: vec![r.name.clone()],
+                    });
+                }
+            }
+        }
+        // A read of the LHS array itself, aligned at zero offset, is local —
+        // `worst == None` in that case.
+        let _ = lhs;
+        Ok(worst.filter(|_| nodes > 1))
+    }
+}
+
+/// Merge a new comm phase into the list: same (op, array, direction sign)
+/// phases keep the larger payload (the compiler coalesces ghost exchanges).
+fn merge_phase(phases: &mut Vec<CommPhase>, ph: CommPhase) {
+    for p in phases.iter_mut() {
+        if p.op == ph.op
+            && p.arrays == ph.arrays
+            && p.label == ph.label
+            && p.shift_grid_dim == ph.shift_grid_dim
+        {
+            p.bytes_per_node = p.bytes_per_node.max(ph.bytes_per_node);
+            return;
+        }
+    }
+    phases.push(ph);
+}
+
+/// Decompose `e` as `a*dummy + b`; `Some((None, 0, c))` for constants;
+/// `None` for non-affine.
+fn affine_in(
+    e: &Expr,
+    dummies: &BTreeMap<String, ()>,
+) -> Option<(Option<String>, i64, i64)> {
+    match e {
+        Expr::IntLit(v, _) => Some((None, 0, *v)),
+        Expr::Ref(r) if r.subs.is_empty() => {
+            if dummies.contains_key(&r.name) {
+                Some((Some(r.name.clone()), 1, 0))
+            } else {
+                // Loop variables / scalars: treat as constant-like (affine
+                // offset unknown but uniform) — classify as constant 0.
+                Some((None, 0, 0))
+            }
+        }
+        Expr::Unary { op: UnOp::Neg, operand, .. } => {
+            let (v, a, b) = affine_in(operand, dummies)?;
+            Some((v, -a, -b))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let l = affine_in(lhs, dummies)?;
+            let r = affine_in(rhs, dummies)?;
+            match op {
+                BinOp::Add | BinOp::Sub => {
+                    let sign = if *op == BinOp::Sub { -1 } else { 1 };
+                    match (l.0, r.0) {
+                        (Some(v), None) => Some((Some(v), l.1, l.2 + sign * r.2)),
+                        (None, Some(v)) => Some((Some(v), sign * r.1, l.2 + sign * r.2)),
+                        (None, None) => Some((None, 0, l.2 + sign * r.2)),
+                        (Some(_), Some(_)) => None, // two dummies: non-affine here
+                    }
+                }
+                BinOp::Mul => match (l.0.clone(), r.0.clone()) {
+                    (Some(v), None) => Some((Some(v), l.1 * r.2, l.2 * r.2)),
+                    (None, Some(v)) => Some((Some(v), r.1 * l.2, r.2 * l.2)),
+                    (None, None) => Some((None, 0, l.2 * r.2)),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Collect all array references in an expression.
+fn collect_refs(e: &Expr, out: &mut Vec<DataRef>) {
+    match e {
+        Expr::Ref(r) => {
+            if !r.subs.is_empty() {
+                out.push(r.clone());
+                for s in &r.subs {
+                    if let Subscript::Index(ix) = s {
+                        collect_refs(ix, out);
+                    }
+                }
+            }
+        }
+        Expr::Intrinsic { args, .. } => {
+            for a in args {
+                collect_refs(a, out);
+            }
+        }
+        Expr::Unary { operand, .. } => collect_refs(operand, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_refs(lhs, out);
+            collect_refs(rhs, out);
+        }
+        _ => {}
+    }
+}
+
+/// Find top-level reduction intrinsics in a scalar RHS.
+fn collect_reductions<'e>(e: &'e Expr, out: &mut Vec<(Intrinsic, &'e [Expr], Span)>) {
+    match e {
+        Expr::Intrinsic { name, args, span } if name.is_transformational() => {
+            out.push((*name, args.as_slice(), *span));
+        }
+        Expr::Intrinsic { args, .. } => {
+            for a in args {
+                collect_reductions(a, out);
+            }
+        }
+        Expr::Unary { operand, .. } => collect_reductions(operand, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_reductions(lhs, out);
+            collect_reductions(rhs, out);
+        }
+        _ => {}
+    }
+}
+
+/// Count the scalar ops in a reduction-bearing RHS, excluding the
+/// reductions themselves (they are charged in their own phases).
+fn count_residual(e: &Expr, analyzed: &AnalyzedProgram) -> OpCounts {
+    match e {
+        Expr::Intrinsic { name, .. } if name.is_transformational() => OpCounts::zero(),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let mut c = count_residual(lhs, analyzed) + count_residual(rhs, analyzed);
+            match op {
+                BinOp::Add | BinOp::Sub => c.fadd += 1.0,
+                BinOp::Mul => c.fmul += 1.0,
+                BinOp::Div => c.fdiv += 1.0,
+                _ => c.cmp += 1.0,
+            }
+            c
+        }
+        Expr::Unary { operand, .. } => count_residual(operand, analyzed),
+        Expr::Intrinsic { args, .. } => {
+            let mut c = OpCounts::zero();
+            for a in args {
+                c += count_residual(a, analyzed);
+            }
+            c.ftrans += 1.0;
+            c
+        }
+        other => count_expr(other, analyzed, &BTreeMap::new()),
+    }
+}

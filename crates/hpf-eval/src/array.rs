@@ -1,0 +1,267 @@
+//! Fortran array values: rectangular, column-major, with explicit lower
+//! bounds — the storage model the Fortran 90D compiler assumes.
+
+use hpf_lang::value::Value;
+use hpf_lang::TypeSpec;
+
+/// A Fortran array value (column-major element order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayVal {
+    /// Lower bound per dimension.
+    pub lbounds: Vec<i64>,
+    /// Extent (number of elements) per dimension.
+    pub extents: Vec<usize>,
+    /// Elements in column-major order.
+    pub data: Vec<Value>,
+}
+
+impl ArrayVal {
+    /// Create an array filled with the type's default initial value
+    /// (zero / `.FALSE.`; matching how the benchmark drivers zero storage).
+    pub fn zeroed(shape: &[(i64, i64)], ty: TypeSpec) -> ArrayVal {
+        let lbounds: Vec<i64> = shape.iter().map(|(lb, _)| *lb).collect();
+        let extents: Vec<usize> = shape.iter().map(|(lb, ub)| (ub - lb + 1).max(0) as usize).collect();
+        let n: usize = extents.iter().product();
+        let fill = match ty {
+            TypeSpec::Integer => Value::Int(0),
+            TypeSpec::Real | TypeSpec::DoublePrecision => Value::Real(0.0),
+            TypeSpec::Logical => Value::Logical(false),
+        };
+        ArrayVal { lbounds, extents, data: vec![fill; n] }
+    }
+
+    /// Build a rank-1 array from values.
+    pub fn from_vec(data: Vec<Value>) -> ArrayVal {
+        ArrayVal { lbounds: vec![1], extents: vec![data.len()], data }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Column-major linear offset of a multi-dimensional index
+    /// (indices use the array's own bounds). `None` if out of range.
+    pub fn offset(&self, idx: &[i64]) -> Option<usize> {
+        if idx.len() != self.rank() {
+            return None;
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (d, &i) in idx.iter().enumerate() {
+            let rel = i - self.lbounds[d];
+            if rel < 0 || rel as usize >= self.extents[d] {
+                return None;
+            }
+            off += rel as usize * stride;
+            stride *= self.extents[d];
+        }
+        Some(off)
+    }
+
+    pub fn get(&self, idx: &[i64]) -> Option<&Value> {
+        self.offset(idx).map(|o| &self.data[o])
+    }
+
+    pub fn set(&mut self, idx: &[i64], v: Value) -> bool {
+        match self.offset(idx) {
+            Some(o) => {
+                self.data[o] = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inverse of [`offset`](Self::offset): linear offset → index vector.
+    pub fn index_of(&self, mut off: usize) -> Vec<i64> {
+        let mut idx = Vec::with_capacity(self.rank());
+        for d in 0..self.rank() {
+            let e = self.extents[d];
+            idx.push(self.lbounds[d] + (off % e) as i64);
+            off /= e;
+        }
+        idx
+    }
+
+    /// Whether two arrays are conformable (same extents, bounds ignored).
+    pub fn conformable(&self, other: &ArrayVal) -> bool {
+        self.extents == other.extents
+    }
+
+    /// CSHIFT: circularly shift along `dim` (1-based) by `shift`
+    /// (positive shifts toward lower indices, per Fortran 90).
+    pub fn cshift(&self, shift: i64, dim: usize) -> Option<ArrayVal> {
+        if dim == 0 || dim > self.rank() {
+            return None;
+        }
+        let d = dim - 1;
+        let e = self.extents[d] as i64;
+        if e == 0 {
+            return Some(self.clone());
+        }
+        let mut out = self.clone();
+        for off in 0..self.data.len() {
+            let mut idx = self.index_of(off);
+            // element at position i comes from position i + shift (wrapped)
+            let rel = idx[d] - self.lbounds[d];
+            let src = (rel + shift).rem_euclid(e);
+            idx[d] = self.lbounds[d] + src;
+            out.data[off] = self.get(&idx).expect("in range").clone();
+        }
+        Some(out)
+    }
+
+    /// EOSHIFT / TSHIFT: end-off shift along `dim` with zero/false fill.
+    pub fn eoshift(&self, shift: i64, dim: usize) -> Option<ArrayVal> {
+        if dim == 0 || dim > self.rank() {
+            return None;
+        }
+        let d = dim - 1;
+        let e = self.extents[d] as i64;
+        let fill = match self.data.first() {
+            Some(Value::Int(_)) => Value::Int(0),
+            Some(Value::Logical(_)) => Value::Logical(false),
+            _ => Value::Real(0.0),
+        };
+        let mut out = self.clone();
+        for off in 0..self.data.len() {
+            let mut idx = self.index_of(off);
+            let rel = idx[d] - self.lbounds[d];
+            let src = rel + shift;
+            out.data[off] = if src < 0 || src >= e {
+                fill.clone()
+            } else {
+                idx[d] = self.lbounds[d] + src;
+                self.get(&idx).expect("in range").clone()
+            };
+        }
+        Some(out)
+    }
+
+    /// TRANSPOSE of a rank-2 array.
+    pub fn transpose(&self) -> Option<ArrayVal> {
+        if self.rank() != 2 {
+            return None;
+        }
+        let (n0, n1) = (self.extents[0], self.extents[1]);
+        let mut out = ArrayVal {
+            lbounds: vec![self.lbounds[1], self.lbounds[0]],
+            extents: vec![n1, n0],
+            data: self.data.clone(),
+        };
+        for j in 0..n1 {
+            for i in 0..n0 {
+                out.data[j + i * n1] = self.data[i + j * n0].clone();
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(n: i64) -> ArrayVal {
+        ArrayVal::from_vec((1..=n).map(Value::Int).collect())
+    }
+
+    #[test]
+    fn offset_roundtrip_2d() {
+        let a = ArrayVal::zeroed(&[(1, 3), (1, 4)], TypeSpec::Real);
+        for off in 0..12 {
+            let idx = a.index_of(off);
+            assert_eq!(a.offset(&idx), Some(off));
+        }
+    }
+
+    #[test]
+    fn column_major_layout() {
+        // A(2,3): A(1,1) A(2,1) A(1,2) ...
+        let mut a = ArrayVal::zeroed(&[(1, 2), (1, 3)], TypeSpec::Integer);
+        a.set(&[2, 1], Value::Int(21));
+        assert_eq!(a.data[1], Value::Int(21));
+        a.set(&[1, 2], Value::Int(12));
+        assert_eq!(a.data[2], Value::Int(12));
+    }
+
+    #[test]
+    fn nonunit_lower_bounds() {
+        let mut a = ArrayVal::zeroed(&[(0, 4)], TypeSpec::Integer);
+        assert!(a.set(&[0], Value::Int(7)));
+        assert_eq!(a.get(&[0]), Some(&Value::Int(7)));
+        assert!(a.get(&[5]).is_none());
+        assert!(a.get(&[-1]).is_none());
+    }
+
+    #[test]
+    fn cshift_positive_moves_toward_lower() {
+        let a = iota(4);
+        let s = a.cshift(1, 1).unwrap();
+        let got: Vec<i64> = s.data.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(got, vec![2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn cshift_negative() {
+        let a = iota(4);
+        let s = a.cshift(-1, 1).unwrap();
+        let got: Vec<i64> = s.data.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(got, vec![4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cshift_full_cycle_is_identity() {
+        let a = iota(5);
+        assert_eq!(a.cshift(5, 1).unwrap(), a);
+        assert_eq!(a.cshift(0, 1).unwrap(), a);
+    }
+
+    #[test]
+    fn eoshift_fills_zero() {
+        let a = iota(4);
+        let s = a.eoshift(1, 1).unwrap();
+        let got: Vec<i64> = s.data.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(got, vec![2, 3, 4, 0]);
+        let s = a.eoshift(-2, 1).unwrap();
+        let got: Vec<i64> = s.data.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(got, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn cshift_2d_along_dims() {
+        // 2x2: [[1,3],[2,4]] column-major data [1,2,3,4]
+        let a = ArrayVal {
+            lbounds: vec![1, 1],
+            extents: vec![2, 2],
+            data: vec![1, 2, 3, 4].into_iter().map(Value::Int).collect(),
+        };
+        let s1 = a.cshift(1, 1).unwrap(); // shift rows
+        let got: Vec<i64> = s1.data.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(got, vec![2, 1, 4, 3]);
+        let s2 = a.cshift(1, 2).unwrap(); // shift columns
+        let got: Vec<i64> = s2.data.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(got, vec![3, 4, 1, 2]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = ArrayVal {
+            lbounds: vec![1, 1],
+            extents: vec![2, 3],
+            data: (1..=6).map(Value::Int).collect(),
+        };
+        let t = a.transpose().unwrap();
+        assert_eq!(t.extents, vec![3, 2]);
+        assert_eq!(t.get(&[3, 1]), a.get(&[1, 3]));
+        assert_eq!(t.get(&[2, 2]), a.get(&[2, 2]));
+    }
+}

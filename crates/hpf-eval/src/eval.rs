@@ -1,0 +1,1110 @@
+//! The functional interpreter: sequential, global-name-space, value-level
+//! execution of the HPF/Fortran 90D subset.
+//!
+//! This is the third tool of the paper's application development environment
+//! (§1: "the environment integrates a HPF/Fortran 90D compiler, a functional
+//! interpreter and the source based performance prediction tool"). Here it
+//! serves three roles: semantics oracle for the compiler, source of
+//! data-dependent execution profiles for the machine simulator, and
+//! critical-variable resolution of last resort.
+
+use crate::array::ArrayVal;
+use crate::profile::ExecutionProfile;
+use hpf_lang::ast::*;
+use hpf_lang::sema::{AnalyzedProgram, SymbolKind};
+use hpf_lang::value::Value;
+use hpf_lang::value_ops;
+use hpf_lang::Span;
+use std::collections::BTreeMap;
+
+/// Evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "evaluation error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+type EvalResult<T> = Result<T, EvalError>;
+
+fn err<T>(message: impl Into<String>, span: Span) -> EvalResult<T> {
+    Err(EvalError { message: message.into(), span })
+}
+
+/// A scalar or array evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalValue {
+    Scalar(Value),
+    Array(ArrayVal),
+}
+
+impl EvalValue {
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            EvalValue::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&ArrayVal> {
+        match self {
+            EvalValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A variable binding.
+#[derive(Debug, Clone)]
+enum Binding {
+    Scalar(Value),
+    Array(ArrayVal),
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Lines produced by PRINT statements.
+    pub output: Vec<String>,
+    /// Dynamic statement statistics.
+    pub profile: ExecutionProfile,
+    /// Final values of all scalar variables (inspection hook for tests).
+    pub scalars: BTreeMap<String, Value>,
+}
+
+/// Run the functional interpreter over an analyzed program.
+pub fn run(analyzed: &AnalyzedProgram) -> EvalResult<RunOutcome> {
+    run_with_limit(analyzed, 500_000_000)
+}
+
+/// Run with an explicit step budget (guards non-terminating DO WHILE loops).
+pub fn run_with_limit(analyzed: &AnalyzedProgram, step_limit: u64) -> EvalResult<RunOutcome> {
+    let mut ev = Evaluator {
+        env: BTreeMap::new(),
+        analyzed,
+        profile: ExecutionProfile::default(),
+        output: Vec::new(),
+        steps: 0,
+        step_limit,
+        stopped: false,
+    };
+    ev.init_storage();
+    for st in &analyzed.program.body {
+        if ev.stopped {
+            break;
+        }
+        ev.exec_stmt(st, &BTreeMap::new())?;
+    }
+    let scalars = ev
+        .env
+        .iter()
+        .filter_map(|(k, b)| match b {
+            Binding::Scalar(v) => Some((k.clone(), v.clone())),
+            _ => None,
+        })
+        .collect();
+    Ok(RunOutcome { output: ev.output, profile: ev.profile, scalars })
+}
+
+struct Evaluator<'a> {
+    env: BTreeMap<String, Binding>,
+    analyzed: &'a AnalyzedProgram,
+    profile: ExecutionProfile,
+    output: Vec<String>,
+    steps: u64,
+    step_limit: u64,
+    stopped: bool,
+}
+
+/// Forall/implied-do index bindings active during expression evaluation.
+type IndexEnv = BTreeMap<String, i64>;
+
+/// Bounds metadata of an array (no element storage) — lets subscript
+/// machinery run without borrowing or cloning the array data.
+struct ArrayMeta {
+    lbounds: Vec<i64>,
+    extents: Vec<usize>,
+}
+
+impl ArrayMeta {
+    fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    fn len(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    fn offset(&self, idx: &[i64]) -> Option<usize> {
+        if idx.len() != self.rank() {
+            return None;
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (d, &i) in idx.iter().enumerate() {
+            let rel = i - self.lbounds[d];
+            if rel < 0 || rel as usize >= self.extents[d] {
+                return None;
+            }
+            off += rel as usize * stride;
+            stride *= self.extents[d];
+        }
+        Some(off)
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    fn init_storage(&mut self) {
+        for (name, sym) in &self.analyzed.symbols {
+            match &sym.kind {
+                SymbolKind::Scalar => {
+                    let v = match sym.ty {
+                        TypeSpec::Integer => Value::Int(0),
+                        TypeSpec::Logical => Value::Logical(false),
+                        _ => Value::Real(0.0),
+                    };
+                    self.env.insert(name.clone(), Binding::Scalar(v));
+                }
+                SymbolKind::Array { shape } => {
+                    self.env.insert(name.clone(), Binding::Array(ArrayVal::zeroed(shape, sym.ty)));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn tick(&mut self, n: u64, span: Span) -> EvalResult<()> {
+        self.steps += n;
+        self.profile.total_steps += n;
+        if self.steps > self.step_limit {
+            err("step limit exceeded (non-terminating loop?)", span)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn exec_stmt(&mut self, st: &Stmt, idx: &IndexEnv) -> EvalResult<()> {
+        if self.stopped {
+            return Ok(());
+        }
+        self.profile.entry(st.span()).executions += 1;
+        match st {
+            Stmt::Assign { lhs, rhs, span } => {
+                let v = self.eval_expr(rhs, idx)?;
+                self.assign(lhs, v, idx, *span)
+            }
+            Stmt::Forall { header, body, span } => self.exec_forall(header, body, idx, *span),
+            Stmt::Where { mask, body, elsewhere, span } => {
+                self.exec_where(mask, body, elsewhere, idx, *span)
+            }
+            Stmt::Do { var, lo, hi, step, body, span } => {
+                let lo = self.eval_int(lo, idx)?;
+                let hi = self.eval_int(hi, idx)?;
+                let step = match step {
+                    Some(s) => self.eval_int(s, idx)?,
+                    None => 1,
+                };
+                if step == 0 {
+                    return err("DO step of zero", *span);
+                }
+                let mut i = lo;
+                loop {
+                    let done = if step > 0 { i > hi } else { i < hi };
+                    if done || self.stopped {
+                        break;
+                    }
+                    self.tick(1, *span)?;
+                    self.profile.entry(*span).iterations += 1;
+                    self.env.insert(var.clone(), Binding::Scalar(Value::Int(i)));
+                    for s in body {
+                        self.exec_stmt(s, idx)?;
+                    }
+                    // Loop variable may be modified inside in full Fortran;
+                    // our subset forbids it, so re-read is unnecessary.
+                    i += step;
+                }
+                Ok(())
+            }
+            Stmt::DoWhile { cond, body, span } => {
+                loop {
+                    if self.stopped {
+                        break;
+                    }
+                    let c = self.eval_expr(cond, idx)?;
+                    let c = match c {
+                        EvalValue::Scalar(Value::Logical(b)) => b,
+                        _ => return err("DO WHILE condition must be scalar LOGICAL", *span),
+                    };
+                    if !c {
+                        break;
+                    }
+                    self.tick(1, *span)?;
+                    self.profile.entry(*span).iterations += 1;
+                    for s in body {
+                        self.exec_stmt(s, idx)?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If { arms, else_body, span } => {
+                for (cond, body) in arms {
+                    let c = self.eval_expr(cond, idx)?;
+                    match c {
+                        EvalValue::Scalar(Value::Logical(true)) => {
+                            self.profile.entry(*span).mask_true += 1;
+                            self.profile.entry(*span).mask_total += 1;
+                            for s in body {
+                                self.exec_stmt(s, idx)?;
+                            }
+                            return Ok(());
+                        }
+                        EvalValue::Scalar(Value::Logical(false)) => {
+                            self.profile.entry(*span).mask_total += 1;
+                        }
+                        _ => return err("IF condition must be scalar LOGICAL", *span),
+                    }
+                }
+                for s in else_body {
+                    self.exec_stmt(s, idx)?;
+                }
+                Ok(())
+            }
+            Stmt::Call { name, span, .. } => {
+                // The subset has no user procedures; CALL is accepted by the
+                // parser for completeness but has no executable semantics.
+                err(format!("CALL to `{name}` — user procedures are outside the subset"), *span)
+            }
+            Stmt::Print { items, span } => {
+                let mut line = String::new();
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        line.push(' ');
+                    }
+                    match self.eval_expr(e, idx)? {
+                        EvalValue::Scalar(v) => line.push_str(&v.to_string()),
+                        EvalValue::Array(a) => {
+                            for (j, v) in a.data.iter().enumerate() {
+                                if j > 0 {
+                                    line.push(' ');
+                                }
+                                line.push_str(&v.to_string());
+                            }
+                        }
+                    }
+                }
+                self.tick(1, *span)?;
+                self.output.push(line);
+                Ok(())
+            }
+            Stmt::Stop { .. } => {
+                self.stopped = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// FORALL semantics: for *each body statement in order*, evaluate all
+    /// right-hand sides over the active index set, then commit all
+    /// assignments (Fortran 90D/HPF definition — "all the right-hand sides
+    /// being evaluated before any left-hand sides are assigned").
+    fn exec_forall(
+        &mut self,
+        header: &ForallHeader,
+        body: &[Stmt],
+        outer: &IndexEnv,
+        span: Span,
+    ) -> EvalResult<()> {
+        // Resolve the index ranges. HPF evaluates all triplet bounds before
+        // any index takes a value, so bounds may reference *enclosing*
+        // forall indices (via `outer`) but not sibling triplets.
+        struct Range {
+            var: String,
+            lo: i64,
+            count: i64,
+            step: i64,
+        }
+        let mut ranges: Vec<Range> = Vec::with_capacity(header.triplets.len());
+        for t in &header.triplets {
+            let lo = self.eval_int_in(&t.lo, outer)?;
+            let hi = self.eval_int_in(&t.hi, outer)?;
+            let step = match &t.stride {
+                Some(s) => self.eval_int_in(s, outer)?,
+                None => 1,
+            };
+            if step == 0 {
+                return err("FORALL stride of zero", span);
+            }
+            let count = ((hi - lo) / step + 1).max(0);
+            ranges.push(Range { var: t.var.clone(), lo, count, step });
+        }
+        let total: i64 = ranges.iter().map(|r| r.count).product();
+        self.tick(total.max(0) as u64, span)?;
+
+        // Enumerate active tuples once (mask applied), reusing one env.
+        let mut env = outer.clone();
+        let mut active: Vec<Vec<i64>> = Vec::new();
+        let mut counters = vec![0i64; ranges.len()];
+        let mut mask_true = 0u64;
+        for _ in 0..total.max(0) {
+            let mut vals = Vec::with_capacity(ranges.len());
+            for (r, &c) in ranges.iter().zip(&counters) {
+                let v = r.lo + c * r.step;
+                env.insert(r.var.clone(), v);
+                vals.push(v);
+            }
+            let keep = match &header.mask {
+                None => true,
+                Some(m) => match self.eval_expr(m, &env)? {
+                    EvalValue::Scalar(Value::Logical(b)) => {
+                        if b {
+                            mask_true += 1;
+                        }
+                        b
+                    }
+                    _ => return err("FORALL mask must be scalar LOGICAL", span),
+                },
+            };
+            if keep {
+                active.push(vals);
+            }
+            // odometer, first triplet fastest
+            for d in 0..counters.len() {
+                counters[d] += 1;
+                if counters[d] < ranges[d].count {
+                    break;
+                }
+                counters[d] = 0;
+            }
+        }
+        if header.mask.is_some() {
+            let st = self.profile.entry(span);
+            st.mask_total += total.max(0) as u64;
+            st.mask_true += mask_true;
+        }
+        self.profile.entry(span).iterations += active.len() as u64;
+
+        let bind = |env: &mut IndexEnv, ranges: &[Range], vals: &[i64]| {
+            for (r, &v) in ranges.iter().zip(vals) {
+                env.insert(r.var.clone(), v);
+            }
+        };
+
+        for st in body {
+            match st {
+                Stmt::Assign { lhs, rhs, span: sspan } => {
+                    // Two-pass: gather (location, value), then commit.
+                    let mut updates: Vec<(Vec<i64>, Value)> = Vec::with_capacity(active.len());
+                    for vals in &active {
+                        bind(&mut env, &ranges, vals);
+                        let v = self.eval_expr(rhs, &env)?;
+                        let v = match v {
+                            EvalValue::Scalar(v) => v,
+                            EvalValue::Array(_) => {
+                                return err(
+                                    "array-valued RHS inside FORALL body is outside the subset",
+                                    *sspan,
+                                )
+                            }
+                        };
+                        let idx_vals = self.element_index(lhs, &env)?;
+                        updates.push((idx_vals, v));
+                    }
+                    for (idx_vals, v) in updates {
+                        self.store_element(&lhs.name, &idx_vals, v, *sspan)?;
+                    }
+                }
+                Stmt::Forall { header: h2, body: b2, span: s2 } => {
+                    // Nested forall: execute per active tuple.
+                    for vals in &active {
+                        bind(&mut env, &ranges, vals);
+                        let inner = env.clone();
+                        self.exec_forall(h2, b2, &inner, *s2)?;
+                    }
+                }
+                other => {
+                    return err(
+                        "only assignments and nested FORALLs are allowed in a FORALL body",
+                        other.span(),
+                    )
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_where(
+        &mut self,
+        mask: &Expr,
+        body: &[Stmt],
+        elsewhere: &[Stmt],
+        idx: &IndexEnv,
+        span: Span,
+    ) -> EvalResult<()> {
+        let m = match self.eval_expr(mask, idx)? {
+            EvalValue::Array(a) => a,
+            EvalValue::Scalar(_) => return err("WHERE mask must be an array", span),
+        };
+        let trues = m.data.iter().filter(|v| v.truthy()).count() as u64;
+        self.profile.entry(span).mask_total += m.len() as u64;
+        self.profile.entry(span).mask_true += trues;
+        self.tick(m.len() as u64, span)?;
+
+        // Each body statement must be a conformable array assignment.
+        for (stmts, negate) in [(body, false), (elsewhere, true)] {
+            for st in stmts {
+                match st {
+                    Stmt::Assign { lhs, rhs, span: sspan } => {
+                        let rhs_v = self.eval_expr(rhs, idx)?;
+                        let cur = match self.env.get(&lhs.name) {
+                            Some(Binding::Array(a)) => a.clone(),
+                            _ => return err("WHERE assignment target must be an array", *sspan),
+                        };
+                        if !lhs.subs.is_empty() {
+                            return err(
+                                "sections on WHERE assignment targets are outside the subset",
+                                *sspan,
+                            );
+                        }
+                        let mut newv = cur.clone();
+                        for off in 0..cur.len() {
+                            let active = m.data[off].truthy() != negate;
+                            if !active {
+                                continue;
+                            }
+                            let v = match &rhs_v {
+                                EvalValue::Scalar(v) => v.clone(),
+                                EvalValue::Array(a) => {
+                                    if !a.conformable(&cur) {
+                                        return err("WHERE operands not conformable", *sspan);
+                                    }
+                                    a.data[off].clone()
+                                }
+                            };
+                            newv.data[off] = v;
+                        }
+                        self.env.insert(lhs.name.clone(), Binding::Array(newv));
+                    }
+                    other => return err("WHERE body must contain only assignments", other.span()),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- assignment --------------------------------------------------------
+
+    fn assign(
+        &mut self,
+        lhs: &DataRef,
+        v: EvalValue,
+        idx: &IndexEnv,
+        span: Span,
+    ) -> EvalResult<()> {
+        let is_array = matches!(self.env.get(&lhs.name), Some(Binding::Array(_)));
+        if !is_array {
+            if !lhs.subs.is_empty() {
+                return err(format!("`{}` is not an array", lhs.name), span);
+            }
+            let v = match v {
+                EvalValue::Scalar(v) => v,
+                EvalValue::Array(_) => return err("cannot assign array to scalar", span),
+            };
+            let v = self.coerce_to_symbol_type(&lhs.name, v);
+            self.tick(1, span)?;
+            self.env.insert(lhs.name.clone(), Binding::Scalar(v));
+            return Ok(());
+        }
+        if lhs.subs.iter().all(|s| s.is_index()) && !lhs.subs.is_empty() {
+            // Element assignment.
+            let idx_vals = self.element_index(lhs, idx)?;
+            let v = match v {
+                EvalValue::Scalar(v) => v,
+                EvalValue::Array(_) => return err("cannot assign array to array element", span),
+            };
+            self.tick(1, span)?;
+            return self.store_element(&lhs.name, &idx_vals, v, span);
+        }
+        // Whole-array or section assignment, written in place.
+        let meta = self.array_meta(&lhs.name).expect("array binding");
+        let (offsets, sec_extents) = self.section_offsets(&meta, lhs, idx, span)?;
+        self.tick(offsets.len() as u64, span)?;
+        let ty = self.analyzed.symbols.get(&lhs.name).map(|s| s.ty);
+        let coerce = |v: Value| match ty {
+            Some(TypeSpec::Integer) => Value::Int(v.as_i64().unwrap_or(0)),
+            Some(TypeSpec::Real | TypeSpec::DoublePrecision) => {
+                Value::Real(v.as_f64().unwrap_or(0.0))
+            }
+            _ => v,
+        };
+        let target = match self.env.get_mut(&lhs.name) {
+            Some(Binding::Array(a)) => a,
+            _ => unreachable!("checked above"),
+        };
+        match v {
+            EvalValue::Scalar(v) => {
+                for &off in &offsets {
+                    target.data[off] = coerce(v.clone());
+                }
+            }
+            EvalValue::Array(a) => {
+                let n: usize = sec_extents.iter().product();
+                if a.len() != n {
+                    return err(
+                        format!(
+                            "shape mismatch in assignment: section has {n} elements, RHS has {}",
+                            a.len()
+                        ),
+                        span,
+                    );
+                }
+                for (k, &off) in offsets.iter().enumerate() {
+                    target.data[off] = coerce(a.data[k].clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn coerce_to_symbol_type(&self, name: &str, v: Value) -> Value {
+        match self.analyzed.symbols.get(name).map(|s| s.ty) {
+            Some(TypeSpec::Integer) => Value::Int(v.as_i64().unwrap_or(0)),
+            Some(TypeSpec::Real | TypeSpec::DoublePrecision) => {
+                Value::Real(v.as_f64().unwrap_or(0.0))
+            }
+            _ => v,
+        }
+    }
+
+
+
+    fn store_element(
+        &mut self,
+        name: &str,
+        idx_vals: &[i64],
+        v: Value,
+        span: Span,
+    ) -> EvalResult<()> {
+        let v = self.coerce_to_symbol_type(name, v);
+        match self.env.get_mut(name) {
+            Some(Binding::Array(a)) => {
+                if a.set(idx_vals, v) {
+                    Ok(())
+                } else {
+                    err(format!("index {idx_vals:?} out of bounds for `{name}`"), span)
+                }
+            }
+            _ => err(format!("`{name}` is not an array"), span),
+        }
+    }
+
+    /// Evaluate the (all-Index) subscripts of an element reference.
+    fn element_index(&mut self, r: &DataRef, idx: &IndexEnv) -> EvalResult<Vec<i64>> {
+        let mut out = Vec::with_capacity(r.subs.len());
+        for s in &r.subs {
+            match s {
+                Subscript::Index(e) => out.push(self.eval_int_in(e, idx)?),
+                Subscript::Triplet { .. } => {
+                    return err("expected element subscript, found section", r.span)
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Compute the column-major linear offsets selected by a (possibly
+    /// sectioned) reference, plus the section's extents.
+    fn section_offsets(
+        &mut self,
+        arr: &ArrayMeta,
+        r: &DataRef,
+        idx: &IndexEnv,
+        span: Span,
+    ) -> EvalResult<(Vec<usize>, Vec<usize>)> {
+        if r.subs.is_empty() {
+            return Ok(((0..arr.len()).collect(), arr.extents.clone()));
+        }
+        if r.subs.len() != arr.rank() {
+            return err(
+                format!("rank mismatch: `{}` has rank {}", r.name, arr.rank()),
+                span,
+            );
+        }
+        // Per-dimension index lists.
+        let mut dim_lists: Vec<Vec<i64>> = Vec::with_capacity(arr.rank());
+        let mut sec_extents = Vec::new();
+        for (d, s) in r.subs.iter().enumerate() {
+            match s {
+                Subscript::Index(e) => {
+                    dim_lists.push(vec![self.eval_int_in(e, idx)?]);
+                }
+                Subscript::Triplet { lo, hi, stride } => {
+                    let lb = arr.lbounds[d];
+                    let ub = lb + arr.extents[d] as i64 - 1;
+                    let lo = match lo {
+                        Some(e) => self.eval_int_in(e, idx)?,
+                        None => lb,
+                    };
+                    let hi = match hi {
+                        Some(e) => self.eval_int_in(e, idx)?,
+                        None => ub,
+                    };
+                    let step = match stride {
+                        Some(e) => self.eval_int_in(e, idx)?,
+                        None => 1,
+                    };
+                    if step == 0 {
+                        return err("section stride of zero", span);
+                    }
+                    let mut list = Vec::new();
+                    let mut i = lo;
+                    loop {
+                        let done = if step > 0 { i > hi } else { i < hi };
+                        if done {
+                            break;
+                        }
+                        list.push(i);
+                        i += step;
+                    }
+                    sec_extents.push(list.len());
+                    dim_lists.push(list);
+                }
+            }
+        }
+        if sec_extents.is_empty() {
+            sec_extents.push(1); // pure element treated as 1-element section
+        }
+        // Cartesian product in column-major order (first dim varies fastest).
+        let mut offsets = Vec::new();
+        let total: usize = dim_lists.iter().map(|l| l.len()).product();
+        let mut counters = vec![0usize; dim_lists.len()];
+        for _ in 0..total {
+            let mut index = Vec::with_capacity(dim_lists.len());
+            for (d, c) in counters.iter().enumerate() {
+                index.push(dim_lists[d][*c]);
+            }
+            match arr.offset(&index) {
+                Some(o) => offsets.push(o),
+                None => return err(format!("section index {index:?} out of bounds"), span),
+            }
+            // Increment odometer, first dimension fastest.
+            for d in 0..counters.len() {
+                counters[d] += 1;
+                if counters[d] < dim_lists[d].len() {
+                    break;
+                }
+                counters[d] = 0;
+            }
+        }
+        Ok((offsets, sec_extents))
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn eval_int(&mut self, e: &Expr, idx: &IndexEnv) -> EvalResult<i64> {
+        self.eval_int_in(e, idx)
+    }
+
+    fn eval_int_in(&mut self, e: &Expr, idx: &IndexEnv) -> EvalResult<i64> {
+        match self.eval_expr(e, idx)? {
+            EvalValue::Scalar(v) => {
+                v.as_i64().ok_or_else(|| EvalError {
+                    message: "expected integer value".into(),
+                    span: e.span(),
+                })
+            }
+            _ => err("expected scalar integer, found array", e.span()),
+        }
+    }
+
+    fn eval_expr(&mut self, e: &Expr, idx: &IndexEnv) -> EvalResult<EvalValue> {
+        self.tick(1, e.span())?;
+        match e {
+            Expr::IntLit(v, _) => Ok(EvalValue::Scalar(Value::Int(*v))),
+            Expr::RealLit(v, _) => Ok(EvalValue::Scalar(Value::Real(*v))),
+            Expr::LogicalLit(v, _) => Ok(EvalValue::Scalar(Value::Logical(*v))),
+            Expr::StrLit(s, _) => Ok(EvalValue::Scalar(Value::Str(s.clone()))),
+            Expr::Ref(r) => self.eval_ref(r, idx),
+            Expr::Intrinsic { name, args, span } => self.eval_intrinsic(*name, args, idx, *span),
+            Expr::Unary { op, operand, span } => {
+                let v = self.eval_expr(operand, idx)?;
+                match v {
+                    EvalValue::Scalar(v) => value_ops::apply_unary(*op, &v)
+                        .map(EvalValue::Scalar)
+                        .ok_or_else(|| EvalError {
+                            message: "bad operand for unary operator".into(),
+                            span: *span,
+                        }),
+                    EvalValue::Array(mut a) => {
+                        self.tick(a.len() as u64, *span)?;
+                        for v in &mut a.data {
+                            *v = value_ops::apply_unary(*op, v).ok_or_else(|| EvalError {
+                                message: "bad array operand for unary operator".into(),
+                                span: *span,
+                            })?;
+                        }
+                        Ok(EvalValue::Array(a))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let l = self.eval_expr(lhs, idx)?;
+                let r = self.eval_expr(rhs, idx)?;
+                self.apply_binary_elemental(*op, l, r, *span)
+            }
+        }
+    }
+
+    fn apply_binary_elemental(
+        &mut self,
+        op: BinOp,
+        l: EvalValue,
+        r: EvalValue,
+        span: Span,
+    ) -> EvalResult<EvalValue> {
+        use EvalValue::*;
+        match (l, r) {
+            (Scalar(a), Scalar(b)) => value_ops::apply_binary(op, &a, &b)
+                .map(Scalar)
+                .ok_or_else(|| EvalError { message: "bad operands".into(), span }),
+            (Array(a), Scalar(b)) => {
+                self.tick(a.len() as u64, span)?;
+                let mut out = a.clone();
+                for (o, v) in out.data.iter_mut().zip(&a.data) {
+                    *o = value_ops::apply_binary(op, v, &b)
+                        .ok_or_else(|| EvalError { message: "bad operands".into(), span })?;
+                }
+                Ok(Array(out))
+            }
+            (Scalar(a), Array(b)) => {
+                self.tick(b.len() as u64, span)?;
+                let mut out = b.clone();
+                for (o, v) in out.data.iter_mut().zip(&b.data) {
+                    *o = value_ops::apply_binary(op, &a, v)
+                        .ok_or_else(|| EvalError { message: "bad operands".into(), span })?;
+                }
+                Ok(Array(out))
+            }
+            (Array(a), Array(b)) => {
+                if !a.conformable(&b) {
+                    return err("operands not conformable", span);
+                }
+                self.tick(a.len() as u64, span)?;
+                let mut out = a.clone();
+                for ((o, x), y) in out.data.iter_mut().zip(&a.data).zip(&b.data) {
+                    *o = value_ops::apply_binary(op, x, y)
+                        .ok_or_else(|| EvalError { message: "bad operands".into(), span })?;
+                }
+                Ok(Array(out))
+            }
+        }
+    }
+
+    fn eval_ref(&mut self, r: &DataRef, idx: &IndexEnv) -> EvalResult<EvalValue> {
+        // forall / implied-do dummies shadow the environment.
+        if r.subs.is_empty() {
+            if let Some(v) = idx.get(&r.name) {
+                return Ok(EvalValue::Scalar(Value::Int(*v)));
+            }
+            // Named constants live in the symbol table, not the store.
+            if let Some(SymbolKind::Parameter { value }) =
+                self.analyzed.symbols.get(&r.name).map(|s| &s.kind)
+            {
+                return Ok(EvalValue::Scalar(value.clone()));
+            }
+        }
+        // Fast paths avoid cloning array storage: indices are evaluated
+        // first (which may tick), then the store is borrowed immutably.
+        match self.env.get(&r.name) {
+            Some(Binding::Scalar(_)) => {
+                if !r.subs.is_empty() {
+                    return err(format!("`{}` is not an array", r.name), r.span);
+                }
+                match self.env.get(&r.name) {
+                    Some(Binding::Scalar(v)) => Ok(EvalValue::Scalar(v.clone())),
+                    _ => unreachable!("checked above"),
+                }
+            }
+            Some(Binding::Array(_)) => {
+                if r.subs.is_empty() {
+                    match self.env.get(&r.name) {
+                        Some(Binding::Array(a)) => return Ok(EvalValue::Array(a.clone())),
+                        _ => unreachable!(),
+                    }
+                }
+                if r.subs.iter().all(|s| s.is_index()) {
+                    let iv = self.element_index(r, idx)?;
+                    match self.env.get(&r.name) {
+                        Some(Binding::Array(a)) => match a.get(&iv) {
+                            Some(v) => Ok(EvalValue::Scalar(v.clone())),
+                            None => err(
+                                format!("index {iv:?} out of bounds for `{}`", r.name),
+                                r.span,
+                            ),
+                        },
+                        _ => unreachable!(),
+                    }
+                } else {
+                    let meta = self.array_meta(&r.name).expect("array binding");
+                    let (offsets, sec_extents) = self.section_offsets(&meta, r, idx, r.span)?;
+                    self.tick(offsets.len() as u64, r.span)?;
+                    let a = match self.env.get(&r.name) {
+                        Some(Binding::Array(a)) => a,
+                        _ => unreachable!(),
+                    };
+                    let data: Vec<Value> =
+                        offsets.iter().map(|&o| a.data[o].clone()).collect();
+                    // Rank of the section = number of triplet subscripts.
+                    let extents = if sec_extents.is_empty() { vec![data.len()] } else { sec_extents };
+                    Ok(EvalValue::Array(ArrayVal {
+                        lbounds: vec![1; extents.len()],
+                        extents,
+                        data,
+                    }))
+                }
+            }
+            None => err(format!("undefined variable `{}`", r.name), r.span),
+        }
+    }
+
+    /// Cheap copy of an array's bounds metadata (no element data).
+    fn array_meta(&self, name: &str) -> Option<ArrayMeta> {
+        match self.env.get(name) {
+            Some(Binding::Array(a)) => Some(ArrayMeta {
+                lbounds: a.lbounds.clone(),
+                extents: a.extents.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    fn eval_intrinsic(
+        &mut self,
+        name: Intrinsic,
+        args: &[Expr],
+        idx: &IndexEnv,
+        span: Span,
+    ) -> EvalResult<EvalValue> {
+        use Intrinsic::*;
+        let vals: Vec<EvalValue> =
+            args.iter().map(|a| self.eval_expr(a, idx)).collect::<EvalResult<_>>()?;
+
+        // Transformational (array) intrinsics.
+        match name {
+            CShift | TShift | EoShift => {
+                let a = vals
+                    .first()
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| EvalError { message: "shift of non-array".into(), span })?;
+                let shift = match vals.get(1).and_then(|v| v.as_scalar()).and_then(|v| v.as_i64())
+                {
+                    Some(s) => s,
+                    None => return err("shift amount must be scalar integer", span),
+                };
+                let dim = match vals.get(2) {
+                    Some(v) => v.as_scalar().and_then(|v| v.as_i64()).unwrap_or(1) as usize,
+                    None => 1,
+                };
+                self.tick(a.len() as u64, span)?;
+                let out = if name == CShift { a.cshift(shift, dim) } else { a.eoshift(shift, dim) };
+                out.map(EvalValue::Array)
+                    .ok_or_else(|| EvalError { message: "bad shift dimension".into(), span })
+            }
+            Sum | Product | MaxVal | MinVal => {
+                let a = vals
+                    .first()
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| EvalError { message: "reduction of non-array".into(), span })?;
+                self.tick(a.len() as u64, span)?;
+                let mut acc: Option<Value> = None;
+                for v in &a.data {
+                    acc = Some(match &acc {
+                        None => v.clone(),
+                        Some(cur) => {
+                            let combined = match name {
+                                Sum => value_ops::apply_binary(BinOp::Add, cur, v),
+                                Product => value_ops::apply_binary(BinOp::Mul, cur, v),
+                                MaxVal => {
+                                    value_ops::apply_intrinsic_scalar(Max, &[cur.clone(), v.clone()])
+                                }
+                                MinVal => {
+                                    value_ops::apply_intrinsic_scalar(Min, &[cur.clone(), v.clone()])
+                                }
+                                _ => unreachable!(),
+                            };
+                            combined.ok_or_else(|| EvalError {
+                                message: "non-numeric reduction".into(),
+                                span,
+                            })?
+                        }
+                    });
+                }
+                let zero = match name {
+                    Sum => Value::Real(0.0),
+                    Product => Value::Real(1.0),
+                    _ => Value::Real(f64::NEG_INFINITY),
+                };
+                Ok(EvalValue::Scalar(acc.unwrap_or(zero)))
+            }
+            MaxLoc | MinLoc => {
+                let a = vals
+                    .first()
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| EvalError { message: "maxloc of non-array".into(), span })?;
+                if a.rank() != 1 {
+                    return err("MAXLOC/MINLOC restricted to rank-1 in the subset", span);
+                }
+                self.tick(a.len() as u64, span)?;
+                let mut best: Option<(usize, f64)> = None;
+                for (i, v) in a.data.iter().enumerate() {
+                    let x = v.as_f64().ok_or_else(|| EvalError {
+                        message: "non-numeric maxloc".into(),
+                        span,
+                    })?;
+                    let better = match best {
+                        None => true,
+                        Some((_, b)) => {
+                            if name == MaxLoc {
+                                x > b
+                            } else {
+                                x < b
+                            }
+                        }
+                    };
+                    if better {
+                        best = Some((i, x));
+                    }
+                }
+                // Fortran returns a rank-1 result array; subset returns the
+                // 1-based position as a scalar INTEGER for simplicity.
+                Ok(EvalValue::Scalar(Value::Int(best.map(|(i, _)| i as i64 + 1).unwrap_or(0))))
+            }
+            DotProduct => {
+                let a = vals.first().and_then(|v| v.as_array());
+                let b = vals.get(1).and_then(|v| v.as_array());
+                match (a, b) {
+                    (Some(a), Some(b)) if a.conformable(b) => {
+                        self.tick(2 * a.len() as u64, span)?;
+                        let mut acc = 0.0f64;
+                        for (x, y) in a.data.iter().zip(&b.data) {
+                            acc += x.as_f64().unwrap_or(0.0) * y.as_f64().unwrap_or(0.0);
+                        }
+                        Ok(EvalValue::Scalar(Value::Real(acc)))
+                    }
+                    _ => err("DOT_PRODUCT of non-conformable arrays", span),
+                }
+            }
+            Transpose => {
+                let a = vals
+                    .first()
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| EvalError { message: "transpose of non-array".into(), span })?;
+                self.tick(a.len() as u64, span)?;
+                a.transpose()
+                    .map(EvalValue::Array)
+                    .ok_or_else(|| EvalError { message: "TRANSPOSE needs rank 2".into(), span })
+            }
+            MatMul => {
+                let a = vals.first().and_then(|v| v.as_array());
+                let b = vals.get(1).and_then(|v| v.as_array());
+                match (a, b) {
+                    (Some(a), Some(b)) if a.rank() == 2 && b.rank() == 2 => {
+                        let (m, k) = (a.extents[0], a.extents[1]);
+                        let (k2, n) = (b.extents[0], b.extents[1]);
+                        if k != k2 {
+                            return err("MATMUL inner dimensions disagree", span);
+                        }
+                        self.tick((m * n * k) as u64, span)?;
+                        let mut out = ArrayVal {
+                            lbounds: vec![1, 1],
+                            extents: vec![m, n],
+                            data: vec![Value::Real(0.0); m * n],
+                        };
+                        for j in 0..n {
+                            for i in 0..m {
+                                let mut acc = 0.0;
+                                for p in 0..k {
+                                    let x = a.data[i + p * m].as_f64().unwrap_or(0.0);
+                                    let y = b.data[p + j * k].as_f64().unwrap_or(0.0);
+                                    acc += x * y;
+                                }
+                                out.data[i + j * m] = Value::Real(acc);
+                            }
+                        }
+                        Ok(EvalValue::Array(out))
+                    }
+                    _ => err("MATMUL needs two rank-2 arrays", span),
+                }
+            }
+            Spread => err("SPREAD is not supported by the functional interpreter", span),
+            Size => {
+                let a = vals
+                    .first()
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| EvalError { message: "SIZE of non-array".into(), span })?;
+                match vals.get(1) {
+                    None => Ok(EvalValue::Scalar(Value::Int(a.len() as i64))),
+                    Some(d) => {
+                        let d = d.as_scalar().and_then(|v| v.as_i64()).unwrap_or(1) as usize;
+                        if d == 0 || d > a.rank() {
+                            return err("SIZE dim out of range", span);
+                        }
+                        Ok(EvalValue::Scalar(Value::Int(a.extents[d - 1] as i64)))
+                    }
+                }
+            }
+            // Elemental intrinsics: map over arrays, apply to scalars.
+            _ => {
+                let any_array = vals.iter().any(|v| matches!(v, EvalValue::Array(_)));
+                if !any_array {
+                    let scalars: Vec<Value> =
+                        vals.iter().map(|v| v.as_scalar().unwrap().clone()).collect();
+                    return value_ops::apply_intrinsic_scalar(name, &scalars)
+                        .map(EvalValue::Scalar)
+                        .ok_or_else(|| EvalError {
+                            message: format!("bad arguments to {}", name.name()),
+                            span,
+                        });
+                }
+                // Elementwise with scalar broadcast.
+                let shape = vals
+                    .iter()
+                    .find_map(|v| v.as_array())
+                    .expect("any_array")
+                    .clone();
+                for v in &vals {
+                    if let EvalValue::Array(a) = v {
+                        if !a.conformable(&shape) {
+                            return err("elemental intrinsic operands not conformable", span);
+                        }
+                    }
+                }
+                self.tick(shape.len() as u64, span)?;
+                let mut out = shape.clone();
+                for off in 0..shape.len() {
+                    let scalars: Vec<Value> = vals
+                        .iter()
+                        .map(|v| match v {
+                            EvalValue::Scalar(s) => s.clone(),
+                            EvalValue::Array(a) => a.data[off].clone(),
+                        })
+                        .collect();
+                    out.data[off] = value_ops::apply_intrinsic_scalar(name, &scalars)
+                        .ok_or_else(|| EvalError {
+                            message: format!("bad arguments to {}", name.name()),
+                            span,
+                        })?;
+                }
+                Ok(EvalValue::Array(out))
+            }
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! # hpf-eval — functional interpreter for HPF/Fortran 90D
+//!
+//! Sequential, global-name-space, value-level execution of the front end's
+//! AST. One of the three tools of the paper's application development
+//! environment (compiler, functional interpreter, performance predictor).
+//!
+//! The [`eval::run`] entry point executes an analyzed program and returns a
+//! [`profile::ExecutionProfile`] of dynamic behaviour (loop trips, mask
+//! densities, branch outcomes) that the iPSC/860 simulator uses for its
+//! ground-truth timing, plus all PRINT output and final scalar values for
+//! semantics tests.
+
+pub mod array;
+pub mod eval;
+pub mod profile;
+
+pub use array::ArrayVal;
+pub use eval::{run, run_with_limit, EvalError, EvalValue, RunOutcome};
+pub use profile::{ExecutionProfile, StmtStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_lang::{analyze, parse_program};
+    use std::collections::BTreeMap;
+
+    fn run_src(src: &str) -> RunOutcome {
+        let p = parse_program(src).unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        run(&a).unwrap()
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let out = run_src("PROGRAM T\nREAL X\nX = 1.5 + 2.0 * 3.0\nEND\n");
+        assert_eq!(out.scalars.get("X"), Some(&hpf_lang::Value::Real(7.5)));
+    }
+
+    #[test]
+    fn whole_array_assignment_and_sum() {
+        let out = run_src("PROGRAM T\nREAL A(10), S\nA = 2.0\nS = SUM(A)\nEND\n");
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(20.0)));
+    }
+
+    #[test]
+    fn do_loop_accumulates() {
+        let out = run_src(
+            "PROGRAM T\nINTEGER K\nREAL S\nS = 0.0\nDO K = 1, 10\nS = S + K\nEND DO\nEND\n",
+        );
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(55.0)));
+    }
+
+    #[test]
+    fn do_loop_with_step() {
+        let out = run_src(
+            "PROGRAM T\nINTEGER K, C\nC = 0\nDO K = 1, 10, 3\nC = C + 1\nEND DO\nEND\n",
+        );
+        assert_eq!(out.scalars.get("C"), Some(&hpf_lang::Value::Int(4)));
+    }
+
+    #[test]
+    fn forall_rhs_before_lhs() {
+        // The paper's own example semantics: all RHS evaluated before any
+        // LHS assigned. X(K+1) = X(K) + X(K-1) over K=2:4 must read the OLD
+        // values of X.
+        let out = run_src(
+            "PROGRAM T
+REAL X(5), S
+X(1) = 1.0
+X(2) = 1.0
+X(3) = 1.0
+X(4) = 1.0
+X(5) = 1.0
+FORALL (K = 2:4) X(K+1) = X(K) + X(K-1)
+S = X(3) + X(4) + X(5)
+END
+",
+        );
+        // All three updates read old values (1+1=2): X(3)=X(4)=X(5)=2.
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(6.0)));
+    }
+
+    #[test]
+    fn forall_with_mask() {
+        let out = run_src(
+            "PROGRAM T
+REAL P(4), Q(4), S
+Q(1) = 2.0
+Q(2) = 0.0
+Q(3) = 4.0
+Q(4) = 0.0
+FORALL (I = 1:4, Q(I) .NE. 0.0) P(I) = 1.0 / Q(I)
+S = P(1) + P(2) + P(3) + P(4)
+END
+",
+        );
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(0.75)));
+    }
+
+    #[test]
+    fn mask_density_profiled() {
+        let src = "PROGRAM T
+REAL P(4), Q(4)
+Q(1) = 2.0
+Q(3) = 4.0
+FORALL (I = 1:4, Q(I) .NE. 0.0) P(I) = 1.0
+END
+";
+        let out = run_src(src);
+        let stats = out
+            .profile
+            .iter()
+            .map(|(_, s)| s)
+            .find(|s| s.mask_total > 0)
+            .expect("forall stats");
+        assert_eq!(stats.mask_total, 4);
+        assert_eq!(stats.mask_true, 2);
+        assert_eq!(stats.mask_density(), 0.5);
+    }
+
+    #[test]
+    fn where_and_elsewhere() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(4), S
+A(1) = -1.0
+A(2) = 2.0
+A(3) = -3.0
+A(4) = 4.0
+WHERE (A > 0.0)
+A = A * 10.0
+ELSEWHERE
+A = 0.0
+END WHERE
+S = SUM(A)
+END
+",
+        );
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(60.0)));
+    }
+
+    #[test]
+    fn array_sections() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(10), B(10), S
+A = 1.0
+B = 2.0
+A(1:5) = B(6:10)
+S = SUM(A)
+END
+",
+        );
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(15.0)));
+    }
+
+    #[test]
+    fn strided_section() {
+        let out = run_src(
+            "PROGRAM T\nREAL A(10), S\nA = 1.0\nA(1:10:2) = 3.0\nS = SUM(A)\nEND\n",
+        );
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(20.0)));
+    }
+
+    #[test]
+    fn cshift_semantics() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(4), B(4), S
+A(1) = 1.0
+A(2) = 2.0
+A(3) = 3.0
+A(4) = 4.0
+B = CSHIFT(A, 1)
+S = B(1) * 1000.0 + B(4)
+END
+",
+        );
+        // B = [2,3,4,1]
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(2001.0)));
+    }
+
+    #[test]
+    fn dot_product_and_maxloc() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(3), B(3), D
+INTEGER L
+A(1) = 1.0
+A(2) = 5.0
+A(3) = 2.0
+B = 2.0
+D = DOT_PRODUCT(A, B)
+L = MAXLOC(A)
+END
+",
+        );
+        assert_eq!(out.scalars.get("D"), Some(&hpf_lang::Value::Real(16.0)));
+        assert_eq!(out.scalars.get("L"), Some(&hpf_lang::Value::Int(2)));
+    }
+
+    #[test]
+    fn if_branches_profiled() {
+        let out = run_src(
+            "PROGRAM T
+INTEGER K, P, Q
+P = 0
+Q = 0
+DO K = 1, 10
+IF (MOD(K, 2) == 0) THEN
+P = P + 1
+ELSE
+Q = Q + 1
+END IF
+END DO
+END
+",
+        );
+        assert_eq!(out.scalars.get("P"), Some(&hpf_lang::Value::Int(5)));
+        assert_eq!(out.scalars.get("Q"), Some(&hpf_lang::Value::Int(5)));
+    }
+
+    #[test]
+    fn do_while_terminates() {
+        let out = run_src(
+            "PROGRAM T\nINTEGER K\nK = 1\nDO WHILE (K < 100)\nK = K * 2\nEND DO\nEND\n",
+        );
+        assert_eq!(out.scalars.get("K"), Some(&hpf_lang::Value::Int(128)));
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loop() {
+        let p = parse_program("PROGRAM T\nINTEGER K\nK = 1\nDO WHILE (K > 0)\nK = 2\nEND DO\nEND\n")
+            .unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        assert!(run_with_limit(&a, 10_000).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let p = parse_program("PROGRAM T\nREAL A(4)\nA(5) = 1.0\nEND\n").unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        assert!(run(&a).is_err());
+    }
+
+    #[test]
+    fn print_output_collected() {
+        let out = run_src("PROGRAM T\nREAL X\nX = 2.5\nPRINT *, X\nEND\n");
+        assert_eq!(out.output, vec!["2.5".to_string()]);
+    }
+
+    #[test]
+    fn stop_halts_execution() {
+        let out = run_src("PROGRAM T\nREAL X\nX = 1.0\nSTOP\nX = 2.0\nEND\n");
+        assert_eq!(out.scalars.get("X"), Some(&hpf_lang::Value::Real(1.0)));
+    }
+
+    #[test]
+    fn integer_array_coercion() {
+        let out = run_src("PROGRAM T\nINTEGER A(4), S\nA = 2.7\nS = SUM(A)\nEND\n");
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Int(8)));
+    }
+
+    #[test]
+    fn two_dim_forall_transpose() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(3,3), B(3,3), S
+FORALL (I = 1:3, J = 1:3) A(I,J) = I * 10.0 + J
+FORALL (I = 1:3, J = 1:3) B(I,J) = A(J,I)
+S = B(1,3)
+END
+",
+        );
+        assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(31.0)));
+    }
+
+    #[test]
+    fn laplace_jacobi_converges_toward_boundary() {
+        let out = run_src(
+            "PROGRAM LAP
+INTEGER, PARAMETER :: N = 8
+REAL U(N,N), V(N,N)
+INTEGER IT
+U = 0.0
+U(1:N, 1) = 100.0
+DO IT = 1, 50
+FORALL (I = 2:N-1, J = 2:N-1) V(I,J) = 0.25 * (U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1))
+U(2:N-1, 2:N-1) = V(2:N-1, 2:N-1)
+END DO
+X = U(4,2)
+END
+",
+        );
+        let x = out.scalars.get("X").unwrap().as_f64().unwrap();
+        assert!(x > 10.0 && x < 100.0, "interior heated from boundary, got {x}");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use hpf_lang::{analyze, parse_program};
+    use std::collections::BTreeMap;
+
+    fn run_src(src: &str) -> RunOutcome {
+        let p = parse_program(src).unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        run(&a).unwrap()
+    }
+
+    fn f(out: &RunOutcome, n: &str) -> f64 {
+        out.scalars.get(n).and_then(|v| v.as_f64()).unwrap()
+    }
+
+    #[test]
+    fn eoshift_fills_zero_at_ends() {
+        let out = run_src(
+            "PROGRAM T\nREAL A(4), B(4), S\nA = 1.0\nB = EOSHIFT(A, 2)\nS = SUM(B)\nEND\n",
+        );
+        assert_eq!(f(&out, "S"), 2.0);
+    }
+
+    #[test]
+    fn maxval_minval() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(5), MX, MN
+FORALL (I = 1:5) A(I) = (I - 3.0) * (I - 3.0)
+MX = MAXVAL(A)
+MN = MINVAL(A)
+END
+",
+        );
+        assert_eq!(f(&out, "MX"), 4.0);
+        assert_eq!(f(&out, "MN"), 0.0);
+    }
+
+    #[test]
+    fn transpose_assignment() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(2,3), B(3,2), S
+FORALL (I = 1:2, J = 1:3) A(I,J) = I * 10.0 + J
+B = TRANSPOSE(A)
+S = B(3,2)
+END
+",
+        );
+        assert_eq!(f(&out, "S"), 23.0);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(2,2), B(2,2), C(2,2), S
+FORALL (I = 1:2, J = 1:2) A(I,J) = I * 1.0
+FORALL (I = 1:2, J = 1:2) B(I,J) = J * 1.0
+C = MATMUL(A, B)
+S = C(2,2)
+END
+",
+        );
+        // row 2 of A = [2,2]; col 2 of B = [2,2] -> 8
+        assert_eq!(f(&out, "S"), 8.0);
+    }
+
+    #[test]
+    fn size_intrinsic() {
+        let out = run_src(
+            "PROGRAM T\nREAL A(3,5)\nINTEGER S1, S2, ST\nS1 = SIZE(A, 1)\nS2 = SIZE(A, 2)\nST = SIZE(A)\nEND\n",
+        );
+        assert_eq!(out.scalars.get("S1").unwrap().as_i64(), Some(3));
+        assert_eq!(out.scalars.get("S2").unwrap().as_i64(), Some(5));
+        assert_eq!(out.scalars.get("ST").unwrap().as_i64(), Some(15));
+    }
+
+    #[test]
+    fn nested_forall_construct() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(4,4), S
+FORALL (I = 1:4)
+FORALL (J = 1:4) A(I,J) = I * 1.0
+END FORALL
+S = SUM(A)
+END
+",
+        );
+        assert_eq!(f(&out, "S"), 4.0 * (1.0 + 2.0 + 3.0 + 4.0));
+    }
+
+    #[test]
+    fn forall_with_stride_and_mask() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(12), S
+FORALL (I = 1:12:3, I .GT. 3) A(I) = 1.0
+S = SUM(A)
+END
+",
+        );
+        // I in {1,4,7,10}, masked to {4,7,10}
+        assert_eq!(f(&out, "S"), 3.0);
+    }
+
+    #[test]
+    fn negative_stride_forall() {
+        let out = run_src(
+            "PROGRAM T\nREAL A(8), S\nFORALL (I = 8:1:-2) A(I) = 1.0\nS = SUM(A)\nEND\n",
+        );
+        assert_eq!(f(&out, "S"), 4.0);
+    }
+
+    #[test]
+    fn elemental_intrinsic_over_array() {
+        let out = run_src(
+            "PROGRAM T\nREAL A(4), B(4), S\nA = 4.0\nB = SQRT(A)\nS = SUM(B)\nEND\n",
+        );
+        assert_eq!(f(&out, "S"), 8.0);
+    }
+
+    #[test]
+    fn logical_array_mask_where() {
+        let out = run_src(
+            "PROGRAM T
+REAL A(6), S
+FORALL (I = 1:6) A(I) = I * 1.0
+WHERE (A > 3.0) A = 0.0
+S = SUM(A)
+END
+",
+        );
+        assert_eq!(f(&out, "S"), 6.0);
+    }
+
+    #[test]
+    fn profile_counts_do_trips_per_execution() {
+        let src = "PROGRAM T
+INTEGER K, J
+REAL X
+DO K = 1, 3
+DO J = 1, 5
+X = X + 1.0
+END DO
+END DO
+END
+";
+        let out = run_src(src);
+        // inner DO reached 3 times, 5 trips each.
+        let inner_line = src.lines().position(|l| l.starts_with("DO J")).unwrap() as u32 + 1;
+        let st = out.profile.by_line(inner_line).unwrap();
+        assert_eq!(st.executions, 3);
+        assert_eq!(st.iterations, 15);
+    }
+
+    #[test]
+    fn double_precision_arrays() {
+        let out = run_src(
+            "PROGRAM T\nDOUBLE PRECISION A(4)\nREAL S\nA = 0.25\nS = SUM(A)\nEND\n",
+        );
+        assert_eq!(f(&out, "S"), 1.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let p = parse_program("PROGRAM T\nREAL A(4), B(5)\nA = B\nEND\n").unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        assert!(run(&a).is_err());
+    }
+
+    #[test]
+    fn section_of_section_error_paths() {
+        // out-of-range section
+        let p =
+            parse_program("PROGRAM T\nREAL A(4), B(9)\nA(1:4) = B(3:9:2)\nEND\n").unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        assert!(run(&a).is_ok(), "4-element strided section conforms");
+        let p = parse_program("PROGRAM T\nREAL A(4), B(9)\nA(1:4) = B(1:9:2)\nEND\n").unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        assert!(run(&a).is_err(), "5 elements into 4 must fail");
+    }
+}

@@ -1,0 +1,50 @@
+//! Diagnostics for lexing, parsing and semantic analysis.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A front-end diagnostic with the phase that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    pub phase: Phase,
+    pub message: String,
+    pub span: Span,
+}
+
+/// Which front-end phase raised the diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Sema,
+}
+
+impl LangError {
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Lex, message: message.into(), span }
+    }
+
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Parse, message: message.into(), span }
+    }
+
+    pub fn sema(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Sema, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lexical",
+            Phase::Parse => "syntax",
+            Phase::Sema => "semantic",
+        };
+        write!(f, "{phase} error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Result alias used throughout the front end.
+pub type LangResult<T> = Result<T, LangError>;

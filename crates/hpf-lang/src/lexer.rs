@@ -1,0 +1,478 @@
+//! Lexer for the free-form HPF/Fortran 90D subset.
+//!
+//! Conventions supported:
+//!
+//! - free-form source; statements end at newline or `;`;
+//! - `&` at end of line continues the statement on the next line;
+//! - `!` starts a comment, **except** `!HPF$` (and the Fortran-90D spellings
+//!   `CHPF$` / `*HPF$` at column 1) which starts a directive line;
+//! - identifiers and keywords are case-insensitive and uppercased;
+//! - dot-operators (`.AND.`, `.GT.`, …) and their symbolic forms;
+//! - integer, real (incl. `D` exponent) and string literals.
+
+use crate::error::{LangError, LangResult};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize an entire source text.
+pub fn lex(src: &str) -> LangResult<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    /// True when the last emitted token was a Newline (or nothing yet);
+    /// used to collapse blank lines and detect column-1 directive forms.
+    at_line_start: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new(), at_line_start: true }
+    }
+
+    fn run(mut self) -> LangResult<Vec<Token>> {
+        while self.pos < self.src.len() {
+            self.lex_one()?;
+        }
+        // Terminate the final statement if the file doesn't end in a newline.
+        if !self.at_line_start {
+            self.push(TokenKind::Newline, self.here(0));
+        }
+        self.push(TokenKind::Eof, self.here(0));
+        Ok(self.tokens)
+    }
+
+    fn here(&self, len: usize) -> Span {
+        Span::new(self.pos as u32, (self.pos + len) as u32, self.line)
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.at_line_start = matches!(kind, TokenKind::Newline);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    /// Case-insensitive match of `text` at the current position.
+    fn looking_at_nocase(&self, text: &str) -> bool {
+        let bytes = text.as_bytes();
+        self.src.len() - self.pos >= bytes.len()
+            && self.src[self.pos..self.pos + bytes.len()]
+                .iter()
+                .zip(bytes)
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    fn lex_one(&mut self) -> LangResult<()> {
+        let c = self.peek();
+        match c {
+            b' ' | b'\t' | b'\r' => {
+                self.bump();
+            }
+            b'\n' => {
+                self.bump();
+                if !self.at_line_start {
+                    let span = Span::new(self.pos as u32 - 1, self.pos as u32, self.line - 1);
+                    self.push(TokenKind::Newline, span);
+                }
+            }
+            b';' => {
+                self.bump();
+                if !self.at_line_start {
+                    self.push(TokenKind::Newline, self.here(0));
+                }
+            }
+            b'&' => {
+                // Continuation: swallow `&`, trailing whitespace/comment, and
+                // the newline (plus an optional leading `&` on the next line).
+                self.bump();
+                while matches!(self.peek(), b' ' | b'\t' | b'\r') {
+                    self.bump();
+                }
+                if self.peek() == b'!' && !self.looking_at_nocase("!HPF$") {
+                    while self.peek() != b'\n' && self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                if self.peek() == b'\n' {
+                    self.bump();
+                    while matches!(self.peek(), b' ' | b'\t' | b'\r') {
+                        self.bump();
+                    }
+                    if self.peek() == b'&' {
+                        self.bump();
+                    }
+                } else if self.pos < self.src.len() {
+                    return Err(LangError::lex("`&` not at end of line", self.here(1)));
+                }
+            }
+            b'!' => {
+                if self.looking_at_nocase("!HPF$") {
+                    let span = self.here(5);
+                    self.pos += 5;
+                    self.push(TokenKind::HpfDirective, span);
+                } else {
+                    while self.peek() != b'\n' && self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+            }
+            b'C' | b'c' | b'*' if self.at_line_start && self.column_one() => {
+                // Fortran-90D spellings of directives at column 1, or `*`
+                // comment lines. (Bare `C` comments are fixed-form only and
+                // would be ambiguous with free-form statements like `C = 1`,
+                // so they are deliberately not recognized.)
+                if self.looking_at_nocase("CHPF$") || self.looking_at_nocase("*HPF$") {
+                    let span = self.here(5);
+                    self.pos += 5;
+                    self.push(TokenKind::HpfDirective, span);
+                } else if c == b'*' {
+                    while self.peek() != b'\n' && self.pos < self.src.len() {
+                        self.bump();
+                    }
+                } else {
+                    self.lex_word()?;
+                }
+            }
+            b'0'..=b'9' => self.lex_number()?,
+            b'.' => {
+                if self.peek2().is_ascii_digit() {
+                    self.lex_number()?;
+                } else {
+                    self.lex_dot_operator()?;
+                }
+            }
+            b'\'' | b'"' => self.lex_string()?,
+            b'_' | b'A'..=b'Z' | b'a'..=b'z' => self.lex_word()?,
+            _ => self.lex_symbol()?,
+        }
+        Ok(())
+    }
+
+    /// Whether `pos` is at column 1 of its line.
+    fn column_one(&self) -> bool {
+        self.pos == 0 || self.src[self.pos - 1] == b'\n'
+    }
+
+    fn lex_word(&mut self) -> LangResult<()> {
+        let start = self.pos;
+        let line = self.line;
+        while matches!(self.peek(), b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'$') {
+            self.bump();
+        }
+        let text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii word")
+            .to_ascii_uppercase();
+        let span = Span::new(start as u32, self.pos as u32, line);
+        self.push(TokenKind::Ident(text), span);
+        Ok(())
+    }
+
+    fn lex_number(&mut self) -> LangResult<()> {
+        let start = self.pos;
+        let line = self.line;
+        let mut is_real = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        // Fractional part. Careful: `1.GT.2` — the dot belongs to `.GT.`,
+        // and `2:N-1` etc. A dot followed by a letter sequence that forms a
+        // dot-operator must not be consumed.
+        if self.peek() == b'.' && !self.dot_starts_operator() {
+            is_real = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        // Exponent: E, D (double), e.g. 1.5E-3, 2D0.
+        if matches!(self.peek(), b'e' | b'E' | b'd' | b'D')
+            && (self.peek2().is_ascii_digit()
+                || (matches!(self.peek2(), b'+' | b'-')
+                    && self.src.get(self.pos + 2).map(|b| b.is_ascii_digit()).unwrap_or(false)))
+        {
+            is_real = true;
+            self.bump();
+            if matches!(self.peek(), b'+' | b'-') {
+                self.bump();
+            }
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        let span = Span::new(start as u32, self.pos as u32, line);
+        if is_real {
+            let normalized = text.replace(['d', 'D'], "E");
+            let v: f64 = normalized
+                .parse()
+                .map_err(|_| LangError::lex(format!("bad real literal `{text}`"), span))?;
+            self.push(TokenKind::RealLit(v), span);
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| LangError::lex(format!("bad integer literal `{text}`"), span))?;
+            self.push(TokenKind::IntLit(v), span);
+        }
+        Ok(())
+    }
+
+    /// After digits, does the `.` at `self.pos` begin a dot-operator like
+    /// `.GT.` rather than a decimal point?
+    fn dot_starts_operator(&self) -> bool {
+        const OPS: &[&str] = &[
+            ".AND.", ".OR.", ".NOT.", ".EQV.", ".NEQV.", ".EQ.", ".NE.", ".LT.", ".LE.", ".GT.",
+            ".GE.", ".TRUE.", ".FALSE.",
+        ];
+        OPS.iter().any(|op| self.looking_at_nocase(op))
+    }
+
+    fn lex_dot_operator(&mut self) -> LangResult<()> {
+        const TABLE: &[(&str, TokenKind)] = &[
+            (".AND.", TokenKind::And),
+            (".OR.", TokenKind::Or),
+            (".NOT.", TokenKind::Not),
+            (".EQV.", TokenKind::Eqv),
+            (".NEQV.", TokenKind::Neqv),
+            (".EQ.", TokenKind::Eq),
+            (".NE.", TokenKind::Ne),
+            (".LT.", TokenKind::Lt),
+            (".LE.", TokenKind::Le),
+            (".GT.", TokenKind::Gt),
+            (".GE.", TokenKind::Ge),
+            (".TRUE.", TokenKind::LogicalLit(true)),
+            (".FALSE.", TokenKind::LogicalLit(false)),
+        ];
+        for (text, kind) in TABLE {
+            if self.looking_at_nocase(text) {
+                let span = self.here(text.len());
+                self.pos += text.len();
+                self.push(kind.clone(), span);
+                return Ok(());
+            }
+        }
+        Err(LangError::lex("unrecognized `.` operator", self.here(1)))
+    }
+
+    fn lex_string(&mut self) -> LangResult<()> {
+        let quote = self.bump();
+        let start = self.pos;
+        let line = self.line;
+        let mut out = String::new();
+        loop {
+            if self.pos >= self.src.len() || self.peek() == b'\n' {
+                return Err(LangError::lex(
+                    "unterminated string literal",
+                    Span::new(start as u32, self.pos as u32, line),
+                ));
+            }
+            let c = self.bump();
+            if c == quote {
+                // Doubled quote is an escaped quote.
+                if self.peek() == quote {
+                    self.bump();
+                    out.push(quote as char);
+                } else {
+                    break;
+                }
+            } else {
+                out.push(c as char);
+            }
+        }
+        let span = Span::new(start as u32 - 1, self.pos as u32, line);
+        self.push(TokenKind::StrLit(out), span);
+        Ok(())
+    }
+
+    fn lex_symbol(&mut self) -> LangResult<()> {
+        let two: &[u8] = {
+            let hi = (self.pos + 2).min(self.src.len());
+            &self.src[self.pos..hi]
+        };
+        let (kind, len) = match two {
+            b"**" => (TokenKind::Power, 2),
+            b"//" => (TokenKind::Concat, 2),
+            b"==" => (TokenKind::Eq, 2),
+            b"/=" => (TokenKind::Ne, 2),
+            b"<=" => (TokenKind::Le, 2),
+            b">=" => (TokenKind::Ge, 2),
+            b"::" => (TokenKind::DoubleColon, 2),
+            _ => match self.peek() {
+                b'(' => (TokenKind::LParen, 1),
+                b')' => (TokenKind::RParen, 1),
+                b',' => (TokenKind::Comma, 1),
+                b':' => (TokenKind::Colon, 1),
+                b'=' => (TokenKind::Assign, 1),
+                b'+' => (TokenKind::Plus, 1),
+                b'-' => (TokenKind::Minus, 1),
+                b'*' => (TokenKind::Star, 1),
+                b'/' => (TokenKind::Slash, 1),
+                b'<' => (TokenKind::Lt, 1),
+                b'>' => (TokenKind::Gt, 1),
+                b'%' => (TokenKind::Percent, 1),
+                other => {
+                    return Err(LangError::lex(
+                        format!("unexpected character `{}`", other as char),
+                        self.here(1),
+                    ))
+                }
+            },
+        };
+        let span = self.here(len);
+        self.pos += len;
+        self.push(kind, span);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_are_uppercased() {
+        assert_eq!(
+            kinds("forall"),
+            vec![T::Ident("FORALL".into()), T::Newline, T::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], T::IntLit(42));
+        assert_eq!(kinds("3.5")[0], T::RealLit(3.5));
+        assert_eq!(kinds("1E-3")[0], T::RealLit(1e-3));
+        assert_eq!(kinds("2.5D0")[0], T::RealLit(2.5));
+        assert_eq!(kinds(".25")[0], T::RealLit(0.25));
+    }
+
+    #[test]
+    fn dot_operator_after_integer() {
+        // `1.GT.2` must lex as IntLit(1) Gt IntLit(2), not RealLit(1.0) ...
+        assert_eq!(kinds("1.GT.2"), vec![T::IntLit(1), T::Gt, T::IntLit(2), T::Newline, T::Eof]);
+        assert_eq!(kinds("X(K).NE.0.0")[4], T::Ne);
+    }
+
+    #[test]
+    fn operators_symbolic_and_dotted() {
+        assert_eq!(kinds("a == b")[1], T::Eq);
+        assert_eq!(kinds("a .eq. b")[1], T::Eq);
+        assert_eq!(kinds("a /= b")[1], T::Ne);
+        assert_eq!(kinds("a ** b")[1], T::Power);
+        assert_eq!(kinds(".true.")[0], T::LogicalLit(true));
+    }
+
+    #[test]
+    fn hpf_directive_token() {
+        let ks = kinds("!HPF$ PROCESSORS P(4)");
+        assert_eq!(ks[0], T::HpfDirective);
+        assert_eq!(ks[1], T::Ident("PROCESSORS".into()));
+    }
+
+    #[test]
+    fn chpf_column_one_directive() {
+        let ks = kinds("CHPF$ DISTRIBUTE T(BLOCK)");
+        assert_eq!(ks[0], T::HpfDirective);
+    }
+
+    #[test]
+    fn star_comment_column_one() {
+        let ks = kinds("* this is a comment\nX = 1");
+        assert_eq!(ks[0], T::Ident("X".into()));
+    }
+
+    #[test]
+    fn free_form_c_variable_is_not_a_comment() {
+        let ks = kinds("C = C + 1\n");
+        assert_eq!(ks[0], T::Ident("C".into()));
+        assert_eq!(ks[1], T::Assign);
+    }
+
+    #[test]
+    fn plain_comment_is_skipped() {
+        assert_eq!(
+            kinds("x = 1 ! trailing\n"),
+            vec![T::Ident("X".into()), T::Assign, T::IntLit(1), T::Newline, T::Eof]
+        );
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        let ks = kinds("x = 1 + &\n    2\n");
+        assert_eq!(
+            ks,
+            vec![
+                T::Ident("X".into()),
+                T::Assign,
+                T::IntLit(1),
+                T::Plus,
+                T::IntLit(2),
+                T::Newline,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_with_leading_ampersand() {
+        let ks = kinds("x = 1 + &\n  & 2\n");
+        assert_eq!(ks[4], T::IntLit(2));
+    }
+
+    #[test]
+    fn semicolon_separates_statements() {
+        let ks = kinds("x = 1; y = 2");
+        let newlines = ks.iter().filter(|k| matches!(k, T::Newline)).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(kinds("'hello'")[0], T::StrLit("hello".into()));
+        assert_eq!(kinds("'it''s'")[0], T::StrLit("it's".into()));
+        assert_eq!(kinds("\"dq\"")[0], T::StrLit("dq".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a = 1\nb = 2\n").unwrap();
+        let b = toks.iter().find(|t| t.kind.is_kw("B")).unwrap();
+        assert_eq!(b.span.line, 2);
+    }
+
+    #[test]
+    fn blank_lines_do_not_emit_newlines() {
+        let ks = kinds("\n\n\nx = 1\n\n\n");
+        let newlines = ks.iter().filter(|k| matches!(k, T::Newline)).count();
+        assert_eq!(newlines, 1);
+    }
+}

@@ -1,0 +1,1264 @@
+//! Recursive-descent parser for the HPF/Fortran 90D subset.
+//!
+//! Mirrors step 1 of the paper's compilation phase (§4.1): "the first step
+//! parses the program to generate a parse tree".
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parse a complete program from source text.
+pub fn parse_program(src: &str) -> LangResult<Program> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    // ---- token helpers -------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> LangResult<Token> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(LangError::parse(
+                format!("expected `{kind}`, found `{}`", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> LangResult<Span> {
+        if self.peek().is_kw(kw) {
+            Ok(self.bump().span)
+        } else {
+            Err(LangError::parse(
+                format!("expected `{kw}`, found `{}`", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> LangResult<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let sp = self.bump().span;
+                Ok((name, sp))
+            }
+            other => Err(LangError::parse(format!("expected identifier, found `{other}`"), self.span())),
+        }
+    }
+
+    fn eol(&mut self) -> LangResult<()> {
+        if self.eat(&TokenKind::Newline) || matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                format!("expected end of statement, found `{}`", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat(&TokenKind::Newline) {}
+    }
+
+    // ---- program structure ---------------------------------------------
+
+    fn program(&mut self) -> LangResult<Program> {
+        self.skip_newlines();
+        let start = self.span();
+        self.expect_kw("PROGRAM")?;
+        let (name, _) = self.expect_ident()?;
+        self.eol()?;
+
+        let mut decls = Vec::new();
+        let mut directives = Vec::new();
+        let mut body = Vec::new();
+
+        // Specification part: declarations and directives, until the first
+        // executable statement.
+        loop {
+            self.skip_newlines();
+            if self.eat(&TokenKind::HpfDirective) {
+                directives.push(self.directive()?);
+            } else if self.at_decl_start() {
+                decls.push(self.decl()?);
+            } else {
+                break;
+            }
+        }
+
+        // Execution part.
+        loop {
+            self.skip_newlines();
+            if self.at_program_end() {
+                break;
+            }
+            if self.eat(&TokenKind::HpfDirective) {
+                // Directives among executable statements (e.g. INDEPENDENT)
+                // are accepted and recorded.
+                directives.push(self.directive()?);
+                continue;
+            }
+            body.push(self.stmt()?);
+        }
+
+        // END [PROGRAM [name]]
+        let end_span = self.span();
+        if self.eat_kw("ENDPROGRAM") {
+            if let TokenKind::Ident(_) = self.peek() {
+                self.bump();
+            }
+        } else {
+            self.expect_kw("END")?;
+            if self.eat_kw("PROGRAM") {
+                if let TokenKind::Ident(_) = self.peek() {
+                    self.bump();
+                }
+            }
+        }
+        self.eol().ok();
+        self.skip_newlines();
+
+        Ok(Program { name, decls, directives, body, span: start.merge(end_span) })
+    }
+
+    fn at_program_end(&self) -> bool {
+        match self.peek() {
+            TokenKind::Eof => true,
+            TokenKind::Ident(s) if s == "ENDPROGRAM" => true,
+            TokenKind::Ident(s) if s == "END" => {
+                // `END` alone or `END PROGRAM` terminates; `END DO` etc. are
+                // handled inside their constructs and never reach here.
+                matches!(self.peek_at(1), TokenKind::Newline | TokenKind::Eof)
+                    || self.peek_at(1).is_kw("PROGRAM")
+            }
+            _ => false,
+        }
+    }
+
+    // ---- declarations ---------------------------------------------------
+
+    fn at_decl_start(&self) -> bool {
+        match self.peek() {
+            TokenKind::Ident(s) => {
+                matches!(s.as_str(), "INTEGER" | "REAL" | "LOGICAL" | "PARAMETER")
+                    || (s == "DOUBLE" && self.peek_at(1).is_kw("PRECISION"))
+            }
+            _ => false,
+        }
+    }
+
+    fn decl(&mut self) -> LangResult<Decl> {
+        let start = self.span();
+
+        // F77-style `PARAMETER (N = 256, M = 2)` — implicit typing.
+        if self.peek().is_kw("PARAMETER") && matches!(self.peek_at(1), TokenKind::LParen) {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let mut entities = Vec::new();
+            loop {
+                let (name, nsp) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let init = self.expr()?;
+                entities.push(EntityDecl { name, dims: None, init: Some(init), span: nsp });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            let end = self.span();
+            self.eol()?;
+            // Type is inferred per implicit rules during sema; INTEGER here
+            // is a placeholder refined by `Decl::implicit_typed`.
+            return Ok(Decl {
+                type_spec: TypeSpec::Integer,
+                parameter: true,
+                dimension: None,
+                entities,
+                span: start.merge(end),
+            });
+        }
+
+        let type_spec = self.type_spec()?;
+        let mut parameter = false;
+        let mut dimension = None;
+
+        // Attribute list: `, PARAMETER`, `, DIMENSION(...)`.
+        while self.eat(&TokenKind::Comma) {
+            if self.eat_kw("PARAMETER") {
+                parameter = true;
+            } else if self.eat_kw("DIMENSION") {
+                self.expect(&TokenKind::LParen)?;
+                dimension = Some(self.dim_bounds()?);
+                self.expect(&TokenKind::RParen)?;
+            } else {
+                return Err(LangError::parse(
+                    format!("unknown declaration attribute `{}`", self.peek()),
+                    self.span(),
+                ));
+            }
+        }
+        self.eat(&TokenKind::DoubleColon);
+
+        let mut entities = Vec::new();
+        loop {
+            let (name, nsp) = self.expect_ident()?;
+            let dims = if self.eat(&TokenKind::LParen) {
+                let d = self.dim_bounds()?;
+                self.expect(&TokenKind::RParen)?;
+                Some(d)
+            } else {
+                None
+            };
+            let init =
+                if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            entities.push(EntityDecl { name, dims, init, span: nsp });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.span();
+        self.eol()?;
+        Ok(Decl { type_spec, parameter, dimension, entities, span: start.merge(end) })
+    }
+
+    fn type_spec(&mut self) -> LangResult<TypeSpec> {
+        if self.eat_kw("INTEGER") {
+            Ok(TypeSpec::Integer)
+        } else if self.eat_kw("REAL") {
+            Ok(TypeSpec::Real)
+        } else if self.eat_kw("LOGICAL") {
+            Ok(TypeSpec::Logical)
+        } else if self.eat_kw("DOUBLE") {
+            self.expect_kw("PRECISION")?;
+            Ok(TypeSpec::DoublePrecision)
+        } else {
+            Err(LangError::parse(format!("expected type, found `{}`", self.peek()), self.span()))
+        }
+    }
+
+    fn dim_bounds(&mut self) -> LangResult<Vec<DimBound>> {
+        let mut out = Vec::new();
+        loop {
+            let first = self.expr()?;
+            if self.eat(&TokenKind::Colon) {
+                let upper = self.expr()?;
+                out.push(DimBound { lower: Some(first), upper });
+            } else {
+                out.push(DimBound { lower: None, upper: first });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- HPF directives --------------------------------------------------
+
+    fn directive(&mut self) -> LangResult<Directive> {
+        let start = self.span();
+        let (kw, _) = self.expect_ident()?;
+        let d = match kw.as_str() {
+            "PROCESSORS" => {
+                let (name, _) = self.expect_ident()?;
+                let mut shape = Vec::new();
+                if self.eat(&TokenKind::LParen) {
+                    loop {
+                        shape.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                } else {
+                    shape.push(Expr::int(1));
+                }
+                Directive::Processors { name, shape, span: start.merge(self.span()) }
+            }
+            "TEMPLATE" => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let shape = self.dim_bounds()?;
+                self.expect(&TokenKind::RParen)?;
+                Directive::Template { name, shape, span: start.merge(self.span()) }
+            }
+            "ALIGN" => {
+                let (alignee, _) = self.expect_ident()?;
+                let mut dummies = Vec::new();
+                if self.eat(&TokenKind::LParen) {
+                    loop {
+                        // `*` collapses that alignee dimension (it maps to
+                        // no template axis).
+                        if self.eat(&TokenKind::Star) {
+                            dummies.push("*".to_string());
+                        } else {
+                            let (d, _) = self.expect_ident()?;
+                            dummies.push(d);
+                        }
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                self.expect_kw("WITH")?;
+                let (target, _) = self.expect_ident()?;
+                let mut target_subs = Vec::new();
+                if self.eat(&TokenKind::LParen) {
+                    loop {
+                        target_subs.push(self.align_sub(&dummies)?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                Directive::Align { alignee, dummies, target, target_subs, span: start.merge(self.span()) }
+            }
+            "DISTRIBUTE" => {
+                let (target, _) = self.expect_ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let mut formats = Vec::new();
+                loop {
+                    if self.eat(&TokenKind::Star) {
+                        formats.push(DistFormat::Degenerate);
+                    } else if self.eat_kw("BLOCK") {
+                        formats.push(DistFormat::Block);
+                    } else if self.eat_kw("CYCLIC") {
+                        if self.eat(&TokenKind::LParen) {
+                            let k = match self.peek().clone() {
+                                TokenKind::IntLit(k) if k >= 1 => {
+                                    self.bump();
+                                    k
+                                }
+                                other => {
+                                    return Err(LangError::parse(
+                                        format!(
+                                            "CYCLIC block factor must be a positive integer                                              literal, found `{other}`"
+                                        ),
+                                        self.span(),
+                                    ))
+                                }
+                            };
+                            self.expect(&TokenKind::RParen)?;
+                            formats.push(if k == 1 {
+                                DistFormat::Cyclic
+                            } else {
+                                DistFormat::CyclicK(k)
+                            });
+                        } else {
+                            formats.push(DistFormat::Cyclic);
+                        }
+                    } else {
+                        return Err(LangError::parse(
+                            format!("expected BLOCK, CYCLIC or `*`, found `{}`", self.peek()),
+                            self.span(),
+                        ));
+                    }
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                let onto = if self.eat_kw("ONTO") {
+                    Some(self.expect_ident()?.0)
+                } else {
+                    None
+                };
+                Directive::Distribute { target, formats, onto, span: start.merge(self.span()) }
+            }
+            "INDEPENDENT" => Directive::Independent { span: start },
+            other => {
+                return Err(LangError::parse(format!("unknown HPF directive `{other}`"), start));
+            }
+        };
+        self.eol()?;
+        Ok(d)
+    }
+
+    /// Parse one align-target subscript: `*` or an affine expression in one
+    /// of the align dummies (`I`, `I+1`, `2-I`, …).
+    fn align_sub(&mut self, dummies: &[String]) -> LangResult<AlignSub> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(AlignSub::Replicated);
+        }
+        let e = self.expr()?;
+        affine_of(&e, dummies).ok_or_else(|| {
+            LangError::parse("align subscript must be affine in one align dummy", e.span())
+        })
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Ident(kw) => match kw.as_str() {
+                "FORALL" => self.forall_stmt(),
+                "WHERE" => self.where_stmt(),
+                "DO" => self.do_stmt(),
+                "IF" => self.if_stmt(),
+                "CALL" => {
+                    self.bump();
+                    let (name, _) = self.expect_ident()?;
+                    let mut args = Vec::new();
+                    if self.eat(&TokenKind::LParen) {
+                        if !self.eat(&TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&TokenKind::RParen)?;
+                        }
+                    }
+                    let span = start.merge(self.span());
+                    self.eol()?;
+                    Ok(Stmt::Call { name, args, span })
+                }
+                "PRINT" => {
+                    self.bump();
+                    // PRINT *, item, item …
+                    self.expect(&TokenKind::Star)?;
+                    let mut items = Vec::new();
+                    while self.eat(&TokenKind::Comma) {
+                        items.push(self.expr()?);
+                    }
+                    let span = start.merge(self.span());
+                    self.eol()?;
+                    Ok(Stmt::Print { items, span })
+                }
+                "STOP" => {
+                    self.bump();
+                    // optional stop code
+                    if !matches!(self.peek(), TokenKind::Newline | TokenKind::Eof) {
+                        self.bump();
+                    }
+                    self.eol()?;
+                    Ok(Stmt::Stop { span: start })
+                }
+                _ => self.assignment(),
+            },
+            other => Err(LangError::parse(format!("expected statement, found `{other}`"), start)),
+        }
+    }
+
+    fn assignment(&mut self) -> LangResult<Stmt> {
+        let start = self.span();
+        let lhs = self.data_ref()?;
+        self.expect(&TokenKind::Assign)?;
+        let rhs = self.expr()?;
+        let span = start.merge(rhs.span());
+        self.eol()?;
+        Ok(Stmt::Assign { lhs, rhs, span })
+    }
+
+    /// Parse an assignment without consuming a newline (single-statement
+    /// bodies of logical IF / single-line FORALL / WHERE).
+    fn inline_assignment(&mut self) -> LangResult<Stmt> {
+        let start = self.span();
+        let lhs = self.data_ref()?;
+        self.expect(&TokenKind::Assign)?;
+        let rhs = self.expr()?;
+        let span = start.merge(rhs.span());
+        Ok(Stmt::Assign { lhs, rhs, span })
+    }
+
+    fn forall_stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.expect_kw("FORALL")?;
+        self.expect(&TokenKind::LParen)?;
+        let mut triplets = Vec::new();
+        let mut mask = None;
+        loop {
+            // Triplet iff `IDENT =` follows; otherwise it is the mask.
+            let is_triplet = matches!(self.peek(), TokenKind::Ident(_))
+                && matches!(self.peek_at(1), TokenKind::Assign);
+            if is_triplet {
+                let (var, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let lo = self.expr()?;
+                self.expect(&TokenKind::Colon)?;
+                let hi = self.expr()?;
+                let stride = if self.eat(&TokenKind::Colon) { Some(self.expr()?) } else { None };
+                triplets.push(ForallTriplet { var, lo, hi, stride });
+            } else {
+                mask = Some(self.expr()?);
+                break; // mask must be last
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        if triplets.is_empty() {
+            return Err(LangError::parse("forall requires at least one index triplet", start));
+        }
+        let header = ForallHeader { triplets, mask };
+
+        if matches!(self.peek(), TokenKind::Newline) {
+            // FORALL construct.
+            self.eol()?;
+            let mut body = Vec::new();
+            loop {
+                self.skip_newlines();
+                if self.eat_kw("ENDFORALL") {
+                    break;
+                }
+                if self.peek().is_kw("END") && self.peek_at(1).is_kw("FORALL") {
+                    self.bump();
+                    self.bump();
+                    break;
+                }
+                body.push(self.stmt()?);
+            }
+            let span = start.merge(self.span());
+            self.eol()?;
+            Ok(Stmt::Forall { header, body, span })
+        } else {
+            // Single-statement forall.
+            let st = self.inline_assignment()?;
+            let span = start.merge(st.span());
+            self.eol()?;
+            Ok(Stmt::Forall { header, body: vec![st], span })
+        }
+    }
+
+    fn where_stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.expect_kw("WHERE")?;
+        self.expect(&TokenKind::LParen)?;
+        let mask = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+
+        if matches!(self.peek(), TokenKind::Newline) {
+            self.eol()?;
+            let mut body = Vec::new();
+            let mut elsewhere = Vec::new();
+            let mut in_else = false;
+            loop {
+                self.skip_newlines();
+                if self.eat_kw("ENDWHERE") {
+                    break;
+                }
+                if self.peek().is_kw("END") && self.peek_at(1).is_kw("WHERE") {
+                    self.bump();
+                    self.bump();
+                    break;
+                }
+                if self.eat_kw("ELSEWHERE") {
+                    in_else = true;
+                    self.eol()?;
+                    continue;
+                }
+                let st = self.stmt()?;
+                if in_else {
+                    elsewhere.push(st);
+                } else {
+                    body.push(st);
+                }
+            }
+            let span = start.merge(self.span());
+            self.eol()?;
+            Ok(Stmt::Where { mask, body, elsewhere, span })
+        } else {
+            let st = self.inline_assignment()?;
+            let span = start.merge(st.span());
+            self.eol()?;
+            Ok(Stmt::Where { mask, body: vec![st], elsewhere: Vec::new(), span })
+        }
+    }
+
+    fn do_stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.expect_kw("DO")?;
+        if self.eat_kw("WHILE") {
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            self.eol()?;
+            let body = self.block_until_enddo()?;
+            let span = start.merge(self.span());
+            self.eol()?;
+            return Ok(Stmt::DoWhile { cond, body, span });
+        }
+        let (var, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let lo = self.expr()?;
+        self.expect(&TokenKind::Comma)?;
+        let hi = self.expr()?;
+        let step = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+        self.eol()?;
+        let body = self.block_until_enddo()?;
+        let span = start.merge(self.span());
+        self.eol()?;
+        Ok(Stmt::Do { var, lo, hi, step, body, span })
+    }
+
+    fn block_until_enddo(&mut self) -> LangResult<Vec<Stmt>> {
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.eat_kw("ENDDO") {
+                return Ok(body);
+            }
+            if self.peek().is_kw("END") && self.peek_at(1).is_kw("DO") {
+                self.bump();
+                self.bump();
+                return Ok(body);
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(LangError::parse("unterminated DO (missing END DO)", self.span()));
+            }
+            body.push(self.stmt()?);
+        }
+    }
+
+    fn if_stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.expect_kw("IF")?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+
+        if !self.eat_kw("THEN") {
+            // Logical IF: `IF (cond) statement` on one line.
+            let st = match self.peek().clone() {
+                TokenKind::Ident(k) if k == "STOP" => {
+                    self.bump();
+                    Stmt::Stop { span: self.span() }
+                }
+                TokenKind::Ident(k) if k == "CALL" => {
+                    self.bump();
+                    let (name, _) = self.expect_ident()?;
+                    let mut args = Vec::new();
+                    if self.eat(&TokenKind::LParen) {
+                        if !self.eat(&TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&TokenKind::RParen)?;
+                        }
+                    }
+                    Stmt::Call { name, args, span: self.span() }
+                }
+                _ => self.inline_assignment()?,
+            };
+            let span = start.merge(st.span());
+            self.eol()?;
+            return Ok(Stmt::If { arms: vec![(cond, vec![st])], else_body: Vec::new(), span });
+        }
+        self.eol()?;
+
+        let mut arms = vec![(cond, Vec::new())];
+        let mut else_body: Vec<Stmt> = Vec::new();
+        let mut in_else = false;
+        loop {
+            self.skip_newlines();
+            if self.eat_kw("ENDIF") {
+                break;
+            }
+            if self.peek().is_kw("END") && self.peek_at(1).is_kw("IF") {
+                self.bump();
+                self.bump();
+                break;
+            }
+            if self.peek().is_kw("ELSEIF")
+                || (self.peek().is_kw("ELSE") && self.peek_at(1).is_kw("IF"))
+            {
+                if self.eat_kw("ELSEIF") {
+                } else {
+                    self.bump();
+                    self.bump();
+                }
+                self.expect(&TokenKind::LParen)?;
+                let c = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect_kw("THEN")?;
+                self.eol()?;
+                arms.push((c, Vec::new()));
+                continue;
+            }
+            if self.eat_kw("ELSE") {
+                in_else = true;
+                self.eol()?;
+                continue;
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(LangError::parse("unterminated IF (missing END IF)", self.span()));
+            }
+            let st = self.stmt()?;
+            if in_else {
+                else_body.push(st);
+            } else {
+                arms.last_mut().expect("at least one arm").1.push(st);
+            }
+        }
+        let span = start.merge(self.span());
+        self.eol()?;
+        Ok(Stmt::If { arms, else_body, span })
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> LangResult<Expr> {
+        self.equiv_expr()
+    }
+
+    fn equiv_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.or_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Eqv => BinOp::Eqv,
+                TokenKind::Neqv => BinOp::Neqv,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.or_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), TokenKind::Or) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.not_expr()?;
+        while matches!(self.peek(), TokenKind::And) {
+            self.bump();
+            let rhs = self.not_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> LangResult<Expr> {
+        if matches!(self.peek(), TokenKind::Not) {
+            let sp = self.bump().span;
+            let operand = self.not_expr()?;
+            let span = sp.merge(operand.span());
+            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand), span });
+        }
+        self.rel_expr()
+    }
+
+    fn rel_expr(&mut self) -> LangResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().merge(rhs.span());
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span })
+    }
+
+    fn add_expr(&mut self) -> LangResult<Expr> {
+        // Leading unary +/-.
+        let mut lhs = if matches!(self.peek(), TokenKind::Minus | TokenKind::Plus) {
+            let t = self.bump();
+            let operand = self.mul_expr()?;
+            let span = t.span.merge(operand.span());
+            let op = if matches!(t.kind, TokenKind::Minus) { UnOp::Neg } else { UnOp::Plus };
+            Expr::Unary { op, operand: Box::new(operand), span }
+        } else {
+            self.mul_expr()?
+        };
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.pow_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.pow_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn pow_expr(&mut self) -> LangResult<Expr> {
+        let base = self.primary()?;
+        if matches!(self.peek(), TokenKind::Power) {
+            self.bump();
+            // `**` is right-associative; unary minus binds looser than `**`
+            // on the right (`2 ** -2` is accepted as Fortran extensions do).
+            let exp = if matches!(self.peek(), TokenKind::Minus) {
+                let t = self.bump();
+                let operand = self.pow_expr()?;
+                let span = t.span.merge(operand.span());
+                Expr::Unary { op: UnOp::Neg, operand: Box::new(operand), span }
+            } else {
+                self.pow_expr()?
+            };
+            let span = base.span().merge(exp.span());
+            return Ok(Expr::Binary {
+                op: BinOp::Pow,
+                lhs: Box::new(base),
+                rhs: Box::new(exp),
+                span,
+            });
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> LangResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                let sp = self.bump().span;
+                Ok(Expr::IntLit(v, sp))
+            }
+            TokenKind::RealLit(v) => {
+                let sp = self.bump().span;
+                Ok(Expr::RealLit(v, sp))
+            }
+            TokenKind::LogicalLit(v) => {
+                let sp = self.bump().span;
+                Ok(Expr::LogicalLit(v, sp))
+            }
+            TokenKind::StrLit(s) => {
+                let sp = self.bump().span;
+                Ok(Expr::StrLit(s, sp))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(_) => Ok(Expr::Ref(self.data_ref()?)),
+            other => {
+                Err(LangError::parse(format!("expected expression, found `{other}`"), self.span()))
+            }
+        }
+    }
+
+    fn data_ref(&mut self) -> LangResult<DataRef> {
+        let (name, start) = self.expect_ident()?;
+        let mut subs = Vec::new();
+        let mut end = start;
+        if self.eat(&TokenKind::LParen) {
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    subs.push(self.subscript()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                end = self.expect(&TokenKind::RParen)?.span;
+            }
+        }
+        Ok(DataRef { name, subs, span: start.merge(end) })
+    }
+
+    fn subscript(&mut self) -> LangResult<Subscript> {
+        // `:`-led forms: `:`, `:hi`, `::stride`, `:hi:stride`.
+        if self.eat(&TokenKind::Colon) {
+            let hi = if self.sub_boundary() { None } else { Some(self.expr()?) };
+            let stride = if self.eat(&TokenKind::Colon) { Some(self.expr()?) } else { None };
+            return Ok(Subscript::Triplet { lo: None, hi, stride });
+        }
+        let first = self.expr()?;
+        if self.eat(&TokenKind::Colon) {
+            let hi = if self.sub_boundary() { None } else { Some(self.expr()?) };
+            let stride = if self.eat(&TokenKind::Colon) { Some(self.expr()?) } else { None };
+            Ok(Subscript::Triplet { lo: Some(first), hi, stride })
+        } else {
+            Ok(Subscript::Index(first))
+        }
+    }
+
+    /// At a subscript boundary (`,`, `)`, or `:` for stride)?
+    fn sub_boundary(&self) -> bool {
+        matches!(self.peek(), TokenKind::Comma | TokenKind::RParen | TokenKind::Colon)
+    }
+}
+
+/// Decompose `e` as `stride*dummy + offset` over one of `dummies`.
+/// Handles `I`, `I+c`, `I-c`, `c+I`, `c-I`, `-I`, `-I+c`.
+fn affine_of(e: &Expr, dummies: &[String]) -> Option<AlignSub> {
+    fn as_dummy(e: &Expr, dummies: &[String]) -> Option<String> {
+        if let Expr::Ref(r) = e {
+            if r.subs.is_empty() && dummies.iter().any(|d| d == &r.name) {
+                return Some(r.name.clone());
+            }
+        }
+        None
+    }
+    fn as_const(e: &Expr) -> Option<i64> {
+        match e {
+            Expr::IntLit(v, _) => Some(*v),
+            Expr::Unary { op: UnOp::Neg, operand, .. } => as_const(operand).map(|v| -v),
+            _ => None,
+        }
+    }
+
+    if let Some(d) = as_dummy(e, dummies) {
+        return Some(AlignSub::Affine { dummy: d, stride: 1, offset: 0 });
+    }
+    match e {
+        Expr::Unary { op: UnOp::Neg, operand, .. } => {
+            as_dummy(operand, dummies).map(|d| AlignSub::Affine { dummy: d, stride: -1, offset: 0 })
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let (sign, l, r) = match op {
+                BinOp::Add => (1i64, lhs, rhs),
+                BinOp::Sub => (-1i64, lhs, rhs),
+                _ => return None,
+            };
+            if let (Some(d), Some(c)) = (as_dummy(l, dummies), as_const(r)) {
+                // I ± c
+                return Some(AlignSub::Affine { dummy: d, stride: 1, offset: sign * c });
+            }
+            if let (Some(c), Some(d)) = (as_const(l), as_dummy(r, dummies)) {
+                // c + I  or  c - I
+                return Some(AlignSub::Affine { dummy: d, stride: sign, offset: c });
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAPLACE: &str = r#"
+PROGRAM LAPLACE
+  INTEGER, PARAMETER :: N = 64
+  REAL U(N,N), UNEW(N,N)
+  INTEGER ITER
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N,N)
+!HPF$ ALIGN U(I,J) WITH T(I,J)
+!HPF$ ALIGN UNEW(I,J) WITH T(I,J)
+!HPF$ DISTRIBUTE T(BLOCK,*) ONTO P
+  U = 0.0
+  DO ITER = 1, 10
+    FORALL (I=2:N-1, J=2:N-1)
+      UNEW(I,J) = 0.25 * (U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1))
+    END FORALL
+    U(2:N-1, 2:N-1) = UNEW(2:N-1, 2:N-1)
+  END DO
+END PROGRAM LAPLACE
+"#;
+
+    #[test]
+    fn parses_laplace() {
+        let p = parse_program(LAPLACE).unwrap();
+        assert_eq!(p.name, "LAPLACE");
+        assert_eq!(p.decls.len(), 3);
+        assert_eq!(p.directives.len(), 5);
+        assert_eq!(p.body.len(), 2);
+        match &p.body[1] {
+            Stmt::Do { var, body, .. } => {
+                assert_eq!(var, "ITER");
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[0], Stmt::Forall { .. }));
+                assert!(matches!(body[1], Stmt::Assign { .. }));
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_single_line_with_mask() {
+        let src = "PROGRAM T\nREAL P(8), Q(8)\nFORALL (I = 1:8, Q(I).NE.0.0) P(I) = 1.0/Q(I)\nEND\n";
+        let p = parse_program(src).unwrap();
+        match &p.body[0] {
+            Stmt::Forall { header, body, .. } => {
+                assert_eq!(header.triplets.len(), 1);
+                assert!(header.mask.is_some());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected FORALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_two_indices() {
+        let src = "PROGRAM T\nREAL P(8,8), Q(8,8)\nFORALL (I=1:8, J=1:8) P(I,J) = Q(J,I)\nEND\n";
+        let p = parse_program(src).unwrap();
+        match &p.body[0] {
+            Stmt::Forall { header, .. } => assert_eq!(header.triplets.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn where_construct_with_elsewhere() {
+        let src = "PROGRAM T\nREAL A(8)\nWHERE (A > 0.0)\nA = 1.0\nELSEWHERE\nA = -1.0\nEND WHERE\nEND\n";
+        let p = parse_program(src).unwrap();
+        match &p.body[0] {
+            Stmt::Where { body, elsewhere, .. } => {
+                assert_eq!(body.len(), 1);
+                assert_eq!(elsewhere.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let src = "PROGRAM T\nINTEGER A\nA = 1\nIF (A > 0) THEN\nA = 2\nELSE IF (A == 0) THEN\nA = 3\nELSE\nA = 4\nEND IF\nEND\n";
+        let p = parse_program(src).unwrap();
+        match &p.body[1] {
+            Stmt::If { arms, else_body, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(else_body.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn logical_if() {
+        let src = "PROGRAM T\nINTEGER A\nIF (A > 0) A = A - 1\nEND\n";
+        let p = parse_program(src).unwrap();
+        match &p.body[0] {
+            Stmt::If { arms, else_body, .. } => {
+                assert_eq!(arms.len(), 1);
+                assert!(else_body.is_empty());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn array_sections_parse() {
+        let src = "PROGRAM T\nREAL A(10), B(10)\nA(1:5) = B(6:10)\nA(:) = B\nA(1:10:2) = 0.0\nEND\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.body.len(), 3);
+        if let Stmt::Assign { lhs, .. } = &p.body[2] {
+            assert!(matches!(
+                lhs.subs[0],
+                Subscript::Triplet { stride: Some(_), .. }
+            ));
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn directives_parse_all_forms() {
+        let src = "\
+PROGRAM T
+REAL A(8,8)
+!HPF$ PROCESSORS P(2,2)
+!HPF$ TEMPLATE T1(8,8)
+!HPF$ ALIGN A(I,J) WITH T1(J,I)
+!HPF$ DISTRIBUTE T1(BLOCK,CYCLIC) ONTO P
+A = 0.0
+END
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.directives.len(), 4);
+        match &p.directives[2] {
+            Directive::Align { dummies, target_subs, .. } => {
+                assert_eq!(dummies.len(), 2);
+                assert_eq!(
+                    target_subs[0],
+                    AlignSub::Affine { dummy: "J".into(), stride: 1, offset: 0 }
+                );
+            }
+            _ => panic!(),
+        }
+        match &p.directives[3] {
+            Directive::Distribute { formats, onto, .. } => {
+                assert_eq!(formats, &vec![DistFormat::Block, DistFormat::Cyclic]);
+                assert_eq!(onto.as_deref(), Some("P"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn align_with_offset() {
+        let src = "PROGRAM T\nREAL A(8)\n!HPF$ TEMPLATE TT(9)\n!HPF$ ALIGN A(I) WITH TT(I+1)\nA = 0.0\nEND\n";
+        let p = parse_program(src).unwrap();
+        match &p.directives[1] {
+            Directive::Align { target_subs, .. } => {
+                assert_eq!(
+                    target_subs[0],
+                    AlignSub::Affine { dummy: "I".into(), stride: 1, offset: 1 }
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = "PROGRAM T\nREAL A\nA = 1.0 + 2.0 * 3.0 ** 2\nEND\n";
+        let p = parse_program(src).unwrap();
+        if let Stmt::Assign { rhs, .. } = &p.body[0] {
+            // Must parse as 1 + (2 * (3 ** 2)).
+            if let Expr::Binary { op: BinOp::Add, rhs: r, .. } = rhs {
+                if let Expr::Binary { op: BinOp::Mul, rhs: r2, .. } = r.as_ref() {
+                    assert!(matches!(r2.as_ref(), Expr::Binary { op: BinOp::Pow, .. }));
+                    return;
+                }
+            }
+            panic!("wrong precedence: {rhs:?}");
+        }
+    }
+
+    #[test]
+    fn power_right_assoc() {
+        let src = "PROGRAM T\nREAL A\nA = 2.0 ** 3 ** 2\nEND\n";
+        let p = parse_program(src).unwrap();
+        if let Stmt::Assign { rhs: Expr::Binary { op: BinOp::Pow, rhs, .. }, .. } = &p.body[0] {
+            assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::Pow, .. }));
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn dotted_relational_ops() {
+        let src = "PROGRAM T\nLOGICAL L\nINTEGER K\nL = K .GE. 2 .AND. K .LE. 9\nEND\n";
+        let p = parse_program(src).unwrap();
+        if let Stmt::Assign { rhs, .. } = &p.body[0] {
+            assert!(matches!(rhs, Expr::Binary { op: BinOp::And, .. }));
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn do_while_parses() {
+        let src = "PROGRAM T\nINTEGER K\nK = 0\nDO WHILE (K < 10)\nK = K + 1\nEND DO\nEND\n";
+        let p = parse_program(src).unwrap();
+        assert!(matches!(p.body[1], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn intrinsic_call_is_ref_before_sema() {
+        let src = "PROGRAM T\nREAL A(8), S\nS = SUM(A)\nEND\n";
+        let p = parse_program(src).unwrap();
+        if let Stmt::Assign { rhs: Expr::Ref(r), .. } = &p.body[0] {
+            assert_eq!(r.name, "SUM");
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_program("PROGRAM T\nX = = 1\nEND\n").is_err());
+        assert!(parse_program("NOTAPROGRAM\n").is_err());
+        assert!(parse_program("PROGRAM T\nDO I = 1, 5\nX = 1\nEND\n").is_err());
+    }
+
+    #[test]
+    fn end_program_named() {
+        assert!(parse_program("PROGRAM PI\nREAL X\nX = 0.0\nEND PROGRAM PI\n").is_ok());
+        assert!(parse_program("PROGRAM PI\nREAL X\nX = 0.0\nENDPROGRAM PI\n").is_ok());
+    }
+
+    #[test]
+    fn f77_parameter_stmt() {
+        let src = "PROGRAM T\nPARAMETER (N = 100)\nREAL A(N)\nA = 0.0\nEND\n";
+        let p = parse_program(src).unwrap();
+        assert!(p.decls[0].parameter);
+        assert_eq!(p.decls[0].entities[0].name, "N");
+    }
+
+    #[test]
+    fn print_statement() {
+        let src = "PROGRAM T\nREAL S\nS = 1.0\nPRINT *, S, S + 1.0\nEND\n";
+        let p = parse_program(src).unwrap();
+        if let Stmt::Print { items, .. } = &p.body[1] {
+            assert_eq!(items.len(), 2);
+        } else {
+            panic!()
+        }
+    }
+}

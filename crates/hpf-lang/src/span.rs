@@ -1,0 +1,106 @@
+//! Source-location tracking.
+//!
+//! Every token and AST node carries a [`Span`] so that downstream tools —
+//! in particular the interpretation engine's per-source-line query interface
+//! (the paper's second output form, §4.2) — can map performance metrics back
+//! to lines of the application description.
+
+use std::fmt;
+
+/// A half-open byte range in the source text, plus 1-based line numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based line of the last character.
+    pub end_line: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes (e.g. the
+    /// `forall` statements the normalizer fabricates from array assignments).
+    pub const SYNTHETIC: Span = Span { start: 0, end: 0, line: 0, end_line: 0 };
+
+    /// Create a single-line span.
+    pub fn new(start: u32, end: u32, line: u32) -> Self {
+        Span { start, end, line, end_line: line }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// Synthetic spans are absorbing on either side.
+    pub fn merge(self, other: Span) -> Span {
+        if self == Span::SYNTHETIC {
+            return other;
+        }
+        if other == Span::SYNTHETIC {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            end_line: self.end_line.max(other.end_line),
+        }
+    }
+
+    /// Whether this span was synthesized rather than read from source.
+    pub fn is_synthetic(&self) -> bool {
+        *self == Span::SYNTHETIC
+    }
+
+    /// Whether the given 1-based source line falls within this span.
+    pub fn covers_line(&self, line: u32) -> bool {
+        !self.is_synthetic() && self.line <= line && line <= self.end_line
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else if self.line == self.end_line {
+            write!(f, "line {}", self.line)
+        } else {
+            write!(f, "lines {}-{}", self.line, self.end_line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_and_covering() {
+        let a = Span::new(0, 5, 1);
+        let b = Span::new(10, 20, 3);
+        let m = a.merge(b);
+        assert_eq!(m, b.merge(a));
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 20);
+        assert_eq!(m.line, 1);
+        assert_eq!(m.end_line, 3);
+    }
+
+    #[test]
+    fn synthetic_is_identity_for_merge() {
+        let a = Span::new(4, 9, 2);
+        assert_eq!(Span::SYNTHETIC.merge(a), a);
+        assert_eq!(a.merge(Span::SYNTHETIC), a);
+    }
+
+    #[test]
+    fn covers_line_bounds() {
+        let s = Span { start: 0, end: 10, line: 3, end_line: 5 };
+        assert!(!s.covers_line(2));
+        assert!(s.covers_line(3));
+        assert!(s.covers_line(5));
+        assert!(!s.covers_line(6));
+        assert!(!Span::SYNTHETIC.covers_line(0));
+    }
+}

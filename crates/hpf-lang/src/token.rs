@@ -1,0 +1,120 @@
+//! Token definitions for the HPF/Fortran 90D subset.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// The kinds of token the lexer produces.
+///
+/// Fortran keywords are not distinguished here; identifiers are uppercased
+/// and the parser matches keywords contextually (Fortran has no reserved
+/// words — `IF` is a legal variable name in full Fortran; our subset keeps
+/// the contextual flavour, which also simplifies the lexer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword, uppercased (`X`, `FORALL`, `BLOCK`).
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Real literal (single or double precision form; `1.5`, `1E-3`, `2.D0`).
+    RealLit(f64),
+    /// Character string literal (quotes stripped).
+    StrLit(String),
+    /// `.TRUE.` / `.FALSE.`
+    LogicalLit(bool),
+
+    // Punctuation and operators
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    DoubleColon,
+    Assign,     // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Power,      // **
+    Concat,     // //
+    Eq,         // == or .EQ.
+    Ne,         // /= or .NE.
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,        // .AND.
+    Or,         // .OR.
+    Not,        // .NOT.
+    Eqv,        // .EQV.
+    Neqv,       // .NEQV.
+    Percent,
+
+    /// Start of an `!HPF$` directive line.
+    HpfDirective,
+    /// End of a statement (newline or `;`).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// If this token is an identifier, return its (uppercased) text.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the identifier `kw` (already-uppercase keyword text).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        debug_assert_eq!(kw, kw.to_ascii_uppercase());
+        matches!(self, TokenKind::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::IntLit(v) => write!(f, "{v}"),
+            TokenKind::RealLit(v) => write!(f, "{v}"),
+            TokenKind::StrLit(s) => write!(f, "'{s}'"),
+            TokenKind::LogicalLit(true) => write!(f, ".TRUE."),
+            TokenKind::LogicalLit(false) => write!(f, ".FALSE."),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::DoubleColon => write!(f, "::"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Power => write!(f, "**"),
+            TokenKind::Concat => write!(f, "//"),
+            TokenKind::Eq => write!(f, "=="),
+            TokenKind::Ne => write!(f, "/="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::And => write!(f, ".AND."),
+            TokenKind::Or => write!(f, ".OR."),
+            TokenKind::Not => write!(f, ".NOT."),
+            TokenKind::Eqv => write!(f, ".EQV."),
+            TokenKind::Neqv => write!(f, ".NEQV."),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::HpfDirective => write!(f, "!HPF$"),
+            TokenKind::Newline => write!(f, "<newline>"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}

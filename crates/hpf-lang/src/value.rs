@@ -1,0 +1,81 @@
+//! Runtime/compile-time scalar values shared by the const-evaluator, the
+//! functional interpreter and the compiler's critical-variable resolution.
+
+use crate::ast::TypeSpec;
+use std::fmt;
+
+/// A scalar Fortran value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Real(f64),
+    Logical(bool),
+    Str(String),
+}
+
+impl Value {
+    pub fn type_spec(&self) -> TypeSpec {
+        match self {
+            Value::Int(_) => TypeSpec::Integer,
+            Value::Real(_) => TypeSpec::Real,
+            Value::Logical(_) => TypeSpec::Logical,
+            Value::Str(_) => TypeSpec::Integer, // strings only appear in PRINT
+        }
+    }
+
+    /// Numeric coercion to f64 (Fortran mixed-mode arithmetic).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Real(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view, truncating reals (Fortran INT()-style only when asked).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Real(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Logical(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Truthiness of a mask element.
+    pub fn truthy(&self) -> bool {
+        matches!(self, Value::Logical(true))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+            Value::Logical(true) => write!(f, "T"),
+            Value::Logical(false) => write!(f, "F"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Real(2.5).as_i64(), Some(2));
+        assert_eq!(Value::Logical(true).as_f64(), None);
+        assert!(Value::Logical(true).truthy());
+        assert!(!Value::Int(1).truthy());
+    }
+}

@@ -1,0 +1,115 @@
+//! Robustness: the front end must never panic — malformed input produces
+//! diagnostics, arbitrary bytes produce lexical errors, and every error
+//! carries a usable source location.
+
+use hpf_lang::{analyze, lex, parse_program, LangError, Phase};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[test]
+fn malformed_programs_error_cleanly() {
+    let cases: &[(&str, Phase)] = &[
+        ("", Phase::Parse),
+        ("PROGRAM", Phase::Parse),
+        ("PROGRAM T\nX = \nEND\n", Phase::Parse),
+        ("PROGRAM T\nFORALL () X = 1\nEND\n", Phase::Parse),
+        ("PROGRAM T\nDO I = 1\nEND DO\nEND\n", Phase::Parse),
+        ("PROGRAM T\nIF (1 > 0) THEN\nEND\n", Phase::Parse),
+        ("PROGRAM T\nWHERE (A > 0)\nEND\n", Phase::Parse),
+        ("PROGRAM T\n!HPF$ FROBNICATE X\nX = 1\nEND\n", Phase::Parse),
+        ("PROGRAM T\n!HPF$ DISTRIBUTE A(WEIRD)\nEND\n", Phase::Parse),
+        ("PROGRAM T\nREAL A(-5)\nA = 0.0\nEND\n", Phase::Sema),
+        ("PROGRAM T\nINTEGER, PARAMETER :: N = 'abc'\nEND\n", Phase::Sema),
+        ("PROGRAM T\nX = 'unterminated\nEND\n", Phase::Lex),
+    ];
+    for (src, phase) in cases {
+        let err: LangError = match parse_program(src) {
+            Err(e) => e,
+            Ok(p) => match analyze(&p, &BTreeMap::new()) {
+                Err(e) => e,
+                Ok(_) => panic!("expected failure for {src:?}"),
+            },
+        };
+        assert_eq!(err.phase, *phase, "{src:?} → {err}");
+        // Message renders with a location.
+        let msg = err.to_string();
+        assert!(msg.contains("error"), "{msg}");
+    }
+}
+
+#[test]
+fn independent_directive_accepted() {
+    let src = "
+PROGRAM T
+REAL A(8)
+!HPF$ PROCESSORS P(2)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+!HPF$ INDEPENDENT
+FORALL (I = 1:8) A(I) = 1.0
+END
+";
+    let p = parse_program(src).unwrap();
+    assert!(p
+        .directives
+        .iter()
+        .any(|d| matches!(d, hpf_lang::Directive::Independent { .. })));
+    analyze(&p, &BTreeMap::new()).unwrap();
+}
+
+#[test]
+fn deeply_nested_constructs_parse() {
+    let mut src = String::from("PROGRAM T\nINTEGER K1, K2, K3, K4\nREAL X\n");
+    src.push_str("DO K1 = 1, 2\nDO K2 = 1, 2\nDO K3 = 1, 2\nDO K4 = 1, 2\n");
+    src.push_str("IF (X > 0.0) THEN\nIF (X > 1.0) THEN\nX = X - 1.0\nEND IF\nEND IF\n");
+    src.push_str("END DO\nEND DO\nEND DO\nEND DO\nEND\n");
+    let p = parse_program(&src).unwrap();
+    analyze(&p, &BTreeMap::new()).unwrap();
+}
+
+#[test]
+fn long_continuation_chains() {
+    let mut src = String::from("PROGRAM T\nREAL X\nX = 0.0");
+    for _ in 0..40 {
+        src.push_str(" + &\n  1.0");
+    }
+    src.push_str("\nEND\n");
+    let p = parse_program(&src).unwrap();
+    let a = analyze(&p, &BTreeMap::new()).unwrap();
+    let out = hpf_eval::run(&a).unwrap();
+    assert_eq!(out.scalars.get("X").and_then(|v| v.as_f64()), Some(40.0));
+}
+
+proptest! {
+    /// The lexer never panics on arbitrary printable input.
+    #[test]
+    fn lexer_total_on_printable(s in "[ -~\n]{0,200}") {
+        let _ = lex(&s);
+    }
+
+    /// The lexer never panics on arbitrary bytes that form a string.
+    #[test]
+    fn lexer_total_on_unicode(s in "\\PC{0,100}") {
+        let _ = lex(&s);
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_total(s in "[ -~\n]{0,300}") {
+        let _ = parse_program(&s);
+    }
+
+    /// Numbers round-trip through the lexer.
+    #[test]
+    fn integer_literals_roundtrip(v in 0i64..1_000_000_000) {
+        let toks = lex(&format!("{v}")).unwrap();
+        assert_eq!(toks[0].kind, hpf_lang::token::TokenKind::IntLit(v));
+    }
+
+    /// Identifier case-insensitivity: lexing upper/lower forms agree.
+    #[test]
+    fn identifiers_case_insensitive(s in "[a-zA-Z][a-zA-Z0-9_]{0,12}") {
+        let a = lex(&s).unwrap();
+        let b = lex(&s.to_ascii_uppercase()).unwrap();
+        assert_eq!(a[0].kind, b[0].kind);
+    }
+}

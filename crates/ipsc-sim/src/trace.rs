@@ -1,0 +1,302 @@
+//! Per-node execution traces of simulated runs — the machine-side analog of
+//! ParaGraph's utilization displays: for every node, busy / communication /
+//! idle intervals over the loosely synchronous phase sequence.
+
+use crate::simulator::{collective_base_time, sim_ops_time};
+use hpf_compiler::{CompPhase, SpmdNode, SpmdProgram};
+use hpf_eval::ExecutionProfile;
+use machine::{MachineModel, OpClass};
+
+/// What a node was doing during an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Local computation.
+    Busy,
+    /// Communication (library + wire).
+    Comm,
+    /// Waiting at the loosely synchronous phase boundary.
+    Idle,
+}
+
+/// One per-node interval.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub node: usize,
+    pub start_s: f64,
+    pub end_s: f64,
+    pub activity: Activity,
+    pub label: String,
+    /// How many times this interval repeats back-to-back (loop compression).
+    pub repeat: u64,
+}
+
+/// A complete trace.
+#[derive(Debug, Clone, Default)]
+pub struct SimTrace {
+    pub nodes: usize,
+    pub events: Vec<TraceEvent>,
+    pub total_s: f64,
+}
+
+impl SimTrace {
+    /// Fraction of the run each node spent in each activity.
+    pub fn utilization(&self) -> Vec<(f64, f64, f64)> {
+        let mut acc = vec![(0.0f64, 0.0f64, 0.0f64); self.nodes];
+        for e in &self.events {
+            let d = (e.end_s - e.start_s) * e.repeat as f64;
+            let a = &mut acc[e.node];
+            match e.activity {
+                Activity::Busy => a.0 += d,
+                Activity::Comm => a.1 += d,
+                Activity::Idle => a.2 += d,
+            }
+        }
+        acc.iter()
+            .map(|(b, c, i)| {
+                let t = (b + c + i).max(1e-30);
+                (b / t, c / t, i / t)
+            })
+            .collect()
+    }
+
+    /// Render an ASCII Gantt chart (one row per node, `width` columns).
+    pub fn gantt(&self, width: usize) -> String {
+        let mut out = String::new();
+        let scale = width as f64 / self.total_s.max(1e-30);
+        for node in 0..self.nodes {
+            let mut row = vec!['.'; width];
+            for e in self.events.iter().filter(|e| e.node == node) {
+                let reps = e.repeat.max(1) as f64;
+                let span_end = e.start_s + (e.end_s - e.start_s) * reps;
+                let a = (e.start_s * scale) as usize;
+                let b = ((span_end * scale) as usize).min(width);
+                let ch = match e.activity {
+                    Activity::Busy => '#',
+                    Activity::Comm => '~',
+                    Activity::Idle => '.',
+                };
+                for c in row.iter_mut().take(b).skip(a.min(width)) {
+                    if ch != '.' {
+                        *c = ch;
+                    }
+                }
+            }
+            out.push_str(&format!("node {node}: "));
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push_str("         # busy   ~ communication   . idle\n");
+        out
+    }
+}
+
+/// Trace one jitter-free run of the program.
+pub fn trace_program(
+    machine: &MachineModel,
+    spmd: &SpmdProgram,
+    profile: Option<&ExecutionProfile>,
+) -> SimTrace {
+    let mut tr = Tracer {
+        machine,
+        profile,
+        clock: 0.0,
+        events: Vec::new(),
+        nodes: spmd.nodes,
+    };
+    tr.walk(&spmd.body, 1);
+    SimTrace { nodes: spmd.nodes, total_s: tr.clock, events: tr.events }
+}
+
+struct Tracer<'a> {
+    machine: &'a MachineModel,
+    profile: Option<&'a ExecutionProfile>,
+    clock: f64,
+    events: Vec<TraceEvent>,
+    nodes: usize,
+}
+
+impl<'a> Tracer<'a> {
+    fn emit(&mut self, node: usize, dur: f64, act: Activity, label: &str, repeat: u64) {
+        if dur <= 0.0 {
+            return;
+        }
+        self.events.push(TraceEvent {
+            node,
+            start_s: self.clock,
+            end_s: self.clock + dur,
+            activity: act,
+            label: label.to_string(),
+            repeat,
+        });
+    }
+
+    fn walk(&mut self, nodes: &[SpmdNode], repeat: u64) {
+        for n in nodes {
+            match n {
+                SpmdNode::Seq(s) => {
+                    let t = sim_ops_time(self.machine, &s.ops, 0.95);
+                    for node in 0..self.nodes {
+                        self.emit(node, t, Activity::Busy, &s.label, repeat);
+                    }
+                    self.clock += t;
+                }
+                SpmdNode::Comp(c) => {
+                    let phase = self.comp_duration(c);
+                    for (node, t) in phase.iter().enumerate() {
+                        self.emit(node, *t, Activity::Busy, &c.label, repeat);
+                        let max = phase.iter().copied().fold(0.0, f64::max);
+                        let idle = max - t;
+                        if idle > 0.0 {
+                            self.events.push(TraceEvent {
+                                node,
+                                start_s: self.clock + t,
+                                end_s: self.clock + max,
+                                activity: Activity::Idle,
+                                label: format!("wait after {}", c.label),
+                                repeat,
+                            });
+                        }
+                    }
+                    self.clock += phase.iter().copied().fold(0.0, f64::max);
+                }
+                SpmdNode::Comm(c) => {
+                    let t = collective_base_time(
+                        self.machine,
+                        c.op,
+                        c.participants,
+                        c.bytes_per_node,
+                    ) + self.machine.comm.pack_time(c.bytes_per_node);
+                    for node in 0..self.nodes {
+                        self.emit(node, t, Activity::Comm, &c.label, repeat);
+                    }
+                    self.clock += t;
+                }
+                SpmdNode::Loop { trips, body, span, .. } => {
+                    let trips = match self.profile.and_then(|p| p.get(*span)) {
+                        Some(st) if st.executions > 0 && st.iterations > 0 => {
+                            (st.iterations as f64 / st.executions as f64).round() as u64
+                        }
+                        _ => *trips,
+                    };
+                    if trips == 0 {
+                        continue;
+                    }
+                    // Walk the body once; mark events as repeating.
+                    let start = self.clock;
+                    self.walk(body, repeat * trips);
+                    let body_t = self.clock - start;
+                    self.clock = start + body_t * trips as f64;
+                }
+                SpmdNode::Branch { arms, else_body, .. } => {
+                    // Trace the most likely arm.
+                    let best = arms
+                        .iter()
+                        .max_by(|a, b| a.0.total_cmp(&b.0))
+                        .map(|(_, b)| b.as_slice())
+                        .unwrap_or(else_body.as_slice());
+                    self.walk(best, repeat);
+                }
+            }
+        }
+    }
+
+    fn comp_duration(&self, c: &CompPhase) -> Vec<f64> {
+        let p = &self.machine.node_processing;
+        let hit = self.machine.node_memory.hit_ratio(c.working_set_bytes, 4, c.locality);
+        let density = c.mask_density_hint.unwrap_or(1.0);
+        let mut per_iter = sim_ops_time(self.machine, &c.per_iter, hit);
+        if let Some(body) = &c.masked_ops {
+            per_iter += density * sim_ops_time(self.machine, body, hit);
+        }
+        c.per_node_iters
+            .iter()
+            .map(|&n| n as f64 * (per_iter + p.op_time(OpClass::LoopIter)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_compiler::{compile, CompileOptions};
+    use hpf_lang::{analyze, parse_program};
+    use machine::ipsc860;
+    use std::collections::BTreeMap;
+
+    fn trace_src(src: &str, nodes: usize) -> SimTrace {
+        let p = parse_program(src).unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        let spmd = compile(&a, &CompileOptions { nodes, ..Default::default() }).unwrap();
+        let m = ipsc860(nodes);
+        trace_program(&m, &spmd, None)
+    }
+
+    const SRC: &str = "
+PROGRAM T
+INTEGER, PARAMETER :: N = 128
+REAL A(N), S
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+FORALL (I = 1:N) A(I) = I * 0.5
+S = SUM(A)
+END
+";
+
+    #[test]
+    fn trace_covers_all_nodes() {
+        let tr = trace_src(SRC, 4);
+        assert_eq!(tr.nodes, 4);
+        assert!(tr.total_s > 0.0);
+        for node in 0..4 {
+            assert!(tr.events.iter().any(|e| e.node == node));
+        }
+    }
+
+    #[test]
+    fn utilization_fractions_sum_to_one() {
+        let tr = trace_src(SRC, 4);
+        for (b, c, i) in tr.utilization() {
+            assert!((b + c + i - 1.0).abs() < 1e-9);
+            assert!(b > 0.0, "every node computes");
+        }
+    }
+
+    #[test]
+    fn comm_appears_in_trace_for_reduction() {
+        let tr = trace_src(SRC, 4);
+        assert!(tr.events.iter().any(|e| e.activity == Activity::Comm));
+    }
+
+    #[test]
+    fn imbalanced_forall_produces_idle() {
+        let src = "
+PROGRAM T
+INTEGER, PARAMETER :: N = 128
+REAL A(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+FORALL (I = 1:32) A(I) = 1.0
+END
+";
+        // Only node 0 owns the touched range: others idle.
+        let tr = trace_src(src, 4);
+        assert!(tr.events.iter().any(|e| e.activity == Activity::Idle && e.node != 0));
+        let util = tr.utilization();
+        assert!(util[0].0 > util[3].0, "node 0 busier than node 3");
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let tr = trace_src(SRC, 4);
+        let g = tr.gantt(60);
+        assert_eq!(g.lines().count(), 5);
+        assert!(g.contains("node 0:"));
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn single_node_trace_has_no_comm() {
+        let tr = trace_src(SRC, 1);
+        assert!(tr.events.iter().all(|e| e.activity != Activity::Comm));
+    }
+}

@@ -1,0 +1,16 @@
+//! # hpf-kernels — the NPAC HPF/Fortran 90D benchmark suite (Table 1)
+//!
+//! Reproductions, in the framework's HPF subset, of the validation
+//! application set of §5 (Table 1): Livermore Fortran Kernels 1, 2, 3, 9,
+//! 14 and 22; Purdue Benchmarking Set problems 1–4; the π quadrature; the
+//! Newtonian N-body simulation; the parallel stock-option pricing model;
+//! and the Jacobi Laplace solver in its three distributions.
+//!
+//! Each kernel is a source *generator*: `source(n, procs)` returns HPF text
+//! with the requested problem size and PROCESSORS arrangement, exactly the
+//! knobs the paper's experiments sweep (§5.1: problem sizes 128–4096 on
+//! 1–8 nodes, etc.).
+
+pub mod suite;
+
+pub use suite::{all_kernels, kernel_by_name, Kernel, KernelKind, LaplaceDist};

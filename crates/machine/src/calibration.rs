@@ -1,0 +1,143 @@
+//! Measured calibration of the abstracted machine (§4.4).
+//!
+//! The paper parameterizes the communication component and the parallel
+//! intrinsic library with *benchmarking runs* on the iPSC/860, and the
+//! processing component with measured timings — the abstraction's numbers
+//! are fitted to the machine, not derived ab initio. This module holds the
+//! fitted parameters; the `ipsc-sim` crate provides the benchmarking-run
+//! driver (`ipsc_sim::calibrate`) that fills them in against the simulated
+//! machine, mirroring how the authors calibrated against the physical one.
+
+use crate::collectives::CollectiveOp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Fitted machine parameters from characterization runs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Multiplier applied to computed operation times: the ratio between
+    /// measured loop timings and instruction-count estimates.
+    pub compute_scale: f64,
+    /// Per-(collective, processor-count) piecewise-linear model fitted from
+    /// benchmarking runs — the NX library shows distinct short- and
+    /// long-message regimes, so one line per regime.
+    pub comm: BTreeMap<(u8, u8), PiecewiseCost>,
+}
+
+/// Two-regime `α + β·m` model with a byte boundary between regimes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PiecewiseCost {
+    pub boundary: u64,
+    pub small: LinearCost,
+    pub large: LinearCost,
+}
+
+impl PiecewiseCost {
+    pub fn time(&self, bytes: u64) -> f64 {
+        if bytes <= self.boundary {
+            self.small.time(bytes)
+        } else {
+            self.large.time(bytes)
+        }
+    }
+
+    /// Fit each regime from the samples on its side of `boundary`
+    /// (boundary samples inform both fits for continuity).
+    pub fn fit(samples: &[(u64, f64)], boundary: u64) -> PiecewiseCost {
+        let small: Vec<(u64, f64)> =
+            samples.iter().copied().filter(|(b, _)| *b <= boundary).collect();
+        let large: Vec<(u64, f64)> =
+            samples.iter().copied().filter(|(b, _)| *b >= boundary).collect();
+        let fit_or = |v: &[(u64, f64)]| {
+            if v.is_empty() {
+                LinearCost::fit(samples)
+            } else {
+                LinearCost::fit(v)
+            }
+        };
+        PiecewiseCost { boundary, small: fit_or(&small), large: fit_or(&large) }
+    }
+}
+
+/// A fitted `α + β·m` cost model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinearCost {
+    pub alpha_s: f64,
+    pub beta_s_per_byte: f64,
+}
+
+impl LinearCost {
+    pub fn time(&self, bytes: u64) -> f64 {
+        self.alpha_s + self.beta_s_per_byte * bytes as f64
+    }
+
+    /// Least-squares fit of (bytes, seconds) samples.
+    pub fn fit(samples: &[(u64, f64)]) -> LinearCost {
+        let n = samples.len().max(1) as f64;
+        let sx: f64 = samples.iter().map(|(b, _)| *b as f64).sum();
+        let sy: f64 = samples.iter().map(|(_, t)| *t).sum();
+        let sxx: f64 = samples.iter().map(|(b, _)| (*b as f64) * (*b as f64)).sum();
+        let sxy: f64 = samples.iter().map(|(b, t)| (*b as f64) * t).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-30 {
+            return LinearCost { alpha_s: sy / n, beta_s_per_byte: 0.0 };
+        }
+        let beta = (n * sxy - sx * sy) / denom;
+        let alpha = (sy - beta * sx) / n;
+        LinearCost { alpha_s: alpha.max(0.0), beta_s_per_byte: beta.max(0.0) }
+    }
+}
+
+impl Calibration {
+    pub fn key(op: CollectiveOp, p: usize) -> (u8, u8) {
+        (op as u8, p.next_power_of_two().trailing_zeros() as u8)
+    }
+
+    /// Fitted collective time, if characterized for this (op, p).
+    pub fn collective_time(&self, op: CollectiveOp, p: usize, bytes: u64) -> Option<f64> {
+        self.comm.get(&Self::key(op, p)).map(|pc| pc.time(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_model() {
+        let samples: Vec<(u64, f64)> =
+            [4u64, 64, 1024, 8192].iter().map(|&b| (b, 1e-4 + 2e-7 * b as f64)).collect();
+        let lc = LinearCost::fit(&samples);
+        assert!((lc.alpha_s - 1e-4).abs() < 1e-9, "alpha {}", lc.alpha_s);
+        assert!((lc.beta_s_per_byte - 2e-7).abs() < 1e-12);
+        assert!((lc.time(2048) - (1e-4 + 2e-7 * 2048.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_handles_degenerate_input() {
+        let lc = LinearCost::fit(&[(64, 3.0)]);
+        assert!(lc.time(64) > 0.0);
+        let lc = LinearCost::fit(&[]);
+        assert_eq!(lc.time(0), 0.0);
+    }
+
+    #[test]
+    fn piecewise_fit_keeps_regimes_separate() {
+        // small regime: 100µs flat; large regime: 150µs + 0.4µs/B
+        let mut samples: Vec<(u64, f64)> = vec![(4, 1e-4), (64, 1.05e-4), (512, 1.1e-4)];
+        samples.extend([(2048u64, 1.5e-4 + 0.4e-6 * 2048.0), (65536, 1.5e-4 + 0.4e-6 * 65536.0)]);
+        let pc = PiecewiseCost::fit(&samples, 1024);
+        assert!((pc.time(16) - 1e-4).abs() < 2e-5, "small regime {}", pc.time(16));
+        assert!((pc.time(32768) - (1.5e-4 + 0.4e-6 * 32768.0)).abs() < 3e-5);
+    }
+
+    #[test]
+    fn key_buckets_by_log_p() {
+        assert_eq!(Calibration::key(CollectiveOp::Shift, 4), Calibration::key(CollectiveOp::Shift, 4));
+        assert_ne!(Calibration::key(CollectiveOp::Shift, 4), Calibration::key(CollectiveOp::Shift, 8));
+        assert_ne!(
+            Calibration::key(CollectiveOp::Shift, 4),
+            Calibration::key(CollectiveOp::Reduce, 4)
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Cost models for the collective-communication library and the HPF
+//! parallel-intrinsic library (§4.4): circular shift (`cshift`), shift to
+//! temporary (`tshift`), global sum/product, `maxloc`, broadcast, and the
+//! gather/scatter pair the compiler inserts around `forall` computation
+//! phases.
+//!
+//! On the real machine these were parameterized by benchmarking runs; here
+//! they are closed forms over the C/S component's α–β parameters plus the
+//! hypercube's `log₂ p` structure, the standard models for iPSC-class
+//! recursive-halving / spanning-tree implementations.
+
+use crate::components::{CommComponent, OpClass, ProcessingComponent};
+use crate::topology::Hypercube;
+use serde::{Deserialize, Serialize};
+
+/// The collective operations the compiler and intrinsic library can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveOp {
+    /// Nearest-neighbor exchange of array boundaries (cshift/tshift,
+    /// stencil ghost cells). Each node sends+receives `bytes`.
+    Shift,
+    /// Reduction to all (global sum/product/max/min) over `log p` stages.
+    Reduce,
+    /// Reduction returning a location (maxloc/minloc): value+index payload.
+    ReduceLoc,
+    /// One-to-all broadcast (spanning tree, `log p` stages).
+    Broadcast,
+    /// All-to-all personalized exchange (used by transpose/redistributions).
+    AllToAll,
+    /// Unstructured gather of off-processor elements before a computation
+    /// phase (Figure 2's first communication level).
+    Gather,
+    /// Unstructured scatter of computed values after a computation phase
+    /// (Figure 2's final communication level).
+    Scatter,
+    /// Pure synchronization barrier.
+    Barrier,
+}
+
+/// Cost model for collectives on a hypercube.
+#[derive(Debug, Clone)]
+pub struct CollectiveModel<'a> {
+    pub comm: &'a CommComponent,
+    pub proc: &'a ProcessingComponent,
+    pub cube: Hypercube,
+}
+
+impl<'a> CollectiveModel<'a> {
+    /// Time for the collective, where `bytes` is the per-node payload and
+    /// `p` the number of participating processors. Includes the software
+    /// pack/unpack cost on both sides (the `Seq` AAU of Figure 2 charges
+    /// index translation separately; this is the raw library time).
+    pub fn time(&self, op: CollectiveOp, p: usize, bytes: u64) -> f64 {
+        if p <= 1 {
+            // Single node: collectives degenerate to (at most) a local copy.
+            return match op {
+                CollectiveOp::Shift | CollectiveOp::Gather | CollectiveOp::Scatter => {
+                    self.comm.pack_time(bytes)
+                }
+                _ => 0.0,
+            };
+        }
+        let stages = Hypercube::fitting(p).dim.max(1) as f64;
+        let p2p = |b: u64| self.comm.p2p_time(b, 1);
+        match op {
+            CollectiveOp::Shift => {
+                // Simultaneous neighbor exchange; send and receive overlap
+                // only partially on the iPSC (half-duplex channels): charge
+                // one send + one receive of the boundary payload plus pack.
+                2.0 * self.comm.pack_time(bytes) + 2.0 * p2p(bytes)
+            }
+            CollectiveOp::Reduce => {
+                // Recursive halving: log p exchanges of the (scalar) payload
+                // plus the combining op at each stage.
+                let combine = self.proc.op_time(OpClass::FAdd) * (bytes as f64 / 4.0).max(1.0);
+                stages * (p2p(bytes) + combine)
+            }
+            CollectiveOp::ReduceLoc => {
+                // Value + index payload, compare instead of add.
+                let payload = bytes + 4;
+                let combine = self.proc.op_time(OpClass::Compare) * (bytes as f64 / 4.0).max(1.0);
+                stages * (p2p(payload) + combine)
+            }
+            CollectiveOp::Broadcast => stages * p2p(bytes),
+            CollectiveOp::AllToAll => {
+                // Pairwise exchange algorithm: p-1 rounds of per-pair payload.
+                (p as f64 - 1.0) * (p2p(bytes / p.max(1) as u64) + self.comm.pack_time(bytes / p.max(1) as u64))
+            }
+            CollectiveOp::Gather | CollectiveOp::Scatter => {
+                // Unstructured: pack + exchange with up to log p partners
+                // holding the requested elements.
+                self.comm.pack_time(bytes) + stages.min(2.0) * p2p(bytes)
+            }
+            CollectiveOp::Barrier => {
+                stages * p2p(0) + p as f64 * self.comm.sync_overhead_s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ipsc860_comm, ipsc860_node_processing};
+
+    fn model(comm: &CommComponent, proc_: &ProcessingComponent, p: usize) -> f64 {
+        // convenience: reduce of one 4-byte scalar
+        CollectiveModel { comm, proc: proc_, cube: Hypercube::fitting(p) }
+            .time(CollectiveOp::Reduce, p, 4)
+    }
+
+    #[test]
+    fn reduce_scales_logarithmically() {
+        let comm = ipsc860_comm();
+        let proc_ = ipsc860_node_processing();
+        let t2 = model(&comm, &proc_, 2);
+        let t4 = model(&comm, &proc_, 4);
+        let t8 = model(&comm, &proc_, 8);
+        assert!(t4 > t2 && t8 > t4);
+        // log growth: t8/t2 ≈ 3, not 4
+        assert!((t8 / t2 - 3.0).abs() < 0.5, "t8/t2 = {}", t8 / t2);
+    }
+
+    #[test]
+    fn single_node_collectives_are_free_or_copy() {
+        let comm = ipsc860_comm();
+        let proc_ = ipsc860_node_processing();
+        let m = CollectiveModel { comm: &comm, proc: &proc_, cube: Hypercube::fitting(1) };
+        assert_eq!(m.time(CollectiveOp::Reduce, 1, 4), 0.0);
+        assert!(m.time(CollectiveOp::Shift, 1, 1024) > 0.0); // local copy
+        assert!(m.time(CollectiveOp::Shift, 1, 1024) < m.time(CollectiveOp::Shift, 2, 1024));
+    }
+
+    #[test]
+    fn shift_grows_with_payload() {
+        let comm = ipsc860_comm();
+        let proc_ = ipsc860_node_processing();
+        let m = CollectiveModel { comm: &comm, proc: &proc_, cube: Hypercube::fitting(8) };
+        assert!(m.time(CollectiveOp::Shift, 8, 8192) > m.time(CollectiveOp::Shift, 8, 64));
+    }
+
+    #[test]
+    fn reduceloc_costs_more_than_reduce() {
+        let comm = ipsc860_comm();
+        let proc_ = ipsc860_node_processing();
+        let m = CollectiveModel { comm: &comm, proc: &proc_, cube: Hypercube::fitting(8) };
+        assert!(m.time(CollectiveOp::ReduceLoc, 8, 4) >= m.time(CollectiveOp::Reduce, 8, 4));
+    }
+
+    #[test]
+    fn barrier_positive_and_grows() {
+        let comm = ipsc860_comm();
+        let proc_ = ipsc860_node_processing();
+        let m = CollectiveModel { comm: &comm, proc: &proc_, cube: Hypercube::fitting(8) };
+        assert!(m.time(CollectiveOp::Barrier, 2, 0) > 0.0);
+        assert!(m.time(CollectiveOp::Barrier, 8, 0) > m.time(CollectiveOp::Barrier, 2, 0));
+    }
+}

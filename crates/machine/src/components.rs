@@ -1,0 +1,260 @@
+//! SAU components: every System Abstraction Unit is composed of a
+//! Processing (P), Memory (M), Communication/Synchronization (C/S) and
+//! Input/Output (I/O) component (§3.1), each parameterizing the relevant
+//! characteristics of the associated system unit.
+
+use serde::{Deserialize, Serialize};
+
+/// Classes of machine operation the interpretation functions charge for.
+///
+/// The granularity mirrors what an off-line assembly-count characterization
+/// of the i860 distinguishes: pipelined FP add/multiply, the expensive
+/// divide/sqrt paths, integer ALU traffic, memory references, and the
+/// control overheads of loops, branches and calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Floating-point add/subtract (pipelined adder).
+    FAdd,
+    /// Floating-point multiply (pipelined multiplier).
+    FMul,
+    /// Floating-point divide (iterative, unpipelined on i860).
+    FDiv,
+    /// Square root and transcendentals (library sequences).
+    FTranscendental,
+    /// Integer ALU operation (add/sub/shift/logic).
+    IntOp,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Comparison producing a condition.
+    Compare,
+    /// Logical op on LOGICALs.
+    Logical,
+    /// Memory load (charged through the memory component's hit model).
+    Load,
+    /// Memory store.
+    Store,
+    /// Per-iteration loop bookkeeping (increment, test, branch).
+    LoopIter,
+    /// One-time loop setup.
+    LoopSetup,
+    /// Conditional-branch overhead.
+    Branch,
+    /// Subroutine call/return linkage.
+    Call,
+    /// Address/index computation for an array reference.
+    Index,
+}
+
+/// Processing component (P): clock rate and per-operation cycle costs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessingComponent {
+    /// Core clock in MHz.
+    pub clock_mhz: f64,
+    /// Cycles per operation class (memory classes are handled by
+    /// [`MemoryComponent`]).
+    pub fadd_cycles: f64,
+    pub fmul_cycles: f64,
+    pub fdiv_cycles: f64,
+    pub ftrans_cycles: f64,
+    pub int_cycles: f64,
+    pub imul_cycles: f64,
+    pub idiv_cycles: f64,
+    pub cmp_cycles: f64,
+    pub logical_cycles: f64,
+    pub loop_iter_cycles: f64,
+    pub loop_setup_cycles: f64,
+    pub branch_cycles: f64,
+    pub call_cycles: f64,
+    pub index_cycles: f64,
+}
+
+impl ProcessingComponent {
+    /// Seconds per cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1e-6 / self.clock_mhz
+    }
+
+    /// Time in seconds for one operation of the given class.
+    /// `Load`/`Store` are *not* answered here — ask the memory component.
+    pub fn op_time(&self, op: OpClass) -> f64 {
+        let cycles = match op {
+            OpClass::FAdd => self.fadd_cycles,
+            OpClass::FMul => self.fmul_cycles,
+            OpClass::FDiv => self.fdiv_cycles,
+            OpClass::FTranscendental => self.ftrans_cycles,
+            OpClass::IntOp => self.int_cycles,
+            OpClass::IntMul => self.imul_cycles,
+            OpClass::IntDiv => self.idiv_cycles,
+            OpClass::Compare => self.cmp_cycles,
+            OpClass::Logical => self.logical_cycles,
+            OpClass::LoopIter => self.loop_iter_cycles,
+            OpClass::LoopSetup => self.loop_setup_cycles,
+            OpClass::Branch => self.branch_cycles,
+            OpClass::Call => self.call_cycles,
+            OpClass::Index => self.index_cycles,
+            OpClass::Load | OpClass::Store => 0.0,
+        };
+        cycles * self.cycle_time()
+    }
+
+    /// Theoretical peak in MFlop/s assuming one FP op per `fadd_cycles`.
+    pub fn peak_mflops(&self) -> f64 {
+        self.clock_mhz / self.fadd_cycles
+    }
+}
+
+/// Memory component (M): hierarchy sizes and a working-set hit-ratio model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryComponent {
+    pub icache_bytes: u64,
+    pub dcache_bytes: u64,
+    pub main_bytes: u64,
+    pub cache_line_bytes: u64,
+    /// Cycles for a cache hit.
+    pub hit_cycles: f64,
+    /// Additional cycles for a miss (line fill from DRAM).
+    pub miss_penalty_cycles: f64,
+    /// Clock for converting cycles to time (same as processing clock).
+    pub clock_mhz: f64,
+}
+
+impl MemoryComponent {
+    /// Estimated data-cache hit ratio for a loop sweeping a working set of
+    /// `ws_bytes` with unit-stride fraction `locality` in `[0,1]`.
+    ///
+    /// The model is the paper's "models and heuristics … to handle accesses
+    /// to the memory hierarchy" (§3.3): a working set within the cache hits
+    /// after the first sweep; beyond the cache, unit-stride code still hits
+    /// on `1 - line/elem` of references thanks to line reuse.
+    pub fn hit_ratio(&self, ws_bytes: u64, elem_bytes: u64, locality: f64) -> f64 {
+        let locality = locality.clamp(0.0, 1.0);
+        if ws_bytes <= self.dcache_bytes {
+            // Near-perfect reuse for unit-stride sweeps; large strides map
+            // their lines onto a fraction of the sets of the low-way cache,
+            // causing conflict misses even when the footprint fits.
+            0.98 - 0.12 * (1.0 - locality)
+        } else {
+            // Streaming: one miss per line per sweep on the local fraction.
+            let per_line = (elem_bytes as f64 / self.cache_line_bytes as f64).min(1.0);
+            let stream_hit = 1.0 - per_line;
+            // Non-local (strided/indirect) references miss much more often.
+            locality * stream_hit + (1.0 - locality) * 0.25
+        }
+    }
+
+    /// Average memory-access time (seconds) under hit ratio `h`.
+    pub fn access_time(&self, h: f64) -> f64 {
+        let cycles = self.hit_cycles + (1.0 - h) * self.miss_penalty_cycles;
+        cycles * 1e-6 / self.clock_mhz
+    }
+}
+
+/// Communication/synchronization component (C/S): the α–β point-to-point
+/// model measured on the machine, with the short/long message regimes the
+/// iPSC/860 NX layer exhibits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommComponent {
+    /// Startup latency for short messages (≤ `short_threshold`), seconds.
+    pub short_latency_s: f64,
+    /// Startup latency for long messages, seconds.
+    pub long_latency_s: f64,
+    /// Short-message cutoff in bytes (100 B on the iPSC/860 NX).
+    pub short_threshold: u64,
+    /// Inverse bandwidth, seconds per byte.
+    pub per_byte_s: f64,
+    /// Extra per-hop wormhole/store-and-forward time, seconds.
+    pub per_hop_s: f64,
+    /// Software cost to pack/unpack one element into a message buffer,
+    /// seconds (index translation + copy; the `Seq` AAU of Figure 2).
+    pub pack_per_byte_s: f64,
+    /// Synchronization (barrier) software overhead per participant, seconds.
+    pub sync_overhead_s: f64,
+}
+
+impl CommComponent {
+    /// Point-to-point transfer time for `bytes` over `hops` links.
+    pub fn p2p_time(&self, bytes: u64, hops: u32) -> f64 {
+        let startup =
+            if bytes <= self.short_threshold { self.short_latency_s } else { self.long_latency_s };
+        startup + bytes as f64 * self.per_byte_s + hops.saturating_sub(1) as f64 * self.per_hop_s
+    }
+
+    /// Software packing cost for a message of `bytes`.
+    pub fn pack_time(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.pack_per_byte_s
+    }
+}
+
+/// I/O component: host (SRM) interaction — program load, cross-compiled
+/// executable transfer, and the host↔cube channel. Only the experimentation
+/// workflow model (Figure 8) and program-startup overheads consult this.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IoComponent {
+    /// Bandwidth of the SRM→cube load channel, bytes/second.
+    pub load_bandwidth_bps: f64,
+    /// Fixed latency to initiate a program load, seconds.
+    pub load_latency_s: f64,
+    /// Host filesystem transfer bandwidth (for copying executables in).
+    pub transfer_bandwidth_bps: f64,
+}
+
+impl IoComponent {
+    /// Time to load an executable of `bytes` onto the nodes.
+    pub fn load_time(&self, bytes: u64) -> f64 {
+        self.load_latency_s + bytes as f64 / self.load_bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipsc860_node_processing;
+
+    #[test]
+    fn op_times_positive_and_ordered() {
+        let p = ipsc860_node_processing();
+        assert!(p.op_time(OpClass::FAdd) > 0.0);
+        // divide must be much slower than multiply on the i860
+        assert!(p.op_time(OpClass::FDiv) > 5.0 * p.op_time(OpClass::FMul));
+        assert!(p.op_time(OpClass::FTranscendental) >= p.op_time(OpClass::FDiv));
+    }
+
+    #[test]
+    fn peak_matches_published_spec() {
+        // Node peak: 40 MFlop/s double / 80 single; our single-cycle adder
+        // at 40 MHz gives 40 MFlop/s scalar peak, within the published band.
+        let p = ipsc860_node_processing();
+        let peak = p.peak_mflops();
+        assert!((20.0..=80.0).contains(&peak), "peak {peak}");
+    }
+
+    #[test]
+    fn hit_ratio_degrades_with_working_set() {
+        let m = crate::ipsc860_node_memory();
+        let small = m.hit_ratio(4 * 1024, 4, 1.0);
+        let large = m.hit_ratio(1024 * 1024, 4, 1.0);
+        assert!(small > large);
+        let strided = m.hit_ratio(1024 * 1024, 4, 0.0);
+        assert!(strided < large);
+    }
+
+    #[test]
+    fn access_time_monotone_in_miss_rate() {
+        let m = crate::ipsc860_node_memory();
+        assert!(m.access_time(0.5) > m.access_time(0.9));
+    }
+
+    #[test]
+    fn p2p_short_long_regimes() {
+        let c = crate::ipsc860_comm();
+        let short = c.p2p_time(64, 1);
+        let long = c.p2p_time(4096, 1);
+        assert!(long > short);
+        // startup dominates short messages
+        assert!(short < 2.0 * c.short_latency_s + 64.0 * c.per_byte_s);
+        // extra hops cost extra
+        assert!(c.p2p_time(64, 3) > c.p2p_time(64, 1));
+    }
+}

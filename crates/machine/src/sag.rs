@@ -1,0 +1,142 @@
+//! The System Abstraction Graph (SAG): a rooted tree of System Abstraction
+//! Units (SAUs), each abstracting part of the HPC system into its four
+//! parameter components (§3.1).
+
+use crate::components::{CommComponent, IoComponent, MemoryComponent, ProcessingComponent};
+use serde::{Deserialize, Serialize};
+
+/// One System Abstraction Unit. Components are optional because interior
+/// units (e.g. "the cube") may only export communication parameters while
+/// leaves (nodes) export processing/memory parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sau {
+    pub name: String,
+    pub processing: Option<ProcessingComponent>,
+    pub memory: Option<MemoryComponent>,
+    pub comm: Option<CommComponent>,
+    pub io: Option<IoComponent>,
+    pub children: Vec<Sau>,
+}
+
+impl Sau {
+    /// A unit with no components (pure structural node).
+    pub fn structural(name: impl Into<String>) -> Sau {
+        Sau {
+            name: name.into(),
+            processing: None,
+            memory: None,
+            comm: None,
+            io: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Depth-first search by name.
+    pub fn find(&self, name: &str) -> Option<&Sau> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// The nearest (self-or-ancestor-provided) component lookup used by the
+    /// interpretation engine: a leaf inherits parameters its parent exports.
+    pub fn resolve<'a, T>(
+        &'a self,
+        path: &[&str],
+        get: impl Fn(&'a Sau) -> Option<&'a T> + Copy,
+    ) -> Option<&'a T> {
+        // Walk down `path`, remembering the deepest unit that exports T.
+        let mut cur = self;
+        let mut best = get(cur);
+        for name in path {
+            cur = cur.children.iter().find(|c| c.name == *name)?;
+            if let Some(t) = get(cur) {
+                best = Some(t);
+            }
+        }
+        best
+    }
+
+    /// Number of leaves under this unit (counts itself if childless).
+    pub fn leaf_count(&self) -> usize {
+        if self.children.is_empty() {
+            1
+        } else {
+            self.children.iter().map(|c| c.leaf_count()).sum()
+        }
+    }
+
+    /// Render the tree as an indented outline (used by reports/examples to
+    /// show the system characterization).
+    pub fn outline(&self) -> String {
+        let mut out = String::new();
+        self.outline_into(0, &mut out);
+        out
+    }
+
+    fn outline_into(&self, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.name);
+        let mut tags = Vec::new();
+        if self.processing.is_some() {
+            tags.push("P");
+        }
+        if self.memory.is_some() {
+            tags.push("M");
+        }
+        if self.comm.is_some() {
+            tags.push("C/S");
+        }
+        if self.io.is_some() {
+            tags.push("I/O");
+        }
+        if !tags.is_empty() {
+            out.push_str(&format!("  [{}]", tags.join(", ")));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.outline_into(depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipsc860;
+
+    #[test]
+    fn ipsc860_sag_structure() {
+        let m = ipsc860(8);
+        let sag = &m.sag;
+        assert!(sag.find("SRM host").is_some());
+        let cube = sag.find("i860 cube").unwrap();
+        assert_eq!(cube.leaf_count(), 8);
+        assert!(sag.find("node 0").is_some());
+        assert!(sag.find("node 7").is_some());
+        assert!(sag.find("node 8").is_none());
+    }
+
+    #[test]
+    fn resolve_inherits_from_ancestor() {
+        let m = ipsc860(4);
+        // Nodes do not carry their own comm component; they inherit the
+        // cube-level C/S parameters.
+        let comm = m.sag.resolve(&["i860 cube", "node 0"], |s| s.comm.as_ref());
+        assert!(comm.is_some());
+        let proc_ = m.sag.resolve(&["i860 cube", "node 0"], |s| s.processing.as_ref());
+        assert!(proc_.is_some());
+    }
+
+    #[test]
+    fn outline_mentions_components() {
+        let m = ipsc860(2);
+        let o = m.sag.outline();
+        assert!(o.contains("iPSC/860"));
+        assert!(o.contains("C/S"));
+        assert!(o.contains("I/O"));
+    }
+}

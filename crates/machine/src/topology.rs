@@ -1,0 +1,121 @@
+//! Hypercube topology of the iPSC/860: node addressing, e-cube routing and
+//! neighbor relations, shared by the communication cost models and by the
+//! discrete-event simulator's network.
+
+/// A hypercube of `2^dim` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypercube {
+    pub dim: u32,
+}
+
+impl Hypercube {
+    /// Smallest hypercube holding at least `n` nodes.
+    pub fn fitting(n: usize) -> Hypercube {
+        let mut dim = 0;
+        while (1usize << dim) < n {
+            dim += 1;
+        }
+        Hypercube { dim }
+    }
+
+    pub fn nodes(&self) -> usize {
+        1 << self.dim
+    }
+
+    /// Hamming distance — the number of hops of the e-cube route.
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        ((a ^ b) as u64).count_ones()
+    }
+
+    /// Neighbor of `node` across dimension `d`.
+    pub fn neighbor(&self, node: usize, d: u32) -> usize {
+        node ^ (1 << d)
+    }
+
+    /// The e-cube (dimension-ordered) route from `a` to `b`, as the sequence
+    /// of intermediate nodes ending at `b` (empty if `a == b`). E-cube
+    /// routing resolves dimensions lowest-first, which is deadlock-free.
+    pub fn route(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cur = a;
+        for d in 0..self.dim {
+            if (cur ^ b) & (1 << d) != 0 {
+                cur ^= 1 << d;
+                path.push(cur);
+            }
+        }
+        debug_assert_eq!(cur, b);
+        path
+    }
+
+    /// Links traversed by the e-cube route, as (from, to) pairs.
+    pub fn route_links(&self, a: usize, b: usize) -> Vec<(usize, usize)> {
+        let mut links = Vec::new();
+        let mut cur = a;
+        for next in self.route(a, b) {
+            links.push((cur, next));
+            links.last().expect("pushed");
+            cur = next;
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitting_rounds_up() {
+        assert_eq!(Hypercube::fitting(1).dim, 0);
+        assert_eq!(Hypercube::fitting(2).dim, 1);
+        assert_eq!(Hypercube::fitting(3).dim, 2);
+        assert_eq!(Hypercube::fitting(8).dim, 3);
+        assert_eq!(Hypercube::fitting(9).dim, 4);
+    }
+
+    #[test]
+    fn hops_is_hamming_distance() {
+        let h = Hypercube { dim: 3 };
+        assert_eq!(h.hops(0, 7), 3);
+        assert_eq!(h.hops(5, 5), 0);
+        assert_eq!(h.hops(0b001, 0b011), 1);
+    }
+
+    #[test]
+    fn route_is_minimal_and_ends_at_target() {
+        let h = Hypercube { dim: 4 };
+        for a in 0..h.nodes() {
+            for b in 0..h.nodes() {
+                let r = h.route(a, b);
+                assert_eq!(r.len() as u32, h.hops(a, b));
+                if a != b {
+                    assert_eq!(*r.last().unwrap(), b);
+                }
+                // each step flips exactly one bit
+                let mut prev = a;
+                for &n in &r {
+                    assert_eq!(h.hops(prev, n), 1);
+                    prev = n;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_dimension_ordered() {
+        let h = Hypercube { dim: 3 };
+        let r = h.route(0b000, 0b101);
+        assert_eq!(r, vec![0b001, 0b101]); // dim 0 first, then dim 2
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let h = Hypercube { dim: 3 };
+        for n in 0..h.nodes() {
+            for d in 0..h.dim {
+                assert_eq!(h.neighbor(h.neighbor(n, d), d), n);
+            }
+        }
+    }
+}

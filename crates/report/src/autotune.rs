@@ -1,0 +1,166 @@
+//! The "intelligent compiler" of the paper's §7: "a tool \[that\] will enable
+//! the compiler to automatically evaluate directives and transformation
+//! choices and optimize the application at compile time."
+//!
+//! Given a program with a TEMPLATE, enumerate candidate DISTRIBUTE formats
+//! (and processor-grid shapes), predict each variant with the interpretation
+//! engine, and return the ranking — source-driven, no execution.
+
+use crate::pipeline::{predict_source, PipelineError, PredictOptions};
+use hpf_lang::ast::{Directive, DistFormat};
+use hpf_lang::{parse_program, pretty_program};
+use serde::Serialize;
+
+/// One evaluated directive alternative.
+#[derive(Debug, Clone, Serialize)]
+pub struct DirectiveChoice {
+    /// The DISTRIBUTE formats per template dimension, e.g. `(BLOCK,*)`.
+    pub formats: Vec<String>,
+    /// Processor grid extents used.
+    pub grid: Vec<i64>,
+    pub predicted_s: f64,
+}
+
+impl DirectiveChoice {
+    pub fn label(&self) -> String {
+        format!("({})", self.formats.join(","))
+    }
+}
+
+/// Enumerate all BLOCK/CYCLIC/`*` combinations for the program's first
+/// DISTRIBUTE directive (and matching grid reshapes), predict each, and
+/// return the choices sorted best-first.
+///
+/// The search is exhaustive over `3^rank − 1` format tuples (the all-`*`
+/// tuple is excluded: it serializes the program), exactly the design space
+/// §5.2.1 explores by hand for the Laplace solver.
+pub fn search_distributions(
+    src: &str,
+    nodes: usize,
+) -> Result<Vec<DirectiveChoice>, PipelineError> {
+    let program = parse_program(src)?;
+
+    // Locate the directive to rewrite.
+    let (target_name, rank) = program
+        .directives
+        .iter()
+        .find_map(|d| match d {
+            Directive::Distribute { target, formats, .. } => {
+                Some((target.clone(), formats.len()))
+            }
+            _ => None,
+        })
+        .ok_or_else(|| PipelineError("program has no DISTRIBUTE directive".into()))?;
+
+    let mut results = Vec::new();
+    for combo in format_combos(rank) {
+        if combo.iter().all(|f| *f == DistFormat::Degenerate) {
+            continue; // fully collapsed: no parallelism
+        }
+        // Rewrite the AST and re-render — the "edit the directives" step,
+        // done mechanically.
+        let mut variant = program.clone();
+        let dist_dims = combo.iter().filter(|f| **f != DistFormat::Degenerate).count();
+        for d in &mut variant.directives {
+            match d {
+                Directive::Distribute { target, formats, .. } if *target == target_name => {
+                    *formats = combo.clone();
+                }
+                Directive::Processors { shape, .. } => {
+                    // Reshape the grid to match the number of distributed
+                    // dimensions (near-square factorization of `nodes`).
+                    *shape = grid_for(nodes, dist_dims)
+                        .into_iter()
+                        .map(hpf_lang::Expr::int)
+                        .collect();
+                }
+                _ => {}
+            }
+        }
+        let text = pretty_program(&variant);
+        let pred = match predict_source(&text, &PredictOptions::with_nodes(nodes)) {
+            Ok(p) => p,
+            Err(_) => continue, // combination not expressible; skip
+        };
+        results.push(DirectiveChoice {
+            formats: combo.iter().map(|f| f.name().to_string()).collect(),
+            grid: grid_for(nodes, dist_dims),
+            predicted_s: pred.total_seconds(),
+        });
+    }
+    results.sort_by(|a, b| a.predicted_s.total_cmp(&b.predicted_s));
+    Ok(results)
+}
+
+/// All `3^rank` format tuples.
+fn format_combos(rank: usize) -> Vec<Vec<DistFormat>> {
+    let opts = [DistFormat::Block, DistFormat::Cyclic, DistFormat::Degenerate];
+    let mut combos: Vec<Vec<DistFormat>> = vec![Vec::new()];
+    for _ in 0..rank {
+        let mut next = Vec::new();
+        for c in &combos {
+            for o in opts {
+                let mut c2 = c.clone();
+                c2.push(o);
+                next.push(c2);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+/// Near-square power-of-two factorization of `nodes` into `dims` extents.
+fn grid_for(nodes: usize, dims: usize) -> Vec<i64> {
+    let dims = dims.max(1);
+    let mut extents = vec![1i64; dims];
+    let mut rem = nodes as i64;
+    while rem > 1 {
+        let d = (0..dims).min_by_key(|&d| extents[d]).expect("dims >= 1");
+        if rem % 2 == 0 {
+            extents[d] *= 2;
+            rem /= 2;
+        } else {
+            extents[d] *= rem;
+            rem = 1;
+        }
+    }
+    extents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combo_enumeration() {
+        assert_eq!(format_combos(1).len(), 3);
+        assert_eq!(format_combos(2).len(), 9);
+        assert_eq!(grid_for(8, 2), vec![4, 2]);
+        assert_eq!(grid_for(4, 1), vec![4]);
+    }
+
+    #[test]
+    fn laplace_search_picks_block_star() {
+        let src = kernels::kernel_by_name("Laplace (Blk-Blk)")
+            .unwrap()
+            .source(256, 4);
+        let choices = search_distributions(&src, 4).unwrap();
+        assert!(choices.len() >= 6, "explored {} variants", choices.len());
+        let best = &choices[0];
+        assert_eq!(
+            best.formats,
+            vec!["BLOCK".to_string(), "*".to_string()],
+            "best should be (BLOCK,*): got {choices:?}"
+        );
+        // ranking is sorted
+        for w in choices.windows(2) {
+            assert!(w[0].predicted_s <= w[1].predicted_s);
+        }
+    }
+
+    #[test]
+    fn search_requires_distribute() {
+        assert!(search_distributions("PROGRAM T\nREAL X\nX = 1.0\nEND\n", 4).is_err());
+    }
+}

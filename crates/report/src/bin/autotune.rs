@@ -1,0 +1,37 @@
+//! The "intelligent compiler" extension (§7): automatically evaluate all
+//! DISTRIBUTE alternatives for a program and report the predicted ranking.
+//!
+//! Usage: `autotune [kernel-name] [size] [procs]`
+
+use hpf_report::autotune::search_distributions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("Laplace (Blk-Blk)");
+    let size: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(256);
+    let procs: usize = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(4);
+
+    let kernel = kernels::kernel_by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown kernel `{name}` — see `table1` for names");
+        std::process::exit(1);
+    });
+    let src = kernel.source(size, procs);
+    println!("Directive search for {name} (n={size}, p={procs})\n");
+    match search_distributions(&src, procs) {
+        Ok(choices) => {
+            println!("{:<18} {:>10} {:>14}", "DISTRIBUTE", "grid", "predicted (s)");
+            for c in &choices {
+                println!(
+                    "{:<18} {:>10} {:>14.6}",
+                    c.label(),
+                    format!("{:?}", c.grid),
+                    c.predicted_s
+                );
+            }
+            if let Some(best) = choices.first() {
+                println!("\nselected: DISTRIBUTE {} ONTO {:?}", best.label(), best.grid);
+            }
+        }
+        Err(e) => eprintln!("search failed: {e}"),
+    }
+}

@@ -1,0 +1,407 @@
+//! Experiment drivers for the paper's tables and figures.
+
+use crate::pipeline::{
+    compile_source, predict_source, PredictOptions,
+};
+use hpf_compiler::CompileOptions;
+use ipsc_sim::{SimConfig, Simulator};
+use kernels::{all_kernels, Kernel, KernelKind, LaplaceDist};
+use machine::ipsc860;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// One (application, size, procs) accuracy sample.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracySample {
+    pub app: String,
+    pub size: usize,
+    pub procs: usize,
+    pub predicted_s: f64,
+    pub measured_s: f64,
+    pub measured_std_s: f64,
+    /// |predicted − measured| / measured, percent.
+    pub abs_error_pct: f64,
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    pub app: String,
+    pub sizes: (usize, usize),
+    pub procs: (usize, usize),
+    pub min_err_pct: f64,
+    pub max_err_pct: f64,
+    pub samples: usize,
+}
+
+/// Sweep limits for the Table 2 reproduction. The full paper sweep is the
+/// default; `quick()` trims sizes for CI-speed runs.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    pub proc_counts: Vec<usize>,
+    /// Cap on problem size (None = the kernel's own range).
+    pub max_size: Option<usize>,
+    /// Simulated runs per measurement (paper: 1000).
+    pub runs: usize,
+    /// Step budget for the functional-interpreter profile; configs whose
+    /// execution exceeds it fall back to static hints.
+    pub profile_steps: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            proc_counts: vec![1, 2, 4, 8],
+            max_size: None,
+            runs: 1000,
+            profile_steps: 40_000_000,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A trimmed sweep for tests / smoke runs.
+    pub fn quick() -> Self {
+        SweepConfig {
+            proc_counts: vec![1, 4],
+            max_size: Some(512),
+            runs: 50,
+            profile_steps: 5_000_000,
+        }
+    }
+}
+
+/// Run one accuracy sample.
+pub fn accuracy_sample(
+    kernel: &Kernel,
+    size: usize,
+    procs: usize,
+    cfg: &SweepConfig,
+) -> Result<AccuracySample, crate::PipelineError> {
+    let src = kernel.source(size, procs);
+
+    let popts = PredictOptions::with_nodes(procs);
+    let pred = predict_source(&src, &popts)?;
+
+    let (analyzed, spmd) = compile_source(
+        &src,
+        procs,
+        &Default::default(),
+        &CompileOptions { nodes: procs, ..Default::default() },
+    )?;
+    let profile = hpf_eval::run_with_limit(&analyzed, cfg.profile_steps)
+        .ok()
+        .map(|o| o.profile);
+    let machine = ipsc860(procs);
+    let sim = Simulator::with_config(
+        &machine,
+        SimConfig { runs: cfg.runs, ..Default::default() },
+    );
+    let meas = sim.simulate(&spmd, profile.as_ref());
+
+    let err = if meas.mean > 0.0 {
+        100.0 * (pred.total_seconds() - meas.mean).abs() / meas.mean
+    } else {
+        0.0
+    };
+    Ok(AccuracySample {
+        app: kernel.name.to_string(),
+        size,
+        procs,
+        predicted_s: pred.total_seconds(),
+        measured_s: meas.mean,
+        measured_std_s: meas.std,
+        abs_error_pct: err,
+    })
+}
+
+/// Reproduce Table 2: per application, min/max absolute error over the
+/// size × procs sweep. Runs configurations in parallel worker threads.
+pub fn table2(cfg: &SweepConfig) -> (Vec<Table2Row>, Vec<AccuracySample>) {
+    // Build the work list.
+    let mut work: Vec<(Kernel, usize, usize)> = Vec::new();
+    for k in all_kernels() {
+        for size in k.sweep_sizes() {
+            if let Some(cap) = cfg.max_size {
+                if size > cap {
+                    continue;
+                }
+            }
+            for &p in &cfg.proc_counts {
+                work.push((k.clone(), size, p));
+            }
+        }
+    }
+
+    let results = Mutex::new(Vec::<AccuracySample>::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    crossbeam::scope(|s| {
+        for _ in 0..workers.min(work.len().max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let (k, size, p) = &work[i];
+                if let Ok(sample) = accuracy_sample(k, *size, *p, cfg) {
+                    results.lock().push(sample);
+                }
+            });
+        }
+    })
+    .expect("sweep threads");
+    let mut samples = results.into_inner();
+    samples.sort_by(|a, b| (&a.app, a.size, a.procs).cmp(&(&b.app, b.size, b.procs)));
+
+    // Aggregate per application.
+    let mut rows = Vec::new();
+    for k in all_kernels() {
+        let ss: Vec<&AccuracySample> =
+            samples.iter().filter(|s| s.app == k.name).collect();
+        if ss.is_empty() {
+            continue;
+        }
+        let min_err = ss.iter().map(|s| s.abs_error_pct).fold(f64::INFINITY, f64::min);
+        let max_err = ss.iter().map(|s| s.abs_error_pct).fold(0.0, f64::max);
+        rows.push(Table2Row {
+            app: k.name.to_string(),
+            sizes: (
+                ss.iter().map(|s| s.size).min().unwrap_or(0),
+                ss.iter().map(|s| s.size).max().unwrap_or(0),
+            ),
+            procs: (
+                ss.iter().map(|s| s.procs).min().unwrap_or(0),
+                ss.iter().map(|s| s.procs).max().unwrap_or(0),
+            ),
+            min_err_pct: min_err,
+            max_err_pct: max_err,
+            samples: ss.len(),
+        });
+    }
+    (rows, samples)
+}
+
+/// Render Table 2 as text.
+pub fn table2_text(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Name               Problem Sizes    System Size   Min Abs Error   Max Abs Error\n",
+    );
+    out.push_str(
+        "                   (data elements)  (# procs)     (%)             (%)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>6} - {:<7} {} - {:<9} {:>6.2}%         {:>6.2}%\n",
+            r.app, r.sizes.0, r.sizes.1, r.procs.0, r.procs.1, r.min_err_pct, r.max_err_pct
+        ));
+    }
+    out
+}
+
+/// One point of the Figures 4/5 Laplace curves.
+#[derive(Debug, Clone, Serialize)]
+pub struct LaplacePoint {
+    pub dist: String,
+    pub procs: usize,
+    pub size: usize,
+    pub estimated_s: f64,
+    pub measured_s: f64,
+}
+
+/// Reproduce the Figure 4/5 data: estimated and measured execution time of
+/// the Laplace solver for the three distributions, sizes stepping by 16.
+pub fn laplace_curves(procs: usize, max_size: usize, runs: usize) -> Vec<LaplacePoint> {
+    let mut pts = Vec::new();
+    for dist in [LaplaceDist::BlockBlock, LaplaceDist::BlockStar, LaplaceDist::StarBlock] {
+        let kernel = Kernel {
+            kind: KernelKind::Laplace(dist),
+            name: "Laplace",
+            description: "",
+            is_kernel: false,
+            size_range: (16, max_size),
+        };
+        let mut size = 16;
+        while size <= max_size {
+            let cfg = SweepConfig { runs, ..Default::default() };
+            if let Ok(s) = accuracy_sample(&kernel, size, procs, &cfg) {
+                pts.push(LaplacePoint {
+                    dist: dist.label().to_string(),
+                    procs,
+                    size,
+                    estimated_s: s.predicted_s,
+                    measured_s: s.measured_s,
+                });
+            }
+            size += 16;
+        }
+    }
+    pts
+}
+
+/// Figure 3: ASCII rendering of the three Laplace data distributions on
+/// `procs` processors (ownership of an `n × n` template).
+pub fn figure3(n: usize, procs: usize) -> String {
+    let mut out = String::new();
+    for dist in [LaplaceDist::BlockBlock, LaplaceDist::BlockStar, LaplaceDist::StarBlock] {
+        let kernel = Kernel {
+            kind: KernelKind::Laplace(dist),
+            name: "Laplace",
+            description: "",
+            is_kernel: false,
+            size_range: (n, n),
+        };
+        let src = kernel.source(n, procs);
+        let (_, spmd) = compile_source(
+            &src,
+            procs,
+            &Default::default(),
+            &CompileOptions { nodes: procs, ..Default::default() },
+        )
+        .expect("laplace compiles");
+        let u = spmd.dist.get("U").expect("U mapped");
+        out.push_str(&format!("{}\n", dist.label()));
+        for i in 1..=n as i64 {
+            out.push_str("  ");
+            for j in 1..=n as i64 {
+                let mut coords = vec![0i64; spmd.grid.extents.len()];
+                for (d, &idx) in [i, j].iter().enumerate() {
+                    if let Some(pd) = u.dims[d].pdim() {
+                        coords[pd] = u.owner_coord(d, idx);
+                    }
+                }
+                let owner = spmd.grid.node_of(&coords);
+                out.push_str(&format!("{owner}"));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 7: per-phase comp/comm/overhead profile of the financial model.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseProfile {
+    pub phase: String,
+    pub comp_us: f64,
+    pub comm_us: f64,
+    pub overhead_us: f64,
+}
+
+/// Reproduce Figure 7 (stock option pricing, per-phase breakdown).
+pub fn figure7(size: usize, procs: usize) -> Vec<PhaseProfile> {
+    let kernel = kernels::kernel_by_name("Financial").expect("financial kernel");
+    let src = kernel.source(size, procs);
+    let (pred, aag, _) =
+        crate::predict_source_full(&src, &PredictOptions::with_nodes(procs)).expect("predicts");
+
+    // Phase 1 = the backward-induction DO loop (creates the price lattice,
+    // shift per step); Phase 2 = the final call-price forall (local).
+    let do_line = src
+        .lines()
+        .position(|l| l.trim_start().starts_with("DO K"))
+        .expect("phase 1 loop") as u32
+        + 1;
+    let phase2_line = src
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.trim_start().starts_with("FORALL (I = 1:N) C(I)"))
+        .map(|(i, _)| i as u32 + 1)
+        .last()
+        .expect("phase 2 forall");
+
+    let p1 = interp::query_line(&pred, &aag, do_line);
+    let p2 = interp::query_line(&pred, &aag, phase2_line);
+    vec![
+        PhaseProfile {
+            phase: "Phase 1 (create price lattice)".into(),
+            comp_us: p1.comp * 1e6,
+            comm_us: p1.comm * 1e6,
+            overhead_us: p1.overhead * 1e6,
+        },
+        PhaseProfile {
+            phase: "Phase 2 (compute call prices)".into(),
+            comp_us: p2.comp * 1e6,
+            comm_us: p2.comm * 1e6,
+            overhead_us: p2.overhead * 1e6,
+        },
+    ]
+}
+
+/// Figure 2: the abstraction of the paper's forall example, shown as the
+/// Phase-1 SPMD structure and the Phase-2 sub-AAG.
+pub fn figure2() -> (String, String) {
+    let src = "
+PROGRAM FIG2
+INTEGER, PARAMETER :: N = 64
+REAL X(N), V(N), G(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(N)
+!HPF$ ALIGN X(I) WITH T(I)
+!HPF$ ALIGN V(I) WITH T(I)
+!HPF$ ALIGN G(I) WITH T(I)
+!HPF$ DISTRIBUTE T(BLOCK) ONTO P
+FORALL (K=2:N-1, V(K) .GT. 0.0) X(K+1) = X(K) + G(K)
+END
+";
+    let (_, spmd) = compile_source(
+        src,
+        4,
+        &Default::default(),
+        &CompileOptions { nodes: 4, ..Default::default() },
+    )
+    .expect("figure 2 compiles");
+    let aag = appgraph::build_aag(&spmd);
+    (spmd.outline(), aag.outline())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_accuracy_sample_in_band() {
+        let k = kernels::kernel_by_name("PI").unwrap();
+        let s = accuracy_sample(&k, 512, 4, &SweepConfig::quick()).unwrap();
+        assert!(s.predicted_s > 0.0 && s.measured_s > 0.0);
+        assert!(s.abs_error_pct < 25.0, "error {:.1}%", s.abs_error_pct);
+    }
+
+    #[test]
+    fn figure3_partitions_every_cell() {
+        let f = figure3(8, 4);
+        assert!(f.contains("(Blk,*)"));
+        // (Blk,*): first row of the grid owned by 0, last by 3
+        let sect: Vec<&str> = f.split("(Blk,*)").nth(1).unwrap().lines().collect();
+        assert!(sect[1].trim().chars().all(|c| c == '0'));
+        assert!(sect[8].trim().chars().all(|c| c == '3'));
+    }
+
+    #[test]
+    fn figure2_shapes() {
+        let (spmd, aag) = figure2();
+        assert!(spmd.contains("Comm"), "{spmd}");
+        assert!(spmd.contains("Comp"), "{spmd}");
+        assert!(aag.contains("IterD"), "{aag}");
+        assert!(aag.contains("CondtD"), "{aag}");
+    }
+
+    #[test]
+    fn figure7_phase1_communicates_phase2_does_not() {
+        let phases = figure7(256, 4);
+        assert_eq!(phases.len(), 2);
+        assert!(phases[0].comm_us > 0.0, "phase 1 shifts: {phases:?}");
+        assert_eq!(phases[1].comm_us, 0.0, "phase 2 is local: {phases:?}");
+    }
+
+    #[test]
+    fn laplace_curves_monotone_in_size() {
+        let pts = laplace_curves(4, 64, 20);
+        let bs: Vec<&LaplacePoint> = pts.iter().filter(|p| p.dist == "(Blk,*)").collect();
+        assert!(bs.len() >= 2);
+        assert!(bs.last().unwrap().measured_s > bs[0].measured_s);
+        assert!(bs.last().unwrap().estimated_s > bs[0].estimated_s);
+    }
+}

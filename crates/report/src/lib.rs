@@ -1,0 +1,25 @@
+//! # hpf-report — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5):
+//!
+//! | Artifact   | Module / binary      |
+//! |------------|----------------------|
+//! | Table 1    | `bin/table1`         |
+//! | Table 2    | [`experiments::table2`], `bin/table2`   |
+//! | Figure 2   | `bin/figure2`        |
+//! | Figure 3   | [`experiments::figure3`], `bin/figure3` |
+//! | Figures 4–5| [`experiments::laplace_curves`], `bin/figures4_5` |
+//! | Figure 7   | [`experiments::figure7`], `bin/figure7` |
+//! | Figure 8   | [`workflow`], `bin/figure8`             |
+
+pub mod autotune;
+pub mod csv;
+pub mod experiments;
+pub mod pipeline;
+pub mod session;
+pub mod workflow;
+
+pub use pipeline::{
+    compile_source, predict_source, predict_source_full, simulate_source, PipelineError,
+    PredictOptions, SimulateOptions,
+};

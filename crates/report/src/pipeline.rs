@@ -1,0 +1,207 @@
+//! End-to-end pipeline helpers: source text → prediction (the interpretive
+//! path) and source text → simulated measurement (the "run it on the
+//! machine" path). These are the two experimentation routes Figure 8
+//! compares.
+
+use hpf_compiler::{compile, CompileOptions, SpmdProgram};
+use hpf_lang::{analyze, parse_program, LangError};
+use interp::{InterpOptions, InterpretationEngine, Prediction};
+use ipsc_sim::{SimConfig, SimResult, Simulator};
+use machine::MachineModel;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Calibrated machine models, built once per node count — the paper's
+/// "system abstraction is performed off-line and only once" (§5.3).
+pub fn calibrated_machine(nodes: usize) -> MachineModel {
+    static CACHE: OnceLock<Mutex<HashMap<usize, MachineModel>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock();
+    guard.entry(nodes).or_insert_with(|| ipsc_sim::calibrate(nodes)).clone()
+}
+
+/// Options for [`predict_source`].
+#[derive(Debug, Clone)]
+pub struct PredictOptions {
+    pub nodes: usize,
+    /// PARAMETER overrides (problem-size knob of the interface, §5.3).
+    pub param_overrides: BTreeMap<String, i64>,
+    pub compile: CompileOptions,
+    pub interp: InterpOptions,
+}
+
+impl Default for PredictOptions {
+    fn default() -> Self {
+        PredictOptions {
+            nodes: 8,
+            param_overrides: BTreeMap::new(),
+            compile: CompileOptions::default(),
+            interp: InterpOptions::default(),
+        }
+    }
+}
+
+impl PredictOptions {
+    pub fn with_nodes(nodes: usize) -> Self {
+        PredictOptions { nodes, ..Default::default() }
+    }
+}
+
+/// Options for [`simulate_source`].
+#[derive(Debug, Clone)]
+pub struct SimulateOptions {
+    pub nodes: usize,
+    pub param_overrides: BTreeMap<String, i64>,
+    pub compile: CompileOptions,
+    pub sim: SimConfig,
+    /// Run the functional interpreter to collect the dynamic profile
+    /// (actual trip counts / mask densities) before simulating.
+    pub use_profile: bool,
+}
+
+impl Default for SimulateOptions {
+    fn default() -> Self {
+        SimulateOptions {
+            nodes: 8,
+            param_overrides: BTreeMap::new(),
+            compile: CompileOptions::default(),
+            sim: SimConfig::default(),
+            use_profile: true,
+        }
+    }
+}
+
+impl SimulateOptions {
+    pub fn with_nodes(nodes: usize) -> Self {
+        SimulateOptions { nodes, ..Default::default() }
+    }
+}
+
+/// Pipeline error (front end or compiler).
+#[derive(Debug, Clone)]
+pub struct PipelineError(pub String);
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<LangError> for PipelineError {
+    fn from(e: LangError) -> Self {
+        PipelineError(e.to_string())
+    }
+}
+
+impl From<hpf_compiler::CompileError> for PipelineError {
+    fn from(e: hpf_compiler::CompileError) -> Self {
+        PipelineError(e.to_string())
+    }
+}
+
+/// Parse + analyze + compile.
+pub fn compile_source(
+    src: &str,
+    nodes: usize,
+    overrides: &BTreeMap<String, i64>,
+    copts: &CompileOptions,
+) -> Result<(hpf_lang::AnalyzedProgram, SpmdProgram), PipelineError> {
+    let program = parse_program(src)?;
+    let analyzed = analyze(&program, overrides)?;
+    let mut copts = copts.clone();
+    copts.nodes = nodes;
+    let spmd = compile(&analyzed, &copts)?;
+    Ok((analyzed, spmd))
+}
+
+/// Source-driven performance prediction: the interpretive path.
+pub fn predict_source(src: &str, opts: &PredictOptions) -> Result<Prediction, PipelineError> {
+    let machine = calibrated_machine(opts.nodes);
+    predict_source_on(src, &machine, opts)
+}
+
+/// Prediction against an arbitrary abstracted machine (e.g. the HPDC
+/// `machine::now_cluster` target of §7). The machine's node count wins over
+/// `opts.nodes`.
+pub fn predict_source_on(
+    src: &str,
+    machine: &MachineModel,
+    opts: &PredictOptions,
+) -> Result<Prediction, PipelineError> {
+    let (_, spmd) = compile_source(src, machine.nodes, &opts.param_overrides, &opts.compile)?;
+    let aag = appgraph::build_aag(&spmd);
+    let engine = InterpretationEngine::with_options(machine, opts.interp.clone());
+    Ok(engine.interpret(&aag))
+}
+
+/// Full prediction with the AAG kept for output-module queries.
+pub fn predict_source_full(
+    src: &str,
+    opts: &PredictOptions,
+) -> Result<(Prediction, appgraph::Aag, SpmdProgram), PipelineError> {
+    let (_, spmd) = compile_source(src, opts.nodes, &opts.param_overrides, &opts.compile)?;
+    let aag = appgraph::build_aag(&spmd);
+    let machine = calibrated_machine(opts.nodes);
+    let engine = InterpretationEngine::with_options(&machine, opts.interp.clone());
+    Ok((engine.interpret(&aag), aag, spmd))
+}
+
+/// "Measured" execution: run the program on the simulated iPSC/860.
+pub fn simulate_source(src: &str, opts: &SimulateOptions) -> Result<SimResult, PipelineError> {
+    let (analyzed, spmd) =
+        compile_source(src, opts.nodes, &opts.param_overrides, &opts.compile)?;
+    let profile = if opts.use_profile {
+        hpf_eval::run(&analyzed).ok().map(|o| o.profile)
+    } else {
+        None
+    };
+    let machine = machine::ipsc860(opts.nodes);
+    let sim = Simulator::with_config(&machine, opts.sim.clone());
+    Ok(sim.simulate(&spmd, profile.as_ref()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI_SRC: &str = "
+PROGRAM PI
+INTEGER, PARAMETER :: N = 512
+REAL F(N), PIE
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE F(BLOCK) ONTO P
+FORALL (I = 1:N) F(I) = 4.0 / (1.0 + ((I - 0.5) * (1.0 / N)) ** 2)
+PIE = SUM(F) / N
+END
+";
+
+    #[test]
+    fn predict_and_simulate_agree_roughly() {
+        let pred = predict_source(PI_SRC, &PredictOptions::with_nodes(4)).unwrap();
+        let mut sopts = SimulateOptions::with_nodes(4);
+        sopts.sim.runs = 100;
+        let meas = simulate_source(PI_SRC, &sopts).unwrap();
+        let err = (pred.total_seconds() - meas.measured()).abs() / meas.measured();
+        assert!(err < 0.25, "prediction error {:.1}% too large", err * 100.0);
+    }
+
+    #[test]
+    fn param_override_changes_problem_size() {
+        let mut small = PredictOptions::with_nodes(4);
+        small.param_overrides.insert("N".into(), 128);
+        let mut big = PredictOptions::with_nodes(4);
+        big.param_overrides.insert("N".into(), 4096);
+        let ts = predict_source(PI_SRC, &small).unwrap().total_seconds();
+        let tb = predict_source(PI_SRC, &big).unwrap().total_seconds();
+        assert!(tb > 2.0 * ts, "big {tb} vs small {ts}");
+    }
+
+    #[test]
+    fn bad_source_is_error() {
+        assert!(predict_source("NOT FORTRAN", &PredictOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,521 @@
+//! The interactive environment (§3.4's output interface and §5.3's
+//! menu-driven workflow), as a scriptable command session: load a program,
+//! vary parameters and directives *from within the interface*, predict,
+//! query lines, compare against the simulated machine, search directives.
+//!
+//! The REPL binary (`bin/hpfenv`) is a thin stdin loop over
+//! [`Session::execute`]; keeping the engine here makes every command
+//! unit-testable.
+
+use crate::autotune::search_distributions;
+use crate::pipeline::{
+    calibrated_machine, compile_source, predict_source_on, PredictOptions, SimulateOptions,
+};
+use hpf_compiler::CompileOptions;
+use interp::{profile_report, query_line, query_lines, InterpOptions};
+use ipsc_sim::SimConfig;
+use machine::MachineModel;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Which machine the session predicts for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    Ipsc860,
+    NowCluster,
+}
+
+/// Interactive session state.
+pub struct Session {
+    source: Option<String>,
+    source_name: String,
+    nodes: usize,
+    target: Target,
+    overrides: BTreeMap<String, i64>,
+    copts: CompileOptions,
+    iopts: InterpOptions,
+    runs: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session {
+            source: None,
+            source_name: String::new(),
+            nodes: 8,
+            target: Target::Ipsc860,
+            overrides: BTreeMap::new(),
+            copts: CompileOptions::default(),
+            iopts: InterpOptions::default(),
+            runs: 1000,
+        }
+    }
+}
+
+impl Session {
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    fn machine(&self) -> MachineModel {
+        match self.target {
+            Target::Ipsc860 => calibrated_machine(self.nodes),
+            Target::NowCluster => machine::now_cluster(self.nodes),
+        }
+    }
+
+    fn require_source(&self) -> Result<&str, String> {
+        self.source.as_deref().ok_or_else(|| {
+            "no program loaded — use `kernel <name> [size]` or `load <path>`".to_string()
+        })
+    }
+
+    /// Execute one command line; returns the text to display.
+    pub fn execute(&mut self, line: &str) -> Result<String, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd.to_ascii_lowercase().as_str() {
+            "help" => Ok(HELP.to_string()),
+            "kernel" => self.cmd_kernel(rest),
+            "load" => self.cmd_load(rest),
+            "source" => Ok(self.require_source()?.to_string()),
+            "set" => self.cmd_set(rest),
+            "show" => Ok(self.cmd_show()),
+            "predict" => self.cmd_predict(),
+            "profile" => self.cmd_profile(),
+            "line" => self.cmd_line(rest),
+            "lines" => self.cmd_lines(rest),
+            "outline" => self.cmd_outline(),
+            "aag" => self.cmd_aag(),
+            "dists" => self.cmd_dists(),
+            "simulate" => self.cmd_simulate(rest),
+            "compare" => self.cmd_compare(),
+            "search" => self.cmd_search(),
+            "trace" => self.cmd_trace(),
+            "machine" => self.cmd_machine(rest),
+            "quit" | "exit" => Err("quit".into()),
+            other => Err(format!("unknown command `{other}` — try `help`")),
+        }
+    }
+
+    fn cmd_kernel(&mut self, rest: &str) -> Result<String, String> {
+        // `kernel LFK 1 256` / `kernel PI` / `kernel Laplace (Blk-X) 64`
+        let (name, size) = match rest.rsplit_once(' ') {
+            Some((n, s)) if s.parse::<usize>().is_ok() => (n.trim(), s.parse().unwrap()),
+            _ => (rest, 0usize),
+        };
+        let k = kernels::kernel_by_name(name)
+            .ok_or_else(|| format!("unknown kernel `{name}` — see the `table1` binary"))?;
+        let size = if size == 0 { k.size_range.1.min(256) } else { size };
+        self.source = Some(k.source(size, self.nodes));
+        self.source_name = format!("{name} (n={size})");
+        Ok(format!("loaded {} for {} nodes", self.source_name, self.nodes))
+    }
+
+    fn cmd_load(&mut self, path: &str) -> Result<String, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        self.source = Some(text);
+        self.source_name = path.to_string();
+        Ok(format!("loaded {path}"))
+    }
+
+    fn cmd_set(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        let key = parts.next().ok_or("usage: set <key> <value>")?;
+        let val = parts.next().ok_or("usage: set <key> <value>")?;
+        match key.to_ascii_lowercase().as_str() {
+            "nodes" => {
+                self.nodes = val.parse().map_err(|_| "nodes must be an integer")?;
+                Ok(format!("nodes = {}", self.nodes))
+            }
+            "runs" => {
+                self.runs = val.parse().map_err(|_| "runs must be an integer")?;
+                Ok(format!("runs = {}", self.runs))
+            }
+            "mask-density" => {
+                self.copts.mask_density_hint =
+                    val.parse().map_err(|_| "mask-density must be a float")?;
+                Ok(format!("mask density hint = {}", self.copts.mask_density_hint))
+            }
+            "while-trips" => {
+                self.copts.while_trips_hint =
+                    val.parse().map_err(|_| "while-trips must be an integer")?;
+                Ok(format!("while trips hint = {}", self.copts.while_trips_hint))
+            }
+            "memory-model" => {
+                self.iopts.memory_hierarchy = val.parse().map_err(|_| "true/false")?;
+                Ok(format!("memory hierarchy model = {}", self.iopts.memory_hierarchy))
+            }
+            "overlap" => {
+                self.iopts.overlap_comp_comm = val.parse().map_err(|_| "true/false")?;
+                Ok(format!("comp/comm overlap model = {}", self.iopts.overlap_comp_comm))
+            }
+            name if name.starts_with("param:") => {
+                let pname = name.trim_start_matches("param:").to_ascii_uppercase();
+                let v: i64 = val.parse().map_err(|_| "parameter value must be an integer")?;
+                self.overrides.insert(pname.clone(), v);
+                Ok(format!("{pname} = {v} (override)"))
+            }
+            // Critical variables the tracer could not resolve (§4.2).
+            name if name.starts_with("critical:") => {
+                let cname = name.trim_start_matches("critical:").to_ascii_uppercase();
+                let v: i64 = val.parse().map_err(|_| "critical value must be an integer")?;
+                self.copts.critical_values.insert(cname.clone(), v);
+                Ok(format!("critical {cname} = {v}"))
+            }
+            other => Err(format!(
+                "unknown setting `{other}` (nodes, runs, mask-density, while-trips, \
+                 memory-model, overlap, param:<NAME>, critical:<NAME>)"
+            )),
+        }
+    }
+
+    fn cmd_show(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "program    : {}", if self.source.is_some() { &self.source_name } else { "<none>" });
+        let _ = writeln!(out, "machine    : {:?} × {}", self.target, self.nodes);
+        let _ = writeln!(out, "runs       : {}", self.runs);
+        let _ = writeln!(out, "mask hint  : {}", self.copts.mask_density_hint);
+        let _ = writeln!(out, "overrides  : {:?}", self.overrides);
+        let _ = writeln!(out, "criticals  : {:?}", self.copts.critical_values);
+        out
+    }
+
+    fn popts(&self) -> PredictOptions {
+        PredictOptions {
+            nodes: self.nodes,
+            param_overrides: self.overrides.clone(),
+            compile: self.copts.clone(),
+            interp: self.iopts.clone(),
+        }
+    }
+
+    fn predicted(&self) -> Result<(interp::Prediction, appgraph::Aag), String> {
+        let src = self.require_source()?;
+        let machine = self.machine();
+        let (_, spmd) = compile_source(src, machine.nodes, &self.overrides, &self.copts)
+            .map_err(|e| e.to_string())?;
+        let aag = appgraph::build_aag(&spmd);
+        let engine = interp::InterpretationEngine::with_options(&machine, self.iopts.clone());
+        Ok((engine.interpret(&aag), aag))
+    }
+
+    fn cmd_predict(&self) -> Result<String, String> {
+        let src = self.require_source()?;
+        let machine = self.machine();
+        let pred =
+            predict_source_on(src, &machine, &self.popts()).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "estimated {:.6} s on {} (comp {:.6}, comm {:.6}, ovhd {:.6})",
+            pred.total_seconds(),
+            machine.name,
+            pred.total.comp,
+            pred.total.comm,
+            pred.total.overhead
+        ))
+    }
+
+    fn cmd_profile(&self) -> Result<String, String> {
+        let (pred, aag) = self.predicted()?;
+        Ok(profile_report(&pred, &aag, &self.source_name))
+    }
+
+    fn cmd_line(&self, rest: &str) -> Result<String, String> {
+        let n: u32 = rest.trim().parse().map_err(|_| "usage: line <number>")?;
+        let (pred, aag) = self.predicted()?;
+        let m = query_line(&pred, &aag, n);
+        let text = self
+            .require_source()?
+            .lines()
+            .nth(n as usize - 1)
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        Ok(format!(
+            "line {n}: {:.1} µs (comp {:.1}, comm {:.1}, ovhd {:.1})  | {text}",
+            m.time() * 1e6,
+            m.comp * 1e6,
+            m.comm * 1e6,
+            m.overhead * 1e6
+        ))
+    }
+
+    fn cmd_lines(&self, rest: &str) -> Result<String, String> {
+        let mut it = rest.split_whitespace();
+        let a: u32 = it.next().and_then(|v| v.parse().ok()).ok_or("usage: lines <a> <b>")?;
+        let b: u32 = it.next().and_then(|v| v.parse().ok()).ok_or("usage: lines <a> <b>")?;
+        let (pred, aag) = self.predicted()?;
+        let m = query_lines(&pred, &aag, a..=b);
+        Ok(format!(
+            "lines {a}-{b}: {:.1} µs (comm fraction {:.1}%)",
+            m.time() * 1e6,
+            100.0 * m.comm_fraction()
+        ))
+    }
+
+    fn cmd_outline(&self) -> Result<String, String> {
+        let src = self.require_source()?;
+        let (_, spmd) = compile_source(src, self.nodes, &self.overrides, &self.copts)
+            .map_err(|e| e.to_string())?;
+        Ok(spmd.outline())
+    }
+
+    fn cmd_aag(&self) -> Result<String, String> {
+        let src = self.require_source()?;
+        let (_, spmd) = compile_source(src, self.nodes, &self.overrides, &self.copts)
+            .map_err(|e| e.to_string())?;
+        Ok(appgraph::build_aag(&spmd).outline())
+    }
+
+    fn cmd_dists(&self) -> Result<String, String> {
+        let src = self.require_source()?;
+        let (_, spmd) = compile_source(src, self.nodes, &self.overrides, &self.copts)
+            .map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "grid {:?} ({} nodes)\n",
+            spmd.grid.extents,
+            spmd.grid.total()
+        );
+        for (name, d) in &spmd.dist.arrays {
+            let dims: Vec<String> = d
+                .dims
+                .iter()
+                .map(|dd| match dd {
+                    hpf_compiler::DimDist::Collapsed => "*".to_string(),
+                    hpf_compiler::DimDist::Block { pcount, block, .. } => {
+                        format!("BLOCK({block})x{pcount}")
+                    }
+                    hpf_compiler::DimDist::Cyclic { pcount, .. } => format!("CYCLIC x{pcount}"),
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {name:<10} ({}) {}",
+                dims.join(", "),
+                if d.replicated { "replicated" } else { "" }
+            );
+        }
+        Ok(out)
+    }
+
+    fn cmd_simulate(&self, rest: &str) -> Result<String, String> {
+        let src = self.require_source()?;
+        let runs: usize = rest.trim().parse().unwrap_or(self.runs);
+        let mut o = SimulateOptions::with_nodes(self.nodes);
+        o.param_overrides = self.overrides.clone();
+        o.compile = self.copts.clone();
+        o.sim = SimConfig { runs, ..Default::default() };
+        let r = crate::pipeline::simulate_source(src, &o).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "measured {:.6} s ± {:.6} over {} runs (comp {:.6}, comm {:.6})",
+            r.mean, r.std, r.runs, r.comp, r.comm
+        ))
+    }
+
+    fn cmd_compare(&self) -> Result<String, String> {
+        let src = self.require_source()?;
+        let machine = self.machine();
+        let pred =
+            predict_source_on(src, &machine, &self.popts()).map_err(|e| e.to_string())?;
+        let mut o = SimulateOptions::with_nodes(self.nodes);
+        o.param_overrides = self.overrides.clone();
+        o.compile = self.copts.clone();
+        o.sim = SimConfig { runs: self.runs.min(200), ..Default::default() };
+        let meas = crate::pipeline::simulate_source(src, &o).map_err(|e| e.to_string())?;
+        let err = 100.0 * (pred.total_seconds() - meas.mean).abs() / meas.mean.max(1e-30);
+        Ok(format!(
+            "estimated {:.6} s   measured {:.6} s   |error| {:.2}%",
+            pred.total_seconds(),
+            meas.mean,
+            err
+        ))
+    }
+
+    fn cmd_search(&self) -> Result<String, String> {
+        let src = self.require_source()?;
+        let choices = search_distributions(src, self.nodes).map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for c in &choices {
+            let _ = writeln!(out, "{:<18} {:?} {:>12.6} s", c.label(), c.grid, c.predicted_s);
+        }
+        if let Some(best) = choices.first() {
+            let _ = writeln!(out, "recommended: DISTRIBUTE {}", best.label());
+        }
+        Ok(out)
+    }
+
+    fn cmd_trace(&self) -> Result<String, String> {
+        let src = self.require_source()?;
+        let (analyzed, spmd) = compile_source(src, self.nodes, &self.overrides, &self.copts)
+            .map_err(|e| e.to_string())?;
+        let profile = hpf_eval::run_with_limit(&analyzed, 10_000_000).ok().map(|o| o.profile);
+        let machine = machine::ipsc860(self.nodes);
+        let tr = ipsc_sim::trace_program(&machine, &spmd, profile.as_ref());
+        let mut out = tr.gantt(64);
+        let _ = writeln!(out, "\nutilization (busy/comm/idle):");
+        for (n, (b, c, i)) in tr.utilization().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  node {n}: {:>5.1}% / {:>5.1}% / {:>5.1}%",
+                b * 100.0,
+                c * 100.0,
+                i * 100.0
+            );
+        }
+        Ok(out)
+    }
+
+    fn cmd_machine(&mut self, rest: &str) -> Result<String, String> {
+        match rest.to_ascii_lowercase().as_str() {
+            "ipsc860" | "ipsc" | "cube" => {
+                self.target = Target::Ipsc860;
+                Ok("target machine: iPSC/860".into())
+            }
+            "now" | "cluster" => {
+                self.target = Target::NowCluster;
+                Ok("target machine: NOW cluster".into())
+            }
+            "" => Ok(format!("target machine: {:?}\n{}", self.target, self.machine().sag.outline())),
+            other => Err(format!("unknown machine `{other}` (ipsc860, now)")),
+        }
+    }
+}
+
+const HELP: &str = "\
+commands:
+  kernel <name> [size]     load a Table-1 benchmark (e.g. `kernel PI 1024`)
+  load <path>              load HPF source from a file
+  source                   show the loaded source
+  set nodes <n>            machine size
+  set runs <n>             simulated runs for `simulate`/`compare`
+  set param:<NAME> <v>     override a PARAMETER (problem size knob)
+  set critical:<NAME> <v>  supply an unresolved critical variable
+  set mask-density <f>     static mask-density heuristic
+  set while-trips <n>      DO WHILE trip-count heuristic
+  set memory-model <bool>  memory-hierarchy model on/off
+  set overlap <bool>       comp/comm overlap model on/off
+  machine [ipsc860|now]    select / show the target machine
+  show                     session state
+  predict                  estimated execution time
+  profile                  full comp/comm/overhead profile
+  line <n> | lines <a> <b> per-source-line metrics
+  outline | aag | dists    SPMD phases / abstraction graph / distributions
+  simulate [runs]          run on the simulated machine
+  compare                  estimated vs measured
+  search                   evaluate all DISTRIBUTE alternatives
+  trace                    per-node Gantt from the simulated machine
+  quit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(session: &mut Session, cmd: &str) -> String {
+        session.execute(cmd).unwrap_or_else(|e| panic!("{cmd}: {e}"))
+    }
+
+    #[test]
+    fn full_workflow() {
+        let mut se = Session::new();
+        s(&mut se, "set nodes 4");
+        let out = s(&mut se, "kernel PI 512");
+        assert!(out.contains("PI"));
+        let pred = s(&mut se, "predict");
+        assert!(pred.contains("estimated"), "{pred}");
+        let prof = s(&mut se, "profile");
+        assert!(prof.contains("communication"));
+        let cmp = s(&mut se, "compare");
+        assert!(cmp.contains("|error|"), "{cmp}");
+    }
+
+    #[test]
+    fn parameter_override_changes_prediction() {
+        let mut se = Session::new();
+        s(&mut se, "set nodes 4");
+        s(&mut se, "kernel PI 512");
+        let t1 = s(&mut se, "predict");
+        s(&mut se, "set param:N 4096");
+        let t2 = s(&mut se, "predict");
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn line_query_hits_forall() {
+        let mut se = Session::new();
+        s(&mut se, "set nodes 4");
+        s(&mut se, "kernel PI 512");
+        let src = s(&mut se, "source");
+        let forall = src.lines().position(|l| l.starts_with("FORALL")).unwrap() + 1;
+        let out = s(&mut se, &format!("line {forall}"));
+        assert!(out.contains("µs"), "{out}");
+    }
+
+    #[test]
+    fn search_from_session() {
+        let mut se = Session::new();
+        s(&mut se, "set nodes 4");
+        s(&mut se, "kernel Laplace (Blk-Blk) 64");
+        let out = s(&mut se, "search");
+        assert!(out.contains("recommended"), "{out}");
+    }
+
+    #[test]
+    fn machine_switch() {
+        let mut se = Session::new();
+        s(&mut se, "set nodes 8");
+        s(&mut se, "kernel PI 1024");
+        let cube = s(&mut se, "predict");
+        s(&mut se, "machine now");
+        let now = s(&mut se, "predict");
+        assert!(now.contains("NOW"), "{now}");
+        assert_ne!(cube, now);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut se = Session::new();
+        assert!(se.execute("predict").is_err());
+        assert!(se.execute("kernel NOSUCH").is_err());
+        assert!(se.execute("set bogus 1").is_err());
+        assert!(se.execute("frobnicate").is_err());
+        assert!(se.execute("").unwrap().is_empty());
+        assert!(se.execute("# comment").unwrap().is_empty());
+    }
+
+    #[test]
+    fn dists_and_outline_render() {
+        let mut se = Session::new();
+        s(&mut se, "set nodes 4");
+        s(&mut se, "kernel Laplace (Blk-X) 64");
+        let d = s(&mut se, "dists");
+        assert!(d.contains("BLOCK"), "{d}");
+        let o = s(&mut se, "outline");
+        assert!(o.contains("Comp"), "{o}");
+        let a = s(&mut se, "aag");
+        assert!(a.contains("IterD"), "{a}");
+    }
+
+    #[test]
+    fn trace_renders_gantt() {
+        let mut se = Session::new();
+        s(&mut se, "set nodes 4");
+        s(&mut se, "kernel PI 256");
+        let t = s(&mut se, "trace");
+        assert!(t.contains("node 0:"), "{t}");
+        assert!(t.contains("utilization"));
+    }
+
+    #[test]
+    fn critical_value_setting() {
+        let mut se = Session::new();
+        let out = s(&mut se, "set critical:M 64");
+        assert!(out.contains("M = 64"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Figure 8: experimentation-time model — the usability / cost-effectiveness
+//! comparison of §5.3.
+//!
+//! The paper contrasts the interpretive path (edit parameters in the
+//! interface on a Sparcstation, re-interpret: ~10 minutes per Laplace
+//! implementation) with the measurement path on the shared iPSC/860
+//! (edit, cross-compile, transfer the executable to the SRM, load onto the
+//! cube, run 1000 times per configuration, repeat per instance: 27–60
+//! minutes). This module models that workflow with the machine's I/O
+//! component plus human-step constants, and can also time this
+//! reproduction's two actual code paths as the modern analog.
+
+use machine::MachineModel;
+use serde::Serialize;
+
+/// Human/workflow constants (seconds). Defaults chosen to match the
+/// workflow the paper describes (§5.3).
+#[derive(Debug, Clone)]
+pub struct WorkflowModel {
+    /// Editing the source / directives for one variant.
+    pub edit_s: f64,
+    /// Cross-compiling on the workstation (compiling on the SRM front end
+    /// was not allowed, to reduce its load).
+    pub cross_compile_s: f64,
+    /// Executable size (drives transfer + load times via the I/O SAU).
+    pub executable_bytes: u64,
+    /// Waiting for the required cube configuration on the shared machine,
+    /// per load (the iPSC "is shared by various development groups").
+    pub queue_wait_s: f64,
+    /// Interactive parameter setup in the interpreter interface.
+    pub interp_setup_s: f64,
+    /// One interpretation run (source-driven, on the workstation).
+    pub interp_run_s: f64,
+}
+
+impl Default for WorkflowModel {
+    fn default() -> Self {
+        WorkflowModel {
+            edit_s: 180.0,
+            cross_compile_s: 300.0,
+            executable_bytes: 1_500_000,
+            queue_wait_s: 420.0,
+            interp_setup_s: 90.0,
+            interp_run_s: 25.0,
+        }
+    }
+}
+
+/// Experimentation-time estimate for one implementation variant.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentationTime {
+    pub variant: String,
+    /// Total minutes using the interpretive framework.
+    pub interpreter_min: f64,
+    /// Total minutes using measurement on the machine.
+    pub measured_min: f64,
+}
+
+impl WorkflowModel {
+    /// Time to evaluate one implementation variant over `instances`
+    /// experiment instances (problem-size × system-size points), where each
+    /// measured instance runs `runs` repetitions averaging `mean_run_s`
+    /// seconds each.
+    ///
+    /// The measurement path repeats edit → compile → transfer → load →
+    /// run *per instance* ("the process had to be repeated for each
+    /// instance of each experiment"), while the interpreter varies
+    /// parameters from within the interface.
+    pub fn variant_times(
+        &self,
+        machine: &MachineModel,
+        variant: &str,
+        instances: usize,
+        runs: usize,
+        mean_run_s: f64,
+    ) -> ExperimentationTime {
+        let io = &machine.io;
+        let transfer = self.executable_bytes as f64 / io.transfer_bandwidth_bps;
+        let load = io.load_time(self.executable_bytes);
+
+        // Measured path: one edit + cross-compile + executable transfer +
+        // queue wait for the required cube configuration per variant, then
+        // per experiment instance a node-program load plus the timed runs
+        // ("the process had to be repeated for each instance").
+        let per_instance = load + runs as f64 * mean_run_s;
+        let measured = self.edit_s
+            + self.cross_compile_s
+            + transfer
+            + self.queue_wait_s
+            + instances as f64 * per_instance;
+
+        // Interpreter path: one setup, then one interpretation per instance
+        // from inside the interface.
+        let interp = self.interp_setup_s + instances as f64 * self.interp_run_s;
+
+        ExperimentationTime {
+            variant: variant.to_string(),
+            interpreter_min: interp / 60.0,
+            measured_min: measured / 60.0,
+        }
+    }
+}
+
+/// Wall-clock timing of this reproduction's own two paths (the modern
+/// analog of Figure 8): how long our interpreter takes vs our simulated
+/// "machine runs" for the same experiment set.
+#[derive(Debug, Clone, Serialize)]
+pub struct ActualPathTiming {
+    pub variant: String,
+    pub interpreter_wall_s: f64,
+    pub simulator_wall_s: f64,
+}
+
+/// Time the actual prediction and simulation paths for a source generator
+/// over a set of sizes.
+pub fn time_actual_paths(
+    variant: &str,
+    sources: &[(usize, String)],
+    procs: usize,
+    runs: usize,
+) -> ActualPathTiming {
+    use crate::pipeline::{predict_source, simulate_source, PredictOptions, SimulateOptions};
+    let t0 = std::time::Instant::now();
+    for (_, src) in sources {
+        let _ = predict_source(src, &PredictOptions::with_nodes(procs));
+    }
+    let interp_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    for (_, src) in sources {
+        let mut o = SimulateOptions::with_nodes(procs);
+        o.sim.runs = runs;
+        let _ = simulate_source(src, &o);
+    }
+    let sim_wall = t1.elapsed().as_secs_f64();
+    ActualPathTiming {
+        variant: variant.to_string(),
+        interpreter_wall_s: interp_wall,
+        simulator_wall_s: sim_wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::ipsc860;
+
+    #[test]
+    fn interpreter_is_markedly_cheaper() {
+        let m = ipsc860(8);
+        let w = WorkflowModel::default();
+        // The paper's Laplace experiment: 16 sizes × 1000 runs, ~0.05 s mean
+        // over the 16-256 size range.
+        let t = w.variant_times(&m, "(Blk,*)", 16, 1000, 0.05);
+        assert!(
+            t.interpreter_min < 12.0,
+            "interpreter ~10 min, got {:.1}",
+            t.interpreter_min
+        );
+        assert!(
+            t.measured_min > 25.0 && t.measured_min < 70.0,
+            "measured 27-60 min band, got {:.1}",
+            t.measured_min
+        );
+        assert!(t.measured_min > 2.0 * t.interpreter_min);
+    }
+
+    #[test]
+    fn slower_runs_increase_only_measured_path() {
+        let m = ipsc860(8);
+        let w = WorkflowModel::default();
+        let fast = w.variant_times(&m, "a", 16, 1000, 0.05);
+        let slow = w.variant_times(&m, "b", 16, 1000, 0.15);
+        assert_eq!(fast.interpreter_min, slow.interpreter_min);
+        assert!(slow.measured_min > fast.measured_min);
+    }
+}

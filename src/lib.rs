@@ -1,0 +1,69 @@
+//! # hpf90d — Interpretive performance prediction for HPF/Fortran 90D
+//!
+//! A reproduction of Parashar, Hariri, Haupt & Fox, *Interpreting the
+//! Performance of HPF/Fortran 90D* (Supercomputing '94).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! - [`lang`] — the HPF/Fortran 90D subset front end (lexer, parser, AST,
+//!   semantic analysis).
+//! - [`eval`] — the functional (value-level) interpreter used for semantics
+//!   validation and critical-variable resolution.
+//! - [`machine`] — system characterization (SAG/SAU) and the iPSC/860 model.
+//! - [`compiler`] — the Phase-1 compiler producing the loosely synchronous
+//!   SPMD intermediate representation.
+//! - [`appgraph`] — application characterization (AAU/AAG/SAAG).
+//! - [`interp`] — the interpretation engine and output module (the paper's
+//!   core contribution).
+//! - [`sim`] — the discrete-event iPSC/860 simulator standing in for the
+//!   real machine ("measured" times).
+//! - [`kernels`] — the NPAC benchmark-suite reproduction.
+//! - [`report`] — harness that regenerates every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hpf90d::prelude::*;
+//!
+//! let src = r#"
+//! PROGRAM AXPY
+//!   INTEGER, PARAMETER :: N = 64
+//!   REAL X(N), Y(N)
+//! !HPF$ PROCESSORS P(4)
+//! !HPF$ TEMPLATE T(N)
+//! !HPF$ ALIGN X(I) WITH T(I)
+//! !HPF$ ALIGN Y(I) WITH T(I)
+//! !HPF$ DISTRIBUTE T(BLOCK) ONTO P
+//!   X = 1.0
+//!   Y = 2.0
+//!   Y = Y + 3.0 * X
+//! END PROGRAM AXPY
+//! "#;
+//!
+//! let prediction = predict_source(src, &PredictOptions::default()).unwrap();
+//! assert!(prediction.total().as_secs_f64() > 0.0);
+//! ```
+
+pub use appgraph;
+pub use hpf_compiler as compiler;
+pub use hpf_eval as eval;
+pub use hpf_lang as lang;
+pub use interp;
+pub use ipsc_sim as sim;
+pub use kernels;
+pub use machine;
+pub use report;
+
+pub use report::pipeline::{predict_source, simulate_source, PredictOptions, SimulateOptions};
+
+/// Commonly used items for working with the framework.
+pub mod prelude {
+    pub use crate::compiler::{compile, CompileOptions, SpmdProgram};
+    pub use crate::interp::{InterpretationEngine, Prediction};
+    pub use crate::lang::{parse_program, Program};
+    pub use crate::machine::{ipsc860, MachineModel};
+    pub use crate::report::pipeline::{
+        predict_source, simulate_source, PredictOptions, SimulateOptions,
+    };
+    pub use crate::sim::{SimConfig, Simulator};
+}

@@ -1,0 +1,159 @@
+//! Integration: the headline claims of the paper's evaluation hold for the
+//! reproduction — prediction accuracy bands (Table 2 shape), directive
+//! selection (Figures 4/5), performance debugging (Figure 7), and
+//! experimentation cost (Figure 8).
+
+use hpf90d::report::experiments::{accuracy_sample, figure7, SweepConfig};
+use hpf90d::report::workflow::WorkflowModel;
+use hpf90d::{predict_source, simulate_source, PredictOptions, SimulateOptions};
+
+fn cfg() -> SweepConfig {
+    SweepConfig { runs: 30, ..SweepConfig::quick() }
+}
+
+/// Every application predicted within the paper's stated worst case
+/// (≈20%, with margin for our coarser calibration) at a representative
+/// configuration.
+#[test]
+fn predictions_inside_accuracy_band() {
+    for name in ["PI", "LFK 1", "LFK 3", "LFK 22", "Financial", "Laplace (Blk-X)"] {
+        let k = hpf90d::kernels::kernel_by_name(name).unwrap();
+        let n = k.size_range.0.max(128).min(k.size_range.1);
+        for procs in [1usize, 4] {
+            let s = accuracy_sample(&k, n, procs, &cfg()).unwrap();
+            assert!(
+                s.abs_error_pct < 25.0,
+                "{name} n={n} p={procs}: err {:.1}% (pred {:.6}, meas {:.6})",
+                s.abs_error_pct,
+                s.predicted_s,
+                s.measured_s
+            );
+        }
+    }
+}
+
+/// The interpreted time is usable as a *relative* measure: ranking of the
+/// three Laplace distributions agrees between prediction and measurement.
+#[test]
+fn directive_selection_agrees_with_measurement() {
+    let mut est = Vec::new();
+    let mut meas = Vec::new();
+    for name in ["Laplace (Blk-Blk)", "Laplace (Blk-X)", "Laplace (X-Blk)"] {
+        let k = hpf90d::kernels::kernel_by_name(name).unwrap();
+        let src = k.source(256, 4);
+        let e = predict_source(&src, &PredictOptions::with_nodes(4)).unwrap().total_seconds();
+        let mut so = SimulateOptions::with_nodes(4);
+        so.sim.runs = 30;
+        let m = simulate_source(&src, &so).unwrap().mean;
+        est.push((name, e));
+        meas.push((name, m));
+    }
+    let best_est = est.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+    let best_meas = meas.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+    assert_eq!(best_est, best_meas, "est {est:?} meas {meas:?}");
+    assert_eq!(best_est, "Laplace (Blk-X)", "the paper's (Block,*) choice");
+}
+
+/// Figure 7 shape: phase 1 communicates, phase 2 does not, and phase 1
+/// dominates.
+#[test]
+fn financial_phase_profile_shape() {
+    let phases = figure7(256, 4);
+    assert_eq!(phases.len(), 2);
+    let p1 = &phases[0];
+    let p2 = &phases[1];
+    assert!(p1.comm_us > 0.0);
+    assert_eq!(p2.comm_us, 0.0);
+    let t1 = p1.comp_us + p1.comm_us + p1.overhead_us;
+    let t2 = p2.comp_us + p2.comm_us + p2.overhead_us;
+    assert!(t1 > 10.0 * t2, "phase 1 dominates: {t1} vs {t2}");
+}
+
+/// Figure 8 shape: the interpretive path is several times cheaper than the
+/// measurement path for the Laplace experiment.
+#[test]
+fn experimentation_cost_shape() {
+    let m = machine::ipsc860(8);
+    let w = WorkflowModel::default();
+    for mean_run in [0.05, 0.1, 0.15] {
+        let t = w.variant_times(&m, "x", 16, 1000, mean_run);
+        assert!(t.measured_min > 2.5 * t.interpreter_min);
+    }
+}
+
+/// Predictions track problem-size growth (needed for "first-cut estimate"
+/// use): doubling N must grow predicted time for a compute-bound kernel.
+#[test]
+fn prediction_monotone_in_problem_size() {
+    let k = hpf90d::kernels::kernel_by_name("PI").unwrap();
+    let mut last = 0.0;
+    for n in [256usize, 512, 1024, 2048] {
+        let t = predict_source(&k.source(n, 4), &PredictOptions::with_nodes(4))
+            .unwrap()
+            .total_seconds();
+        assert!(t > last, "n={n}: {t} vs {last}");
+        last = t;
+    }
+}
+
+/// Interpreted times sit within the simulated run-to-run variance envelope
+/// for at least the well-behaved applications (the paper: "interpreted
+/// performance typically lies within the variance of the measured times").
+#[test]
+fn prediction_near_measured_variance_for_laplace() {
+    let k = hpf90d::kernels::kernel_by_name("Laplace (Blk-X)").unwrap();
+    let s = accuracy_sample(&k, 128, 4, &cfg()).unwrap();
+    // Allow a handful of standard deviations — the DES variance is tight.
+    assert!(
+        (s.predicted_s - s.measured_s).abs() < s.measured_s * 0.25,
+        "pred {} meas {} (std {})",
+        s.predicted_s,
+        s.measured_s,
+        s.measured_std_s
+    );
+}
+
+/// The predicted communication *fraction* tracks the simulated one — the
+/// breakdown, not just the total, is trustworthy (the basis of Figure 7's
+/// debugging story).
+#[test]
+fn comm_fraction_tracks_simulation() {
+    let k = hpf90d::kernels::kernel_by_name("Laplace (Blk-X)").unwrap();
+    let src = k.source(128, 4);
+    let pred = predict_source(&src, &PredictOptions::with_nodes(4)).unwrap();
+    let mut so = SimulateOptions::with_nodes(4);
+    so.sim.runs = 30;
+    let meas = simulate_source(&src, &so).unwrap();
+    let pred_frac = pred.total.comm / pred.total_seconds();
+    let meas_total = meas.comp + meas.comm + meas.overhead;
+    let meas_frac = meas.comm / meas_total;
+    assert!(
+        (pred_frac - meas_frac).abs() < 0.15,
+        "comm fraction: predicted {pred_frac:.3} vs simulated {meas_frac:.3}"
+    );
+}
+
+/// Machine-size what-ifs preserve ordering: for a fixed problem, predicted
+/// and simulated node-count rankings agree (speedup-curve shape).
+#[test]
+fn node_scaling_ranking_agrees() {
+    let k = hpf90d::kernels::kernel_by_name("PI").unwrap();
+    let src_for = |p: usize| k.source(2048, p);
+    let mut pred = Vec::new();
+    let mut meas = Vec::new();
+    for p in [1usize, 2, 4, 8] {
+        let src = src_for(p);
+        pred.push(predict_source(&src, &PredictOptions::with_nodes(p)).unwrap().total_seconds());
+        let mut so = SimulateOptions::with_nodes(p);
+        so.sim.runs = 20;
+        meas.push(simulate_source(&src, &so).unwrap().mean);
+    }
+    for w in pred.windows(2).zip(meas.windows(2)) {
+        let (pw, mw) = w;
+        assert_eq!(
+            pw[0] > pw[1],
+            mw[0] > mw[1],
+            "ranking flip: pred {pred:?} meas {meas:?}"
+        );
+    }
+}

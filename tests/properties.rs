@@ -1,0 +1,168 @@
+//! Property-based tests over the core invariants (proptest).
+
+use hpf90d::compiler::{partition, DimDist};
+use hpf90d::lang::{analyze, parse_program, pretty_program};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    /// BLOCK ownership is a partition: every index owned by exactly one
+    /// coordinate, and the per-coordinate counts sum to the extent.
+    #[test]
+    fn block_ownership_partitions(n in 1i64..2000, p in 1i64..17) {
+        let src = format!(
+            "PROGRAM T\nREAL A({n})\n!HPF$ PROCESSORS P({p})\n!HPF$ DISTRIBUTE A(BLOCK) ONTO P\nA = 0.0\nEND\n"
+        );
+        let prog = parse_program(&src).unwrap();
+        let a = analyze(&prog, &BTreeMap::new()).unwrap();
+        let table = partition(&a, None).unwrap();
+        let ad = table.get("A").unwrap();
+        let mut counts = vec![0i64; p as usize];
+        for i in 1..=n {
+            let c = ad.owner_coord(0, i);
+            prop_assert!((0..p).contains(&c), "owner {c} out of range");
+            counts[c as usize] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<i64>(), n);
+        for c in 0..p {
+            prop_assert_eq!(ad.local_extent(0, c), counts[c as usize]);
+        }
+        // BLOCK is contiguous: owners are non-decreasing over the index range.
+        let owners: Vec<i64> = (1..=n).map(|i| ad.owner_coord(0, i)).collect();
+        prop_assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// CYCLIC ownership is a partition with near-equal counts (max-min ≤ 1).
+    #[test]
+    fn cyclic_ownership_balances(n in 1i64..2000, p in 1i64..17) {
+        let src = format!(
+            "PROGRAM T\nREAL A({n})\n!HPF$ PROCESSORS P({p})\n!HPF$ DISTRIBUTE A(CYCLIC) ONTO P\nA = 0.0\nEND\n"
+        );
+        let prog = parse_program(&src).unwrap();
+        let a = analyze(&prog, &BTreeMap::new()).unwrap();
+        let table = partition(&a, None).unwrap();
+        let ad = table.get("A").unwrap();
+        {
+            let is_cyclic = matches!(ad.dims[0], DimDist::Cyclic { .. });
+            prop_assert!(is_cyclic);
+        }
+        let mut counts = vec![0i64; p as usize];
+        for i in 1..=n {
+            counts[ad.owner_coord(0, i) as usize] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<i64>(), n);
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "cyclic imbalance: {counts:?}");
+    }
+
+    /// `owned_count_in_range` equals brute-force counting for arbitrary
+    /// ranges and strides.
+    #[test]
+    fn owned_count_matches_bruteforce(
+        n in 8i64..512,
+        p in 1i64..9,
+        lo in 1i64..64,
+        len in 0i64..256,
+        st in 1i64..5,
+    ) {
+        let hi = (lo + len).min(n);
+        let src = format!(
+            "PROGRAM T\nREAL A({n})\n!HPF$ PROCESSORS P({p})\n!HPF$ DISTRIBUTE A(BLOCK) ONTO P\nA = 0.0\nEND\n"
+        );
+        let prog = parse_program(&src).unwrap();
+        let a = analyze(&prog, &BTreeMap::new()).unwrap();
+        let table = partition(&a, None).unwrap();
+        let ad = table.get("A").unwrap();
+        for c in 0..p {
+            let fast = ad.owned_count_in_range(0, c, lo, hi, st);
+            let slow = (lo..=hi)
+                .step_by(st as usize)
+                .filter(|&i| ad.owner_coord(0, i) == c)
+                .count() as u64;
+            prop_assert_eq!(fast, slow, "c={}", c);
+        }
+    }
+
+    /// Pretty-printing is a fixpoint: parse(pretty(parse(s))) == pretty(parse(s)).
+    #[test]
+    fn pretty_print_fixpoint(
+        n in 1u32..100,
+        coef in 1u32..50,
+        lo in 1u32..10,
+    ) {
+        let src = format!(
+            "PROGRAM T\nINTEGER, PARAMETER :: N = {n}\nREAL A(N+{lo}), B(N+{lo})\nFORALL (I = {lo}:N) A(I) = B(I) * {coef}.0 + 1.0\nEND\n"
+        );
+        let p1 = parse_program(&src).unwrap();
+        let text1 = pretty_program(&p1);
+        let p2 = parse_program(&text1).unwrap();
+        prop_assert_eq!(text1, pretty_program(&p2));
+    }
+
+    /// Forall two-pass semantics: `X(K+1) = X(K) + X(K-1)` over any range
+    /// equals the two-phase oracle (evaluate all RHS, then assign).
+    #[test]
+    fn forall_matches_two_pass_oracle(n in 6usize..80, lo in 2usize..4) {
+        let hi = n - 1;
+        let src = format!(
+            "PROGRAM T\nINTEGER, PARAMETER :: N = {n}\nREAL X(N), S\nFORALL (I = 1:N) X(I) = I * 1.0\nFORALL (K = {lo}:{hi}) X(K+1) = X(K) + X(K-1)\nS = SUM(X)\nEND\n"
+        );
+        let p = parse_program(&src).unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        let out = hpf90d::eval::run(&a).unwrap();
+        let got = out.scalars.get("S").and_then(|v| v.as_f64()).unwrap();
+
+        // Oracle in plain Rust.
+        let mut x: Vec<f64> = (0..=n).map(|i| i as f64).collect(); // 1-based
+        let rhs: Vec<f64> = (lo..=hi).map(|k| x[k] + x[k - 1]).collect();
+        for (j, k) in (lo..=hi).enumerate() {
+            x[k + 1] = rhs[j];
+        }
+        let oracle: f64 = x[1..=n].iter().sum();
+        prop_assert!((got - oracle).abs() < 1e-6, "{got} vs {oracle}");
+    }
+
+    /// Masked forall assigns exactly the masked subset.
+    #[test]
+    fn masked_forall_counts(n in 4usize..200, m in 2usize..7) {
+        let src = format!(
+            "PROGRAM T\nINTEGER, PARAMETER :: N = {n}\nREAL A(N), S\nFORALL (I = 1:N, MOD(I, {m}) == 0) A(I) = 1.0\nS = SUM(A)\nEND\n"
+        );
+        let p = parse_program(&src).unwrap();
+        let a = analyze(&p, &BTreeMap::new()).unwrap();
+        let out = hpf90d::eval::run(&a).unwrap();
+        let got = out.scalars.get("S").and_then(|v| v.as_f64()).unwrap();
+        prop_assert_eq!(got as usize, n / m);
+    }
+
+    /// Predicted time is non-negative, finite, and monotone in loop trips.
+    #[test]
+    fn prediction_monotone_in_trips(trips in 1u32..40) {
+        let mk = |t: u32| {
+            format!(
+                "PROGRAM T\nINTEGER, PARAMETER :: N = 64\nREAL A(N)\nINTEGER K\n!HPF$ PROCESSORS P(4)\n!HPF$ DISTRIBUTE A(BLOCK) ONTO P\nDO K = 1, {t}\nA = A + 1.0\nEND DO\nEND\n"
+            )
+        };
+        let t1 = hpf90d::predict_source(&mk(trips), &hpf90d::PredictOptions::with_nodes(4))
+            .unwrap()
+            .total_seconds();
+        let t2 = hpf90d::predict_source(&mk(trips + 1), &hpf90d::PredictOptions::with_nodes(4))
+            .unwrap()
+            .total_seconds();
+        prop_assert!(t1.is_finite() && t1 > 0.0);
+        prop_assert!(t2 > t1);
+    }
+
+    /// The e-cube hypercube route is minimal for every pair (redundant with
+    /// the machine crate's own tests but exercised here through the public
+    /// facade for API stability).
+    #[test]
+    fn hypercube_routes_minimal(dim in 0u32..7, a in 0usize..128, b in 0usize..128) {
+        let h = hpf90d::machine::Hypercube { dim };
+        let a = a % h.nodes();
+        let b = b % h.nodes();
+        let route = h.route(a, b);
+        prop_assert_eq!(route.len() as u32, h.hops(a, b));
+    }
+}
