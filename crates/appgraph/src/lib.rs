@@ -38,7 +38,7 @@ pub enum AauKind {
         estimated: bool,
         /// When this IterD abstracts a local computation phase (the
         /// sequentialized forall), its parameters live here.
-        comp: Option<CompPhase>,
+        comp: Option<Box<CompPhase>>,
         body: Vec<AauId>,
     },
     /// Deterministic conditional: weighted arms (the forall mask's CondtD
@@ -275,7 +275,7 @@ impl Builder {
             AauKind::IterD {
                 trips: c.max_node_iters(),
                 estimated: false,
-                comp: Some(c.clone()),
+                comp: Some(Box::new(c.clone())),
                 body: Vec::new(),
             },
             c.label.clone(),

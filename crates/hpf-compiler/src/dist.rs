@@ -134,7 +134,7 @@ impl ArrayDist {
             DimDist::Block { pcount, block, .. } => {
                 // Template lower bound folded into `offset` at construction;
                 // template cells are 0-based here.
-                ((t / block).clamp(0, pcount - 1)) as i64
+                (t / block).clamp(0, pcount - 1)
             }
             DimDist::Cyclic { pcount, k, .. } => (t.div_euclid(k.max(1))).rem_euclid(pcount),
         }
@@ -168,9 +168,9 @@ impl ArrayDist {
         if self.replicated {
             return true;
         }
-        for d in 0..self.rank() {
+        for (d, &i) in idx.iter().enumerate().take(self.rank()) {
             if let Some(p) = self.dims[d].pdim() {
-                if self.owner_coord(d, idx[d]) != coords[p] {
+                if self.owner_coord(d, i) != coords[p] {
                     return false;
                 }
             }

@@ -24,7 +24,7 @@ pub use dist::{partition, ArrayDist, DimDist, DistributionTable, ProcGrid};
 pub use lower::{compile, CompileError, CompileOptions};
 pub use normalize::normalize;
 pub use ops::{count_assign, count_expr, expr_type, ExprType, OpCounts};
-pub use spmd::{CommPhase, CompPhase, SeqBlock, SpmdNode, SpmdProgram};
+pub use spmd::{CommPhase, CompPhase, CompileWarning, SeqBlock, SpmdNode, SpmdProgram};
 
 /// Flatten the phase tree (loops/branches descended) — shared by tests and
 /// downstream consumers that want a static phase census.

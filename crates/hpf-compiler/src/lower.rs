@@ -9,7 +9,7 @@
 use crate::dist::{ArrayDist, DistributionTable};
 use crate::normalize::normalize;
 use crate::ops::{count_assign, count_expr, OpCounts};
-use crate::spmd::{CommPhase, CompPhase, SeqBlock, SpmdNode, SpmdProgram};
+use crate::spmd::{CommPhase, CompPhase, CompileWarning, SeqBlock, SpmdNode, SpmdProgram};
 use hpf_lang::ast::*;
 use hpf_lang::sema::{const_eval_in, AnalyzedProgram};
 use hpf_lang::Span;
@@ -84,11 +84,13 @@ pub fn compile(analyzed: &AnalyzedProgram, opts: &CompileOptions) -> CResult<Spm
         dist: &dist,
         opts,
         loop_env: BTreeMap::new(),
+        warnings: Vec::new(),
     };
     let mut body = Vec::new();
     for st in &normalized {
         lw.stmt(st, &mut body)?;
     }
+    let warnings = lw.warnings;
 
     Ok(SpmdProgram {
         name: analyzed.program.name.clone(),
@@ -97,6 +99,7 @@ pub fn compile(analyzed: &AnalyzedProgram, opts: &CompileOptions) -> CResult<Spm
         dist,
         body,
         symbols: analyzed.symbols.clone(),
+        warnings,
     })
 }
 
@@ -107,6 +110,8 @@ struct Lower<'a> {
     /// Enclosing DO variables bound to representative (midpoint) values so
     /// that dependent bounds (triangular loops) still resolve statically.
     loop_env: BTreeMap<String, i64>,
+    /// Graceful-degradation diagnostics (attached to the SpmdProgram).
+    warnings: Vec<CompileWarning>,
 }
 
 impl<'a> Lower<'a> {
@@ -136,15 +141,51 @@ impl<'a> Lower<'a> {
         }
     }
 
+    /// Graceful degradation for loop/forall bounds (§4.2's critical
+    /// variables): when a bound cannot be resolved statically, fall back to
+    /// `default` — a worst-case value — and record a warning instead of
+    /// rejecting the program. The prediction becomes a bound, not an exact
+    /// estimate, which is the honest answer when the trip count is unknown.
+    fn eval_bound(&mut self, e: &Expr, default: i64) -> i64 {
+        match self.eval_i64(e) {
+            Ok(v) => v,
+            Err(err) => {
+                self.warnings.push(CompileWarning {
+                    message: format!(
+                        "{}; assuming worst-case bound {default}",
+                        err.message
+                    ),
+                    span: e.span(),
+                });
+                default
+            }
+        }
+    }
+
+    /// The largest declared array extent — the worst-case trip count for a
+    /// loop whose bound depends on an unresolvable critical variable (every
+    /// loop in the modelled programs iterates over some declared array).
+    fn worst_case_extent(&self) -> i64 {
+        self.analyzed
+            .symbols
+            .values()
+            .filter_map(|s| s.shape())
+            .flat_map(|dims| dims.iter().map(|&(lo, hi)| hi - lo + 1))
+            .max()
+            .unwrap_or(self.opts.while_trips_hint as i64)
+            .max(1)
+    }
+
     fn stmt(&mut self, st: &Stmt, out: &mut Vec<SpmdNode>) -> CResult<()> {
         match st {
             Stmt::Forall { header, body, span } => self.lower_forall(header, body, *span, out),
             Stmt::Assign { lhs, rhs, span } => self.lower_scalar_assign(lhs, rhs, *span, out),
             Stmt::Do { var, lo, hi, step, body, span } => {
-                let lo_v = self.eval_i64(lo)?;
-                let hi_v = self.eval_i64(hi)?;
+                let worst = self.worst_case_extent();
+                let lo_v = self.eval_bound(lo, 1);
+                let hi_v = self.eval_bound(hi, worst);
                 let st_v = match step {
-                    Some(s) => self.eval_i64(s)?,
+                    Some(s) => self.eval_bound(s, 1),
                     None => 1,
                 };
                 if st_v == 0 {
@@ -452,11 +493,12 @@ impl<'a> Lower<'a> {
             st: i64,
         }
         let mut trips = Vec::new();
+        let worst = self.worst_case_extent();
         for t in &header.triplets {
-            let lo = self.eval_i64(&t.lo)?;
-            let hi = self.eval_i64(&t.hi)?;
+            let lo = self.eval_bound(&t.lo, 1);
+            let hi = self.eval_bound(&t.hi, worst);
             let st = match &t.stride {
-                Some(s) => self.eval_i64(s)?,
+                Some(s) => self.eval_bound(s, 1),
                 None => 1,
             };
             if st == 0 {
@@ -933,8 +975,8 @@ fn affine_in(
 /// Collect all array references in an expression.
 fn collect_refs(e: &Expr, out: &mut Vec<DataRef>) {
     match e {
-        Expr::Ref(r) => {
-            if !r.subs.is_empty() {
+        Expr::Ref(r)
+            if !r.subs.is_empty() => {
                 out.push(r.clone());
                 for s in &r.subs {
                     if let Subscript::Index(ix) = s {
@@ -942,7 +984,6 @@ fn collect_refs(e: &Expr, out: &mut Vec<DataRef>) {
                     }
                 }
             }
-        }
         Expr::Intrinsic { args, .. } => {
             for a in args {
                 collect_refs(a, out);

@@ -309,7 +309,7 @@ mod tests {
     }
 
     fn first_assign(a: &AnalyzedProgram) -> (&DataRef, &Expr) {
-        fn find<'p>(stmts: &'p [Stmt]) -> Option<(&'p DataRef, &'p Expr)> {
+        fn find(stmts: &[Stmt]) -> Option<(&DataRef, &Expr)> {
             for s in stmts {
                 match s {
                     Stmt::Assign { lhs, rhs, .. } => return Some((lhs, rhs)),

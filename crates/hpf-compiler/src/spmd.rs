@@ -14,6 +14,21 @@ use hpf_lang::sema::SymbolTable;
 use hpf_lang::Span;
 use machine::CollectiveOp;
 
+/// A non-fatal compilation diagnostic: the compiler degraded gracefully
+/// (e.g. an unresolvable critical variable replaced by a worst-case bound)
+/// instead of rejecting the program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileWarning {
+    pub message: String,
+    pub span: Span,
+}
+
+impl std::fmt::Display for CompileWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "warning at {}: {}", self.span, self.message)
+    }
+}
+
 /// A compiled SPMD program.
 #[derive(Debug, Clone)]
 pub struct SpmdProgram {
@@ -24,6 +39,8 @@ pub struct SpmdProgram {
     pub dist: DistributionTable,
     pub body: Vec<SpmdNode>,
     pub symbols: SymbolTable,
+    /// Graceful-degradation diagnostics collected during lowering.
+    pub warnings: Vec<CompileWarning>,
 }
 
 impl SpmdProgram {

@@ -114,7 +114,7 @@ impl ArrayVal {
             let rel = idx[d] - self.lbounds[d];
             let src = (rel + shift).rem_euclid(e);
             idx[d] = self.lbounds[d] + src;
-            out.data[off] = self.get(&idx).expect("in range").clone();
+            out.data[off] = self.get(&idx).cloned().unwrap_or_else(|| self.data[off].clone());
         }
         Some(out)
     }
@@ -140,7 +140,7 @@ impl ArrayVal {
                 fill.clone()
             } else {
                 idx[d] = self.lbounds[d] + src;
-                self.get(&idx).expect("in range").clone()
+                self.get(&idx).cloned().unwrap_or_else(|| fill.clone())
             };
         }
         Some(out)

@@ -534,7 +534,9 @@ impl<'a> Evaluator<'a> {
             return self.store_element(&lhs.name, &idx_vals, v, span);
         }
         // Whole-array or section assignment, written in place.
-        let meta = self.array_meta(&lhs.name).expect("array binding");
+        let Some(meta) = self.array_meta(&lhs.name) else {
+            return err(format!("`{}` is not an array", lhs.name), span);
+        };
         let (offsets, sec_extents) = self.section_offsets(&meta, lhs, idx, span)?;
         self.tick(offsets.len() as u64, span)?;
         let ty = self.analyzed.symbols.get(&lhs.name).map(|s| s.ty);
@@ -853,7 +855,9 @@ impl<'a> Evaluator<'a> {
                         _ => unreachable!(),
                     }
                 } else {
-                    let meta = self.array_meta(&r.name).expect("array binding");
+                    let Some(meta) = self.array_meta(&r.name) else {
+                        return err(format!("`{}` is not an array", r.name), r.span);
+                    };
                     let (offsets, sec_extents) = self.section_offsets(&meta, r, idx, r.span)?;
                     self.tick(offsets.len() as u64, r.span)?;
                     let a = match self.env.get(&r.name) {
@@ -1066,7 +1070,7 @@ impl<'a> Evaluator<'a> {
                 let any_array = vals.iter().any(|v| matches!(v, EvalValue::Array(_)));
                 if !any_array {
                     let scalars: Vec<Value> =
-                        vals.iter().map(|v| v.as_scalar().unwrap().clone()).collect();
+                        vals.iter().filter_map(|v| v.as_scalar().cloned()).collect();
                     return value_ops::apply_intrinsic_scalar(name, &scalars)
                         .map(EvalValue::Scalar)
                         .ok_or_else(|| EvalError {
@@ -1075,11 +1079,9 @@ impl<'a> Evaluator<'a> {
                         });
                 }
                 // Elementwise with scalar broadcast.
-                let shape = vals
-                    .iter()
-                    .find_map(|v| v.as_array())
-                    .expect("any_array")
-                    .clone();
+                let Some(shape) = vals.iter().find_map(|v| v.as_array()).cloned() else {
+                    return err(format!("bad arguments to {}", name.name()), span);
+                };
                 for v in &vals {
                     if let EvalValue::Array(a) = v {
                         if !a.conformable(&shape) {

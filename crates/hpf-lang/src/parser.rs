@@ -454,8 +454,8 @@ impl Parser {
                     self.bump();
                     let (name, _) = self.expect_ident()?;
                     let mut args = Vec::new();
-                    if self.eat(&TokenKind::LParen) {
-                        if !self.eat(&TokenKind::RParen) {
+                    if self.eat(&TokenKind::LParen)
+                        && !self.eat(&TokenKind::RParen) {
                             loop {
                                 args.push(self.expr()?);
                                 if !self.eat(&TokenKind::Comma) {
@@ -464,7 +464,6 @@ impl Parser {
                             }
                             self.expect(&TokenKind::RParen)?;
                         }
-                    }
                     let span = start.merge(self.span());
                     self.eol()?;
                     Ok(Stmt::Call { name, args, span })
@@ -681,8 +680,8 @@ impl Parser {
                     self.bump();
                     let (name, _) = self.expect_ident()?;
                     let mut args = Vec::new();
-                    if self.eat(&TokenKind::LParen) {
-                        if !self.eat(&TokenKind::RParen) {
+                    if self.eat(&TokenKind::LParen)
+                        && !self.eat(&TokenKind::RParen) {
                             loop {
                                 args.push(self.expr()?);
                                 if !self.eat(&TokenKind::Comma) {
@@ -691,7 +690,6 @@ impl Parser {
                             }
                             self.expect(&TokenKind::RParen)?;
                         }
-                    }
                     Stmt::Call { name, args, span: self.span() }
                 }
                 _ => self.inline_assignment()?,
@@ -923,8 +921,8 @@ impl Parser {
         let (name, start) = self.expect_ident()?;
         let mut subs = Vec::new();
         let mut end = start;
-        if self.eat(&TokenKind::LParen) {
-            if !self.eat(&TokenKind::RParen) {
+        if self.eat(&TokenKind::LParen)
+            && !self.eat(&TokenKind::RParen) {
                 loop {
                     subs.push(self.subscript()?);
                     if !self.eat(&TokenKind::Comma) {
@@ -933,7 +931,6 @@ impl Parser {
                 }
                 end = self.expect(&TokenKind::RParen)?.span;
             }
-        }
         Ok(DataRef { name, subs, span: start.merge(end) })
     }
 

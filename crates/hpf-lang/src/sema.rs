@@ -601,11 +601,9 @@ fn trace_critical_variables(
                         symbols.get(&r.name).map(|s| &s.kind),
                         Some(SymbolKind::Parameter { .. })
                     )
-                {
-                    if !out.contains(&r.name) {
+                    && !out.contains(&r.name) {
                         out.push(r.name.clone());
                     }
-                }
                 for s in &r.subs {
                     match s {
                         Subscript::Index(e) => names_in(e, out, symbols),

@@ -39,7 +39,7 @@ pub fn apply_binary(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
                         Int(a.wrapping_pow((*b).min(u32::MAX as i64) as u32))
                     } else {
                         // INTEGER ** negative is 0 (or 1/±1) in Fortran.
-                        Int(if a.abs() == 1 { a.pow((-b % 2) as u32 + 0) } else { 0 })
+                        Int(if a.abs() == 1 { a.pow((-b % 2) as u32) } else { 0 })
                     }
                 }
                 _ => unreachable!(),

@@ -12,8 +12,11 @@ pub mod network;
 pub mod simulator;
 pub mod trace;
 
-pub use network::{simulate_phase, Message, PhaseTiming};
-pub use simulator::{calibrate, collective_base_time, sim_ops_time, SimConfig, SimResult, Simulator};
+pub use network::{simulate_phase, simulate_phase_faulty, FaultStats, Message, PhaseTiming};
+pub use simulator::{
+    calibrate, collective_base_time, collective_base_time_with, sim_ops_time, FaultSession,
+    SimConfig, SimResult, Simulator,
+};
 pub use trace::{trace_program, Activity, SimTrace, TraceEvent};
 
 #[cfg(test)]
@@ -203,6 +206,73 @@ END
                 .mean
         };
         assert!(t32 < t8, "32 nodes {t32} should beat 8 {t8} on n=2048");
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_baseline() {
+        // The resilience layer must not perturb the healthy machine: a
+        // config whose fault plan is empty reproduces the exact numbers of
+        // a config that never mentions faults.
+        let m = ipsc860(8);
+        let baseline = Simulator::with_config(&m, SimConfig { runs: 30, ..Default::default() })
+            .simulate(&spmd(8), None);
+        let explicit = Simulator::with_config(
+            &m,
+            SimConfig { runs: 30, faults: machine::FaultPlan::none(), ..Default::default() },
+        )
+        .simulate(&spmd(8), None);
+        assert_eq!(baseline.mean.to_bits(), explicit.mean.to_bits());
+        assert_eq!(baseline.std.to_bits(), explicit.std.to_bits());
+        assert_eq!(baseline.comm.to_bits(), explicit.comm.to_bits());
+        assert!(!explicit.fault_stats.any());
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_and_costly() {
+        let m = ipsc860(8);
+        let run = |plan: machine::FaultPlan| {
+            Simulator::with_config(&m, SimConfig { runs: 30, faults: plan, ..Default::default() })
+                .simulate(&spmd(8), None)
+        };
+        let healthy = run(machine::FaultPlan::none());
+        for plan in [
+            machine::FaultPlan::degraded_link(0, 1, 4.0),
+            machine::FaultPlan::slow_node(0, 2.0),
+            machine::FaultPlan::lossy(0.1),
+        ] {
+            let a = run(plan.clone());
+            let b = run(plan.clone());
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{}", plan.name);
+            assert_eq!(a.fault_stats, b.fault_stats, "{}", plan.name);
+            assert!(a.mean > healthy.mean, "{}: {} vs {}", plan.name, a.mean, healthy.mean);
+        }
+    }
+
+    #[test]
+    fn lossy_plan_records_retries() {
+        let m = ipsc860(8);
+        let r = Simulator::with_config(
+            &m,
+            SimConfig { runs: 30, faults: machine::FaultPlan::lossy(0.2), ..Default::default() },
+        )
+        .simulate(&spmd(8), None);
+        assert!(r.fault_stats.retries > 0);
+        assert_eq!(r.fault_stats.undeliverable, 0);
+    }
+
+    #[test]
+    fn slow_node_slows_compute_not_comm() {
+        let m = ipsc860(8);
+        let healthy = Simulator::with_config(&m, SimConfig { runs: 10, ..Default::default() })
+            .simulate(&spmd(8), None);
+        let slowed = Simulator::with_config(
+            &m,
+            SimConfig { runs: 10, faults: machine::FaultPlan::slow_node(2, 3.0), ..Default::default() },
+        )
+        .simulate(&spmd(8), None);
+        assert!(slowed.comp > 2.5 * healthy.comp, "{} vs {}", slowed.comp, healthy.comp);
+        let comm_ratio = slowed.comm / healthy.comm.max(1e-12);
+        assert!(comm_ratio < 1.05, "comm should be untouched: ratio {comm_ratio}");
     }
 
     #[test]

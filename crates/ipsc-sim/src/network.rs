@@ -7,7 +7,9 @@
 //! behaviour a static model abstracts away, and they are one honest source
 //! of prediction error in the reproduction.
 
-use machine::{CommComponent, Hypercube};
+use machine::{CommComponent, FaultPlan, Hypercube, LinkState};
+use rand::rngs::StdRng;
+use rand::Rng;
 use std::collections::HashMap;
 
 /// One message to deliver within a communication phase.
@@ -67,6 +69,150 @@ pub fn simulate_phase(
     }
     let duration = node_done.iter().copied().fold(0.0, f64::max);
     PhaseTiming { node_done, duration }
+}
+
+/// Counts of fault events observed while delivering messages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Timed-out transmissions that were resent.
+    pub retries: u64,
+    /// Messages rerouted around a severed link.
+    pub detours: u64,
+    /// Messages that could not reach their destination at all (network
+    /// partitioned by severed links).
+    pub undeliverable: u64,
+}
+
+impl FaultStats {
+    pub fn any(&self) -> bool {
+        self.retries + self.detours + self.undeliverable > 0
+    }
+
+    pub fn absorb(&mut self, other: FaultStats) {
+        self.retries += other.retries;
+        self.detours += other.detours;
+        self.undeliverable += other.undeliverable;
+    }
+}
+
+/// E-cube route for `m`, detouring around severed links: if the dimension-
+/// ordered route crosses a Down link, fall back to a breadth-first search
+/// over the healthy links (deterministic: dimensions explored in order, so
+/// the same shortest detour is found every time). Returns `None` when the
+/// severed links partition `from` from `to`.
+fn route_avoiding(
+    cube: Hypercube,
+    from: usize,
+    to: usize,
+    plan: &FaultPlan,
+) -> Option<(Vec<(usize, usize)>, bool)> {
+    let up = |a: usize, b: usize| plan.link_state(a, b) != Some(LinkState::Down);
+    let direct = cube.route_links(from, to);
+    if direct.iter().all(|&(a, b)| up(a, b)) {
+        return Some((direct, false));
+    }
+    let n = cube.nodes();
+    let mut prev = vec![usize::MAX; n];
+    prev[from] = from;
+    let mut queue = std::collections::VecDeque::from([from]);
+    'search: while let Some(v) = queue.pop_front() {
+        for d in 0..cube.dim {
+            let w = cube.neighbor(v, d);
+            if prev[w] == usize::MAX && up(v, w) {
+                prev[w] = v;
+                if w == to {
+                    break 'search;
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    if prev[to] == usize::MAX {
+        return None; // partitioned
+    }
+    let mut links = Vec::new();
+    let mut v = to;
+    while v != from {
+        links.push((prev[v], v));
+        v = prev[v];
+    }
+    links.reverse();
+    Some((links, true))
+}
+
+/// Fault-injected variant of [`simulate_phase`]: each message is subject to
+/// the plan's loss probability (timeout + exponential-backoff resend, per
+/// [`machine::RetryPolicy`]), degraded links stretch wire time, and severed
+/// links force detour routes. Deterministic for a given `rng` state.
+pub fn simulate_phase_faulty(
+    cube: Hypercube,
+    comm: &CommComponent,
+    nodes: usize,
+    messages: &[Message],
+    plan: &FaultPlan,
+    rng: &mut StdRng,
+) -> (PhaseTiming, FaultStats) {
+    let mut node_done = vec![0.0f64; nodes];
+    let mut link_free: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut stats = FaultStats::default();
+
+    for m in messages {
+        if m.from == m.to || m.from >= nodes || m.to >= nodes {
+            continue;
+        }
+        let startup = if m.bytes <= comm.short_threshold {
+            comm.short_latency_s
+        } else {
+            comm.long_latency_s
+        };
+        let wire = m.bytes as f64 * comm.per_byte_s;
+
+        let Some((route, detoured)) = route_avoiding(cube, m.from, m.to, plan) else {
+            // Partitioned: the sender burns its full retry budget waiting.
+            stats.undeliverable += 1;
+            let mut waited = 0.0;
+            for k in 0..plan.retry.max_retries {
+                waited += plan.retry.timeout_s * plan.retry.backoff.powi(k as i32);
+            }
+            node_done[m.from] = node_done[m.from].max(node_done[m.from] + startup + waited);
+            continue;
+        };
+        if detoured {
+            stats.detours += 1;
+        }
+
+        let mut inject = node_done[m.from];
+        for attempt in 0..=plan.retry.max_retries {
+            // The transmission occupies links whether or not it is lost.
+            let mut t = inject + startup;
+            for &(a, b) in &route {
+                let key = (a.min(b), a.max(b));
+                let free = link_free.get(&key).copied().unwrap_or(0.0);
+                let start = t.max(free);
+                let slow = match plan.link_state(a, b) {
+                    Some(LinkState::Degraded { factor }) => factor.max(1.0),
+                    _ => 1.0,
+                };
+                let end = start + wire * slow + comm.per_hop_s;
+                link_free.insert(key, end);
+                t = end;
+            }
+            let lost = plan.loss_prob > 0.0
+                && attempt < plan.retry.max_retries
+                && rng.gen_bool(plan.loss_prob.clamp(0.0, 1.0));
+            if lost {
+                stats.retries += 1;
+                // Sender notices via timeout, backs off, resends.
+                inject += startup + plan.retry.timeout_s * plan.retry.backoff.powi(attempt as i32);
+                continue;
+            }
+            node_done[m.from] = node_done[m.from].max(inject + startup + wire);
+            node_done[m.to] = node_done[m.to].max(t);
+            break;
+        }
+    }
+    let duration = node_done.iter().copied().fold(0.0, f64::max);
+    (PhaseTiming { node_done, duration }, stats)
 }
 
 /// Build the message list for one stage-structured collective.
@@ -240,7 +386,7 @@ mod tests {
     fn broadcast_reaches_everyone() {
         let cube = Hypercube { dim: 3 };
         let st = patterns::broadcast_stages(cube, 8, 4);
-        let mut have = vec![false; 8];
+        let mut have = [false; 8];
         have[0] = true;
         for stage in &st {
             for m in stage {
@@ -259,6 +405,92 @@ mod tests {
         for r in &rounds {
             assert_eq!(r.len(), 4);
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use machine::ipsc860_comm;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFA17)
+    }
+
+    #[test]
+    fn zero_plan_matches_healthy_path_exactly() {
+        let comm = ipsc860_comm();
+        let cube = Hypercube { dim: 3 };
+        let ms = [
+            Message { from: 0, to: 5, bytes: 2048 },
+            Message { from: 1, to: 6, bytes: 64 },
+            Message { from: 3, to: 3, bytes: 9 },
+        ];
+        let healthy = simulate_phase(cube, &comm, 8, &ms);
+        let (faulty, stats) =
+            simulate_phase_faulty(cube, &comm, 8, &ms, &FaultPlan::none(), &mut rng());
+        assert_eq!(healthy.duration, faulty.duration);
+        assert_eq!(healthy.node_done, faulty.node_done);
+        assert!(!stats.any());
+    }
+
+    #[test]
+    fn degraded_link_stretches_crossing_messages_only() {
+        let comm = ipsc860_comm();
+        let cube = Hypercube { dim: 2 };
+        let plan = FaultPlan::degraded_link(0, 1, 4.0);
+        let crossing = [Message { from: 0, to: 1, bytes: 4096 }];
+        let avoiding = [Message { from: 2, to: 3, bytes: 4096 }];
+        let (t_cross, _) = simulate_phase_faulty(cube, &comm, 4, &crossing, &plan, &mut rng());
+        let (t_avoid, _) = simulate_phase_faulty(cube, &comm, 4, &avoiding, &plan, &mut rng());
+        let base = simulate_phase(cube, &comm, 4, &crossing);
+        assert!(t_cross.duration > base.duration * 1.5, "{} vs {}", t_cross.duration, base.duration);
+        assert_eq!(t_avoid.duration, base.duration);
+    }
+
+    #[test]
+    fn severed_link_detours_and_still_delivers() {
+        let comm = ipsc860_comm();
+        let cube = Hypercube { dim: 3 };
+        let plan = FaultPlan::link_down(0, 1);
+        let ms = [Message { from: 0, to: 1, bytes: 512 }];
+        let (t, stats) = simulate_phase_faulty(cube, &comm, 8, &ms, &plan, &mut rng());
+        assert_eq!(stats.detours, 1);
+        assert_eq!(stats.undeliverable, 0);
+        // Delivered, later than the direct single-hop send.
+        let direct = simulate_phase(cube, &comm, 8, &ms);
+        assert!(t.node_done[1] > direct.node_done[1]);
+    }
+
+    #[test]
+    fn partition_is_reported_not_hung() {
+        let comm = ipsc860_comm();
+        let cube = Hypercube { dim: 1 }; // 2 nodes, single link
+        let plan = FaultPlan::link_down(0, 1);
+        let ms = [Message { from: 0, to: 1, bytes: 512 }];
+        let (t, stats) = simulate_phase_faulty(cube, &comm, 2, &ms, &plan, &mut rng());
+        assert_eq!(stats.undeliverable, 1);
+        // Receiver never completes; sender burned its retry budget.
+        assert_eq!(t.node_done[1], 0.0);
+        assert!(t.node_done[0] > 0.0);
+    }
+
+    #[test]
+    fn loss_forces_retries_deterministically() {
+        let comm = ipsc860_comm();
+        let cube = Hypercube { dim: 3 };
+        let plan = FaultPlan::lossy(0.4);
+        let ms: Vec<Message> =
+            (0..8).map(|n| Message { from: n, to: (n + 1) % 8, bytes: 256 }).collect();
+        let (t1, s1) = simulate_phase_faulty(cube, &comm, 8, &ms, &plan, &mut rng());
+        let (t2, s2) = simulate_phase_faulty(cube, &comm, 8, &ms, &plan, &mut rng());
+        assert!(s1.retries > 0, "p=0.4 over 8 messages should lose at least one");
+        assert_eq!(s1, s2);
+        assert_eq!(t1.node_done, t2.node_done);
+        // Retries only ever add time.
+        let healthy = simulate_phase(cube, &comm, 8, &ms);
+        assert!(t1.duration >= healthy.duration);
     }
 }
 
@@ -298,8 +530,8 @@ mod network_properties {
                 let hops = cube.hops(m.from, m.to) as f64;
                 startup + hops * (m.bytes as f64 * comm.per_byte_s + comm.per_hop_s)
             };
-            let max_single = messages.iter().map(|m| single(m)).fold(0.0f64, f64::max);
-            let serial_sum: f64 = messages.iter().map(|m| single(m)).sum();
+            let max_single = messages.iter().map(&single).fold(0.0f64, f64::max);
+            let serial_sum: f64 = messages.iter().map(single).sum();
 
             prop_assert!(timing.duration + 1e-12 >= max_single,
                 "duration {} < max single {max_single}", timing.duration);

@@ -10,10 +10,10 @@
 //! between the two is therefore an honest prediction error, not a tuned
 //! constant.
 
-use crate::network::{patterns, simulate_phase};
+use crate::network::{patterns, simulate_phase, simulate_phase_faulty, FaultStats, Message};
 use hpf_compiler::{CommPhase, CompPhase, OpCounts, SeqBlock, SpmdNode, SpmdProgram};
 use hpf_eval::ExecutionProfile;
-use machine::{CollectiveOp, MachineModel, OpClass};
+use machine::{CollectiveOp, CommComponent, FaultPlan, Hypercube, MachineModel, OpClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -29,11 +29,22 @@ pub struct SimConfig {
     pub load_jitter: f64,
     /// Timing-routine tolerance: absolute noise on each run's total, secs.
     pub timer_tolerance: f64,
+    /// Injected faults. `FaultPlan::none()` (the default) keeps every walk
+    /// on the original healthy code path, bit-identical to a fault-free
+    /// build; fault draws use their own RNG stream derived from
+    /// `faults.seed`, so the jitter/timer streams are never perturbed.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { runs: 1000, seed: 0x5C94, load_jitter: 0.015, timer_tolerance: 20e-6 }
+        SimConfig {
+            runs: 1000,
+            seed: 0x5C94,
+            load_jitter: 0.015,
+            timer_tolerance: 20e-6,
+            faults: FaultPlan::none(),
+        }
     }
 }
 
@@ -49,6 +60,9 @@ pub struct SimResult {
     pub comp: f64,
     pub comm: f64,
     pub overhead: f64,
+    /// Fault events accumulated over every run (all zero when the config's
+    /// fault plan is empty).
+    pub fault_stats: FaultStats,
 }
 
 impl SimResult {
@@ -101,17 +115,51 @@ impl<'m> Simulator<'m> {
     /// (from the functional interpreter); without it the simulator falls
     /// back to the same static hints the predictor uses.
     pub fn simulate(&self, spmd: &SpmdProgram, profile: Option<&ExecutionProfile>) -> SimResult {
+        let plan = &self.config.faults;
+        let faults_active = !plan.is_zero();
+
+        // A slow node gates every synchronized SPMD phase, so walks compute
+        // against a clock-degraded copy of the machine (communication
+        // faults are injected at the network level instead).
+        let machine_slow;
+        let machine: &MachineModel = {
+            let slow = plan.max_slowdown();
+            if slow > 1.0 {
+                let mut m = self.machine.clone();
+                m.node_processing.clock_mhz /= slow;
+                m.node_memory.clock_mhz /= slow;
+                machine_slow = m;
+                &machine_slow
+            } else {
+                self.machine
+            }
+        };
+
         // Jitter-free base pass for the breakdown.
-        let mut base = Walk::new(self, profile, None);
+        let mut base = Walk::new(
+            self,
+            machine,
+            profile,
+            None,
+            faults_active.then(|| FaultSession::new(plan, 0)),
+        );
         let base_total = base.run(&spmd.body);
         let (comp, comm, overhead) = (base.comp, base.comm, base.overhead);
+        let mut fault_stats = base.faults.map(|s| s.stats).unwrap_or_default();
 
         let mut totals = Vec::with_capacity(self.config.runs);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         for _ in 0..self.config.runs {
             // Per-run load factor plus per-phase jitter inside the walk.
-            let mut w = Walk::new(self, profile, Some(StdRng::seed_from_u64(rng.gen())));
+            // The fault stream is drawn after the jitter seed so that a
+            // zero-fault config consumes the RNG exactly as before.
+            let jitter_rng = StdRng::seed_from_u64(rng.gen());
+            let session = faults_active.then(|| FaultSession::new(plan, rng.gen()));
+            let mut w = Walk::new(self, machine, profile, Some(jitter_rng), session);
             let t = w.run(&spmd.body);
+            if let Some(s) = w.faults {
+                fault_stats.absorb(s.stats);
+            }
             let timer = rng.gen_range(-1.0..1.0) * self.config.timer_tolerance;
             totals.push((t + timer).max(0.0));
         }
@@ -127,6 +175,28 @@ impl<'m> Simulator<'m> {
             comp,
             comm,
             overhead,
+            fault_stats,
+        }
+    }
+}
+
+/// Fault-injection state for one walk: the plan, a dedicated RNG stream for
+/// loss draws (never shared with the jitter stream), and the accumulated
+/// event counts.
+pub struct FaultSession<'p> {
+    pub plan: &'p FaultPlan,
+    pub rng: StdRng,
+    pub stats: FaultStats,
+}
+
+impl<'p> FaultSession<'p> {
+    /// `stream` distinguishes walks (base pass, run 0, run 1, …) so each
+    /// replays the same faults for a given (plan.seed, stream) pair.
+    pub fn new(plan: &'p FaultPlan, stream: u64) -> Self {
+        FaultSession {
+            plan,
+            rng: StdRng::seed_from_u64(plan.seed ^ stream),
+            stats: FaultStats::default(),
         }
     }
 }
@@ -134,22 +204,40 @@ impl<'m> Simulator<'m> {
 /// One walk over the phase tree (one simulated run).
 struct Walk<'a, 'm> {
     sim: &'a Simulator<'m>,
+    /// The machine the walk computes against (clock-degraded under a
+    /// slow-node fault plan, otherwise `sim.machine`).
+    machine: &'a MachineModel,
     profile: Option<&'a ExecutionProfile>,
     rng: Option<StdRng>,
+    faults: Option<FaultSession<'a>>,
     comp: f64,
     comm: f64,
     overhead: f64,
     /// Memoized base durations of comm phases keyed by (op, bytes, p).
+    /// Bypassed when faults are active: loss draws make each phase
+    /// instance distinct, so caching would freeze the first draw.
     comm_cache: HashMap<(u8, u64, usize), f64>,
 }
 
 impl<'a, 'm> Walk<'a, 'm> {
     fn new(
         sim: &'a Simulator<'m>,
+        machine: &'a MachineModel,
         profile: Option<&'a ExecutionProfile>,
         rng: Option<StdRng>,
+        faults: Option<FaultSession<'a>>,
     ) -> Self {
-        Walk { sim, profile, rng, comp: 0.0, comm: 0.0, overhead: 0.0, comm_cache: HashMap::new() }
+        Walk {
+            sim,
+            machine,
+            profile,
+            rng,
+            faults,
+            comp: 0.0,
+            comm: 0.0,
+            overhead: 0.0,
+            comm_cache: HashMap::new(),
+        }
     }
 
     fn jitter(&mut self) -> f64 {
@@ -184,7 +272,7 @@ impl<'a, 'm> Walk<'a, 'm> {
                     }
                     _ => *trips,
                 };
-                let p = &self.sim.machine.node_processing;
+                let p = &self.machine.node_processing;
                 let mut t = p.op_time(OpClass::LoopSetup) * DISTORTION.loop_ovh;
                 // Walk the body once and scale by the trip count (identical
                 // trips absent per-trip profile variation); the breakdown
@@ -214,7 +302,7 @@ impl<'a, 'm> Walk<'a, 'm> {
                         }
                     })
                     .unwrap_or(0.5);
-                let pnode = &self.sim.machine.node_processing;
+                let pnode = &self.machine.node_processing;
                 let mut t = pnode.op_time(OpClass::Branch) * DISTORTION.mask_branch;
                 let mut consumed = 0.0f64;
                 for (i, (w, body)) in arms.iter().enumerate() {
@@ -238,7 +326,7 @@ impl<'a, 'm> Walk<'a, 'm> {
     }
 
     fn comp_phase(&mut self, c: &CompPhase) -> f64 {
-        let p = &self.sim.machine.node_processing;
+        let p = &self.machine.node_processing;
 
         // Ground truth: take actual per-execution iteration counts (and
         // mask outcomes) from the functional-interpreter profile when
@@ -278,7 +366,7 @@ impl<'a, 'm> Walk<'a, 'm> {
                 .machine
                 .node_memory
                 .hit_ratio(c.working_set_bytes, 4, c.locality);
-            let conflict = if c.working_set_bytes > self.sim.machine.node_memory.dcache_bytes {
+            let conflict = if c.working_set_bytes > self.machine.node_memory.dcache_bytes {
                 0.93
             } else {
                 0.995
@@ -302,24 +390,35 @@ impl<'a, 'm> Walk<'a, 'm> {
     }
 
     fn comm_phase(&mut self, c: &CommPhase) -> f64 {
-        let key = (c.op as u8, c.bytes_per_node, c.participants);
-        let base = match self.comm_cache.get(&key) {
-            Some(t) => *t,
-            None => {
-                let t = self.comm_base(c);
-                self.comm_cache.insert(key, t);
-                t
+        let base = if self.faults.is_some() {
+            // Loss draws make each phase instance distinct — no memoization.
+            collective_base_time_with(
+                self.machine,
+                c.op,
+                c.participants,
+                c.bytes_per_node,
+                self.faults.as_mut(),
+            )
+        } else {
+            let key = (c.op as u8, c.bytes_per_node, c.participants);
+            match self.comm_cache.get(&key) {
+                Some(t) => *t,
+                None => {
+                    let t = self.comm_base(c);
+                    self.comm_cache.insert(key, t);
+                    t
+                }
             }
         };
         // Software packing: strided boundaries pay a miss per element.
         let pack = {
-            let comm = &self.sim.machine.comm;
+            let comm = &self.machine.comm;
             let sw = comm.pack_time(c.bytes_per_node) * DISTORTION.comm_sw;
             if c.contiguous {
                 sw
             } else {
                 let elems = c.bytes_per_node as f64 / 4.0;
-                sw + 2.0 * elems * self.sim.machine.node_memory.access_time(0.0) * DISTORTION.mem
+                sw + 2.0 * elems * self.machine.node_memory.access_time(0.0) * DISTORTION.mem
             }
         };
         let t = (base + pack) * self.jitter();
@@ -330,7 +429,7 @@ impl<'a, 'm> Walk<'a, 'm> {
 
     /// Event-simulated base duration of a communication phase.
     fn comm_base(&self, c: &CommPhase) -> f64 {
-        collective_base_time(self.sim.machine, c.op, c.participants, c.bytes_per_node)
+        collective_base_time(self.machine, c.op, c.participants, c.bytes_per_node)
     }
 
     fn ops_time(&self, ops: &OpCounts, hit: f64) -> f64 {
@@ -338,7 +437,7 @@ impl<'a, 'm> Walk<'a, 'm> {
     }
 
     fn ops_time_hit(&self, ops: &OpCounts, hit: f64) -> f64 {
-        sim_ops_time(self.sim.machine, ops, hit)
+        sim_ops_time(self.machine, ops, hit)
     }
 
 }
@@ -352,6 +451,43 @@ pub fn collective_base_time(
     participants: usize,
     bytes_per_node: u64,
 ) -> f64 {
+    collective_base_time_with(machine, op, participants, bytes_per_node, None)
+}
+
+/// One collective stage under an optional fault session. When a stage sees
+/// any fault event (retransmission, detour, undeliverable message), the
+/// collective's participants re-synchronize before the next stage — the
+/// stage-level recovery barrier — charged at the comm component's
+/// synchronization overhead.
+fn stage_time(
+    cube: Hypercube,
+    comm: &CommComponent,
+    nodes: usize,
+    ms: &[Message],
+    faults: &mut Option<&mut FaultSession<'_>>,
+) -> f64 {
+    match faults {
+        None => simulate_phase(cube, comm, nodes, ms).duration,
+        Some(s) => {
+            let (timing, st) = simulate_phase_faulty(cube, comm, nodes, ms, s.plan, &mut s.rng);
+            let recovery =
+                if s.plan.needs_recovery() && st.any() { comm.sync_overhead_s } else { 0.0 };
+            s.stats.absorb(st);
+            timing.duration + recovery
+        }
+    }
+}
+
+/// [`collective_base_time`] with fault injection: every stage runs through
+/// the fault-aware network walk and pays a recovery barrier when it had to
+/// retransmit or reroute.
+pub fn collective_base_time_with(
+    machine: &MachineModel,
+    op: CollectiveOp,
+    participants: usize,
+    bytes_per_node: u64,
+    mut faults: Option<&mut FaultSession<'_>>,
+) -> f64 {
     let nodes = participants.max(1);
     // The collective runs on the subcube spanning its participants (which
     // may exceed the configured machine during characterization probes).
@@ -363,7 +499,7 @@ pub fn collective_base_time(
     match op {
         CollectiveOp::Shift => {
             let ms = patterns::shift(nodes, bytes_per_node);
-            simulate_phase(cube, comm, nodes, &ms).duration
+            stage_time(cube, comm, nodes, &ms, &mut faults)
         }
         CollectiveOp::Reduce | CollectiveOp::ReduceLoc | CollectiveOp::Barrier => {
             let bytes = match op {
@@ -373,7 +509,7 @@ pub fn collective_base_time(
             };
             let mut t = 0.0;
             for stage in patterns::reduce_stages(cube, nodes, bytes.max(4)) {
-                t += simulate_phase(cube, comm, nodes, &stage).duration;
+                t += stage_time(cube, comm, nodes, &stage, &mut faults);
                 t += machine.node_processing.op_time(OpClass::FAdd) * (bytes as f64 / 4.0).max(1.0);
             }
             t
@@ -381,7 +517,7 @@ pub fn collective_base_time(
         CollectiveOp::Broadcast => {
             let mut t = 0.0;
             for stage in patterns::broadcast_stages(cube, nodes, bytes_per_node) {
-                t += simulate_phase(cube, comm, nodes, &stage).duration;
+                t += stage_time(cube, comm, nodes, &stage, &mut faults);
             }
             t
         }
@@ -389,13 +525,13 @@ pub fn collective_base_time(
             let per_pair = (bytes_per_node / nodes as u64).max(4);
             let mut t = 0.0;
             for round in patterns::all_to_all_rounds(nodes, per_pair) {
-                t += simulate_phase(cube, comm, nodes, &round).duration;
+                t += stage_time(cube, comm, nodes, &round, &mut faults);
             }
             t
         }
         CollectiveOp::Gather | CollectiveOp::Scatter => {
             let ms = patterns::gather(cube, nodes, bytes_per_node);
-            simulate_phase(cube, comm, nodes, &ms).duration
+            stage_time(cube, comm, nodes, &ms, &mut faults)
         }
     }
 }

@@ -486,10 +486,10 @@ END
 /// Largest power-of-two factor ≤ √p (grid shape for (BLOCK,BLOCK)).
 fn near_square_factor(p: usize) -> usize {
     let mut f = 1;
-    while f * 2 * f * 2 <= p * 2 && (p % (f * 2) == 0) && f * 2 <= p / (f * 2) * 2 {
+    while f * 2 * f * 2 <= p * 2 && p.is_multiple_of(f * 2) && f * 2 <= p / (f * 2) * 2 {
         // keep f the smaller dimension: f*2 must still divide p and not
         // exceed the complementary factor
-        if p % (f * 2) == 0 && f * 2 <= p / (f * 2) {
+        if p.is_multiple_of(f * 2) && f * 2 <= p / (f * 2) {
             f *= 2;
         } else {
             break;

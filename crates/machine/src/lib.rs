@@ -16,6 +16,7 @@
 pub mod calibration;
 pub mod collectives;
 pub mod components;
+pub mod faults;
 pub mod sag;
 pub mod topology;
 
@@ -24,6 +25,7 @@ pub use collectives::{CollectiveModel, CollectiveOp};
 pub use components::{
     CommComponent, IoComponent, MemoryComponent, OpClass, ProcessingComponent,
 };
+pub use faults::{FaultPlan, LinkFault, LinkState, NodeFault, RetryPolicy};
 pub use sag::Sau;
 pub use topology::Hypercube;
 

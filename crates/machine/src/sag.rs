@@ -105,7 +105,6 @@ impl Sau {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::ipsc860;
 
     #[test]

@@ -6,7 +6,7 @@
 //! (and processor-grid shapes), predict each variant with the interpretation
 //! engine, and return the ranking — source-driven, no execution.
 
-use crate::pipeline::{predict_source, PipelineError, PredictOptions};
+use crate::pipeline::{predict_source, PipelineError, PipelineStage, PredictOptions};
 use hpf_lang::ast::{Directive, DistFormat};
 use hpf_lang::{parse_program, pretty_program};
 use serde::Serialize;
@@ -50,7 +50,9 @@ pub fn search_distributions(
             }
             _ => None,
         })
-        .ok_or_else(|| PipelineError("program has no DISTRIBUTE directive".into()))?;
+        .ok_or_else(|| {
+            PipelineError::new(PipelineStage::Analyze, "program has no DISTRIBUTE directive")
+        })?;
 
     let mut results = Vec::new();
     for combo in format_combos(rank) {

@@ -3,7 +3,7 @@
 fn main() {
     println!("Table 1: Validation Application Set");
     println!("{:-<72}", "");
-    println!("{:<20} {}", "Name", "Description");
+    println!("{:<20} Description", "Name");
     println!("{:-<72}", "");
     let mut last_group = "";
     for k in kernels::all_kernels() {

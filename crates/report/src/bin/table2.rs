@@ -23,8 +23,15 @@ fn main() {
         cfg.runs
     );
     let t0 = std::time::Instant::now();
-    let (rows, samples) = table2(&cfg);
+    let out = table2(&cfg);
+    let (rows, samples) = (out.rows, out.samples);
     eprintln!("{} samples in {:.1}s", samples.len(), t0.elapsed().as_secs_f64());
+    if !out.failures.is_empty() {
+        eprintln!("{} configuration(s) failed:", out.failures.len());
+        for f in &out.failures {
+            eprintln!("  {} — {} (after {} attempt(s))", f.label, f.failure, f.attempts);
+        }
+    }
 
     if let Some(i) = args.iter().position(|a| a == "--csv") {
         if let Some(path) = args.get(i + 1) {

@@ -1,5 +1,6 @@
 //! Experiment drivers for the paper's tables and figures.
 
+use crate::harness::{run_batch, HarnessConfig, JobFailure, SweepFailure};
 use crate::pipeline::{
     compile_source, predict_source, PredictOptions,
 };
@@ -7,7 +8,6 @@ use hpf_compiler::CompileOptions;
 use ipsc_sim::{SimConfig, Simulator};
 use kernels::{all_kernels, Kernel, KernelKind, LaplaceDist};
 use machine::ipsc860;
-use parking_lot::Mutex;
 use serde::Serialize;
 
 /// One (application, size, procs) accuracy sample.
@@ -46,6 +46,8 @@ pub struct SweepConfig {
     /// Step budget for the functional-interpreter profile; configs whose
     /// execution exceeds it fall back to static hints.
     pub profile_steps: u64,
+    /// Per-configuration isolation limits (timeout, retries).
+    pub harness: HarnessConfig,
 }
 
 impl Default for SweepConfig {
@@ -55,6 +57,7 @@ impl Default for SweepConfig {
             max_size: None,
             runs: 1000,
             profile_steps: 40_000_000,
+            harness: HarnessConfig::default(),
         }
     }
 }
@@ -67,6 +70,10 @@ impl SweepConfig {
             max_size: Some(512),
             runs: 50,
             profile_steps: 5_000_000,
+            harness: HarnessConfig {
+                timeout: Some(std::time::Duration::from_secs(60)),
+                retries: 0,
+            },
         }
     }
 }
@@ -115,9 +122,22 @@ pub fn accuracy_sample(
     })
 }
 
+/// Everything the Table 2 sweep produced: the aggregated rows, every
+/// individual sample, and any configurations that failed (panicked, timed
+/// out, or errored) without stopping the rest of the campaign.
+#[derive(Debug, Clone)]
+pub struct Table2Output {
+    pub rows: Vec<Table2Row>,
+    pub samples: Vec<AccuracySample>,
+    pub failures: Vec<SweepFailure>,
+}
+
 /// Reproduce Table 2: per application, min/max absolute error over the
-/// size × procs sweep. Runs configurations in parallel worker threads.
-pub fn table2(cfg: &SweepConfig) -> (Vec<Table2Row>, Vec<AccuracySample>) {
+/// size × procs sweep. Configurations run in parallel worker threads; each
+/// one is panic-isolated with a wall-clock timeout and bounded retries, so
+/// one pathological configuration is reported in `failures` instead of
+/// aborting the sweep.
+pub fn table2(cfg: &SweepConfig) -> Table2Output {
     // Build the work list.
     let mut work: Vec<(Kernel, usize, usize)> = Vec::new();
     for k in all_kernels() {
@@ -133,25 +153,33 @@ pub fn table2(cfg: &SweepConfig) -> (Vec<Table2Row>, Vec<AccuracySample>) {
         }
     }
 
-    let results = Mutex::new(Vec::<AccuracySample>::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    crossbeam::scope(|s| {
-        for _ in 0..workers.min(work.len().max(1)) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= work.len() {
-                    break;
-                }
-                let (k, size, p) = &work[i];
-                if let Ok(sample) = accuracy_sample(k, *size, *p, cfg) {
-                    results.lock().push(sample);
-                }
-            });
+    let hcfg = cfg.harness.clone();
+    let jobs: Vec<(String, _)> = work
+        .into_iter()
+        .map(|(k, size, p)| {
+            let cfg = cfg.clone();
+            let label = format!("{} n={size} p={p}", k.name);
+            let inner_label = label.clone();
+            let job = move || {
+                accuracy_sample(&k, size, p, &cfg)
+                    .map_err(|e| (inner_label.clone(), e.to_string()))
+            };
+            (label, job)
+        })
+        .collect();
+    let (outcomes, mut failures) = run_batch(jobs, &hcfg);
+
+    let mut samples = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(sample) => samples.push(sample),
+            Err((label, msg)) => failures.push(SweepFailure {
+                label,
+                failure: JobFailure::Errored(msg),
+                attempts: 1,
+            }),
         }
-    })
-    .expect("sweep threads");
-    let mut samples = results.into_inner();
+    }
     samples.sort_by(|a, b| (&a.app, a.size, a.procs).cmp(&(&b.app, b.size, b.procs)));
 
     // Aggregate per application.
@@ -179,7 +207,7 @@ pub fn table2(cfg: &SweepConfig) -> (Vec<Table2Row>, Vec<AccuracySample>) {
             samples: ss.len(),
         });
     }
-    (rows, samples)
+    Table2Output { rows, samples, failures }
 }
 
 /// Render Table 2 as text.

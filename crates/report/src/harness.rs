@@ -1,0 +1,221 @@
+//! Hardened sweep harness: panic isolation, wall-clock timeouts, and
+//! bounded retries for experiment jobs.
+//!
+//! The Table 2 sweep runs hundreds of (kernel, size, procs) configurations;
+//! one panicking or wedged configuration must not take down the whole
+//! campaign. Each job runs on its own worker thread behind
+//! `std::panic::catch_unwind`, a watchdog enforces a wall-clock budget, and
+//! transient failures are retried a bounded number of times. Failures come
+//! back as data ([`JobFailure`]), never as a crash of the harness itself.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Execution limits for one isolated job.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Wall-clock budget per attempt. `None` = unlimited.
+    pub timeout: Option<Duration>,
+    /// Extra attempts after the first failure (panic or timeout).
+    pub retries: u32,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig { timeout: Some(Duration::from_secs(120)), retries: 1 }
+    }
+}
+
+/// Why an isolated job did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The job panicked; payload is the panic message.
+    Panicked(String),
+    /// The job exceeded its wall-clock budget.
+    TimedOut,
+    /// The job ran to completion but returned an error.
+    Errored(String),
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+            JobFailure::TimedOut => write!(f, "timed out"),
+            JobFailure::Errored(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `job` in isolation: on a dedicated thread, behind `catch_unwind`,
+/// with the configured timeout and retry budget. Returns the job's value or
+/// the failure of the *last* attempt.
+///
+/// A timed-out attempt's thread cannot be killed — it is detached and its
+/// eventual result discarded; the harness moves on. `job` must therefore be
+/// `Clone`: each attempt gets its own copy.
+pub fn run_isolated<T, F>(job: F, cfg: &HarnessConfig) -> Result<T, JobFailure>
+where
+    T: Send + 'static,
+    F: Fn() -> T + Clone + Send + 'static,
+{
+    let mut last = JobFailure::TimedOut;
+    for _attempt in 0..=cfg.retries {
+        let (tx, rx) = mpsc::channel();
+        let j = job.clone();
+        std::thread::spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(j)).map_err(panic_message);
+            // Receiver may have given up (timeout): ignore the send error.
+            let _ = tx.send(outcome);
+        });
+        let received = match cfg.timeout {
+            Some(t) => rx.recv_timeout(t).map_err(|_| JobFailure::TimedOut),
+            None => rx.recv().map_err(|_| JobFailure::TimedOut),
+        };
+        match received {
+            Ok(Ok(v)) => return Ok(v),
+            Ok(Err(msg)) => last = JobFailure::Panicked(msg),
+            Err(f) => last = f,
+        }
+    }
+    Err(last)
+}
+
+/// One failed sweep job, identified by the caller's label.
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    pub label: String,
+    pub failure: JobFailure,
+    pub attempts: u32,
+}
+
+/// Run a batch of labelled jobs across worker threads, isolating each one.
+/// All successes and all failures are returned; one bad job never stops the
+/// rest of the batch (the panic-isolation contract of the sweep).
+pub fn run_batch<T, F>(jobs: Vec<(String, F)>, cfg: &HarnessConfig) -> (Vec<T>, Vec<SweepFailure>)
+where
+    T: Send + 'static,
+    F: Fn() -> T + Clone + Send + Sync + 'static,
+{
+    let results = Mutex::new(Vec::new());
+    let failures = Mutex::new(Vec::new());
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (label, job) = &jobs[i];
+                match run_isolated(job.clone(), cfg) {
+                    Ok(v) => results.lock().unwrap_or_else(|e| e.into_inner()).push(v),
+                    Err(f) => failures.lock().unwrap_or_else(|e| e.into_inner()).push(
+                        SweepFailure {
+                            label: label.clone(),
+                            failure: f,
+                            attempts: cfg.retries + 1,
+                        },
+                    ),
+                }
+            });
+        }
+    });
+    (
+        results.into_inner().unwrap_or_else(|e| e.into_inner()),
+        failures.into_inner().unwrap_or_else(|e| e.into_inner()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> HarnessConfig {
+        HarnessConfig { timeout: Some(Duration::from_secs(5)), retries: 0 }
+    }
+
+    #[test]
+    fn healthy_job_returns_value() {
+        let r = run_isolated(|| 6 * 7, &quick());
+        assert_eq!(r.unwrap(), 42);
+    }
+
+    #[test]
+    fn panicking_job_is_contained() {
+        let r: Result<i32, _> = run_isolated(|| panic!("deliberate test panic"), &quick());
+        match r {
+            Err(JobFailure::Panicked(msg)) => assert!(msg.contains("deliberate")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wedged_job_times_out() {
+        let cfg = HarnessConfig { timeout: Some(Duration::from_millis(50)), retries: 0 };
+        let r: Result<(), _> = run_isolated(
+            || std::thread::sleep(Duration::from_secs(600)),
+            &cfg,
+        );
+        assert_eq!(r.unwrap_err(), JobFailure::TimedOut);
+    }
+
+    #[test]
+    fn retries_are_bounded_and_counted() {
+        // A job that always panics consumes exactly retries+1 attempts.
+        static ATTEMPTS: AtomicUsize = AtomicUsize::new(0);
+        let cfg = HarnessConfig { timeout: Some(Duration::from_secs(5)), retries: 2 };
+        let r: Result<(), _> = run_isolated(
+            || {
+                ATTEMPTS.fetch_add(1, Ordering::SeqCst);
+                panic!("always fails");
+            },
+            &cfg,
+        );
+        assert!(r.is_err());
+        assert_eq!(ATTEMPTS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn batch_survives_poison_job() {
+        // The panic-isolation acceptance test: a deliberately panicking
+        // experiment completes the remaining experiments and reports the
+        // failure.
+        let mut jobs = Vec::new();
+        for i in 0..8usize {
+            jobs.push((
+                format!("job-{i}"),
+                move || {
+                    if i == 3 {
+                        panic!("poison experiment");
+                    }
+                    i * 10
+                },
+            ));
+        }
+        let (mut ok, failed) = run_batch(jobs, &quick());
+        ok.sort();
+        assert_eq!(ok, vec![0, 10, 20, 40, 50, 60, 70]);
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].label, "job-3");
+        assert!(matches!(failed[0].failure, JobFailure::Panicked(_)));
+    }
+}

@@ -15,11 +15,14 @@
 pub mod autotune;
 pub mod csv;
 pub mod experiments;
+pub mod faults;
+pub mod harness;
 pub mod pipeline;
 pub mod session;
 pub mod workflow;
 
+pub use harness::{run_batch, run_isolated, HarnessConfig, JobFailure, SweepFailure};
 pub use pipeline::{
     compile_source, predict_source, predict_source_full, simulate_source, PipelineError,
-    PredictOptions, SimulateOptions,
+    PipelineStage, PredictOptions, SimulateOptions,
 };

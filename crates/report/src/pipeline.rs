@@ -8,17 +8,16 @@ use hpf_lang::{analyze, parse_program, LangError};
 use interp::{InterpOptions, InterpretationEngine, Prediction};
 use ipsc_sim::{SimConfig, SimResult, Simulator};
 use machine::MachineModel;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Calibrated machine models, built once per node count — the paper's
 /// "system abstraction is performed off-line and only once" (§5.3).
 pub fn calibrated_machine(nodes: usize) -> MachineModel {
     static CACHE: OnceLock<Mutex<HashMap<usize, MachineModel>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = cache.lock();
+    let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
     guard.entry(nodes).or_insert_with(|| ipsc_sim::calibrate(nodes)).clone()
 }
 
@@ -79,13 +78,71 @@ impl SimulateOptions {
     }
 }
 
-/// Pipeline error (front end or compiler).
+/// The pipeline stage that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineStage {
+    /// Lexing or parsing the HPF source.
+    Parse,
+    /// Semantic analysis (symbols, directives, alignment).
+    Analyze,
+    /// SPMD lowering.
+    Compile,
+    /// Functional interpretation (profiling runs).
+    Evaluate,
+    /// Interpretation-engine prediction.
+    Predict,
+    /// Discrete-event simulation.
+    Simulate,
+    /// The experiment sweep harness itself (panics, timeouts).
+    Sweep,
+}
+
+impl PipelineStage {
+    pub fn label(&self) -> &'static str {
+        match self {
+            PipelineStage::Parse => "parse",
+            PipelineStage::Analyze => "analyze",
+            PipelineStage::Compile => "compile",
+            PipelineStage::Evaluate => "evaluate",
+            PipelineStage::Predict => "predict",
+            PipelineStage::Simulate => "simulate",
+            PipelineStage::Sweep => "sweep",
+        }
+    }
+}
+
+/// Structured pipeline error: the failing stage, a human-readable message,
+/// and — when the stage can point at one — the source span that triggered
+/// it. Replaces panics on user-reachable inputs throughout the harness.
 #[derive(Debug, Clone)]
-pub struct PipelineError(pub String);
+pub struct PipelineError {
+    pub stage: PipelineStage,
+    pub message: String,
+    pub span: Option<hpf_lang::Span>,
+}
+
+impl PipelineError {
+    pub fn new(stage: PipelineStage, message: impl Into<String>) -> Self {
+        PipelineError { stage, message: message.into(), span: None }
+    }
+
+    pub fn with_span(stage: PipelineStage, message: impl Into<String>, span: hpf_lang::Span) -> Self {
+        PipelineError { stage, message: message.into(), span: Some(span) }
+    }
+
+    /// 1-based source line of the error, if located.
+    pub fn line(&self) -> Option<u32> {
+        self.span.map(|s| s.line)
+    }
+}
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{} error", self.stage.label())?;
+        if let Some(s) = self.span {
+            write!(f, " at line {}", s.line)?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -93,13 +150,23 @@ impl std::error::Error for PipelineError {}
 
 impl From<LangError> for PipelineError {
     fn from(e: LangError) -> Self {
-        PipelineError(e.to_string())
+        let stage = match e.phase {
+            hpf_lang::Phase::Lex | hpf_lang::Phase::Parse => PipelineStage::Parse,
+            hpf_lang::Phase::Sema => PipelineStage::Analyze,
+        };
+        PipelineError { stage, message: e.message, span: Some(e.span) }
     }
 }
 
 impl From<hpf_compiler::CompileError> for PipelineError {
     fn from(e: hpf_compiler::CompileError) -> Self {
-        PipelineError(e.to_string())
+        PipelineError { stage: PipelineStage::Compile, message: e.message, span: Some(e.span) }
+    }
+}
+
+impl From<hpf_eval::EvalError> for PipelineError {
+    fn from(e: hpf_eval::EvalError) -> Self {
+        PipelineError { stage: PipelineStage::Evaluate, message: e.message, span: Some(e.span) }
     }
 }
 

@@ -209,16 +209,24 @@ impl Session {
     fn cmd_predict(&self) -> Result<String, String> {
         let src = self.require_source()?;
         let machine = self.machine();
-        let pred =
-            predict_source_on(src, &machine, &self.popts()).map_err(|e| e.to_string())?;
-        Ok(format!(
+        let (_, spmd) = compile_source(src, machine.nodes, &self.overrides, &self.copts)
+            .map_err(|e| e.to_string())?;
+        let aag = appgraph::build_aag(&spmd);
+        let engine = interp::InterpretationEngine::with_options(&machine, self.iopts.clone());
+        let pred = engine.interpret(&aag);
+        let mut out = String::new();
+        for w in &spmd.warnings {
+            out.push_str(&format!("{w}\n"));
+        }
+        out.push_str(&format!(
             "estimated {:.6} s on {} (comp {:.6}, comm {:.6}, ovhd {:.6})",
             pred.total_seconds(),
             machine.name,
             pred.total.comp,
             pred.total.comm,
             pred.total.overhead
-        ))
+        ));
+        Ok(out)
     }
 
     fn cmd_profile(&self) -> Result<String, String> {

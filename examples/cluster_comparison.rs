@@ -17,8 +17,8 @@ fn main() {
 
     println!("Same applications, two machines ({nodes} nodes each):\n");
     println!(
-        "{:<22} {:>14} {:>14}   {}",
-        "application", "iPSC/860 (s)", "NOW cluster (s)", "winner"
+        "{:<22} {:>14} {:>14}   winner",
+        "application", "iPSC/860 (s)", "NOW cluster (s)"
     );
 
     for (name, size) in [

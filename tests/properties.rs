@@ -165,4 +165,118 @@ proptest! {
         let route = h.route(a, b);
         prop_assert_eq!(route.len() as u32, h.hops(a, b));
     }
+
+    /// Totality of the prediction pipeline on arbitrary text: whatever the
+    /// input, parse → compile → interpret returns `Ok` or `Err` — it never
+    /// panics. (The proptest harness turns a panic into a test failure.)
+    #[test]
+    fn pipeline_total_on_arbitrary_input(src in "\\PC{0,160}") {
+        let _ = hpf90d::predict_source(&src, &hpf90d::PredictOptions::with_nodes(4));
+    }
+
+    /// Same, but with newlines injected so multi-line statements and
+    /// directives are actually reached past the first lexer error.
+    #[test]
+    fn pipeline_total_on_arbitrary_lines(
+        lines in proptest::collection::vec("[ A-Za-z0-9+\\-*/(),.:=!$<>']{0,24}", 0..12),
+    ) {
+        let src = lines.join("\n");
+        let _ = hpf90d::predict_source(&src, &hpf90d::PredictOptions::with_nodes(4));
+        // The functional interpreter must be total too (bounded steps).
+        if let Ok(prog) = parse_program(&src) {
+            if let Ok(a) = analyze(&prog, &BTreeMap::new()) {
+                let _ = hpf90d::eval::run_with_limit(&a, 10_000);
+            }
+        }
+    }
+
+    /// Structured fuzz: programs assembled from a pool of statement
+    /// fragments — valid, subtly invalid, and garbage — wrapped in a real
+    /// header with HPF directives, so the deeper stages (normalization,
+    /// partitioning, communication detection, interpretation) are exercised,
+    /// not just the parser's error path.
+    #[test]
+    fn pipeline_total_on_structured_fuzz(
+        picks in proptest::collection::vec(0usize..16, 0..8),
+        n in 4u32..65,
+        p in 1u32..9,
+    ) {
+        const FRAGMENTS: [&str; 16] = [
+            "A = A + 1.0",
+            "FORALL (I = 1:N) A(I) = B(I)",
+            "FORALL (I = 2:N) A(I) = A(I-1) * 0.5",
+            "DO K = 1, M\nA = A * 2.0\nEND DO",
+            "A(0) = 3.0",
+            "B = CSHIFT(A, 1)",
+            "S = SUM(A)",
+            "WHERE (A > 0.0)\nB = A\nEND WHERE",
+            "A = B(",
+            "X = UNDEFINEDVAR + 1",
+            "!HPF$ DISTRIBUTE A(CYCLIC) ONTO P",
+            "IF (A(1) > 0.5) THEN\nB = A\nEND IF",
+            "@#$%^&",
+            "A = TRANSPOSE(B)",
+            "END",
+            "S = A(K) + B(M)",
+        ];
+        let body: String = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let src = format!(
+            "PROGRAM FUZZ\nINTEGER, PARAMETER :: N = {n}\nREAL A(N), B(N), S, X\nINTEGER K, M\n!HPF$ PROCESSORS P({p})\n!HPF$ DISTRIBUTE A(BLOCK) ONTO P\n!HPF$ DISTRIBUTE B(BLOCK) ONTO P\n{body}\nEND\n"
+        );
+        if let Ok(pred) = hpf90d::predict_source(&src, &hpf90d::PredictOptions::with_nodes(p as usize)) {
+            let t = pred.total_seconds();
+            prop_assert!(t.is_finite() && t >= 0.0, "non-finite prediction {t}");
+        }
+    }
+
+    /// Resilience determinism: an identical `SimConfig` (seed + fault plan)
+    /// yields a byte-identical simulation — every statistic bit-equal and
+    /// the fault-event counts identical — across two independently
+    /// constructed simulators.
+    #[test]
+    fn faulty_simulation_is_deterministic(
+        seed in 0u64..1_000_000,
+        plan_idx in 0usize..5,
+        runs in 1usize..16,
+    ) {
+        use hpf90d::machine::FaultPlan;
+        let plan = match plan_idx {
+            0 => FaultPlan::none(),
+            1 => FaultPlan::degraded_link(0, 1, 4.0),
+            2 => FaultPlan::link_down(0, 2),
+            3 => FaultPlan::slow_node(1, 2.0),
+            _ => FaultPlan::lossy(0.05),
+        };
+        let src = "PROGRAM T\nINTEGER, PARAMETER :: N = 64\nREAL A(N), B(N)\n!HPF$ PROCESSORS P(8)\n!HPF$ DISTRIBUTE A(BLOCK) ONTO P\n!HPF$ DISTRIBUTE B(BLOCK) ONTO P\nFORALL (I = 2:63) B(I) = (A(I-1) + A(I+1)) * 0.5\nA = B\nEND\n";
+        let prog = parse_program(src).unwrap();
+        let analyzed = analyze(&prog, &BTreeMap::new()).unwrap();
+        let opts = hpf90d::compiler::CompileOptions { nodes: 8, ..Default::default() };
+        let spmd = hpf90d::compiler::compile(&analyzed, &opts).unwrap();
+        let machine = hpf90d::machine::ipsc860(8);
+        let run = || {
+            let cfg = hpf90d::sim::SimConfig {
+                runs,
+                seed,
+                faults: plan.clone(),
+                ..Default::default()
+            };
+            hpf90d::sim::Simulator::with_config(&machine, cfg).simulate(&spmd, None)
+        };
+        let (r1, r2) = (run(), run());
+        prop_assert_eq!(r1.mean.to_bits(), r2.mean.to_bits());
+        prop_assert_eq!(r1.std.to_bits(), r2.std.to_bits());
+        prop_assert_eq!(r1.min.to_bits(), r2.min.to_bits());
+        prop_assert_eq!(r1.max.to_bits(), r2.max.to_bits());
+        prop_assert_eq!(r1.comp.to_bits(), r2.comp.to_bits());
+        prop_assert_eq!(r1.comm.to_bits(), r2.comm.to_bits());
+        prop_assert_eq!(r1.overhead.to_bits(), r2.overhead.to_bits());
+        prop_assert_eq!(r1.fault_stats, r2.fault_stats);
+        // Byte-identical replay: the rendered record (floats print their
+        // shortest round-trip form, so equal text ⇔ equal bits).
+        prop_assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    }
 }

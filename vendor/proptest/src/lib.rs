@@ -1,0 +1,217 @@
+//! Offline stub of `proptest`: a deterministic property-test runner
+//! implementing exactly the API surface this workspace uses.
+//!
+//! - [`proptest!`] wrapping `#[test] fn name(arg in strategy, ...) { body }`
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
+//! - strategies: integer/float ranges, regex-subset string literals,
+//!   tuples of strategies, and [`collection::vec`]
+//!
+//! Differences from upstream: a fixed number of cases per property
+//! (`PROPTEST_CASES` env var, default 64), seeds derived from the test name
+//! (reproducible across runs), and no shrinking — the failing case's inputs
+//! are printed instead.
+
+pub mod strategy;
+
+pub use strategy::{Strategy, TestRng};
+
+/// Number of cases each property runs (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Everything the `proptest!` expansion and test bodies reference.
+pub mod prelude {
+    pub use crate::strategy::{Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub mod collection {
+    //! Collection strategies (only `vec` is provided).
+
+    use crate::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `len` and elements
+    /// from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Run one property over `cases()` deterministic cases.
+///
+/// Called by the [`proptest!`] expansion; not public API upstream, but kept
+/// as a plain function here so the macro body stays small.
+pub fn run_property<F: FnMut(u32, &mut TestRng) -> Result<(), String>>(name: &str, mut f: F) {
+    let n = cases();
+    for case in 0..n {
+        // One independent deterministic stream per (test, case).
+        let mut rng = TestRng::for_case(name, case);
+        if let Err(msg) = f(case, &mut rng) {
+            panic!("property `{name}` failed at case {case}/{n}: {msg}");
+        }
+    }
+}
+
+/// `proptest! { #[test] fn prop(x in strat, ...) { body } ... }`
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(stringify!($name), |__case, __rng| {
+                    $(let $arg = $crate::Strategy::sample(&$strat, __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let __run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    __run().map_err(|e| format!("{e}\n  inputs: {}", __inputs))
+                });
+            }
+        )+
+    };
+}
+
+/// Fallible assertion: fails the current case (with context) without
+/// panicking inside the property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (ra, rb) = (&$a, &$b);
+        if !(ra == rb) {
+            return Err(format!("assertion failed: {:?} == {:?}", ra, rb));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (ra, rb) = (&$a, &$b);
+        if !(ra == rb) {
+            return Err(format!(
+                "assertion failed: {:?} == {:?} ({})",
+                ra, rb, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (ra, rb) = (&$a, &$b);
+        if ra == rb {
+            return Err(format!("assertion failed: {:?} != {:?}", ra, rb));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (ra, rb) = (&$a, &$b);
+        if ra == rb {
+            return Err(format!(
+                "assertion failed: {:?} != {:?} ({})",
+                ra, rb, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 5i64..100, y in 0usize..7) {
+            prop_assert!((5..100).contains(&x));
+            prop_assert!(y < 7);
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in crate::collection::vec((0u64..10, 1i32..4), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for (a, b) in &v {
+                prop_assert!(*a < 10);
+                prop_assert!((1..4).contains(b));
+            }
+        }
+
+        #[test]
+        fn regex_char_classes(s in "[a-cX]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| matches!(c, 'a'..='c' | 'X')), "{s:?}");
+        }
+
+        #[test]
+        fn regex_leading_atom(s in "[a-z][0-9_]{0,3}") {
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(cs.all(|c| c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn printable_class_with_newline(s in "[ -~\n]{0,20}") {
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+        }
+
+        #[test]
+        fn unicode_printables(s in "\\PC{0,30}") {
+            prop_assert!(s.chars().count() <= 30);
+            prop_assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!((0u64..10).sample(&mut a), (0u64..10).sample(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "property `boom`")]
+    fn failing_property_panics_with_context() {
+        crate::run_property("boom", |_, _| Err("nope".into()));
+    }
+}

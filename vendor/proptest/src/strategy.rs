@@ -1,0 +1,250 @@
+//! Strategies: deterministic value generators driven by [`TestRng`].
+
+use std::ops::Range;
+
+/// Deterministic SplitMix64 stream for property cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream for one (test, case) pair: FNV-1a over the name, mixed with
+    /// the case index.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);
+
+/// String literals are regex-subset strategies, as in upstream proptest.
+///
+/// Supported syntax (everything this workspace's properties use):
+/// atoms `[class]` (with ranges, escapes, and literal members), `\PC`
+/// (printable: any non-control char), `\n`/`\t`/escaped literals, and plain
+/// characters; each atom may carry a `{m,n}` or `{n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.pool.sample_char(rng));
+            }
+        }
+        out
+    }
+}
+
+/// One pattern atom: a character pool plus a repetition range.
+struct Atom {
+    pool: Pool,
+    min: usize,
+    max: usize,
+}
+
+enum Pool {
+    /// Explicit candidate characters (char classes, literals).
+    Chars(Vec<char>),
+    /// `\PC`: printable (non-control) characters, mostly ASCII with a few
+    /// multibyte representatives.
+    Printable,
+}
+
+impl Pool {
+    fn sample_char(&self, rng: &mut TestRng) -> char {
+        match self {
+            Pool::Chars(cs) => cs[rng.below(cs.len() as u64) as usize],
+            Pool::Printable => {
+                // Bias towards ASCII (realistic program text) but include
+                // multibyte printables to exercise UTF-8 handling.
+                const EXTRA: &[char] = &['é', 'λ', 'Ω', '中', '€', '∀', 'ß', '→'];
+                if rng.below(8) == 0 {
+                    EXTRA[rng.below(EXTRA.len() as u64) as usize]
+                } else {
+                    (0x20 + rng.below(0x5F) as u8) as char
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let pool = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+                let pool = parse_class(&chars[i + 1..close], pat);
+                i = close + 1;
+                pool
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| panic!("dangling \\ in {pat:?}"));
+                i += 1;
+                match c {
+                    'P' => {
+                        // Unicode-category complement; this workspace only
+                        // uses \PC (= not in category "Other": printable).
+                        let cat = *chars.get(i).unwrap_or(&'C');
+                        i += 1;
+                        assert!(cat == 'C', "unsupported category \\P{cat} in {pat:?}");
+                        Pool::Printable
+                    }
+                    'n' => Pool::Chars(vec!['\n']),
+                    't' => Pool::Chars(vec!['\t']),
+                    other => Pool::Chars(vec![other]),
+                }
+            }
+            '.' => {
+                i += 1;
+                Pool::Printable
+            }
+            lit => {
+                i += 1;
+                Pool::Chars(vec![lit])
+            }
+        };
+        // Optional {n} / {m,n} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in {pat:?}");
+        atoms.push(Atom { pool, min, max });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pat: &str) -> Pool {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let c = if body[i] == '\\' {
+            i += 1;
+            match *body.get(i).unwrap_or_else(|| panic!("dangling \\ in class of {pat:?}")) {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            }
+        } else {
+            body[i]
+        };
+        // Range `a-z` (a trailing or leading '-' is a literal).
+        if body.get(i + 1) == Some(&'-') && i + 2 < body.len() {
+            let hi = body[i + 2];
+            for code in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(code) {
+                    out.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class in {pat:?}");
+    Pool::Chars(out)
+}

@@ -1,0 +1,14 @@
+//! Offline stub of `serde`: marker traits plus no-op derive macros.
+//!
+//! The workspace annotates data types with `#[derive(Serialize, Deserialize)]`
+//! but never serializes at runtime (CSV/text output is hand-rolled), so the
+//! traits carry no methods here and the derives (re-exported from the
+//! `serde_derive` stub) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

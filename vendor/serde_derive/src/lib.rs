@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde stub.
+//!
+//! The workspace derives these traits for forward compatibility (and so data
+//! types document their wire-format intent), but nothing serializes at
+//! runtime — so the derives accept the input (including `#[serde(...)]`
+//! attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
