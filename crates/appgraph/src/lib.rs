@@ -43,9 +43,15 @@ pub enum AauKind {
     },
     /// Deterministic conditional: weighted arms (the forall mask's CondtD
     /// child in Figure 2, and IF statements).
-    CondtD { arms: Vec<(f64, Vec<AauId>)>, else_arm: Vec<AauId> },
+    CondtD {
+        arms: Vec<(f64, Vec<AauId>)>,
+        else_arm: Vec<AauId>,
+    },
     /// A communication/synchronization operation.
-    Comm { phase: CommPhase, table_index: usize },
+    Comm {
+        phase: CommPhase,
+        table_index: usize,
+    },
 }
 
 /// One Application Abstraction Unit.
@@ -134,11 +140,12 @@ impl Aag {
                 AauKind::Start => out.push_str(&format!("{pad}Start\n")),
                 AauKind::End => out.push_str(&format!("{pad}End\n")),
                 AauKind::Seq { .. } => out.push_str(&format!("{pad}Seq    {}\n", a.label)),
-                AauKind::Comm { phase, .. } => out.push_str(&format!(
-                    "{pad}Comm   {} {:?}\n",
-                    a.label, phase.op
-                )),
-                AauKind::IterD { trips, comp, body, .. } => {
+                AauKind::Comm { phase, .. } => {
+                    out.push_str(&format!("{pad}Comm   {} {:?}\n", a.label, phase.op))
+                }
+                AauKind::IterD {
+                    trips, comp, body, ..
+                } => {
                     out.push_str(&format!("{pad}IterD  {} x{trips}\n", a.label));
                     if let Some(c) = comp {
                         if c.mask_density_hint.is_some() {
@@ -149,10 +156,7 @@ impl Aag {
                 }
                 AauKind::CondtD { arms, else_arm } => {
                     for (i, (p, b)) in arms.iter().enumerate() {
-                        out.push_str(&format!(
-                            "{pad}CondtD {} arm {i} (p~{p:.2})\n",
-                            a.label
-                        ));
+                        out.push_str(&format!("{pad}CondtD {} arm {i} (p~{p:.2})\n", a.label));
                         self.outline_seq(b, depth + 1, out);
                     }
                     if !else_arm.is_empty() {
@@ -176,7 +180,12 @@ pub struct AagCensus {
 
 /// Build the AAG/SAAG from a compiled SPMD program — the abstraction parse.
 pub fn build_aag(spmd: &SpmdProgram) -> Aag {
-    let mut b = Builder { aaus: Vec::new(), comm_table: Vec::new(), comm_edges: Vec::new() };
+    let _span = hpf_trace::span("build_aag");
+    let mut b = Builder {
+        aaus: Vec::new(),
+        comm_table: Vec::new(),
+        comm_edges: Vec::new(),
+    };
     let start = b.push(AauKind::Start, "start", Span::SYNTHETIC);
     let mut top = vec![start];
     let mut pending_comms: Vec<AauId> = Vec::new();
@@ -185,7 +194,12 @@ pub fn build_aag(spmd: &SpmdProgram) -> Aag {
     }
     let end = b.push(AauKind::End, "end", Span::SYNTHETIC);
     top.push(end);
-    Aag { aaus: b.aaus, top, comm_table: b.comm_table, comm_edges: b.comm_edges }
+    Aag {
+        aaus: b.aaus,
+        top,
+        comm_table: b.comm_table,
+        comm_edges: b.comm_edges,
+    }
 }
 
 struct Builder {
@@ -197,7 +211,12 @@ struct Builder {
 impl Builder {
     fn push(&mut self, kind: AauKind, label: impl Into<String>, span: Span) -> AauId {
         let id = self.aaus.len();
-        self.aaus.push(Aau { id, kind, label: label.into(), span });
+        self.aaus.push(Aau {
+            id,
+            kind,
+            label: label.into(),
+            span,
+        });
         id
     }
 
@@ -218,10 +237,18 @@ impl Builder {
                 }
                 id
             }
-            SpmdNode::Loop { var, trips, estimated, body, span } => {
+            SpmdNode::Loop {
+                var,
+                trips,
+                estimated,
+                body,
+                span,
+            } => {
                 let mut inner_pending = Vec::new();
-                let body_ids: Vec<AauId> =
-                    body.iter().map(|c| self.node(c, &mut inner_pending)).collect();
+                let body_ids: Vec<AauId> = body
+                    .iter()
+                    .map(|c| self.node(c, &mut inner_pending))
+                    .collect();
                 self.push(
                     AauKind::IterD {
                         trips: *trips,
@@ -233,18 +260,33 @@ impl Builder {
                     *span,
                 )
             }
-            SpmdNode::Branch { arms, else_body, span } => {
+            SpmdNode::Branch {
+                arms,
+                else_body,
+                span,
+            } => {
                 let mut built_arms = Vec::new();
                 for (p, body) in arms {
                     let mut inner_pending = Vec::new();
-                    let ids: Vec<AauId> =
-                        body.iter().map(|c| self.node(c, &mut inner_pending)).collect();
+                    let ids: Vec<AauId> = body
+                        .iter()
+                        .map(|c| self.node(c, &mut inner_pending))
+                        .collect();
                     built_arms.push((*p, ids));
                 }
                 let mut inner_pending = Vec::new();
-                let else_ids: Vec<AauId> =
-                    else_body.iter().map(|c| self.node(c, &mut inner_pending)).collect();
-                self.push(AauKind::CondtD { arms: built_arms, else_arm: else_ids }, "if", *span)
+                let else_ids: Vec<AauId> = else_body
+                    .iter()
+                    .map(|c| self.node(c, &mut inner_pending))
+                    .collect();
+                self.push(
+                    AauKind::CondtD {
+                        arms: built_arms,
+                        else_arm: else_ids,
+                    },
+                    "if",
+                    *span,
+                )
             }
         }
     }
@@ -256,7 +298,10 @@ impl Builder {
     fn comm(&mut self, c: &CommPhase) -> AauId {
         let table_index = self.comm_table.len();
         let id = self.push(
-            AauKind::Comm { phase: c.clone(), table_index },
+            AauKind::Comm {
+                phase: c.clone(),
+                table_index,
+            },
             c.label.clone(),
             c.span,
         );
@@ -294,7 +339,14 @@ mod tests {
     fn aag_for(src: &str, nodes: usize) -> Aag {
         let p = parse_program(src).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
-        let spmd = compile(&a, &CompileOptions { nodes, ..Default::default() }).unwrap();
+        let spmd = compile(
+            &a,
+            &CompileOptions {
+                nodes,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         build_aag(&spmd)
     }
 
@@ -401,7 +453,10 @@ END
     fn start_end_bracket_top() {
         let aag = aag_for(FIG2, 4);
         assert!(matches!(aag.aau(aag.top[0]).kind, AauKind::Start));
-        assert!(matches!(aag.aau(*aag.top.last().unwrap()).kind, AauKind::End));
+        assert!(matches!(
+            aag.aau(*aag.top.last().unwrap()).kind,
+            AauKind::End
+        ));
     }
 
     #[test]
@@ -422,7 +477,14 @@ mod more_tests {
     fn aag_for(src: &str, nodes: usize) -> Aag {
         let p = parse_program(src).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
-        let spmd = compile(&a, &CompileOptions { nodes, ..Default::default() }).unwrap();
+        let spmd = compile(
+            &a,
+            &CompileOptions {
+                nodes,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         build_aag(&spmd)
     }
 

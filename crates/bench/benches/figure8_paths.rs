@@ -7,7 +7,9 @@ use report::pipeline::{predict_source, simulate_source, PredictOptions, Simulate
 use std::hint::black_box;
 
 fn bench_paths(c: &mut Criterion) {
-    let src = kernels::kernel_by_name("Laplace (Blk-X)").unwrap().source(128, 4);
+    let src = kernels::kernel_by_name("Laplace (Blk-X)")
+        .unwrap()
+        .source(128, 4);
     let mut g = c.benchmark_group("figure8");
     g.sample_size(10);
     g.bench_function("interpreter_path", |b| {

@@ -21,7 +21,11 @@ fn bench_laplace(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures4_5");
     g.sample_size(10);
     for procs in [4usize, 8] {
-        for dist in [LaplaceDist::BlockBlock, LaplaceDist::BlockStar, LaplaceDist::StarBlock] {
+        for dist in [
+            LaplaceDist::BlockBlock,
+            LaplaceDist::BlockStar,
+            LaplaceDist::StarBlock,
+        ] {
             let src = kernel(dist).source(128, procs);
             g.bench_function(format!("estimate/{}/p{procs}", dist.label()), |b| {
                 b.iter(|| {

@@ -11,14 +11,18 @@ use std::collections::BTreeMap;
 use std::hint::black_box;
 
 fn laplace_src() -> String {
-    kernels::kernel_by_name("Laplace (Blk-X)").unwrap().source(256, 4)
+    kernels::kernel_by_name("Laplace (Blk-X)")
+        .unwrap()
+        .source(256, 4)
 }
 
 fn bench_pipeline(c: &mut Criterion) {
     let src = laplace_src();
     let mut g = c.benchmark_group("pipeline");
 
-    g.bench_function("parse", |b| b.iter(|| parse_program(black_box(&src)).unwrap()));
+    g.bench_function("parse", |b| {
+        b.iter(|| parse_program(black_box(&src)).unwrap())
+    });
 
     let parsed = parse_program(&src).unwrap();
     g.bench_function("analyze", |b| {
@@ -26,7 +30,10 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     let analyzed = analyze(&parsed, &BTreeMap::new()).unwrap();
-    let copts = CompileOptions { nodes: 4, ..Default::default() };
+    let copts = CompileOptions {
+        nodes: 4,
+        ..Default::default()
+    };
     g.bench_function("compile_phase1", |b| {
         b.iter(|| compile(black_box(&analyzed), &copts).unwrap())
     });

@@ -1,0 +1,157 @@
+//! The fixed benchmark suite: Laplace pipeline cases across sizes × proc
+//! counts, a trimmed Table 2 sweep, and a trimmed fault-injection sweep.
+//! Case names are part of the `BENCH_pipeline.json` schema — renaming one
+//! makes the CI compare job fail with a `Missing` finding, deliberately.
+
+use report::experiments::{table2, SweepConfig};
+use report::faults::{default_plans, fault_experiment, FaultExperimentConfig};
+use report::{predict_source, simulate_source, PredictOptions, SimulateOptions};
+use std::time::Duration;
+
+/// Which suite to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteKind {
+    /// CI-sized: one Laplace configuration, tiny table2/fault sweeps.
+    Quick,
+    /// The full trajectory suite (Laplace size × proc grid).
+    Full,
+}
+
+impl SuiteKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuiteKind::Quick => "quick",
+            SuiteKind::Full => "full",
+        }
+    }
+}
+
+/// One benchmark case: a stable name and a closure that runs the workload
+/// once (the runner handles warm-up, iteration, and span collection).
+pub struct BenchCase {
+    pub name: String,
+    pub run: Box<dyn Fn() + Send + Sync>,
+}
+
+/// Predict + simulate one Laplace (Blk-X) configuration — the end-to-end
+/// pipeline case. `sim_runs` is kept small: the bench measures stage cost,
+/// not statistics quality.
+fn laplace_case(size: usize, procs: usize, sim_runs: usize) -> BenchCase {
+    BenchCase {
+        name: format!("laplace_bx_n{size}_p{procs}"),
+        run: Box::new(move || {
+            let kernel = kernels::kernel_by_name("Laplace (Blk-X)").expect("kernel");
+            let src = kernel.source(size, procs);
+            let popts = PredictOptions::with_nodes(procs);
+            let pred = predict_source(&src, &popts).expect("predicts");
+            assert!(pred.total_seconds() > 0.0);
+            let mut sopts = SimulateOptions::with_nodes(procs);
+            sopts.sim.runs = sim_runs;
+            let meas = simulate_source(&src, &sopts).expect("simulates");
+            assert!(meas.measured() > 0.0);
+        }),
+    }
+}
+
+/// The Table 2 accuracy sweep, trimmed for benching: exercises the batch
+/// harness (worker threads, isolation) plus every kernel's pipeline.
+fn table2_case(max_size: usize, runs: usize) -> BenchCase {
+    BenchCase {
+        name: format!("table2_sweep_s{max_size}_r{runs}"),
+        run: Box::new(move || {
+            let cfg = SweepConfig {
+                proc_counts: vec![1, 4],
+                max_size: Some(max_size),
+                runs,
+                profile_steps: 2_000_000,
+                harness: report::HarnessConfig {
+                    timeout: Some(Duration::from_secs(60)),
+                    retries: 0,
+                },
+            };
+            let out = table2(&cfg);
+            assert!(!out.rows.is_empty(), "sweep produced no rows");
+        }),
+    }
+}
+
+/// The fault-injection campaign (all five standard plans) at bench size:
+/// exercises the degraded predictor and the fault-aware network walk.
+fn faults_case(size: usize, procs: usize, runs: usize) -> BenchCase {
+    BenchCase {
+        name: format!("faults_sweep_n{size}_p{procs}"),
+        run: Box::new(move || {
+            let cfg = FaultExperimentConfig {
+                kernel: "Laplace (Blk-X)".into(),
+                size,
+                procs,
+                runs,
+                profile_steps: 2_000_000,
+                plans: default_plans(),
+            };
+            let rows = fault_experiment(&cfg).expect("fault experiment runs");
+            assert_eq!(rows.len(), default_plans().len());
+        }),
+    }
+}
+
+/// Build the suite. Case order is stable (it is the file order in the
+/// report); the Quick suite is a strict subset of Full case names so a
+/// quick report can be compared against a full baseline.
+pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
+    match kind {
+        SuiteKind::Quick => vec![
+            laplace_case(64, 4, 30),
+            table2_case(128, 20),
+            faults_case(64, 4, 30),
+        ],
+        SuiteKind::Full => vec![
+            laplace_case(64, 4, 30),
+            laplace_case(128, 4, 30),
+            laplace_case(128, 8, 30),
+            laplace_case(256, 8, 30),
+            table2_case(128, 20),
+            table2_case(512, 50),
+            faults_case(64, 4, 30),
+            faults_case(256, 8, 100),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_is_subset_of_full() {
+        let quick: Vec<String> = bench_suite(SuiteKind::Quick)
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let full: Vec<String> = bench_suite(SuiteKind::Full)
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        for name in &quick {
+            assert!(
+                full.contains(name),
+                "quick case {name} missing from full suite"
+            );
+        }
+    }
+
+    #[test]
+    fn case_names_are_unique() {
+        for kind in [SuiteKind::Quick, SuiteKind::Full] {
+            let mut names: Vec<String> = bench_suite(kind).iter().map(|c| c.name.clone()).collect();
+            let before = names.len();
+            names.sort();
+            names.dedup();
+            assert_eq!(
+                names.len(),
+                before,
+                "{kind:?} suite has duplicate case names"
+            );
+        }
+    }
+}

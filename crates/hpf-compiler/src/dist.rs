@@ -55,7 +55,11 @@ pub enum DimDist {
     Collapsed,
     /// BLOCK over processor-grid dimension `pdim` (`pcount` processors,
     /// blocks of `block` template cells).
-    Block { pdim: usize, pcount: i64, block: i64 },
+    Block {
+        pdim: usize,
+        pcount: i64,
+        block: i64,
+    },
     /// (Block-)CYCLIC over processor-grid dimension `pdim`: round-robin
     /// blocks of `k` template cells (`k = 1` is pure CYCLIC).
     Cyclic { pdim: usize, pcount: i64, k: i64 },
@@ -239,13 +243,19 @@ pub fn partition(
     // 1. The processor arrangement: last PROCESSORS directive wins; the
     //    override rescales the total while keeping the shape ratio when it
     //    can (exact grid reshaping is the caller's business via directives).
-    let mut grid = ProcGrid { name: "P".into(), extents: vec![1] };
+    let mut grid = ProcGrid {
+        name: "P".into(),
+        extents: vec![1],
+    };
     for d in &analyzed.program.directives {
         if let Directive::Processors { name, .. } = d {
             if let Some(SymbolKind::Processors { shape }) =
                 analyzed.symbols.get(name).map(|s| &s.kind)
             {
-                grid = ProcGrid { name: name.clone(), extents: shape.clone() };
+                grid = ProcGrid {
+                    name: name.clone(),
+                    extents: shape.clone(),
+                };
             }
         }
     }
@@ -278,7 +288,13 @@ pub fn partition(
         }
     }
     for d in &analyzed.program.directives {
-        if let Directive::Distribute { target, formats, span, .. } = d {
+        if let Directive::Distribute {
+            target,
+            formats,
+            span,
+            ..
+        } = d
+        {
             match templates.get_mut(target) {
                 Some(t) => t.formats = formats.clone(),
                 None => {
@@ -297,7 +313,10 @@ pub fn partition(
                         .to_vec();
                     templates.insert(
                         target.clone(),
-                        TemplateDist { shape, formats: formats.clone() },
+                        TemplateDist {
+                            shape,
+                            formats: formats.clone(),
+                        },
                     );
                 }
             }
@@ -324,11 +343,21 @@ pub fn partition(
     // 3. Compose alignments.
     let mut arrays: BTreeMap<String, ArrayDist> = BTreeMap::new();
     for d in &analyzed.program.directives {
-        if let Directive::Align { alignee, dummies, target, target_subs, span } = d {
-            let sym = analyzed.symbols.get(alignee).ok_or_else(|| PartitionError {
-                message: format!("ALIGN of unknown `{alignee}`"),
-                span: *span,
-            })?;
+        if let Directive::Align {
+            alignee,
+            dummies,
+            target,
+            target_subs,
+            span,
+        } = d
+        {
+            let sym = analyzed
+                .symbols
+                .get(alignee)
+                .ok_or_else(|| PartitionError {
+                    message: format!("ALIGN of unknown `{alignee}`"),
+                    span: *span,
+                })?;
             let bounds = sym
                 .shape()
                 .ok_or_else(|| PartitionError {
@@ -352,7 +381,11 @@ pub fn partition(
             let subs: Vec<AlignSub> = if target_subs.is_empty() {
                 dummies
                     .iter()
-                    .map(|d| AlignSub::Affine { dummy: d.clone(), stride: 1, offset: 0 })
+                    .map(|d| AlignSub::Affine {
+                        dummy: d.clone(),
+                        stride: 1,
+                        offset: 0,
+                    })
                     .collect()
             } else {
                 target_subs.clone()
@@ -360,13 +393,20 @@ pub fn partition(
             let mut align = vec![(1i64, 0i64); bounds.len()];
             let mut dims = vec![DimDist::Collapsed; bounds.len()];
             for (tdim, sub) in subs.iter().enumerate() {
-                if let AlignSub::Affine { dummy, stride, offset } = sub {
-                    let adim = dummies.iter().position(|x| x == dummy).ok_or_else(|| {
-                        PartitionError {
-                            message: format!("align dummy `{dummy}` not declared"),
-                            span: *span,
-                        }
-                    })?;
+                if let AlignSub::Affine {
+                    dummy,
+                    stride,
+                    offset,
+                } = sub
+                {
+                    let adim =
+                        dummies
+                            .iter()
+                            .position(|x| x == dummy)
+                            .ok_or_else(|| PartitionError {
+                                message: format!("align dummy `{dummy}` not declared"),
+                                span: *span,
+                            })?;
                     // Template cells are normalized to 0-based.
                     let tlb = tdist.shape[tdim].0;
                     align[adim] = (*stride, *offset - tlb);
@@ -384,11 +424,19 @@ pub fn partition(
                         }
                         DistFormat::Cyclic => {
                             let pdim = pdims[tdim].expect("distributed dim has pdim");
-                            DimDist::Cyclic { pdim, pcount: grid.extents[pdim], k: 1 }
+                            DimDist::Cyclic {
+                                pdim,
+                                pcount: grid.extents[pdim],
+                                k: 1,
+                            }
                         }
                         DistFormat::CyclicK(k) => {
                             let pdim = pdims[tdim].expect("distributed dim has pdim");
-                            DimDist::Cyclic { pdim, pcount: grid.extents[pdim], k }
+                            DimDist::Cyclic {
+                                pdim,
+                                pcount: grid.extents[pdim],
+                                k,
+                            }
                         }
                     };
                 }
@@ -427,15 +475,27 @@ pub fn partition(
                         DistFormat::Block => {
                             let pdim = pdims[tdim].expect("pdim");
                             let pcount = grid.extents[pdim];
-                            DimDist::Block { pdim, pcount, block: (textent + pcount - 1) / pcount }
+                            DimDist::Block {
+                                pdim,
+                                pcount,
+                                block: (textent + pcount - 1) / pcount,
+                            }
                         }
                         DistFormat::Cyclic => {
                             let pdim = pdims[tdim].expect("pdim");
-                            DimDist::Cyclic { pdim, pcount: grid.extents[pdim], k: 1 }
+                            DimDist::Cyclic {
+                                pdim,
+                                pcount: grid.extents[pdim],
+                                k: 1,
+                            }
                         }
                         DistFormat::CyclicK(k) => {
                             let pdim = pdims[tdim].expect("pdim");
-                            DimDist::Cyclic { pdim, pcount: grid.extents[pdim], k }
+                            DimDist::Cyclic {
+                                pdim,
+                                pcount: grid.extents[pdim],
+                                k,
+                            }
                         }
                     };
                 }
@@ -459,7 +519,11 @@ pub fn partition(
         if sym.is_array() && !arrays.contains_key(name) {
             arrays.insert(
                 name.clone(),
-                ArrayDist::replicated(name, sym.shape().expect("array").to_vec(), sym.ty.byte_size()),
+                ArrayDist::replicated(
+                    name,
+                    sym.shape().expect("array").to_vec(),
+                    sym.ty.byte_size(),
+                ),
             );
         }
     }
@@ -485,7 +549,10 @@ pub fn reshape_grid(grid: &ProcGrid, n: usize) -> ProcGrid {
             remaining = 1;
         }
     }
-    ProcGrid { name: grid.name.clone(), extents }
+    ProcGrid {
+        name: grid.name.clone(),
+        extents,
+    }
 }
 
 #[cfg(test)]
@@ -518,7 +585,14 @@ END
         assert_eq!(t.grid.total(), 4);
         let u = t.get("U").unwrap();
         assert!(!u.replicated);
-        assert!(matches!(u.dims[0], DimDist::Block { pcount: 4, block: 4, .. }));
+        assert!(matches!(
+            u.dims[0],
+            DimDist::Block {
+                pcount: 4,
+                block: 4,
+                ..
+            }
+        ));
         assert_eq!(u.dims[1], DimDist::Collapsed);
         // Rows 1..4 on coord 0, 5..8 on coord 1, etc.
         assert_eq!(u.owner_coord(0, 1), 0);
@@ -535,8 +609,7 @@ END
         let u = t.get("U").unwrap();
         // every index owned by exactly one coord
         for i in 1..=16 {
-            let owners: Vec<i64> =
-                (0..4).filter(|&c| u.owner_coord(0, i) == c).collect();
+            let owners: Vec<i64> = (0..4).filter(|&c| u.owner_coord(0, i) == c).collect();
             assert_eq!(owners.len(), 1, "index {i}");
         }
         let total: i64 = (0..4).map(|c| u.local_extent(0, c)).sum();
@@ -635,7 +708,14 @@ END
 ";
         let t = table(src, None);
         let a = t.get("A").unwrap();
-        assert!(matches!(a.dims[0], DimDist::Block { pcount: 2, block: 4, .. }));
+        assert!(matches!(
+            a.dims[0],
+            DimDist::Block {
+                pcount: 2,
+                block: 4,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -650,7 +730,10 @@ END
 
     #[test]
     fn reshape_grid_factors() {
-        let g = ProcGrid { name: "P".into(), extents: vec![2, 2] };
+        let g = ProcGrid {
+            name: "P".into(),
+            extents: vec![2, 2],
+        };
         let r = reshape_grid(&g, 8);
         assert_eq!(r.total(), 8);
         assert_eq!(r.extents.len(), 2);
@@ -660,7 +743,10 @@ END
 
     #[test]
     fn grid_coords_roundtrip() {
-        let g = ProcGrid { name: "P".into(), extents: vec![2, 4] };
+        let g = ProcGrid {
+            name: "P".into(),
+            extents: vec![2, 4],
+        };
         for n in 0..8 {
             assert_eq!(g.node_of(&g.coords(n)), n);
         }

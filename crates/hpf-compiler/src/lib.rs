@@ -32,7 +32,9 @@ pub fn flatten_phases(nodes: &[SpmdNode], out: &mut Vec<SpmdNode>) {
     for n in nodes {
         match n {
             SpmdNode::Loop { body, .. } => flatten_phases(body, out),
-            SpmdNode::Branch { arms, else_body, .. } => {
+            SpmdNode::Branch {
+                arms, else_body, ..
+            } => {
                 for (_, b) in arms {
                     flatten_phases(b, out);
                 }

@@ -69,16 +69,31 @@ impl std::error::Error for CompileError {}
 type CResult<T> = Result<T, CompileError>;
 
 fn cerr<T>(message: impl Into<String>, span: Span) -> CResult<T> {
-    Err(CompileError { message: message.into(), span })
+    Err(CompileError {
+        message: message.into(),
+        span,
+    })
 }
 
 /// Compile an analyzed program to the SPMD IR.
 pub fn compile(analyzed: &AnalyzedProgram, opts: &CompileOptions) -> CResult<SpmdProgram> {
-    let normalized = normalize(analyzed)
-        .map_err(|e| CompileError { message: e.message, span: e.span })?;
-    let dist = crate::dist::partition(analyzed, Some(opts.nodes))
-        .map_err(|e| CompileError { message: e.message, span: e.span })?;
+    let _span = hpf_trace::span("compile");
+    let normalized = {
+        let _s = hpf_trace::span("normalize");
+        normalize(analyzed).map_err(|e| CompileError {
+            message: e.message,
+            span: e.span,
+        })?
+    };
+    let dist = {
+        let _s = hpf_trace::span("partition");
+        crate::dist::partition(analyzed, Some(opts.nodes)).map_err(|e| CompileError {
+            message: e.message,
+            span: e.span,
+        })?
+    };
 
+    let _lower_span = hpf_trace::span("lower");
     let mut lw = Lower {
         analyzed,
         dist: &dist,
@@ -151,10 +166,7 @@ impl<'a> Lower<'a> {
             Ok(v) => v,
             Err(err) => {
                 self.warnings.push(CompileWarning {
-                    message: format!(
-                        "{}; assuming worst-case bound {default}",
-                        err.message
-                    ),
+                    message: format!("{}; assuming worst-case bound {default}", err.message),
                     span: e.span(),
                 });
                 default
@@ -180,7 +192,14 @@ impl<'a> Lower<'a> {
         match st {
             Stmt::Forall { header, body, span } => self.lower_forall(header, body, *span, out),
             Stmt::Assign { lhs, rhs, span } => self.lower_scalar_assign(lhs, rhs, *span, out),
-            Stmt::Do { var, lo, hi, step, body, span } => {
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => {
                 let worst = self.worst_case_extent();
                 let lo_v = self.eval_bound(lo, 1);
                 let hi_v = self.eval_bound(hi, worst);
@@ -266,7 +285,11 @@ impl<'a> Lower<'a> {
                 });
                 Ok(())
             }
-            Stmt::If { arms, else_body, span } => {
+            Stmt::If {
+                arms,
+                else_body,
+                span,
+            } => {
                 let mut spmd_arms = Vec::new();
                 for (cond, body) in arms {
                     let mut inner = Vec::new();
@@ -285,7 +308,11 @@ impl<'a> Lower<'a> {
                 for s in else_body {
                     self.stmt(s, &mut els)?;
                 }
-                out.push(SpmdNode::Branch { arms: spmd_arms, else_body: els, span: *span });
+                out.push(SpmdNode::Branch {
+                    arms: spmd_arms,
+                    else_body: els,
+                    span: *span,
+                });
                 Ok(())
             }
             Stmt::Print { items, span } => {
@@ -294,16 +321,19 @@ impl<'a> Lower<'a> {
                     ops += count_expr(e, self.analyzed, &BTreeMap::new());
                 }
                 ops.calls += 1.0; // I/O library call
-                out.push(SpmdNode::Seq(SeqBlock { label: "print".into(), span: *span, ops }));
+                out.push(SpmdNode::Seq(SeqBlock {
+                    label: "print".into(),
+                    span: *span,
+                    ops,
+                }));
                 Ok(())
             }
             Stmt::Stop { .. } => Ok(()),
-            Stmt::Where { span, .. } => {
-                cerr("WHERE should have been normalized away", *span)
-            }
-            Stmt::Call { name, span, .. } => {
-                cerr(format!("CALL `{name}`: user procedures are outside the subset"), *span)
-            }
+            Stmt::Where { span, .. } => cerr("WHERE should have been normalized away", *span),
+            Stmt::Call { name, span, .. } => cerr(
+                format!("CALL `{name}`: user procedures are outside the subset"),
+                *span,
+            ),
         }
     }
 
@@ -331,7 +361,13 @@ impl<'a> Lower<'a> {
         for st in body {
             if let Stmt::Assign { lhs, rhs, .. } = st {
                 if lhs.name == var && lhs.subs.is_empty() {
-                    if let Expr::Binary { op: BinOp::Div, lhs: l, rhs: r, .. } = rhs {
+                    if let Expr::Binary {
+                        op: BinOp::Div,
+                        lhs: l,
+                        rhs: r,
+                        ..
+                    } = rhs
+                    {
                         if matches!(l.as_ref(), Expr::Ref(rr) if rr.name == var && rr.subs.is_empty())
                         {
                             if let Expr::IntLit(kk, _) = r.as_ref() {
@@ -407,8 +443,15 @@ impl<'a> Lower<'a> {
             for n in 0..nodes {
                 per_node.push(ad.local_elems(&self.dist.grid.coords(n)));
             }
-            let total: u64 = if ad.replicated { ad.elems() } else { per_node.iter().sum() };
-            let mut per_iter = OpCounts { loads: 1.0, ..OpCounts::zero() };
+            let total: u64 = if ad.replicated {
+                ad.elems()
+            } else {
+                per_node.iter().sum()
+            };
+            let mut per_iter = OpCounts {
+                loads: 1.0,
+                ..OpCounts::zero()
+            };
             per_iter.index += 1.0;
             let (op, label) = match intr {
                 Intrinsic::Sum => {
@@ -470,9 +513,16 @@ impl<'a> Lower<'a> {
         }
 
         // Residual scalar work combining the reduction results.
-        let mut ops = OpCounts { stores: 1.0, ..OpCounts::zero() };
+        let mut ops = OpCounts {
+            stores: 1.0,
+            ..OpCounts::zero()
+        };
         ops += count_residual(rhs, self.analyzed);
-        out.push(SpmdNode::Seq(SeqBlock { label: format!("{} = …", lhs.name), span, ops }));
+        out.push(SpmdNode::Seq(SeqBlock {
+            label: format!("{} = …", lhs.name),
+            span,
+            ops,
+        }));
         Ok(())
     }
 
@@ -504,16 +554,24 @@ impl<'a> Lower<'a> {
             if st == 0 {
                 return cerr("forall stride of zero", span);
             }
-            trips.push(TripletR { var: t.var.clone(), lo, hi, st });
+            trips.push(TripletR {
+                var: t.var.clone(),
+                lo,
+                hi,
+                st,
+            });
         }
         let count_of = |t: &TripletR| -> u64 { (((t.hi - t.lo) / t.st) + 1).max(0) as u64 };
-        let dummies: BTreeMap<String, ()> =
-            trips.iter().map(|t| (t.var.clone(), ())).collect();
+        let dummies: BTreeMap<String, ()> = trips.iter().map(|t| (t.var.clone(), ())).collect();
 
         for st_body in body {
             let (lhs, rhs) = match st_body {
                 Stmt::Assign { lhs, rhs, .. } => (lhs, rhs),
-                Stmt::Forall { header: h2, body: b2, span: s2 } => {
+                Stmt::Forall {
+                    header: h2,
+                    body: b2,
+                    span: s2,
+                } => {
                     // Nested forall: lower independently (iteration-space
                     // product is approximated by scaling inside a Loop).
                     let outer: u64 = trips.iter().map(count_of).product();
@@ -572,9 +630,8 @@ impl<'a> Lower<'a> {
                             let c = self.dist.grid.coords(n)[pdim];
                             // index values: a*dummy+b over dummy range
                             let (ilo, ihi, ist) = (a * t.lo + b, a * t.hi + b, a * t.st);
-                            *pn = pn.saturating_mul(lhs_dist.owned_count_in_range(
-                                d, c, ilo, ihi, ist,
-                            ));
+                            *pn = pn
+                                .saturating_mul(lhs_dist.owned_count_in_range(d, c, ilo, ihi, ist));
                         }
                     }
                     _ => {
@@ -598,7 +655,13 @@ impl<'a> Lower<'a> {
                 collect_refs(e, &mut refs);
                 for r in refs {
                     if let Some(ph) = self.classify_ref(
-                        &r, lhs, lhs_dist, &dummy_dim, &dummies, &trip_counts, nodes,
+                        &r,
+                        lhs,
+                        lhs_dist,
+                        &dummy_dim,
+                        &dummies,
+                        &trip_counts,
+                        nodes,
                     )? {
                         merge_phase(phases, ph);
                     }
@@ -617,7 +680,11 @@ impl<'a> Lower<'a> {
                 Some(m) => {
                     let mut mask_ops = count_expr(m, self.analyzed, &dummies);
                     mask_ops.branches += 1.0;
-                    (mask_ops, Some(assign_ops), Some(self.opts.mask_density_hint))
+                    (
+                        mask_ops,
+                        Some(assign_ops),
+                        Some(self.opts.mask_density_hint),
+                    )
                 }
             };
 
@@ -629,7 +696,10 @@ impl<'a> Lower<'a> {
             let locality = if self.opts.loop_reorder {
                 // optimizer picks a stride-1 ordering when some dummy
                 // indexes dim 0
-                if trips.iter().any(|t| dummy_dim.get(&t.var).map(|&(d, ..)| d) == Some(0)) {
+                if trips
+                    .iter()
+                    .any(|t| dummy_dim.get(&t.var).map(|&(d, ..)| d) == Some(0))
+                {
                     1.0
                 } else {
                     self.inner_locality(&trips.last().map(|t| t.var.clone()), &dummy_dim, lhs_dist)
@@ -703,7 +773,9 @@ impl<'a> Lower<'a> {
         lhs_dist: &ArrayDist,
     ) -> f64 {
         let Some(var) = inner_var else { return 1.0 };
-        let Some(&(d, _, _)) = dummy_dim.get(var) else { return 0.5 };
+        let Some(&(d, _, _)) = dummy_dim.get(var) else {
+            return 0.5;
+        };
         if d == 0 {
             return 1.0; // first dimension: unit stride in column-major
         }
@@ -734,7 +806,9 @@ impl<'a> Lower<'a> {
         if r.subs.is_empty() {
             return Ok(None); // scalar
         }
-        let Some(rd) = self.dist.get(&r.name) else { return Ok(None) };
+        let Some(rd) = self.dist.get(&r.name) else {
+            return Ok(None);
+        };
         if rd.replicated {
             return Ok(None);
         }
@@ -822,11 +896,7 @@ impl<'a> Lower<'a> {
                                 // the last dimension (column-major hyperplane).
                                 let contiguous = d == rd.rank() - 1 || rd.rank() == 1;
                                 consider(CommPhase {
-                                    label: format!(
-                                        "shift {} (δ={t_off}, dim {})",
-                                        r.name,
-                                        d + 1
-                                    ),
+                                    label: format!("shift {} (δ={t_off}, dim {})", r.name, d + 1),
                                     span: r.span,
                                     op: CollectiveOp::Shift,
                                     bytes_per_node: (delta * cross * elem).max(1),
@@ -891,8 +961,7 @@ impl<'a> Lower<'a> {
                         label: format!("gather {} (indirect)", r.name),
                         span: r.span,
                         op: CollectiveOp::Gather,
-                        bytes_per_node: (per_node_iters * elem * (nodes as u64 - 1)
-                            / nodes as u64)
+                        bytes_per_node: (per_node_iters * elem * (nodes as u64 - 1) / nodes as u64)
                             .max(1),
                         participants: nodes,
                         contiguous: false,
@@ -927,10 +996,7 @@ fn merge_phase(phases: &mut Vec<CommPhase>, ph: CommPhase) {
 
 /// Decompose `e` as `a*dummy + b`; `Some((None, 0, c))` for constants;
 /// `None` for non-affine.
-fn affine_in(
-    e: &Expr,
-    dummies: &BTreeMap<String, ()>,
-) -> Option<(Option<String>, i64, i64)> {
+fn affine_in(e: &Expr, dummies: &BTreeMap<String, ()>) -> Option<(Option<String>, i64, i64)> {
     match e {
         Expr::IntLit(v, _) => Some((None, 0, *v)),
         Expr::Ref(r) if r.subs.is_empty() => {
@@ -942,7 +1008,11 @@ fn affine_in(
                 Some((None, 0, 0))
             }
         }
-        Expr::Unary { op: UnOp::Neg, operand, .. } => {
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+            ..
+        } => {
             let (v, a, b) = affine_in(operand, dummies)?;
             Some((v, -a, -b))
         }
@@ -975,15 +1045,14 @@ fn affine_in(
 /// Collect all array references in an expression.
 fn collect_refs(e: &Expr, out: &mut Vec<DataRef>) {
     match e {
-        Expr::Ref(r)
-            if !r.subs.is_empty() => {
-                out.push(r.clone());
-                for s in &r.subs {
-                    if let Subscript::Index(ix) = s {
-                        collect_refs(ix, out);
-                    }
+        Expr::Ref(r) if !r.subs.is_empty() => {
+            out.push(r.clone());
+            for s in &r.subs {
+                if let Subscript::Index(ix) = s {
+                    collect_refs(ix, out);
                 }
             }
+        }
         Expr::Intrinsic { args, .. } => {
             for a in args {
                 collect_refs(a, out);

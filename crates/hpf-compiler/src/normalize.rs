@@ -27,7 +27,10 @@ type NResult<T> = Result<T, NormalizeError>;
 
 /// Normalize the executable part of a program.
 pub fn normalize(analyzed: &AnalyzedProgram) -> NResult<Vec<Stmt>> {
-    let n = Normalizer { analyzed, fresh: std::cell::Cell::new(0) };
+    let n = Normalizer {
+        analyzed,
+        fresh: std::cell::Cell::new(0),
+    };
     let mut out = Vec::new();
     for st in &analyzed.program.body {
         out.push(n.stmt(st)?);
@@ -70,14 +73,23 @@ impl<'a> Normalizer<'a> {
                     st.clone()
                 }
             }
-            Stmt::Where { mask, body, elsewhere, span } => {
+            Stmt::Where {
+                mask,
+                body,
+                elsewhere,
+                span,
+            } => {
                 // WHERE → one forall per assignment, masked; ELSEWHERE gets
                 // the negated mask.
                 let mut stmts = Vec::new();
                 for (arm, negate) in [(body, false), (elsewhere, true)] {
                     for s in arm.iter() {
                         match s {
-                            Stmt::Assign { lhs, rhs, span: aspan } => {
+                            Stmt::Assign {
+                                lhs,
+                                rhs,
+                                span: aspan,
+                            } => {
                                 let mut f = self.arrayize(lhs, rhs, *aspan)?;
                                 if let Stmt::Forall { header, .. } = &mut f {
                                     let m = self.rewrite_elemental(
@@ -136,26 +148,52 @@ impl<'a> Normalizer<'a> {
                         other => self.stmt(other),
                     })
                     .collect::<NResult<Vec<_>>>()?;
-                Stmt::Forall { header: header.clone(), body, span: *span }
+                Stmt::Forall {
+                    header: header.clone(),
+                    body,
+                    span: *span,
+                }
             }
-            Stmt::Do { var, lo, hi, step, body, span } => Stmt::Do {
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => Stmt::Do {
                 var: var.clone(),
                 lo: lo.clone(),
                 hi: hi.clone(),
                 step: step.clone(),
-                body: body.iter().map(|s| self.stmt(s)).collect::<NResult<Vec<_>>>()?,
+                body: body
+                    .iter()
+                    .map(|s| self.stmt(s))
+                    .collect::<NResult<Vec<_>>>()?,
                 span: *span,
             },
             Stmt::DoWhile { cond, body, span } => Stmt::DoWhile {
                 cond: cond.clone(),
-                body: body.iter().map(|s| self.stmt(s)).collect::<NResult<Vec<_>>>()?,
+                body: body
+                    .iter()
+                    .map(|s| self.stmt(s))
+                    .collect::<NResult<Vec<_>>>()?,
                 span: *span,
             },
-            Stmt::If { arms, else_body, span } => Stmt::If {
+            Stmt::If {
+                arms,
+                else_body,
+                span,
+            } => Stmt::If {
                 arms: arms
                     .iter()
                     .map(|(c, b)| {
-                        Ok((c.clone(), b.iter().map(|s| self.stmt(s)).collect::<NResult<Vec<_>>>()?))
+                        Ok((
+                            c.clone(),
+                            b.iter()
+                                .map(|s| self.stmt(s))
+                                .collect::<NResult<Vec<_>>>()?,
+                        ))
                     })
                     .collect::<NResult<Vec<_>>>()?,
                 else_body: else_body
@@ -222,10 +260,21 @@ impl<'a> Normalizer<'a> {
         }
 
         let body_rhs = self.rewrite_elemental(rhs, &triplets, lhs)?;
-        let new_lhs = DataRef { name: lhs.name.clone(), subs: new_subs, span: lhs.span };
+        let new_lhs = DataRef {
+            name: lhs.name.clone(),
+            subs: new_subs,
+            span: lhs.span,
+        };
         Ok(Stmt::Forall {
-            header: ForallHeader { triplets, mask: None },
-            body: vec![Stmt::Assign { lhs: new_lhs, rhs: body_rhs, span }],
+            header: ForallHeader {
+                triplets,
+                mask: None,
+            },
+            body: vec![Stmt::Assign {
+                lhs: new_lhs,
+                rhs: body_rhs,
+                span,
+            }],
             span,
         })
     }
@@ -279,11 +328,8 @@ impl<'a> Normalizer<'a> {
                             });
                         }
                         if let Subscript::Index(ix) = &r.subs[dim - 1] {
-                            r.subs[dim - 1] = Subscript::Index(Expr::bin(
-                                BinOp::Add,
-                                ix.clone(),
-                                shift,
-                            ));
+                            r.subs[dim - 1] =
+                                Subscript::Index(Expr::bin(BinOp::Add, ix.clone(), shift));
                         }
                         Expr::Ref(r)
                     }
@@ -314,7 +360,12 @@ impl<'a> Normalizer<'a> {
                 operand: Box::new(self.rewrite_elemental(operand, triplets, lhs)?),
                 span: *span,
             },
-            Expr::Binary { op, lhs: l, rhs: r, span } => Expr::Binary {
+            Expr::Binary {
+                op,
+                lhs: l,
+                rhs: r,
+                span,
+            } => Expr::Binary {
                 op: *op,
                 lhs: Box::new(self.rewrite_elemental(l, triplets, lhs)?),
                 rhs: Box::new(self.rewrite_elemental(r, triplets, lhs)?),
@@ -386,7 +437,11 @@ impl<'a> Normalizer<'a> {
                     &Expr::int(1),
                 )));
             }
-            return Ok(DataRef { name: r.name.clone(), subs, span: r.span });
+            return Ok(DataRef {
+                name: r.name.clone(),
+                subs,
+                span: r.span,
+            });
         }
 
         // Sectioned/indexed RHS: triplet dims consume loop dims in order.
@@ -427,7 +482,11 @@ impl<'a> Normalizer<'a> {
                 span: r.span,
             });
         }
-        Ok(DataRef { name: r.name.clone(), subs, span: r.span })
+        Ok(DataRef {
+            name: r.name.clone(),
+            subs,
+            span: r.span,
+        })
     }
 
     /// Strip shift intrinsics inside an explicit forall body (they appear as
@@ -608,9 +667,7 @@ mod tests {
 
     #[test]
     fn explicit_forall_passes_through() {
-        let out = norm(
-            "PROGRAM T\nREAL A(8), B(8)\nFORALL (I = 2:7) A(I) = B(I-1)\nEND\n",
-        );
+        let out = norm("PROGRAM T\nREAL A(8), B(8)\nFORALL (I = 2:7) A(I) = B(I-1)\nEND\n");
         assert!(matches!(&out[0], Stmt::Forall { .. }));
     }
 }

@@ -390,8 +390,16 @@ mod tests {
 
     #[test]
     fn opcounts_algebra() {
-        let a = OpCounts { fadd: 1.0, loads: 2.0, ..OpCounts::zero() };
-        let b = OpCounts { fadd: 3.0, stores: 1.0, ..OpCounts::zero() };
+        let a = OpCounts {
+            fadd: 1.0,
+            loads: 2.0,
+            ..OpCounts::zero()
+        };
+        let b = OpCounts {
+            fadd: 3.0,
+            stores: 1.0,
+            ..OpCounts::zero()
+        };
         let s = a + b;
         assert_eq!(s.fadd, 4.0);
         assert_eq!(s.mem_refs(), 3.0);

@@ -52,9 +52,9 @@ impl SpmdProgram {
                 .map(|n| match n {
                     SpmdNode::Comm(_) => 1,
                     SpmdNode::Loop { body, .. } => walk(body),
-                    SpmdNode::Branch { arms, else_body, .. } => {
-                        arms.iter().map(|(_, b)| walk(b)).sum::<usize>() + walk(else_body)
-                    }
+                    SpmdNode::Branch {
+                        arms, else_body, ..
+                    } => arms.iter().map(|(_, b)| walk(b)).sum::<usize>() + walk(else_body),
                     _ => 0,
                 })
                 .sum()
@@ -88,11 +88,15 @@ impl SpmdProgram {
                             c.label, c.op, c.bytes_per_node, c.participants, c.span
                         ));
                     }
-                    SpmdNode::Loop { var, trips, body, .. } => {
+                    SpmdNode::Loop {
+                        var, trips, body, ..
+                    } => {
                         out.push_str(&format!("{pad}Loop    {var} x{trips}\n"));
                         walk(body, depth + 1, out);
                     }
-                    SpmdNode::Branch { arms, else_body, .. } => {
+                    SpmdNode::Branch {
+                        arms, else_body, ..
+                    } => {
                         for (i, (p, b)) in arms.iter().enumerate() {
                             out.push_str(&format!(
                                 "{pad}{} (p~{p:.2})\n",

@@ -9,7 +9,14 @@ use std::collections::BTreeMap;
 pub fn compile_src(src: &str, nodes: usize) -> SpmdProgram {
     let p = parse_program(src).unwrap();
     let a = analyze(&p, &BTreeMap::new()).unwrap();
-    compile(&a, &CompileOptions { nodes, ..Default::default() }).unwrap()
+    compile(
+        &a,
+        &CompileOptions {
+            nodes,
+            ..Default::default()
+        },
+    )
+    .unwrap()
 }
 
 fn phases(p: &SpmdProgram) -> Vec<SpmdNode> {
@@ -72,7 +79,10 @@ fn laplace_star_block_contiguous_shifts() {
         })
         .collect();
     assert_eq!(comms.len(), 2);
-    assert!(comms.iter().all(|c| c.contiguous), "dim-2 boundary is contiguous");
+    assert!(
+        comms.iter().all(|c| c.contiguous),
+        "dim-2 boundary is contiguous"
+    );
 }
 
 #[test]
@@ -106,8 +116,9 @@ END
 ";
     let p = compile_src(src, 8);
     let ph = phases(&p);
-    let has_reduce =
-        ph.iter().any(|n| matches!(n, SpmdNode::Comm(c) if c.op == CollectiveOp::Reduce));
+    let has_reduce = ph
+        .iter()
+        .any(|n| matches!(n, SpmdNode::Comm(c) if c.op == CollectiveOp::Reduce));
     assert!(has_reduce, "{}", p.outline());
     let partial = ph
         .iter()
@@ -142,7 +153,8 @@ END
     let p = compile_src(src, 4);
     let ph = phases(&p);
     assert!(
-        ph.iter().any(|n| matches!(n, SpmdNode::Comm(c) if c.op == CollectiveOp::AllToAll)),
+        ph.iter()
+            .any(|n| matches!(n, SpmdNode::Comm(c) if c.op == CollectiveOp::AllToAll)),
         "{}",
         p.outline()
     );
@@ -166,7 +178,8 @@ END
     let p = compile_src(src, 4);
     let ph = phases(&p);
     assert!(
-        ph.iter().any(|n| matches!(n, SpmdNode::Comm(c) if c.op == CollectiveOp::Gather)),
+        ph.iter()
+            .any(|n| matches!(n, SpmdNode::Comm(c) if c.op == CollectiveOp::Gather)),
         "{}",
         p.outline()
     );
@@ -207,7 +220,9 @@ fn do_loop_trips_resolved() {
         .body
         .iter()
         .find_map(|n| match n {
-            SpmdNode::Loop { trips, estimated, .. } => Some((*trips, *estimated)),
+            SpmdNode::Loop {
+                trips, estimated, ..
+            } => Some((*trips, *estimated)),
             _ => None,
         })
         .expect("loop");
@@ -277,7 +292,14 @@ END
     // Without a user-supplied value the unresolvable critical variable
     // degrades to the worst-case bound (the largest array extent, 128)
     // with a warning — not a hard error.
-    let fallback = compile(&a, &CompileOptions { nodes: 2, ..Default::default() }).unwrap();
+    let fallback = compile(
+        &a,
+        &CompileOptions {
+            nodes: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(fallback.warnings.len(), 1, "{:?}", fallback.warnings);
     assert!(fallback.warnings[0].message.contains("worst-case"));
     let comp_fb = phases(&fallback)
@@ -289,7 +311,10 @@ END
         .next_back()
         .unwrap();
     assert_eq!(comp_fb, 128);
-    let mut opts = CompileOptions { nodes: 2, ..Default::default() };
+    let mut opts = CompileOptions {
+        nodes: 2,
+        ..Default::default()
+    };
     opts.critical_values.insert("M".into(), 64);
     let sp = compile(&a, &opts).unwrap();
     let ph = phases(&sp);
@@ -406,10 +431,21 @@ END
 ";
     let prog = hpf_lang::parse_program(src).unwrap();
     let a = hpf_lang::analyze(&prog, &BTreeMap::new()).unwrap();
-    let base = compile(&a, &CompileOptions { nodes: 4, ..Default::default() }).unwrap();
+    let base = compile(
+        &a,
+        &CompileOptions {
+            nodes: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let opt = compile(
         &a,
-        &CompileOptions { nodes: 4, loop_reorder: true, ..Default::default() },
+        &CompileOptions {
+            nodes: 4,
+            loop_reorder: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let loc = |p: &SpmdProgram| {
@@ -422,8 +458,17 @@ END
             })
             .unwrap()
     };
-    assert!(loc(&opt) > loc(&base), "reorder {} vs base {}", loc(&opt), loc(&base));
-    assert_eq!(loc(&opt), 1.0, "stride-1 ordering available via dim-1 dummy");
+    assert!(
+        loc(&opt) > loc(&base),
+        "reorder {} vs base {}",
+        loc(&opt),
+        loc(&base)
+    );
+    assert_eq!(
+        loc(&opt),
+        1.0,
+        "stride-1 ordering available via dim-1 dummy"
+    );
 }
 
 #[test]
@@ -499,7 +544,9 @@ END
         .body
         .iter()
         .find_map(|n| match n {
-            SpmdNode::Loop { trips, estimated, .. } => Some((*trips, *estimated)),
+            SpmdNode::Loop {
+                trips, estimated, ..
+            } => Some((*trips, *estimated)),
             _ => None,
         })
         .unwrap();
@@ -565,7 +612,9 @@ END
 ";
     let p = compile_src(src, 4);
     let ph = phases(&p);
-    assert!(ph.iter().any(|n| matches!(n, SpmdNode::Seq(s) if s.label == "print")));
+    assert!(ph
+        .iter()
+        .any(|n| matches!(n, SpmdNode::Seq(s) if s.label == "print")));
 }
 
 #[test]
@@ -581,7 +630,14 @@ END
 ";
     let p = compile_src(src, 4);
     let a = p.dist.get("A").unwrap();
-    assert!(matches!(a.dims[0], DimDist::Cyclic { pcount: 4, k: 4, .. }));
+    assert!(matches!(
+        a.dims[0],
+        DimDist::Cyclic {
+            pcount: 4,
+            k: 4,
+            ..
+        }
+    ));
     // blocks of 4: indices 1..4 on c0, 5..8 on c1, 17..20 back on c0.
     assert_eq!(a.owner_coord(0, 1), 0);
     assert_eq!(a.owner_coord(0, 4), 0);

@@ -20,19 +20,30 @@ impl ArrayVal {
     /// (zero / `.FALSE.`; matching how the benchmark drivers zero storage).
     pub fn zeroed(shape: &[(i64, i64)], ty: TypeSpec) -> ArrayVal {
         let lbounds: Vec<i64> = shape.iter().map(|(lb, _)| *lb).collect();
-        let extents: Vec<usize> = shape.iter().map(|(lb, ub)| (ub - lb + 1).max(0) as usize).collect();
+        let extents: Vec<usize> = shape
+            .iter()
+            .map(|(lb, ub)| (ub - lb + 1).max(0) as usize)
+            .collect();
         let n: usize = extents.iter().product();
         let fill = match ty {
             TypeSpec::Integer => Value::Int(0),
             TypeSpec::Real | TypeSpec::DoublePrecision => Value::Real(0.0),
             TypeSpec::Logical => Value::Logical(false),
         };
-        ArrayVal { lbounds, extents, data: vec![fill; n] }
+        ArrayVal {
+            lbounds,
+            extents,
+            data: vec![fill; n],
+        }
     }
 
     /// Build a rank-1 array from values.
     pub fn from_vec(data: Vec<Value>) -> ArrayVal {
-        ArrayVal { lbounds: vec![1], extents: vec![data.len()], data }
+        ArrayVal {
+            lbounds: vec![1],
+            extents: vec![data.len()],
+            data,
+        }
     }
 
     pub fn rank(&self) -> usize {
@@ -114,7 +125,10 @@ impl ArrayVal {
             let rel = idx[d] - self.lbounds[d];
             let src = (rel + shift).rem_euclid(e);
             idx[d] = self.lbounds[d] + src;
-            out.data[off] = self.get(&idx).cloned().unwrap_or_else(|| self.data[off].clone());
+            out.data[off] = self
+                .get(&idx)
+                .cloned()
+                .unwrap_or_else(|| self.data[off].clone());
         }
         Some(out)
     }

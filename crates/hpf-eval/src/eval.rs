@@ -35,7 +35,10 @@ impl std::error::Error for EvalError {}
 type EvalResult<T> = Result<T, EvalError>;
 
 fn err<T>(message: impl Into<String>, span: Span) -> EvalResult<T> {
-    Err(EvalError { message: message.into(), span })
+    Err(EvalError {
+        message: message.into(),
+        span,
+    })
 }
 
 /// A scalar or array evaluation result.
@@ -110,7 +113,11 @@ pub fn run_with_limit(analyzed: &AnalyzedProgram, step_limit: u64) -> EvalResult
             _ => None,
         })
         .collect();
-    Ok(RunOutcome { output: ev.output, profile: ev.profile, scalars })
+    Ok(RunOutcome {
+        output: ev.output,
+        profile: ev.profile,
+        scalars,
+    })
 }
 
 struct Evaluator<'a> {
@@ -173,7 +180,10 @@ impl<'a> Evaluator<'a> {
                     self.env.insert(name.clone(), Binding::Scalar(v));
                 }
                 SymbolKind::Array { shape } => {
-                    self.env.insert(name.clone(), Binding::Array(ArrayVal::zeroed(shape, sym.ty)));
+                    self.env.insert(
+                        name.clone(),
+                        Binding::Array(ArrayVal::zeroed(shape, sym.ty)),
+                    );
                 }
                 _ => {}
             }
@@ -203,10 +213,20 @@ impl<'a> Evaluator<'a> {
                 self.assign(lhs, v, idx, *span)
             }
             Stmt::Forall { header, body, span } => self.exec_forall(header, body, idx, *span),
-            Stmt::Where { mask, body, elsewhere, span } => {
-                self.exec_where(mask, body, elsewhere, idx, *span)
-            }
-            Stmt::Do { var, lo, hi, step, body, span } => {
+            Stmt::Where {
+                mask,
+                body,
+                elsewhere,
+                span,
+            } => self.exec_where(mask, body, elsewhere, idx, *span),
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => {
                 let lo = self.eval_int(lo, idx)?;
                 let hi = self.eval_int(hi, idx)?;
                 let step = match step {
@@ -255,7 +275,11 @@ impl<'a> Evaluator<'a> {
                 }
                 Ok(())
             }
-            Stmt::If { arms, else_body, span } => {
+            Stmt::If {
+                arms,
+                else_body,
+                span,
+            } => {
                 for (cond, body) in arms {
                     let c = self.eval_expr(cond, idx)?;
                     match c {
@@ -281,7 +305,10 @@ impl<'a> Evaluator<'a> {
             Stmt::Call { name, span, .. } => {
                 // The subset has no user procedures; CALL is accepted by the
                 // parser for completeness but has no executable semantics.
-                err(format!("CALL to `{name}` — user procedures are outside the subset"), *span)
+                err(
+                    format!("CALL to `{name}` — user procedures are outside the subset"),
+                    *span,
+                )
             }
             Stmt::Print { items, span } => {
                 let mut line = String::new();
@@ -344,7 +371,12 @@ impl<'a> Evaluator<'a> {
                 return err("FORALL stride of zero", span);
             }
             let count = ((hi - lo) / step + 1).max(0);
-            ranges.push(Range { var: t.var.clone(), lo, count, step });
+            ranges.push(Range {
+                var: t.var.clone(),
+                lo,
+                count,
+                step,
+            });
         }
         let total: i64 = ranges.iter().map(|r| r.count).product();
         self.tick(total.max(0) as u64, span)?;
@@ -400,7 +432,11 @@ impl<'a> Evaluator<'a> {
 
         for st in body {
             match st {
-                Stmt::Assign { lhs, rhs, span: sspan } => {
+                Stmt::Assign {
+                    lhs,
+                    rhs,
+                    span: sspan,
+                } => {
                     // Two-pass: gather (location, value), then commit.
                     let mut updates: Vec<(Vec<i64>, Value)> = Vec::with_capacity(active.len());
                     for vals in &active {
@@ -422,7 +458,11 @@ impl<'a> Evaluator<'a> {
                         self.store_element(&lhs.name, &idx_vals, v, *sspan)?;
                     }
                 }
-                Stmt::Forall { header: h2, body: b2, span: s2 } => {
+                Stmt::Forall {
+                    header: h2,
+                    body: b2,
+                    span: s2,
+                } => {
                     // Nested forall: execute per active tuple.
                     for vals in &active {
                         bind(&mut env, &ranges, vals);
@@ -462,7 +502,11 @@ impl<'a> Evaluator<'a> {
         for (stmts, negate) in [(body, false), (elsewhere, true)] {
             for st in stmts {
                 match st {
-                    Stmt::Assign { lhs, rhs, span: sspan } => {
+                    Stmt::Assign {
+                        lhs,
+                        rhs,
+                        span: sspan,
+                    } => {
                         let rhs_v = self.eval_expr(rhs, idx)?;
                         let cur = match self.env.get(&lhs.name) {
                             Some(Binding::Array(a)) => a.clone(),
@@ -586,8 +630,6 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-
-
     fn store_element(
         &mut self,
         name: &str,
@@ -601,7 +643,10 @@ impl<'a> Evaluator<'a> {
                 if a.set(idx_vals, v) {
                     Ok(())
                 } else {
-                    err(format!("index {idx_vals:?} out of bounds for `{name}`"), span)
+                    err(
+                        format!("index {idx_vals:?} out of bounds for `{name}`"),
+                        span,
+                    )
                 }
             }
             _ => err(format!("`{name}` is not an array"), span),
@@ -717,12 +762,10 @@ impl<'a> Evaluator<'a> {
 
     fn eval_int_in(&mut self, e: &Expr, idx: &IndexEnv) -> EvalResult<i64> {
         match self.eval_expr(e, idx)? {
-            EvalValue::Scalar(v) => {
-                v.as_i64().ok_or_else(|| EvalError {
-                    message: "expected integer value".into(),
-                    span: e.span(),
-                })
-            }
+            EvalValue::Scalar(v) => v.as_i64().ok_or_else(|| EvalError {
+                message: "expected integer value".into(),
+                span: e.span(),
+            }),
             _ => err("expected scalar integer, found array", e.span()),
         }
     }
@@ -774,15 +817,22 @@ impl<'a> Evaluator<'a> {
     ) -> EvalResult<EvalValue> {
         use EvalValue::*;
         match (l, r) {
-            (Scalar(a), Scalar(b)) => value_ops::apply_binary(op, &a, &b)
-                .map(Scalar)
-                .ok_or_else(|| EvalError { message: "bad operands".into(), span }),
+            (Scalar(a), Scalar(b)) => {
+                value_ops::apply_binary(op, &a, &b)
+                    .map(Scalar)
+                    .ok_or_else(|| EvalError {
+                        message: "bad operands".into(),
+                        span,
+                    })
+            }
             (Array(a), Scalar(b)) => {
                 self.tick(a.len() as u64, span)?;
                 let mut out = a.clone();
                 for (o, v) in out.data.iter_mut().zip(&a.data) {
-                    *o = value_ops::apply_binary(op, v, &b)
-                        .ok_or_else(|| EvalError { message: "bad operands".into(), span })?;
+                    *o = value_ops::apply_binary(op, v, &b).ok_or_else(|| EvalError {
+                        message: "bad operands".into(),
+                        span,
+                    })?;
                 }
                 Ok(Array(out))
             }
@@ -790,8 +840,10 @@ impl<'a> Evaluator<'a> {
                 self.tick(b.len() as u64, span)?;
                 let mut out = b.clone();
                 for (o, v) in out.data.iter_mut().zip(&b.data) {
-                    *o = value_ops::apply_binary(op, &a, v)
-                        .ok_or_else(|| EvalError { message: "bad operands".into(), span })?;
+                    *o = value_ops::apply_binary(op, &a, v).ok_or_else(|| EvalError {
+                        message: "bad operands".into(),
+                        span,
+                    })?;
                 }
                 Ok(Array(out))
             }
@@ -802,8 +854,10 @@ impl<'a> Evaluator<'a> {
                 self.tick(a.len() as u64, span)?;
                 let mut out = a.clone();
                 for ((o, x), y) in out.data.iter_mut().zip(&a.data).zip(&b.data) {
-                    *o = value_ops::apply_binary(op, x, y)
-                        .ok_or_else(|| EvalError { message: "bad operands".into(), span })?;
+                    *o = value_ops::apply_binary(op, x, y).ok_or_else(|| EvalError {
+                        message: "bad operands".into(),
+                        span,
+                    })?;
                 }
                 Ok(Array(out))
             }
@@ -864,10 +918,13 @@ impl<'a> Evaluator<'a> {
                         Some(Binding::Array(a)) => a,
                         _ => unreachable!(),
                     };
-                    let data: Vec<Value> =
-                        offsets.iter().map(|&o| a.data[o].clone()).collect();
+                    let data: Vec<Value> = offsets.iter().map(|&o| a.data[o].clone()).collect();
                     // Rank of the section = number of triplet subscripts.
-                    let extents = if sec_extents.is_empty() { vec![data.len()] } else { sec_extents };
+                    let extents = if sec_extents.is_empty() {
+                        vec![data.len()]
+                    } else {
+                        sec_extents
+                    };
                     Ok(EvalValue::Array(ArrayVal {
                         lbounds: vec![1; extents.len()],
                         extents,
@@ -898,8 +955,10 @@ impl<'a> Evaluator<'a> {
         span: Span,
     ) -> EvalResult<EvalValue> {
         use Intrinsic::*;
-        let vals: Vec<EvalValue> =
-            args.iter().map(|a| self.eval_expr(a, idx)).collect::<EvalResult<_>>()?;
+        let vals: Vec<EvalValue> = args
+            .iter()
+            .map(|a| self.eval_expr(a, idx))
+            .collect::<EvalResult<_>>()?;
 
         // Transformational (array) intrinsics.
         match name {
@@ -907,8 +966,14 @@ impl<'a> Evaluator<'a> {
                 let a = vals
                     .first()
                     .and_then(|v| v.as_array())
-                    .ok_or_else(|| EvalError { message: "shift of non-array".into(), span })?;
-                let shift = match vals.get(1).and_then(|v| v.as_scalar()).and_then(|v| v.as_i64())
+                    .ok_or_else(|| EvalError {
+                        message: "shift of non-array".into(),
+                        span,
+                    })?;
+                let shift = match vals
+                    .get(1)
+                    .and_then(|v| v.as_scalar())
+                    .and_then(|v| v.as_i64())
                 {
                     Some(s) => s,
                     None => return err("shift amount must be scalar integer", span),
@@ -918,15 +983,24 @@ impl<'a> Evaluator<'a> {
                     None => 1,
                 };
                 self.tick(a.len() as u64, span)?;
-                let out = if name == CShift { a.cshift(shift, dim) } else { a.eoshift(shift, dim) };
-                out.map(EvalValue::Array)
-                    .ok_or_else(|| EvalError { message: "bad shift dimension".into(), span })
+                let out = if name == CShift {
+                    a.cshift(shift, dim)
+                } else {
+                    a.eoshift(shift, dim)
+                };
+                out.map(EvalValue::Array).ok_or_else(|| EvalError {
+                    message: "bad shift dimension".into(),
+                    span,
+                })
             }
             Sum | Product | MaxVal | MinVal => {
                 let a = vals
                     .first()
                     .and_then(|v| v.as_array())
-                    .ok_or_else(|| EvalError { message: "reduction of non-array".into(), span })?;
+                    .ok_or_else(|| EvalError {
+                        message: "reduction of non-array".into(),
+                        span,
+                    })?;
                 self.tick(a.len() as u64, span)?;
                 let mut acc: Option<Value> = None;
                 for v in &a.data {
@@ -936,12 +1010,14 @@ impl<'a> Evaluator<'a> {
                             let combined = match name {
                                 Sum => value_ops::apply_binary(BinOp::Add, cur, v),
                                 Product => value_ops::apply_binary(BinOp::Mul, cur, v),
-                                MaxVal => {
-                                    value_ops::apply_intrinsic_scalar(Max, &[cur.clone(), v.clone()])
-                                }
-                                MinVal => {
-                                    value_ops::apply_intrinsic_scalar(Min, &[cur.clone(), v.clone()])
-                                }
+                                MaxVal => value_ops::apply_intrinsic_scalar(
+                                    Max,
+                                    &[cur.clone(), v.clone()],
+                                ),
+                                MinVal => value_ops::apply_intrinsic_scalar(
+                                    Min,
+                                    &[cur.clone(), v.clone()],
+                                ),
                                 _ => unreachable!(),
                             };
                             combined.ok_or_else(|| EvalError {
@@ -962,7 +1038,10 @@ impl<'a> Evaluator<'a> {
                 let a = vals
                     .first()
                     .and_then(|v| v.as_array())
-                    .ok_or_else(|| EvalError { message: "maxloc of non-array".into(), span })?;
+                    .ok_or_else(|| EvalError {
+                        message: "maxloc of non-array".into(),
+                        span,
+                    })?;
                 if a.rank() != 1 {
                     return err("MAXLOC/MINLOC restricted to rank-1 in the subset", span);
                 }
@@ -989,7 +1068,9 @@ impl<'a> Evaluator<'a> {
                 }
                 // Fortran returns a rank-1 result array; subset returns the
                 // 1-based position as a scalar INTEGER for simplicity.
-                Ok(EvalValue::Scalar(Value::Int(best.map(|(i, _)| i as i64 + 1).unwrap_or(0))))
+                Ok(EvalValue::Scalar(Value::Int(
+                    best.map(|(i, _)| i as i64 + 1).unwrap_or(0),
+                )))
             }
             DotProduct => {
                 let a = vals.first().and_then(|v| v.as_array());
@@ -1010,11 +1091,17 @@ impl<'a> Evaluator<'a> {
                 let a = vals
                     .first()
                     .and_then(|v| v.as_array())
-                    .ok_or_else(|| EvalError { message: "transpose of non-array".into(), span })?;
+                    .ok_or_else(|| EvalError {
+                        message: "transpose of non-array".into(),
+                        span,
+                    })?;
                 self.tick(a.len() as u64, span)?;
                 a.transpose()
                     .map(EvalValue::Array)
-                    .ok_or_else(|| EvalError { message: "TRANSPOSE needs rank 2".into(), span })
+                    .ok_or_else(|| EvalError {
+                        message: "TRANSPOSE needs rank 2".into(),
+                        span,
+                    })
             }
             MatMul => {
                 let a = vals.first().and_then(|v| v.as_array());
@@ -1048,12 +1135,18 @@ impl<'a> Evaluator<'a> {
                     _ => err("MATMUL needs two rank-2 arrays", span),
                 }
             }
-            Spread => err("SPREAD is not supported by the functional interpreter", span),
+            Spread => err(
+                "SPREAD is not supported by the functional interpreter",
+                span,
+            ),
             Size => {
                 let a = vals
                     .first()
                     .and_then(|v| v.as_array())
-                    .ok_or_else(|| EvalError { message: "SIZE of non-array".into(), span })?;
+                    .ok_or_else(|| EvalError {
+                        message: "SIZE of non-array".into(),
+                        span,
+                    })?;
                 match vals.get(1) {
                     None => Ok(EvalValue::Scalar(Value::Int(a.len() as i64))),
                     Some(d) => {
@@ -1099,10 +1192,12 @@ impl<'a> Evaluator<'a> {
                             EvalValue::Array(a) => a.data[off].clone(),
                         })
                         .collect();
-                    out.data[off] = value_ops::apply_intrinsic_scalar(name, &scalars)
-                        .ok_or_else(|| EvalError {
-                            message: format!("bad arguments to {}", name.name()),
-                            span,
+                    out.data[off] =
+                        value_ops::apply_intrinsic_scalar(name, &scalars).ok_or_else(|| {
+                            EvalError {
+                                message: format!("bad arguments to {}", name.name()),
+                                span,
+                            }
                         })?;
                 }
                 Ok(EvalValue::Array(out))

@@ -52,9 +52,8 @@ mod tests {
 
     #[test]
     fn do_loop_with_step() {
-        let out = run_src(
-            "PROGRAM T\nINTEGER K, C\nC = 0\nDO K = 1, 10, 3\nC = C + 1\nEND DO\nEND\n",
-        );
+        let out =
+            run_src("PROGRAM T\nINTEGER K, C\nC = 0\nDO K = 1, 10, 3\nC = C + 1\nEND DO\nEND\n");
         assert_eq!(out.scalars.get("C"), Some(&hpf_lang::Value::Int(4)));
     }
 
@@ -156,9 +155,7 @@ END
 
     #[test]
     fn strided_section() {
-        let out = run_src(
-            "PROGRAM T\nREAL A(10), S\nA = 1.0\nA(1:10:2) = 3.0\nS = SUM(A)\nEND\n",
-        );
+        let out = run_src("PROGRAM T\nREAL A(10), S\nA = 1.0\nA(1:10:2) = 3.0\nS = SUM(A)\nEND\n");
         assert_eq!(out.scalars.get("S"), Some(&hpf_lang::Value::Real(20.0)));
     }
 
@@ -222,16 +219,16 @@ END
 
     #[test]
     fn do_while_terminates() {
-        let out = run_src(
-            "PROGRAM T\nINTEGER K\nK = 1\nDO WHILE (K < 100)\nK = K * 2\nEND DO\nEND\n",
-        );
+        let out =
+            run_src("PROGRAM T\nINTEGER K\nK = 1\nDO WHILE (K < 100)\nK = K * 2\nEND DO\nEND\n");
         assert_eq!(out.scalars.get("K"), Some(&hpf_lang::Value::Int(128)));
     }
 
     #[test]
     fn step_limit_guards_infinite_loop() {
-        let p = parse_program("PROGRAM T\nINTEGER K\nK = 1\nDO WHILE (K > 0)\nK = 2\nEND DO\nEND\n")
-            .unwrap();
+        let p =
+            parse_program("PROGRAM T\nINTEGER K\nK = 1\nDO WHILE (K > 0)\nK = 2\nEND DO\nEND\n")
+                .unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
         assert!(run_with_limit(&a, 10_000).is_err());
     }
@@ -293,7 +290,10 @@ END
 ",
         );
         let x = out.scalars.get("X").unwrap().as_f64().unwrap();
-        assert!(x > 10.0 && x < 100.0, "interior heated from boundary, got {x}");
+        assert!(
+            x > 10.0 && x < 100.0,
+            "interior heated from boundary, got {x}"
+        );
     }
 }
 
@@ -315,9 +315,8 @@ mod more_tests {
 
     #[test]
     fn eoshift_fills_zero_at_ends() {
-        let out = run_src(
-            "PROGRAM T\nREAL A(4), B(4), S\nA = 1.0\nB = EOSHIFT(A, 2)\nS = SUM(B)\nEND\n",
-        );
+        let out =
+            run_src("PROGRAM T\nREAL A(4), B(4), S\nA = 1.0\nB = EOSHIFT(A, 2)\nS = SUM(B)\nEND\n");
         assert_eq!(f(&out, "S"), 2.0);
     }
 
@@ -407,17 +406,14 @@ END
 
     #[test]
     fn negative_stride_forall() {
-        let out = run_src(
-            "PROGRAM T\nREAL A(8), S\nFORALL (I = 8:1:-2) A(I) = 1.0\nS = SUM(A)\nEND\n",
-        );
+        let out =
+            run_src("PROGRAM T\nREAL A(8), S\nFORALL (I = 8:1:-2) A(I) = 1.0\nS = SUM(A)\nEND\n");
         assert_eq!(f(&out, "S"), 4.0);
     }
 
     #[test]
     fn elemental_intrinsic_over_array() {
-        let out = run_src(
-            "PROGRAM T\nREAL A(4), B(4), S\nA = 4.0\nB = SQRT(A)\nS = SUM(B)\nEND\n",
-        );
+        let out = run_src("PROGRAM T\nREAL A(4), B(4), S\nA = 4.0\nB = SQRT(A)\nS = SUM(B)\nEND\n");
         assert_eq!(f(&out, "S"), 8.0);
     }
 
@@ -457,9 +453,7 @@ END
 
     #[test]
     fn double_precision_arrays() {
-        let out = run_src(
-            "PROGRAM T\nDOUBLE PRECISION A(4)\nREAL S\nA = 0.25\nS = SUM(A)\nEND\n",
-        );
+        let out = run_src("PROGRAM T\nDOUBLE PRECISION A(4)\nREAL S\nA = 0.25\nS = SUM(A)\nEND\n");
         assert_eq!(f(&out, "S"), 1.0);
     }
 
@@ -473,8 +467,7 @@ END
     #[test]
     fn section_of_section_error_paths() {
         // out-of-range section
-        let p =
-            parse_program("PROGRAM T\nREAL A(4), B(9)\nA(1:4) = B(3:9:2)\nEND\n").unwrap();
+        let p = parse_program("PROGRAM T\nREAL A(4), B(9)\nA(1:4) = B(3:9:2)\nEND\n").unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
         assert!(run(&a).is_ok(), "4-element strided section conforms");
         let p = parse_program("PROGRAM T\nREAL A(4), B(9)\nA(1:4) = B(1:9:2)\nEND\n").unwrap();

@@ -57,7 +57,10 @@ impl ExecutionProfile {
 
     /// Stats for a statement identified by source line (first match).
     pub fn by_line(&self, line: u32) -> Option<&StmtStats> {
-        self.stats.iter().find(|((l, _), _)| *l == line).map(|(_, s)| s)
+        self.stats
+            .iter()
+            .find(|((l, _), _)| *l == line)
+            .map(|(_, s)| s)
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &StmtStats)> {
@@ -81,7 +84,11 @@ mod tests {
     fn mask_density_defaults_to_one() {
         let s = StmtStats::default();
         assert_eq!(s.mask_density(), 1.0);
-        let s = StmtStats { mask_true: 3, mask_total: 4, ..Default::default() };
+        let s = StmtStats {
+            mask_true: 3,
+            mask_total: 4,
+            ..Default::default()
+        };
         assert_eq!(s.mask_density(), 0.75);
     }
 

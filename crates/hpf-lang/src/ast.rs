@@ -86,9 +86,17 @@ pub struct DimBound {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Directive {
     /// `!HPF$ PROCESSORS P(4)` or `!HPF$ PROCESSORS P(2,2)`.
-    Processors { name: String, shape: Vec<Expr>, span: Span },
+    Processors {
+        name: String,
+        shape: Vec<Expr>,
+        span: Span,
+    },
     /// `!HPF$ TEMPLATE T(N, N)`.
-    Template { name: String, shape: Vec<DimBound>, span: Span },
+    Template {
+        name: String,
+        shape: Vec<DimBound>,
+        span: Span,
+    },
     /// `!HPF$ ALIGN A(I, J) WITH T(I, J)` (identity or offset/transposed
     /// alignments through dummy-index expressions).
     Align {
@@ -99,7 +107,12 @@ pub enum Directive {
         span: Span,
     },
     /// `!HPF$ DISTRIBUTE T(BLOCK, *) ONTO P`.
-    Distribute { target: String, formats: Vec<DistFormat>, onto: Option<String>, span: Span },
+    Distribute {
+        target: String,
+        formats: Vec<DistFormat>,
+        onto: Option<String>,
+        span: Span,
+    },
     /// `!HPF$ INDEPENDENT` — asserts the following loop's iterations are
     /// independent (recorded; the subset's `forall` lowering already assumes
     /// owner-computes independence).
@@ -123,7 +136,11 @@ impl Directive {
 #[derive(Debug, Clone, PartialEq)]
 pub enum AlignSub {
     /// `dummy * stride + offset` — stride is ±1 in the subset.
-    Affine { dummy: String, stride: i64, offset: i64 },
+    Affine {
+        dummy: String,
+        stride: i64,
+        offset: i64,
+    },
     /// `*`: the alignee is replicated along this template dimension.
     Replicated,
 }
@@ -166,17 +183,45 @@ pub enum Stmt {
     /// Scalar or array(-section) assignment `lhs = rhs`.
     Assign { lhs: DataRef, rhs: Expr, span: Span },
     /// `FORALL (triplets [, mask]) body`.
-    Forall { header: ForallHeader, body: Vec<Stmt>, span: Span },
+    Forall {
+        header: ForallHeader,
+        body: Vec<Stmt>,
+        span: Span,
+    },
     /// `WHERE (mask) body [ELSEWHERE other]`.
-    Where { mask: Expr, body: Vec<Stmt>, elsewhere: Vec<Stmt>, span: Span },
+    Where {
+        mask: Expr,
+        body: Vec<Stmt>,
+        elsewhere: Vec<Stmt>,
+        span: Span,
+    },
     /// `DO var = lo, hi [, step] … END DO`.
-    Do { var: String, lo: Expr, hi: Expr, step: Option<Expr>, body: Vec<Stmt>, span: Span },
+    Do {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        span: Span,
+    },
     /// `DO WHILE (cond) … END DO`.
-    DoWhile { cond: Expr, body: Vec<Stmt>, span: Span },
+    DoWhile {
+        cond: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
     /// `IF (cond) THEN … [ELSE IF …]* [ELSE …] END IF`, or logical IF.
-    If { arms: Vec<(Expr, Vec<Stmt>)>, else_body: Vec<Stmt>, span: Span },
+    If {
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        else_body: Vec<Stmt>,
+        span: Span,
+    },
     /// `CALL name(args)`.
-    Call { name: String, args: Vec<Expr>, span: Span },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// `PRINT *, items`.
     Print { items: Vec<Expr>, span: Span },
     /// `STOP`.
@@ -230,7 +275,11 @@ pub enum Subscript {
     /// A single element index.
     Index(Expr),
     /// A section `lo : hi [: stride]`; any part may be elided.
-    Triplet { lo: Option<Expr>, hi: Option<Expr>, stride: Option<Expr> },
+    Triplet {
+        lo: Option<Expr>,
+        hi: Option<Expr>,
+        stride: Option<Expr>,
+    },
 }
 
 impl Subscript {
@@ -253,9 +302,22 @@ pub enum Expr {
     /// [`Expr::Intrinsic`].
     Ref(DataRef),
     /// Resolved intrinsic function call.
-    Intrinsic { name: Intrinsic, args: Vec<Expr>, span: Span },
-    Unary { op: UnOp, operand: Box<Expr>, span: Span },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, span: Span },
+    Intrinsic {
+        name: Intrinsic,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+        span: Span,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
 }
 
 impl Expr {
@@ -280,12 +342,21 @@ impl Expr {
 
     /// Plain variable reference with a synthetic span.
     pub fn var(name: impl Into<String>) -> Expr {
-        Expr::Ref(DataRef { name: name.into(), subs: Vec::new(), span: Span::SYNTHETIC })
+        Expr::Ref(DataRef {
+            name: name.into(),
+            subs: Vec::new(),
+            span: Span::SYNTHETIC,
+        })
     }
 
     /// Synthetic binary operation.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span: Span::SYNTHETIC }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span: Span::SYNTHETIC,
+        }
     }
 }
 
@@ -318,7 +389,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether the operator yields LOGICAL.
     pub fn is_relational_or_logical(self) -> bool {
-        !matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow)
+        !matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow
+        )
     }
 
     pub fn symbol(self) -> &'static str {

@@ -21,15 +21,27 @@ pub enum Phase {
 
 impl LangError {
     pub fn lex(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Lex, message: message.into(), span }
+        LangError {
+            phase: Phase::Lex,
+            message: message.into(),
+            span,
+        }
     }
 
     pub fn parse(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Parse, message: message.into(), span }
+        LangError {
+            phase: Phase::Parse,
+            message: message.into(),
+            span,
+        }
     }
 
     pub fn sema(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Sema, message: message.into(), span }
+        LangError {
+            phase: Phase::Sema,
+            message: message.into(),
+            span,
+        }
     }
 }
 

@@ -31,7 +31,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new(), at_line_start: true }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            at_line_start: true,
+        }
     }
 
     fn run(mut self) -> LangResult<Vec<Token>> {
@@ -208,7 +214,11 @@ impl<'a> Lexer<'a> {
         if matches!(self.peek(), b'e' | b'E' | b'd' | b'D')
             && (self.peek2().is_ascii_digit()
                 || (matches!(self.peek2(), b'+' | b'-')
-                    && self.src.get(self.pos + 2).map(|b| b.is_ascii_digit()).unwrap_or(false)))
+                    && self
+                        .src
+                        .get(self.pos + 2)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)))
         {
             is_real = true;
             self.bump();
@@ -373,7 +383,10 @@ mod tests {
     #[test]
     fn dot_operator_after_integer() {
         // `1.GT.2` must lex as IntLit(1) Gt IntLit(2), not RealLit(1.0) ...
-        assert_eq!(kinds("1.GT.2"), vec![T::IntLit(1), T::Gt, T::IntLit(2), T::Newline, T::Eof]);
+        assert_eq!(
+            kinds("1.GT.2"),
+            vec![T::IntLit(1), T::Gt, T::IntLit(2), T::Newline, T::Eof]
+        );
         assert_eq!(kinds("X(K).NE.0.0")[4], T::Ne);
     }
 
@@ -416,7 +429,13 @@ mod tests {
     fn plain_comment_is_skipped() {
         assert_eq!(
             kinds("x = 1 ! trailing\n"),
-            vec![T::Ident("X".into()), T::Assign, T::IntLit(1), T::Newline, T::Eof]
+            vec![
+                T::Ident("X".into()),
+                T::Assign,
+                T::IntLit(1),
+                T::Newline,
+                T::Eof
+            ]
         );
     }
 

@@ -11,6 +11,7 @@ use crate::token::{Token, TokenKind};
 
 /// Parse a complete program from source text.
 pub fn parse_program(src: &str) -> LangResult<Program> {
+    let _span = hpf_trace::span("parse");
     let tokens = lex(src)?;
     Parser::new(tokens).program()
 }
@@ -93,7 +94,10 @@ impl Parser {
                 let sp = self.bump().span;
                 Ok((name, sp))
             }
-            other => Err(LangError::parse(format!("expected identifier, found `{other}`"), self.span())),
+            other => Err(LangError::parse(
+                format!("expected identifier, found `{other}`"),
+                self.span(),
+            )),
         }
     }
 
@@ -170,7 +174,13 @@ impl Parser {
         self.eol().ok();
         self.skip_newlines();
 
-        Ok(Program { name, decls, directives, body, span: start.merge(end_span) })
+        Ok(Program {
+            name,
+            decls,
+            directives,
+            body,
+            span: start.merge(end_span),
+        })
     }
 
     fn at_program_end(&self) -> bool {
@@ -211,7 +221,12 @@ impl Parser {
                 let (name, nsp) = self.expect_ident()?;
                 self.expect(&TokenKind::Assign)?;
                 let init = self.expr()?;
-                entities.push(EntityDecl { name, dims: None, init: Some(init), span: nsp });
+                entities.push(EntityDecl {
+                    name,
+                    dims: None,
+                    init: Some(init),
+                    span: nsp,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -261,16 +276,30 @@ impl Parser {
             } else {
                 None
             };
-            let init =
-                if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
-            entities.push(EntityDecl { name, dims, init, span: nsp });
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            entities.push(EntityDecl {
+                name,
+                dims,
+                init,
+                span: nsp,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
         }
         let end = self.span();
         self.eol()?;
-        Ok(Decl { type_spec, parameter, dimension, entities, span: start.merge(end) })
+        Ok(Decl {
+            type_spec,
+            parameter,
+            dimension,
+            entities,
+            span: start.merge(end),
+        })
     }
 
     fn type_spec(&mut self) -> LangResult<TypeSpec> {
@@ -284,7 +313,10 @@ impl Parser {
             self.expect_kw("PRECISION")?;
             Ok(TypeSpec::DoublePrecision)
         } else {
-            Err(LangError::parse(format!("expected type, found `{}`", self.peek()), self.span()))
+            Err(LangError::parse(
+                format!("expected type, found `{}`", self.peek()),
+                self.span(),
+            ))
         }
     }
 
@@ -294,9 +326,15 @@ impl Parser {
             let first = self.expr()?;
             if self.eat(&TokenKind::Colon) {
                 let upper = self.expr()?;
-                out.push(DimBound { lower: Some(first), upper });
+                out.push(DimBound {
+                    lower: Some(first),
+                    upper,
+                });
             } else {
-                out.push(DimBound { lower: None, upper: first });
+                out.push(DimBound {
+                    lower: None,
+                    upper: first,
+                });
             }
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -325,14 +363,22 @@ impl Parser {
                 } else {
                     shape.push(Expr::int(1));
                 }
-                Directive::Processors { name, shape, span: start.merge(self.span()) }
+                Directive::Processors {
+                    name,
+                    shape,
+                    span: start.merge(self.span()),
+                }
             }
             "TEMPLATE" => {
                 let (name, _) = self.expect_ident()?;
                 self.expect(&TokenKind::LParen)?;
                 let shape = self.dim_bounds()?;
                 self.expect(&TokenKind::RParen)?;
-                Directive::Template { name, shape, span: start.merge(self.span()) }
+                Directive::Template {
+                    name,
+                    shape,
+                    span: start.merge(self.span()),
+                }
             }
             "ALIGN" => {
                 let (alignee, _) = self.expect_ident()?;
@@ -365,7 +411,13 @@ impl Parser {
                     }
                     self.expect(&TokenKind::RParen)?;
                 }
-                Directive::Align { alignee, dummies, target, target_subs, span: start.merge(self.span()) }
+                Directive::Align {
+                    alignee,
+                    dummies,
+                    target,
+                    target_subs,
+                    span: start.merge(self.span()),
+                }
             }
             "DISTRIBUTE" => {
                 let (target, _) = self.expect_ident()?;
@@ -417,11 +469,19 @@ impl Parser {
                 } else {
                     None
                 };
-                Directive::Distribute { target, formats, onto, span: start.merge(self.span()) }
+                Directive::Distribute {
+                    target,
+                    formats,
+                    onto,
+                    span: start.merge(self.span()),
+                }
             }
             "INDEPENDENT" => Directive::Independent { span: start },
             other => {
-                return Err(LangError::parse(format!("unknown HPF directive `{other}`"), start));
+                return Err(LangError::parse(
+                    format!("unknown HPF directive `{other}`"),
+                    start,
+                ));
             }
         };
         self.eol()?;
@@ -436,7 +496,10 @@ impl Parser {
         }
         let e = self.expr()?;
         affine_of(&e, dummies).ok_or_else(|| {
-            LangError::parse("align subscript must be affine in one align dummy", e.span())
+            LangError::parse(
+                "align subscript must be affine in one align dummy",
+                e.span(),
+            )
         })
     }
 
@@ -454,16 +517,15 @@ impl Parser {
                     self.bump();
                     let (name, _) = self.expect_ident()?;
                     let mut args = Vec::new();
-                    if self.eat(&TokenKind::LParen)
-                        && !self.eat(&TokenKind::RParen) {
-                            loop {
-                                args.push(self.expr()?);
-                                if !self.eat(&TokenKind::Comma) {
-                                    break;
-                                }
+                    if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
                             }
-                            self.expect(&TokenKind::RParen)?;
                         }
+                        self.expect(&TokenKind::RParen)?;
+                    }
                     let span = start.merge(self.span());
                     self.eol()?;
                     Ok(Stmt::Call { name, args, span })
@@ -491,7 +553,10 @@ impl Parser {
                 }
                 _ => self.assignment(),
             },
-            other => Err(LangError::parse(format!("expected statement, found `{other}`"), start)),
+            other => Err(LangError::parse(
+                format!("expected statement, found `{other}`"),
+                start,
+            )),
         }
     }
 
@@ -531,8 +596,17 @@ impl Parser {
                 let lo = self.expr()?;
                 self.expect(&TokenKind::Colon)?;
                 let hi = self.expr()?;
-                let stride = if self.eat(&TokenKind::Colon) { Some(self.expr()?) } else { None };
-                triplets.push(ForallTriplet { var, lo, hi, stride });
+                let stride = if self.eat(&TokenKind::Colon) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                triplets.push(ForallTriplet {
+                    var,
+                    lo,
+                    hi,
+                    stride,
+                });
             } else {
                 mask = Some(self.expr()?);
                 break; // mask must be last
@@ -543,7 +617,10 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen)?;
         if triplets.is_empty() {
-            return Err(LangError::parse("forall requires at least one index triplet", start));
+            return Err(LangError::parse(
+                "forall requires at least one index triplet",
+                start,
+            ));
         }
         let header = ForallHeader { triplets, mask };
 
@@ -571,7 +648,11 @@ impl Parser {
             let st = self.inline_assignment()?;
             let span = start.merge(st.span());
             self.eol()?;
-            Ok(Stmt::Forall { header, body: vec![st], span })
+            Ok(Stmt::Forall {
+                header,
+                body: vec![st],
+                span,
+            })
         }
     }
 
@@ -610,12 +691,22 @@ impl Parser {
             }
             let span = start.merge(self.span());
             self.eol()?;
-            Ok(Stmt::Where { mask, body, elsewhere, span })
+            Ok(Stmt::Where {
+                mask,
+                body,
+                elsewhere,
+                span,
+            })
         } else {
             let st = self.inline_assignment()?;
             let span = start.merge(st.span());
             self.eol()?;
-            Ok(Stmt::Where { mask, body: vec![st], elsewhere: Vec::new(), span })
+            Ok(Stmt::Where {
+                mask,
+                body: vec![st],
+                elsewhere: Vec::new(),
+                span,
+            })
         }
     }
 
@@ -636,12 +727,23 @@ impl Parser {
         let lo = self.expr()?;
         self.expect(&TokenKind::Comma)?;
         let hi = self.expr()?;
-        let step = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+        let step = if self.eat(&TokenKind::Comma) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         self.eol()?;
         let body = self.block_until_enddo()?;
         let span = start.merge(self.span());
         self.eol()?;
-        Ok(Stmt::Do { var, lo, hi, step, body, span })
+        Ok(Stmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            span,
+        })
     }
 
     fn block_until_enddo(&mut self) -> LangResult<Vec<Stmt>> {
@@ -657,7 +759,10 @@ impl Parser {
                 return Ok(body);
             }
             if matches!(self.peek(), TokenKind::Eof) {
-                return Err(LangError::parse("unterminated DO (missing END DO)", self.span()));
+                return Err(LangError::parse(
+                    "unterminated DO (missing END DO)",
+                    self.span(),
+                ));
             }
             body.push(self.stmt()?);
         }
@@ -680,23 +785,30 @@ impl Parser {
                     self.bump();
                     let (name, _) = self.expect_ident()?;
                     let mut args = Vec::new();
-                    if self.eat(&TokenKind::LParen)
-                        && !self.eat(&TokenKind::RParen) {
-                            loop {
-                                args.push(self.expr()?);
-                                if !self.eat(&TokenKind::Comma) {
-                                    break;
-                                }
+                    if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
                             }
-                            self.expect(&TokenKind::RParen)?;
                         }
-                    Stmt::Call { name, args, span: self.span() }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    Stmt::Call {
+                        name,
+                        args,
+                        span: self.span(),
+                    }
                 }
                 _ => self.inline_assignment()?,
             };
             let span = start.merge(st.span());
             self.eol()?;
-            return Ok(Stmt::If { arms: vec![(cond, vec![st])], else_body: Vec::new(), span });
+            return Ok(Stmt::If {
+                arms: vec![(cond, vec![st])],
+                else_body: Vec::new(),
+                span,
+            });
         }
         self.eol()?;
 
@@ -735,7 +847,10 @@ impl Parser {
                 continue;
             }
             if matches!(self.peek(), TokenKind::Eof) {
-                return Err(LangError::parse("unterminated IF (missing END IF)", self.span()));
+                return Err(LangError::parse(
+                    "unterminated IF (missing END IF)",
+                    self.span(),
+                ));
             }
             let st = self.stmt()?;
             if in_else {
@@ -746,7 +861,11 @@ impl Parser {
         }
         let span = start.merge(self.span());
         self.eol()?;
-        Ok(Stmt::If { arms, else_body, span })
+        Ok(Stmt::If {
+            arms,
+            else_body,
+            span,
+        })
     }
 
     // ---- expressions ------------------------------------------------------
@@ -766,7 +885,12 @@ impl Parser {
             self.bump();
             let rhs = self.or_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -777,7 +901,12 @@ impl Parser {
             self.bump();
             let rhs = self.and_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -788,7 +917,12 @@ impl Parser {
             self.bump();
             let rhs = self.not_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -798,7 +932,11 @@ impl Parser {
             let sp = self.bump().span;
             let operand = self.not_expr()?;
             let span = sp.merge(operand.span());
-            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand), span });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+                span,
+            });
         }
         self.rel_expr()
     }
@@ -817,7 +955,12 @@ impl Parser {
         self.bump();
         let rhs = self.add_expr()?;
         let span = lhs.span().merge(rhs.span());
-        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span })
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
     }
 
     fn add_expr(&mut self) -> LangResult<Expr> {
@@ -826,8 +969,16 @@ impl Parser {
             let t = self.bump();
             let operand = self.mul_expr()?;
             let span = t.span.merge(operand.span());
-            let op = if matches!(t.kind, TokenKind::Minus) { UnOp::Neg } else { UnOp::Plus };
-            Expr::Unary { op, operand: Box::new(operand), span }
+            let op = if matches!(t.kind, TokenKind::Minus) {
+                UnOp::Neg
+            } else {
+                UnOp::Plus
+            };
+            Expr::Unary {
+                op,
+                operand: Box::new(operand),
+                span,
+            }
         } else {
             self.mul_expr()?
         };
@@ -840,7 +991,12 @@ impl Parser {
             self.bump();
             let rhs = self.mul_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -856,7 +1012,12 @@ impl Parser {
             self.bump();
             let rhs = self.pow_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -871,7 +1032,11 @@ impl Parser {
                 let t = self.bump();
                 let operand = self.pow_expr()?;
                 let span = t.span.merge(operand.span());
-                Expr::Unary { op: UnOp::Neg, operand: Box::new(operand), span }
+                Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                    span,
+                }
             } else {
                 self.pow_expr()?
             };
@@ -911,9 +1076,10 @@ impl Parser {
                 Ok(e)
             }
             TokenKind::Ident(_) => Ok(Expr::Ref(self.data_ref()?)),
-            other => {
-                Err(LangError::parse(format!("expected expression, found `{other}`"), self.span()))
-            }
+            other => Err(LangError::parse(
+                format!("expected expression, found `{other}`"),
+                self.span(),
+            )),
         }
     }
 
@@ -921,31 +1087,58 @@ impl Parser {
         let (name, start) = self.expect_ident()?;
         let mut subs = Vec::new();
         let mut end = start;
-        if self.eat(&TokenKind::LParen)
-            && !self.eat(&TokenKind::RParen) {
-                loop {
-                    subs.push(self.subscript()?);
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                subs.push(self.subscript()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                end = self.expect(&TokenKind::RParen)?.span;
             }
-        Ok(DataRef { name, subs, span: start.merge(end) })
+            end = self.expect(&TokenKind::RParen)?.span;
+        }
+        Ok(DataRef {
+            name,
+            subs,
+            span: start.merge(end),
+        })
     }
 
     fn subscript(&mut self) -> LangResult<Subscript> {
         // `:`-led forms: `:`, `:hi`, `::stride`, `:hi:stride`.
         if self.eat(&TokenKind::Colon) {
-            let hi = if self.sub_boundary() { None } else { Some(self.expr()?) };
-            let stride = if self.eat(&TokenKind::Colon) { Some(self.expr()?) } else { None };
-            return Ok(Subscript::Triplet { lo: None, hi, stride });
+            let hi = if self.sub_boundary() {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            let stride = if self.eat(&TokenKind::Colon) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Subscript::Triplet {
+                lo: None,
+                hi,
+                stride,
+            });
         }
         let first = self.expr()?;
         if self.eat(&TokenKind::Colon) {
-            let hi = if self.sub_boundary() { None } else { Some(self.expr()?) };
-            let stride = if self.eat(&TokenKind::Colon) { Some(self.expr()?) } else { None };
-            Ok(Subscript::Triplet { lo: Some(first), hi, stride })
+            let hi = if self.sub_boundary() {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            let stride = if self.eat(&TokenKind::Colon) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            Ok(Subscript::Triplet {
+                lo: Some(first),
+                hi,
+                stride,
+            })
         } else {
             Ok(Subscript::Index(first))
         }
@@ -953,7 +1146,10 @@ impl Parser {
 
     /// At a subscript boundary (`,`, `)`, or `:` for stride)?
     fn sub_boundary(&self) -> bool {
-        matches!(self.peek(), TokenKind::Comma | TokenKind::RParen | TokenKind::Colon)
+        matches!(
+            self.peek(),
+            TokenKind::Comma | TokenKind::RParen | TokenKind::Colon
+        )
     }
 }
 
@@ -971,18 +1167,32 @@ fn affine_of(e: &Expr, dummies: &[String]) -> Option<AlignSub> {
     fn as_const(e: &Expr) -> Option<i64> {
         match e {
             Expr::IntLit(v, _) => Some(*v),
-            Expr::Unary { op: UnOp::Neg, operand, .. } => as_const(operand).map(|v| -v),
+            Expr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => as_const(operand).map(|v| -v),
             _ => None,
         }
     }
 
     if let Some(d) = as_dummy(e, dummies) {
-        return Some(AlignSub::Affine { dummy: d, stride: 1, offset: 0 });
+        return Some(AlignSub::Affine {
+            dummy: d,
+            stride: 1,
+            offset: 0,
+        });
     }
     match e {
-        Expr::Unary { op: UnOp::Neg, operand, .. } => {
-            as_dummy(operand, dummies).map(|d| AlignSub::Affine { dummy: d, stride: -1, offset: 0 })
-        }
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+            ..
+        } => as_dummy(operand, dummies).map(|d| AlignSub::Affine {
+            dummy: d,
+            stride: -1,
+            offset: 0,
+        }),
         Expr::Binary { op, lhs, rhs, .. } => {
             let (sign, l, r) = match op {
                 BinOp::Add => (1i64, lhs, rhs),
@@ -991,11 +1201,19 @@ fn affine_of(e: &Expr, dummies: &[String]) -> Option<AlignSub> {
             };
             if let (Some(d), Some(c)) = (as_dummy(l, dummies), as_const(r)) {
                 // I ± c
-                return Some(AlignSub::Affine { dummy: d, stride: 1, offset: sign * c });
+                return Some(AlignSub::Affine {
+                    dummy: d,
+                    stride: 1,
+                    offset: sign * c,
+                });
             }
             if let (Some(c), Some(d)) = (as_const(l), as_dummy(r, dummies)) {
                 // c + I  or  c - I
-                return Some(AlignSub::Affine { dummy: d, stride: sign, offset: c });
+                return Some(AlignSub::Affine {
+                    dummy: d,
+                    stride: sign,
+                    offset: c,
+                });
             }
             None
         }
@@ -1047,7 +1265,8 @@ END PROGRAM LAPLACE
 
     #[test]
     fn forall_single_line_with_mask() {
-        let src = "PROGRAM T\nREAL P(8), Q(8)\nFORALL (I = 1:8, Q(I).NE.0.0) P(I) = 1.0/Q(I)\nEND\n";
+        let src =
+            "PROGRAM T\nREAL P(8), Q(8)\nFORALL (I = 1:8, Q(I).NE.0.0) P(I) = 1.0/Q(I)\nEND\n";
         let p = parse_program(src).unwrap();
         match &p.body[0] {
             Stmt::Forall { header, body, .. } => {
@@ -1071,10 +1290,13 @@ END PROGRAM LAPLACE
 
     #[test]
     fn where_construct_with_elsewhere() {
-        let src = "PROGRAM T\nREAL A(8)\nWHERE (A > 0.0)\nA = 1.0\nELSEWHERE\nA = -1.0\nEND WHERE\nEND\n";
+        let src =
+            "PROGRAM T\nREAL A(8)\nWHERE (A > 0.0)\nA = 1.0\nELSEWHERE\nA = -1.0\nEND WHERE\nEND\n";
         let p = parse_program(src).unwrap();
         match &p.body[0] {
-            Stmt::Where { body, elsewhere, .. } => {
+            Stmt::Where {
+                body, elsewhere, ..
+            } => {
                 assert_eq!(body.len(), 1);
                 assert_eq!(elsewhere.len(), 1);
             }
@@ -1087,7 +1309,9 @@ END PROGRAM LAPLACE
         let src = "PROGRAM T\nINTEGER A\nA = 1\nIF (A > 0) THEN\nA = 2\nELSE IF (A == 0) THEN\nA = 3\nELSE\nA = 4\nEND IF\nEND\n";
         let p = parse_program(src).unwrap();
         match &p.body[1] {
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 assert_eq!(arms.len(), 2);
                 assert_eq!(else_body.len(), 1);
             }
@@ -1100,7 +1324,9 @@ END PROGRAM LAPLACE
         let src = "PROGRAM T\nINTEGER A\nIF (A > 0) A = A - 1\nEND\n";
         let p = parse_program(src).unwrap();
         match &p.body[0] {
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 assert_eq!(arms.len(), 1);
                 assert!(else_body.is_empty());
             }
@@ -1110,13 +1336,17 @@ END PROGRAM LAPLACE
 
     #[test]
     fn array_sections_parse() {
-        let src = "PROGRAM T\nREAL A(10), B(10)\nA(1:5) = B(6:10)\nA(:) = B\nA(1:10:2) = 0.0\nEND\n";
+        let src =
+            "PROGRAM T\nREAL A(10), B(10)\nA(1:5) = B(6:10)\nA(:) = B\nA(1:10:2) = 0.0\nEND\n";
         let p = parse_program(src).unwrap();
         assert_eq!(p.body.len(), 3);
         if let Stmt::Assign { lhs, .. } = &p.body[2] {
             assert!(matches!(
                 lhs.subs[0],
-                Subscript::Triplet { stride: Some(_), .. }
+                Subscript::Triplet {
+                    stride: Some(_),
+                    ..
+                }
             ));
         } else {
             panic!()
@@ -1138,11 +1368,19 @@ END
         let p = parse_program(src).unwrap();
         assert_eq!(p.directives.len(), 4);
         match &p.directives[2] {
-            Directive::Align { dummies, target_subs, .. } => {
+            Directive::Align {
+                dummies,
+                target_subs,
+                ..
+            } => {
                 assert_eq!(dummies.len(), 2);
                 assert_eq!(
                     target_subs[0],
-                    AlignSub::Affine { dummy: "J".into(), stride: 1, offset: 0 }
+                    AlignSub::Affine {
+                        dummy: "J".into(),
+                        stride: 1,
+                        offset: 0
+                    }
                 );
             }
             _ => panic!(),
@@ -1164,7 +1402,11 @@ END
             Directive::Align { target_subs, .. } => {
                 assert_eq!(
                     target_subs[0],
-                    AlignSub::Affine { dummy: "I".into(), stride: 1, offset: 1 }
+                    AlignSub::Affine {
+                        dummy: "I".into(),
+                        stride: 1,
+                        offset: 1
+                    }
                 );
             }
             _ => panic!(),
@@ -1177,8 +1419,18 @@ END
         let p = parse_program(src).unwrap();
         if let Stmt::Assign { rhs, .. } = &p.body[0] {
             // Must parse as 1 + (2 * (3 ** 2)).
-            if let Expr::Binary { op: BinOp::Add, rhs: r, .. } = rhs {
-                if let Expr::Binary { op: BinOp::Mul, rhs: r2, .. } = r.as_ref() {
+            if let Expr::Binary {
+                op: BinOp::Add,
+                rhs: r,
+                ..
+            } = rhs
+            {
+                if let Expr::Binary {
+                    op: BinOp::Mul,
+                    rhs: r2,
+                    ..
+                } = r.as_ref()
+                {
                     assert!(matches!(r2.as_ref(), Expr::Binary { op: BinOp::Pow, .. }));
                     return;
                 }
@@ -1191,7 +1443,16 @@ END
     fn power_right_assoc() {
         let src = "PROGRAM T\nREAL A\nA = 2.0 ** 3 ** 2\nEND\n";
         let p = parse_program(src).unwrap();
-        if let Stmt::Assign { rhs: Expr::Binary { op: BinOp::Pow, rhs, .. }, .. } = &p.body[0] {
+        if let Stmt::Assign {
+            rhs:
+                Expr::Binary {
+                    op: BinOp::Pow,
+                    rhs,
+                    ..
+                },
+            ..
+        } = &p.body[0]
+        {
             assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::Pow, .. }));
         } else {
             panic!()
@@ -1220,7 +1481,10 @@ END
     fn intrinsic_call_is_ref_before_sema() {
         let src = "PROGRAM T\nREAL A(8), S\nS = SUM(A)\nEND\n";
         let p = parse_program(src).unwrap();
-        if let Stmt::Assign { rhs: Expr::Ref(r), .. } = &p.body[0] {
+        if let Stmt::Assign {
+            rhs: Expr::Ref(r), ..
+        } = &p.body[0]
+        {
             assert_eq!(r.name, "SUM");
         } else {
             panic!()

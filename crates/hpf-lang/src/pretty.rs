@@ -91,7 +91,13 @@ fn pretty_directive(d: &Directive, out: &mut String) {
             pretty_dims(shape, out);
             out.push(')');
         }
-        Directive::Align { alignee, dummies, target, target_subs, .. } => {
+        Directive::Align {
+            alignee,
+            dummies,
+            target,
+            target_subs,
+            ..
+        } => {
             let _ = write!(out, "ALIGN {alignee}");
             if !dummies.is_empty() {
                 let _ = write!(out, "({})", dummies.join(", "));
@@ -105,7 +111,11 @@ fn pretty_directive(d: &Directive, out: &mut String) {
                     }
                     match s {
                         AlignSub::Replicated => out.push('*'),
-                        AlignSub::Affine { dummy, stride, offset } => {
+                        AlignSub::Affine {
+                            dummy,
+                            stride,
+                            offset,
+                        } => {
                             if *stride == -1 {
                                 out.push('-');
                             }
@@ -124,7 +134,12 @@ fn pretty_directive(d: &Directive, out: &mut String) {
         Directive::Independent { .. } => {
             out.push_str("INDEPENDENT");
         }
-        Directive::Distribute { target, formats, onto, .. } => {
+        Directive::Distribute {
+            target,
+            formats,
+            onto,
+            ..
+        } => {
             let _ = write!(out, "DISTRIBUTE {target}(");
             for (i, f) in formats.iter().enumerate() {
                 if i > 0 {
@@ -154,7 +169,13 @@ fn pretty_stmt(s: &Stmt, level: usize, out: &mut String) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                let _ = write!(out, "{} = {}:{}", t.var, pretty_expr(&t.lo), pretty_expr(&t.hi));
+                let _ = write!(
+                    out,
+                    "{} = {}:{}",
+                    t.var,
+                    pretty_expr(&t.lo),
+                    pretty_expr(&t.hi)
+                );
                 if let Some(st) = &t.stride {
                     let _ = write!(out, ":{}", pretty_expr(st));
                 }
@@ -169,7 +190,12 @@ fn pretty_stmt(s: &Stmt, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("END FORALL\n");
         }
-        Stmt::Where { mask, body, elsewhere, .. } => {
+        Stmt::Where {
+            mask,
+            body,
+            elsewhere,
+            ..
+        } => {
             indent(level, out);
             let _ = writeln!(out, "WHERE ({})", pretty_expr(mask));
             for st in body {
@@ -185,7 +211,14 @@ fn pretty_stmt(s: &Stmt, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("END WHERE\n");
         }
-        Stmt::Do { var, lo, hi, step, body, .. } => {
+        Stmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } => {
             indent(level, out);
             let _ = write!(out, "DO {var} = {}, {}", pretty_expr(lo), pretty_expr(hi));
             if let Some(st) = step {
@@ -207,7 +240,9 @@ fn pretty_stmt(s: &Stmt, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("END DO\n");
         }
-        Stmt::If { arms, else_body, .. } => {
+        Stmt::If {
+            arms, else_body, ..
+        } => {
             for (i, (cond, body)) in arms.iter().enumerate() {
                 indent(level, out);
                 if i == 0 {

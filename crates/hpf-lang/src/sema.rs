@@ -47,7 +47,11 @@ impl Symbol {
 
     /// Total element count for arrays/templates.
     pub fn elem_count(&self) -> Option<u64> {
-        self.shape().map(|s| s.iter().map(|(lb, ub)| (ub - lb + 1).max(0) as u64).product())
+        self.shape().map(|s| {
+            s.iter()
+                .map(|(lb, ub)| (ub - lb + 1).max(0) as u64)
+                .product()
+        })
     }
 
     pub fn is_array(&self) -> bool {
@@ -90,8 +94,15 @@ pub fn implicit_type(name: &str) -> TypeSpec {
 
 /// Analyze a parsed program. `overrides` maps PARAMETER names to replacement
 /// integer values (the interface's problem-size knob).
-pub fn analyze(program: &Program, overrides: &BTreeMap<String, i64>) -> LangResult<AnalyzedProgram> {
-    let mut a = Analyzer { symbols: SymbolTable::new(), overrides };
+pub fn analyze(
+    program: &Program,
+    overrides: &BTreeMap<String, i64>,
+) -> LangResult<AnalyzedProgram> {
+    let _span = hpf_trace::span("sema");
+    let mut a = Analyzer {
+        symbols: SymbolTable::new(),
+        overrides,
+    };
     a.collect_decls(program)?;
     a.collect_directives(program)?;
 
@@ -133,7 +144,10 @@ impl<'a> Analyzer<'a> {
             for ent in &decl.entities {
                 let name = ent.name.clone();
                 if self.symbols.contains_key(&name) {
-                    return Err(LangError::sema(format!("`{name}` declared twice"), ent.span));
+                    return Err(LangError::sema(
+                        format!("`{name}` declared twice"),
+                        ent.span,
+                    ));
                 }
                 // F77 PARAMETER statements carry a placeholder type; apply
                 // implicit typing rules for those.
@@ -167,17 +181,31 @@ impl<'a> Analyzer<'a> {
                     };
                     self.symbols.insert(
                         name.clone(),
-                        Symbol { name, ty, kind: SymbolKind::Parameter { value }, span: ent.span },
+                        Symbol {
+                            name,
+                            ty,
+                            kind: SymbolKind::Parameter { value },
+                            span: ent.span,
+                        },
                     );
                     continue;
                 }
                 let dims = ent.dims.as_ref().or(decl.dimension.as_ref());
                 let kind = match dims {
-                    Some(dims) => SymbolKind::Array { shape: self.resolve_shape(dims)? },
+                    Some(dims) => SymbolKind::Array {
+                        shape: self.resolve_shape(dims)?,
+                    },
                     None => SymbolKind::Scalar,
                 };
-                self.symbols
-                    .insert(name.clone(), Symbol { name, ty, kind, span: ent.span });
+                self.symbols.insert(
+                    name.clone(),
+                    Symbol {
+                        name,
+                        ty,
+                        kind,
+                        span: ent.span,
+                    },
+                );
             }
         }
         Ok(())
@@ -220,7 +248,13 @@ impl<'a> Analyzer<'a> {
                     );
                 }
                 Directive::Independent { .. } => {}
-                Directive::Align { alignee, dummies, target, target_subs, span } => {
+                Directive::Align {
+                    alignee,
+                    dummies,
+                    target,
+                    target_subs,
+                    span,
+                } => {
                     let al = self.symbols.get(alignee).ok_or_else(|| {
                         LangError::sema(format!("ALIGN of undeclared `{alignee}`"), *span)
                     })?;
@@ -255,7 +289,12 @@ impl<'a> Analyzer<'a> {
                         }
                     }
                 }
-                Directive::Distribute { target, formats, onto, span } => {
+                Directive::Distribute {
+                    target,
+                    formats,
+                    onto,
+                    span,
+                } => {
                     let tgt = self.symbols.get(target).ok_or_else(|| {
                         LangError::sema(format!("DISTRIBUTE of undeclared `{target}`"), *span)
                     })?;
@@ -272,8 +311,10 @@ impl<'a> Analyzer<'a> {
                     if let Some(p) = onto {
                         match self.symbols.get(p).map(|s| &s.kind) {
                             Some(SymbolKind::Processors { shape }) => {
-                                let dist_dims =
-                                    formats.iter().filter(|f| **f != DistFormat::Degenerate).count();
+                                let dist_dims = formats
+                                    .iter()
+                                    .filter(|f| **f != DistFormat::Degenerate)
+                                    .count();
                                 if dist_dims != shape.len() && !(dist_dims == 0 && shape.len() == 1)
                                 {
                                     return Err(LangError::sema(
@@ -304,14 +345,16 @@ impl<'a> Analyzer<'a> {
         let mut shape = Vec::with_capacity(dims.len());
         for d in dims {
             let lb = match &d.lower {
-                Some(e) => self.const_eval(e)?.as_i64().ok_or_else(|| {
-                    LangError::sema("array bound must be integer", e.span())
-                })?,
+                Some(e) => self
+                    .const_eval(e)?
+                    .as_i64()
+                    .ok_or_else(|| LangError::sema("array bound must be integer", e.span()))?,
                 None => 1,
             };
-            let ub = self.const_eval(&d.upper)?.as_i64().ok_or_else(|| {
-                LangError::sema("array bound must be integer", d.upper.span())
-            })?;
+            let ub = self
+                .const_eval(&d.upper)?
+                .as_i64()
+                .ok_or_else(|| LangError::sema("array bound must be integer", d.upper.span()))?;
             if ub < lb {
                 return Err(LangError::sema(
                     format!("array bound {ub} below lower bound {lb}"),
@@ -348,24 +391,53 @@ impl<'a> Analyzer<'a> {
                         var: t.var.clone(),
                         lo: self.rewrite_expr(&t.lo)?,
                         hi: self.rewrite_expr(&t.hi)?,
-                        stride: t.stride.as_ref().map(|s| self.rewrite_expr(s)).transpose()?,
+                        stride: t
+                            .stride
+                            .as_ref()
+                            .map(|s| self.rewrite_expr(s))
+                            .transpose()?,
                     });
                 }
-                let mask = header.mask.as_ref().map(|m| self.rewrite_expr(m)).transpose()?;
-                let body =
-                    body.iter().map(|s| self.rewrite_stmt(s)).collect::<LangResult<Vec<_>>>()?;
-                Stmt::Forall { header: ForallHeader { triplets, mask }, body, span: *span }
+                let mask = header
+                    .mask
+                    .as_ref()
+                    .map(|m| self.rewrite_expr(m))
+                    .transpose()?;
+                let body = body
+                    .iter()
+                    .map(|s| self.rewrite_stmt(s))
+                    .collect::<LangResult<Vec<_>>>()?;
+                Stmt::Forall {
+                    header: ForallHeader { triplets, mask },
+                    body,
+                    span: *span,
+                }
             }
-            Stmt::Where { mask, body, elsewhere, span } => Stmt::Where {
+            Stmt::Where {
+                mask,
+                body,
+                elsewhere,
+                span,
+            } => Stmt::Where {
                 mask: self.rewrite_expr(mask)?,
-                body: body.iter().map(|s| self.rewrite_stmt(s)).collect::<LangResult<Vec<_>>>()?,
+                body: body
+                    .iter()
+                    .map(|s| self.rewrite_stmt(s))
+                    .collect::<LangResult<Vec<_>>>()?,
                 elsewhere: elsewhere
                     .iter()
                     .map(|s| self.rewrite_stmt(s))
                     .collect::<LangResult<Vec<_>>>()?,
                 span: *span,
             },
-            Stmt::Do { var, lo, hi, step, body, span } => {
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => {
                 self.ensure_scalar(var);
                 Stmt::Do {
                     var: var.clone(),
@@ -381,16 +453,25 @@ impl<'a> Analyzer<'a> {
             }
             Stmt::DoWhile { cond, body, span } => Stmt::DoWhile {
                 cond: self.rewrite_expr(cond)?,
-                body: body.iter().map(|s| self.rewrite_stmt(s)).collect::<LangResult<Vec<_>>>()?,
+                body: body
+                    .iter()
+                    .map(|s| self.rewrite_stmt(s))
+                    .collect::<LangResult<Vec<_>>>()?,
                 span: *span,
             },
-            Stmt::If { arms, else_body, span } => Stmt::If {
+            Stmt::If {
+                arms,
+                else_body,
+                span,
+            } => Stmt::If {
                 arms: arms
                     .iter()
                     .map(|(c, b)| {
                         Ok((
                             self.rewrite_expr(c)?,
-                            b.iter().map(|s| self.rewrite_stmt(s)).collect::<LangResult<Vec<_>>>()?,
+                            b.iter()
+                                .map(|s| self.rewrite_stmt(s))
+                                .collect::<LangResult<Vec<_>>>()?,
                         ))
                     })
                     .collect::<LangResult<Vec<_>>>()?,
@@ -402,11 +483,17 @@ impl<'a> Analyzer<'a> {
             },
             Stmt::Call { name, args, span } => Stmt::Call {
                 name: name.clone(),
-                args: args.iter().map(|a| self.rewrite_expr(a)).collect::<LangResult<Vec<_>>>()?,
+                args: args
+                    .iter()
+                    .map(|a| self.rewrite_expr(a))
+                    .collect::<LangResult<Vec<_>>>()?,
                 span: *span,
             },
             Stmt::Print { items, span } => Stmt::Print {
-                items: items.iter().map(|a| self.rewrite_expr(a)).collect::<LangResult<Vec<_>>>()?,
+                items: items
+                    .iter()
+                    .map(|a| self.rewrite_expr(a))
+                    .collect::<LangResult<Vec<_>>>()?,
                 span: *span,
             },
             Stmt::Stop { span } => Stmt::Stop { span: *span },
@@ -425,7 +512,11 @@ impl<'a> Analyzer<'a> {
                 },
             });
         }
-        Ok(DataRef { name: r.name.clone(), subs, span: r.span })
+        Ok(DataRef {
+            name: r.name.clone(),
+            subs,
+            span: r.span,
+        })
     }
 
     fn rewrite_expr(&mut self, e: &Expr) -> LangResult<Expr> {
@@ -456,7 +547,11 @@ impl<'a> Analyzer<'a> {
                                 }
                             }
                         }
-                        return Ok(Expr::Intrinsic { name: intr, args, span: r.span });
+                        return Ok(Expr::Intrinsic {
+                            name: intr,
+                            args,
+                            span: r.span,
+                        });
                     }
                     if r.subs.is_empty() {
                         // Implicitly typed scalar (e.g. forall dummies used
@@ -473,7 +568,10 @@ impl<'a> Analyzer<'a> {
             }
             Expr::Intrinsic { name, args, span } => Expr::Intrinsic {
                 name: *name,
-                args: args.iter().map(|a| self.rewrite_expr(a)).collect::<LangResult<Vec<_>>>()?,
+                args: args
+                    .iter()
+                    .map(|a| self.rewrite_expr(a))
+                    .collect::<LangResult<Vec<_>>>()?,
                 span: *span,
             },
             Expr::Unary { op, operand, span } => Expr::Unary {
@@ -492,12 +590,16 @@ impl<'a> Analyzer<'a> {
 
     fn ensure_variable(&mut self, r: &DataRef) -> LangResult<()> {
         match self.symbols.get(&r.name).map(|s| &s.kind) {
-            Some(SymbolKind::Parameter { .. }) => {
-                Err(LangError::sema(format!("cannot assign to PARAMETER `{}`", r.name), r.span))
+            Some(SymbolKind::Parameter { .. }) => Err(LangError::sema(
+                format!("cannot assign to PARAMETER `{}`", r.name),
+                r.span,
+            )),
+            Some(SymbolKind::Template { .. }) | Some(SymbolKind::Processors { .. }) => {
+                Err(LangError::sema(
+                    format!("cannot assign to mapping object `{}`", r.name),
+                    r.span,
+                ))
             }
-            Some(SymbolKind::Template { .. }) | Some(SymbolKind::Processors { .. }) => Err(
-                LangError::sema(format!("cannot assign to mapping object `{}`", r.name), r.span),
-            ),
             Some(_) => Ok(()),
             None if r.subs.is_empty() => {
                 self.ensure_scalar(&r.name);
@@ -534,7 +636,10 @@ fn decl_is_untyped(decl: &Decl) -> bool {
     decl.parameter
         && decl.type_spec == TypeSpec::Integer
         && decl.dimension.is_none()
-        && decl.entities.iter().all(|e| e.dims.is_none() && e.init.is_some())
+        && decl
+            .entities
+            .iter()
+            .all(|e| e.dims.is_none() && e.init.is_some())
 }
 
 /// Evaluate a constant expression against a symbol table.
@@ -601,9 +706,10 @@ fn trace_critical_variables(
                         symbols.get(&r.name).map(|s| &s.kind),
                         Some(SymbolKind::Parameter { .. })
                     )
-                    && !out.contains(&r.name) {
-                        out.push(r.name.clone());
-                    }
+                    && !out.contains(&r.name)
+                {
+                    out.push(r.name.clone());
+                }
                 for s in &r.subs {
                     match s {
                         Subscript::Index(e) => names_in(e, out, symbols),
@@ -632,7 +738,14 @@ fn trace_critical_variables(
     fn walk(stmts: &[Stmt], critical: &mut Vec<String>, symbols: &SymbolTable) {
         for st in stmts {
             match st {
-                Stmt::Do { lo, hi, step, body, var, .. } => {
+                Stmt::Do {
+                    lo,
+                    hi,
+                    step,
+                    body,
+                    var,
+                    ..
+                } => {
                     for e in [Some(lo), Some(hi), step.as_ref()].into_iter().flatten() {
                         names_in(e, critical, symbols);
                     }
@@ -657,13 +770,17 @@ fn trace_critical_variables(
                     }
                     walk(body, critical, symbols);
                 }
-                Stmt::If { arms, else_body, .. } => {
+                Stmt::If {
+                    arms, else_body, ..
+                } => {
                     for (_, b) in arms {
                         walk(b, critical, symbols);
                     }
                     walk(else_body, critical, symbols);
                 }
-                Stmt::Where { body, elsewhere, .. } => {
+                Stmt::Where {
+                    body, elsewhere, ..
+                } => {
                     walk(body, critical, symbols);
                     walk(elsewhere, critical, symbols);
                 }
@@ -706,7 +823,8 @@ mod tests {
 
     #[test]
     fn parameters_resolve_shapes() {
-        let a = analyze_src("PROGRAM T\nINTEGER, PARAMETER :: N = 8\nREAL A(N, 2*N)\nA = 0.0\nEND\n");
+        let a =
+            analyze_src("PROGRAM T\nINTEGER, PARAMETER :: N = 8\nREAL A(N, 2*N)\nA = 0.0\nEND\n");
         let sym = a.symbol("A").unwrap();
         assert_eq!(sym.shape().unwrap(), &[(1, 8), (1, 16)]);
         assert_eq!(sym.elem_count(), Some(128));
@@ -726,7 +844,10 @@ mod tests {
     fn intrinsics_are_resolved() {
         let a = analyze_src("PROGRAM T\nREAL A(8), S\nS = SUM(A)\nEND\n");
         match &a.program.body[0] {
-            Stmt::Assign { rhs: Expr::Intrinsic { name, args, .. }, .. } => {
+            Stmt::Assign {
+                rhs: Expr::Intrinsic { name, args, .. },
+                ..
+            } => {
                 assert_eq!(*name, Intrinsic::Sum);
                 assert_eq!(args.len(), 1);
             }
@@ -764,9 +885,7 @@ mod tests {
 
     #[test]
     fn processors_symbol() {
-        let a = analyze_src(
-            "PROGRAM T\nREAL A(8)\n!HPF$ PROCESSORS P(2,4)\nA = 0.0\nEND\n",
-        );
+        let a = analyze_src("PROGRAM T\nREAL A(8)\n!HPF$ PROCESSORS P(2,4)\nA = 0.0\nEND\n");
         match &a.symbol("P").unwrap().kind {
             SymbolKind::Processors { shape } => assert_eq!(shape, &vec![2, 4]),
             _ => panic!(),

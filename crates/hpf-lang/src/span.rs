@@ -23,11 +23,21 @@ pub struct Span {
 impl Span {
     /// A span covering nothing, used for synthesized nodes (e.g. the
     /// `forall` statements the normalizer fabricates from array assignments).
-    pub const SYNTHETIC: Span = Span { start: 0, end: 0, line: 0, end_line: 0 };
+    pub const SYNTHETIC: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+        end_line: 0,
+    };
 
     /// Create a single-line span.
     pub fn new(start: u32, end: u32, line: u32) -> Self {
-        Span { start, end, line, end_line: line }
+        Span {
+            start,
+            end,
+            line,
+            end_line: line,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.
@@ -96,7 +106,12 @@ mod tests {
 
     #[test]
     fn covers_line_bounds() {
-        let s = Span { start: 0, end: 10, line: 3, end_line: 5 };
+        let s = Span {
+            start: 0,
+            end: 10,
+            line: 3,
+            end_line: 5,
+        };
         assert!(!s.covers_line(2));
         assert!(s.covers_line(3));
         assert!(s.covers_line(5));

@@ -35,24 +35,24 @@ pub enum TokenKind {
     Comma,
     Colon,
     DoubleColon,
-    Assign,     // =
+    Assign, // =
     Plus,
     Minus,
     Star,
     Slash,
-    Power,      // **
-    Concat,     // //
-    Eq,         // == or .EQ.
-    Ne,         // /= or .NE.
+    Power,  // **
+    Concat, // //
+    Eq,     // == or .EQ.
+    Ne,     // /= or .NE.
     Lt,
     Le,
     Gt,
     Ge,
-    And,        // .AND.
-    Or,         // .OR.
-    Not,        // .NOT.
-    Eqv,        // .EQV.
-    Neqv,       // .NEQV.
+    And,  // .AND.
+    Or,   // .OR.
+    Not,  // .NOT.
+    Eqv,  // .EQV.
+    Neqv, // .NEQV.
     Percent,
 
     /// Start of an `!HPF$` directive line.

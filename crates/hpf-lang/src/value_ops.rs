@@ -39,7 +39,11 @@ pub fn apply_binary(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
                         Int(a.wrapping_pow((*b).min(u32::MAX as i64) as u32))
                     } else {
                         // INTEGER ** negative is 0 (or 1/±1) in Fortran.
-                        Int(if a.abs() == 1 { a.pow((-b % 2) as u32) } else { 0 })
+                        Int(if a.abs() == 1 {
+                            a.pow((-b % 2) as u32)
+                        } else {
+                            0
+                        })
                     }
                 }
                 _ => unreachable!(),
@@ -123,7 +127,11 @@ pub fn apply_intrinsic_scalar(intr: Intrinsic, args: &[Value]) -> Option<Value> 
                 let mut best = args.first()?.as_f64()?;
                 for a in &args[1..] {
                     let v = a.as_f64()?;
-                    best = if intr == Min { best.min(v) } else { best.max(v) };
+                    best = if intr == Min {
+                        best.min(v)
+                    } else {
+                        best.max(v)
+                    };
                 }
                 Some(V::Real(best))
             }
@@ -143,7 +151,11 @@ pub fn apply_intrinsic_scalar(intr: Intrinsic, args: &[Value]) -> Option<Value> 
         }
         Int | Nint => {
             let a = args.first()?.as_f64()?;
-            Some(Value::Int(if intr == Nint { a.round() as i64 } else { a as i64 }))
+            Some(Value::Int(if intr == Nint {
+                a.round() as i64
+            } else {
+                a as i64
+            }))
         }
         Real | Dble | Float => Some(Value::Real(args.first()?.as_f64()?)),
         _ => None, // transformational intrinsics handled at array level
@@ -157,8 +169,14 @@ mod tests {
 
     #[test]
     fn integer_division_truncates() {
-        assert_eq!(apply_binary(BinOp::Div, &Value::Int(7), &Value::Int(2)), Some(Value::Int(3)));
-        assert_eq!(apply_binary(BinOp::Div, &Value::Int(7), &Value::Int(0)), None);
+        assert_eq!(
+            apply_binary(BinOp::Div, &Value::Int(7), &Value::Int(2)),
+            Some(Value::Int(3))
+        );
+        assert_eq!(
+            apply_binary(BinOp::Div, &Value::Int(7), &Value::Int(0)),
+            None
+        );
     }
 
     #[test]
@@ -171,8 +189,14 @@ mod tests {
 
     #[test]
     fn integer_pow() {
-        assert_eq!(apply_binary(BinOp::Pow, &Value::Int(2), &Value::Int(10)), Some(Value::Int(1024)));
-        assert_eq!(apply_binary(BinOp::Pow, &Value::Int(2), &Value::Int(-1)), Some(Value::Int(0)));
+        assert_eq!(
+            apply_binary(BinOp::Pow, &Value::Int(2), &Value::Int(10)),
+            Some(Value::Int(1024))
+        );
+        assert_eq!(
+            apply_binary(BinOp::Pow, &Value::Int(2), &Value::Int(-1)),
+            Some(Value::Int(0))
+        );
     }
 
     #[test]
@@ -185,7 +209,10 @@ mod tests {
             apply_binary(BinOp::Eq, &Value::Logical(true), &Value::Logical(false)),
             Some(Value::Logical(false))
         );
-        assert_eq!(apply_binary(BinOp::Lt, &Value::Logical(true), &Value::Logical(false)), None);
+        assert_eq!(
+            apply_binary(BinOp::Lt, &Value::Logical(true), &Value::Logical(false)),
+            None
+        );
     }
 
     #[test]
@@ -203,8 +230,14 @@ mod tests {
     #[test]
     fn intrinsic_scalars() {
         use crate::ast::Intrinsic as I;
-        assert_eq!(apply_intrinsic_scalar(I::Abs, &[Value::Int(-3)]), Some(Value::Int(3)));
-        assert_eq!(apply_intrinsic_scalar(I::Sqrt, &[Value::Real(4.0)]), Some(Value::Real(2.0)));
+        assert_eq!(
+            apply_intrinsic_scalar(I::Abs, &[Value::Int(-3)]),
+            Some(Value::Int(3))
+        );
+        assert_eq!(
+            apply_intrinsic_scalar(I::Sqrt, &[Value::Real(4.0)]),
+            Some(Value::Real(2.0))
+        );
         assert_eq!(
             apply_intrinsic_scalar(I::Min, &[Value::Int(3), Value::Int(1), Value::Int(2)]),
             Some(Value::Int(1))
@@ -213,14 +246,23 @@ mod tests {
             apply_intrinsic_scalar(I::Mod, &[Value::Int(7), Value::Int(3)]),
             Some(Value::Int(1))
         );
-        assert_eq!(apply_intrinsic_scalar(I::Nint, &[Value::Real(2.6)]), Some(Value::Int(3)));
+        assert_eq!(
+            apply_intrinsic_scalar(I::Nint, &[Value::Real(2.6)]),
+            Some(Value::Int(3))
+        );
         assert_eq!(apply_intrinsic_scalar(I::Sum, &[Value::Int(1)]), None);
     }
 
     #[test]
     fn unary_ops() {
-        assert_eq!(apply_unary(UnOp::Neg, &Value::Real(2.0)), Some(Value::Real(-2.0)));
-        assert_eq!(apply_unary(UnOp::Not, &Value::Logical(false)), Some(Value::Logical(true)));
+        assert_eq!(
+            apply_unary(UnOp::Neg, &Value::Real(2.0)),
+            Some(Value::Real(-2.0))
+        );
+        assert_eq!(
+            apply_unary(UnOp::Not, &Value::Logical(false)),
+            Some(Value::Logical(true))
+        );
         assert_eq!(apply_unary(UnOp::Not, &Value::Int(1)), None);
     }
 }

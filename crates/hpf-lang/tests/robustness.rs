@@ -19,7 +19,10 @@ fn malformed_programs_error_cleanly() {
         ("PROGRAM T\n!HPF$ FROBNICATE X\nX = 1\nEND\n", Phase::Parse),
         ("PROGRAM T\n!HPF$ DISTRIBUTE A(WEIRD)\nEND\n", Phase::Parse),
         ("PROGRAM T\nREAL A(-5)\nA = 0.0\nEND\n", Phase::Sema),
-        ("PROGRAM T\nINTEGER, PARAMETER :: N = 'abc'\nEND\n", Phase::Sema),
+        (
+            "PROGRAM T\nINTEGER, PARAMETER :: N = 'abc'\nEND\n",
+            Phase::Sema,
+        ),
         ("PROGRAM T\nX = 'unterminated\nEND\n", Phase::Lex),
     ];
     for (src, phase) in cases {

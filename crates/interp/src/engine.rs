@@ -67,7 +67,10 @@ pub struct InterpretationEngine<'m> {
 
 impl<'m> InterpretationEngine<'m> {
     pub fn new(machine: &'m MachineModel) -> Self {
-        InterpretationEngine { machine, options: InterpOptions::default() }
+        InterpretationEngine {
+            machine,
+            options: InterpOptions::default(),
+        }
     }
 
     pub fn with_options(machine: &'m MachineModel, options: InterpOptions) -> Self {
@@ -76,6 +79,9 @@ impl<'m> InterpretationEngine<'m> {
 
     /// Run the interpretation algorithm over the SAAG.
     pub fn interpret(&self, aag: &Aag) -> Prediction {
+        let _span = hpf_trace::span("interpret");
+        hpf_trace::counter_add("interp.interpretations", 1);
+        hpf_trace::counter_add("interp.aaus", aag.aaus.len() as u64);
         let mut per_aau = vec![Metrics::ZERO; aag.aaus.len()];
         let total = self.seq(aag, &aag.top, 1.0, &mut per_aau);
         Prediction {
@@ -121,7 +127,9 @@ impl<'m> InterpretationEngine<'m> {
             AauKind::Start | AauKind::End => Metrics::ZERO,
             AauKind::Seq { ops } => self.interpret_seq(ops),
             AauKind::Comm { phase, .. } => self.interpret_comm(phase),
-            AauKind::IterD { trips, comp, body, .. } => match comp {
+            AauKind::IterD {
+                trips, comp, body, ..
+            } => match comp {
                 Some(c) => self.interpret_comp(c),
                 None => {
                     let body_m = self.seq(aag, body, weight, per_aau);
@@ -135,7 +143,10 @@ impl<'m> InterpretationEngine<'m> {
             },
             AauKind::CondtD { arms, else_arm } => {
                 let p = &self.machine.node_processing;
-                let mut m = Metrics { overhead: p.op_time(OpClass::Branch), ..Metrics::ZERO };
+                let mut m = Metrics {
+                    overhead: p.op_time(OpClass::Branch),
+                    ..Metrics::ZERO
+                };
                 let mut arm_weight_sum = 0.0;
                 for (w, body) in arms {
                     let w = w.clamp(0.0, 1.0);
@@ -156,7 +167,10 @@ impl<'m> InterpretationEngine<'m> {
     /// Seq AAU: straight-line replicated scalar work.
     fn interpret_seq(&self, ops: &OpCounts) -> Metrics {
         let comp = self.ops_time(ops, 0.95);
-        Metrics { comp, ..Metrics::ZERO }
+        Metrics {
+            comp,
+            ..Metrics::ZERO
+        }
     }
 
     /// IterD with a computation phase: the sequentialized local loop nest.
@@ -177,20 +191,35 @@ impl<'m> InterpretationEngine<'m> {
         // setup per nest level.
         let overhead = iters * p.op_time(OpClass::LoopIter)
             + c.loop_depth as f64 * p.op_time(OpClass::LoopSetup)
-            + if c.masked_ops.is_some() { iters * p.op_time(OpClass::Branch) } else { 0.0 };
+            + if c.masked_ops.is_some() {
+                iters * p.op_time(OpClass::Branch)
+            } else {
+                0.0
+            };
 
         // Wait time: the non-critical nodes idle while the busiest finishes.
         let mean = c.total_iters as f64 / c.per_node_iters.len().max(1) as f64;
         let wait = (iters - mean).max(0.0) * per_iter_time;
 
-        Metrics { comp, comm: 0.0, overhead, wait }
+        Metrics {
+            comp,
+            comm: 0.0,
+            overhead,
+            wait,
+        }
     }
 
     /// Comm AAU: the collective library call plus software packing.
     fn interpret_comm(&self, c: &CommPhase) -> Metrics {
-        let lib = self.machine.collective_time(c.op, c.participants, c.bytes_per_node);
+        let lib = self
+            .machine
+            .collective_time(c.op, c.participants, c.bytes_per_node);
         let pack = self.pack_overhead(c);
-        Metrics { comm: lib, overhead: pack, ..Metrics::ZERO }
+        Metrics {
+            comm: lib,
+            overhead: pack,
+            ..Metrics::ZERO
+        }
     }
 
     /// Extra software packing charged for non-contiguous boundaries: each
@@ -215,7 +244,9 @@ impl<'m> InterpretationEngine<'m> {
         if !self.options.memory_hierarchy {
             return 1.0;
         }
-        self.machine.node_memory.hit_ratio(c.working_set_bytes, 4, c.locality)
+        self.machine
+            .node_memory
+            .hit_ratio(c.working_set_bytes, 4, c.locality)
     }
 
     /// Time for an op bundle with a given cache hit ratio on its refs.

@@ -43,7 +43,10 @@ mod tests {
         let m = ipsc860(nodes);
         predict(
             &a,
-            &CompileOptions { nodes, ..Default::default() },
+            &CompileOptions {
+                nodes,
+                ..Default::default()
+            },
             &m,
             InterpOptions::default(),
         )
@@ -98,7 +101,10 @@ END
             let m = ipsc860(n);
             predict(
                 &a,
-                &CompileOptions { nodes: n, ..Default::default() },
+                &CompileOptions {
+                    nodes: n,
+                    ..Default::default()
+                },
                 &m,
                 InterpOptions::default(),
             )
@@ -165,7 +171,9 @@ END
         assert!(tr.contains("send"));
         assert!(tr.contains("recv"));
         // Events for all four nodes.
-        assert!(tr.lines().any(|l| l.ends_with(' ').eq(&false) && l.contains(" 3 ")));
+        assert!(tr
+            .lines()
+            .any(|l| l.ends_with(' ').eq(&false) && l.contains(" 3 ")));
     }
 
     #[test]
@@ -173,13 +181,19 @@ END
         let p = parse_program(LAPLACE).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
         let m = ipsc860(4);
-        let co = CompileOptions { nodes: 4, ..Default::default() };
+        let co = CompileOptions {
+            nodes: 4,
+            ..Default::default()
+        };
         let (with_mem, _) = predict(&a, &co, &m, InterpOptions::default()).unwrap();
         let (flat, _) = predict(
             &a,
             &co,
             &m,
-            InterpOptions { memory_hierarchy: false, ..Default::default() },
+            InterpOptions {
+                memory_hierarchy: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(flat.global_clock < with_mem.global_clock);
@@ -190,13 +204,19 @@ END
         let p = parse_program(LAPLACE).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
         let m = ipsc860(8);
-        let co = CompileOptions { nodes: 8, ..Default::default() };
+        let co = CompileOptions {
+            nodes: 8,
+            ..Default::default()
+        };
         let (base, _) = predict(&a, &co, &m, InterpOptions::default()).unwrap();
         let (ovl, _) = predict(
             &a,
             &co,
             &m,
-            InterpOptions { overlap_comp_comm: true, ..Default::default() },
+            InterpOptions {
+                overlap_comp_comm: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(ovl.total.comm <= base.total.comm);
@@ -242,8 +262,14 @@ mod engine_tests {
     fn predict_src(src: &str, nodes: usize) -> Prediction {
         let p = parse_program(src).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
-        let spmd =
-            hpf_compiler::compile(&a, &CompileOptions { nodes, ..Default::default() }).unwrap();
+        let spmd = hpf_compiler::compile(
+            &a,
+            &CompileOptions {
+                nodes,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let aag = appgraph::build_aag(&spmd);
         let m = ipsc860(nodes);
         InterpretationEngine::new(&m).interpret(&aag)
@@ -323,7 +349,11 @@ END
             let a = analyze(&p, &BTreeMap::new()).unwrap();
             let spmd = hpf_compiler::compile(
                 &a,
-                &CompileOptions { nodes: 4, mask_density_hint: density, ..Default::default() },
+                &CompileOptions {
+                    nodes: 4,
+                    mask_density_hint: density,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let aag = appgraph::build_aag(&spmd);

@@ -21,7 +21,12 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    pub const ZERO: Metrics = Metrics { comp: 0.0, comm: 0.0, overhead: 0.0, wait: 0.0 };
+    pub const ZERO: Metrics = Metrics {
+        comp: 0.0,
+        comm: 0.0,
+        overhead: 0.0,
+        wait: 0.0,
+    };
 
     /// Critical-path time of this unit (computation + communication +
     /// overheads; waits overlap the critical path by construction).
@@ -80,7 +85,12 @@ mod tests {
 
     #[test]
     fn algebra() {
-        let a = Metrics { comp: 1.0, comm: 2.0, overhead: 0.5, wait: 0.1 };
+        let a = Metrics {
+            comp: 1.0,
+            comm: 2.0,
+            overhead: 0.5,
+            wait: 0.1,
+        };
         let b = a + a;
         assert_eq!(b.comp, 2.0);
         assert_eq!(b.time(), 7.0);
@@ -92,7 +102,12 @@ mod tests {
 
     #[test]
     fn duration_conversion() {
-        let m = Metrics { comp: 0.25, comm: 0.25, overhead: 0.0, wait: 0.0 };
+        let m = Metrics {
+            comp: 0.25,
+            comm: 0.25,
+            overhead: 0.0,
+            wait: 0.0,
+        };
         assert_eq!(m.as_duration(), Duration::from_millis(500));
     }
 }

@@ -188,8 +188,14 @@ END
         .to_string();
         let p = parse_program(&src).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
-        let spmd =
-            hpf_compiler::compile(&a, &CompileOptions { nodes: 4, ..Default::default() }).unwrap();
+        let spmd = hpf_compiler::compile(
+            &a,
+            &CompileOptions {
+                nodes: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let aag = appgraph::build_aag(&spmd);
         let m = ipsc860(4);
         let pred = crate::InterpretationEngine::new(&m).interpret(&aag);
@@ -204,7 +210,11 @@ END
         let total: f64 = (1..=src.lines().count() as u32)
             .map(|l| query_line(&pred, &aag, l).time())
             .sum();
-        assert!(total > 0.8 * pred.global_clock, "{total} vs {}", pred.global_clock);
+        assert!(
+            total > 0.8 * pred.global_clock,
+            "{total} vs {}",
+            pred.global_clock
+        );
     }
 
     #[test]
@@ -229,11 +239,7 @@ END
             + 1;
         let m = query_line(&pred, &aag, second_forall);
         assert!(m.comm > 0.0, "A(I-1) requires a shift: {m:?}");
-        let first_forall = src
-            .lines()
-            .position(|l| l.starts_with("FORALL"))
-            .unwrap() as u32
-            + 1;
+        let first_forall = src.lines().position(|l| l.starts_with("FORALL")).unwrap() as u32 + 1;
         let m0 = query_line(&pred, &aag, first_forall);
         assert_eq!(m0.comm, 0.0, "local init must not communicate: {m0:?}");
     }
@@ -242,7 +248,10 @@ END
     fn profile_report_lists_nonzero_aaus() {
         let (pred, aag, _) = setup();
         let rep = profile_report(&pred, &aag, "t");
-        let rows = rep.lines().filter(|l| l.trim_start().starts_with('[')).count();
+        let rows = rep
+            .lines()
+            .filter(|l| l.trim_start().starts_with('['))
+            .count();
         assert!(rows >= 3, "{rep}");
         assert!(rep.contains("wait"));
     }
@@ -266,7 +275,10 @@ END
         let a = hpf_lang::analyze(&p, &BTreeMap::new()).unwrap();
         let spmd = hpf_compiler::compile(
             &a,
-            &CompileOptions { nodes: 4, ..Default::default() },
+            &CompileOptions {
+                nodes: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let aag = appgraph::build_aag(&spmd);
@@ -281,7 +293,12 @@ END
             .id;
         let sub = query_subgraph(&pred, &aag, loop_id);
         // The loop sub-graph is essentially the whole program here.
-        assert!(sub.time() > 0.9 * pred.global_clock, "{} vs {}", sub.time(), pred.global_clock);
+        assert!(
+            sub.time() > 0.9 * pred.global_clock,
+            "{} vs {}",
+            sub.time(),
+            pred.global_clock
+        );
         // A leaf's sub-graph equals its own metrics.
         let leaf = aag
             .aaus

@@ -48,11 +48,24 @@ END
     fn sim_src(src: &str, nodes: usize, runs: usize) -> SimResult {
         let p = parse_program(src).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
-        let spmd = compile(&a, &CompileOptions { nodes, ..Default::default() }).unwrap();
+        let spmd = compile(
+            &a,
+            &CompileOptions {
+                nodes,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let m = ipsc860(nodes);
         let profile = hpf_eval::run(&a).ok().map(|o| o.profile);
-        Simulator::with_config(&m, SimConfig { runs, ..Default::default() })
-            .simulate(&spmd, profile.as_ref())
+        Simulator::with_config(
+            &m,
+            SimConfig {
+                runs,
+                ..Default::default()
+            },
+        )
+        .simulate(&spmd, profile.as_ref())
     }
 
     #[test]
@@ -114,10 +127,20 @@ END
 ";
         let p = parse_program(src).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
-        let spmd = compile(&a, &CompileOptions { nodes: 4, ..Default::default() }).unwrap();
+        let spmd = compile(
+            &a,
+            &CompileOptions {
+                nodes: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let m = ipsc860(4);
         let profile = hpf_eval::run(&a).unwrap().profile;
-        let cfg = SimConfig { runs: 20, ..Default::default() };
+        let cfg = SimConfig {
+            runs: 20,
+            ..Default::default()
+        };
         let with = Simulator::with_config(&m, cfg.clone()).simulate(&spmd, Some(&profile));
         let without = Simulator::with_config(&m, cfg).simulate(&spmd, None);
         assert!(
@@ -151,13 +174,25 @@ END
     fn spmd(nodes: usize) -> hpf_compiler::SpmdProgram {
         let p = parse_program(PI_SRC).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
-        compile(&a, &CompileOptions { nodes, ..Default::default() }).unwrap()
+        compile(
+            &a,
+            &CompileOptions {
+                nodes,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
     fn zero_jitter_zero_variance() {
         let m = ipsc860(8);
-        let cfg = SimConfig { runs: 20, load_jitter: 0.0, timer_tolerance: 0.0, ..Default::default() };
+        let cfg = SimConfig {
+            runs: 20,
+            load_jitter: 0.0,
+            timer_tolerance: 0.0,
+            ..Default::default()
+        };
         let r = Simulator::with_config(&m, cfg).simulate(&spmd(8), None);
         assert!(r.std < 1e-12, "std {}", r.std);
         assert!((r.min - r.max).abs() < 1e-9 * r.mean.max(1e-9));
@@ -168,12 +203,20 @@ END
         let m = ipsc860(8);
         let small = Simulator::with_config(
             &m,
-            SimConfig { runs: 100, load_jitter: 0.005, ..Default::default() },
+            SimConfig {
+                runs: 100,
+                load_jitter: 0.005,
+                ..Default::default()
+            },
         )
         .simulate(&spmd(8), None);
         let big = Simulator::with_config(
             &m,
-            SimConfig { runs: 100, load_jitter: 0.05, ..Default::default() },
+            SimConfig {
+                runs: 100,
+                load_jitter: 0.05,
+                ..Default::default()
+            },
         )
         .simulate(&spmd(8), None);
         assert!(big.std > small.std);
@@ -182,10 +225,24 @@ END
     #[test]
     fn different_seeds_different_samples_same_scale() {
         let m = ipsc860(8);
-        let a = Simulator::with_config(&m, SimConfig { runs: 50, seed: 1, ..Default::default() })
-            .simulate(&spmd(8), None);
-        let b = Simulator::with_config(&m, SimConfig { runs: 50, seed: 2, ..Default::default() })
-            .simulate(&spmd(8), None);
+        let a = Simulator::with_config(
+            &m,
+            SimConfig {
+                runs: 50,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .simulate(&spmd(8), None);
+        let b = Simulator::with_config(
+            &m,
+            SimConfig {
+                runs: 50,
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .simulate(&spmd(8), None);
         assert_ne!(a.mean, b.mean);
         assert!((a.mean - b.mean).abs() / a.mean < 0.05, "same scale");
     }
@@ -195,15 +252,27 @@ END
         // The framework generalizes beyond the paper's 8-node machine.
         let t8 = {
             let m = ipsc860(8);
-            Simulator::with_config(&m, SimConfig { runs: 10, ..Default::default() })
-                .simulate(&spmd(8), None)
-                .mean
+            Simulator::with_config(
+                &m,
+                SimConfig {
+                    runs: 10,
+                    ..Default::default()
+                },
+            )
+            .simulate(&spmd(8), None)
+            .mean
         };
         let t32 = {
             let m = ipsc860(32);
-            Simulator::with_config(&m, SimConfig { runs: 10, ..Default::default() })
-                .simulate(&spmd(32), None)
-                .mean
+            Simulator::with_config(
+                &m,
+                SimConfig {
+                    runs: 10,
+                    ..Default::default()
+                },
+            )
+            .simulate(&spmd(32), None)
+            .mean
         };
         assert!(t32 < t8, "32 nodes {t32} should beat 8 {t8} on n=2048");
     }
@@ -214,11 +283,21 @@ END
         // config whose fault plan is empty reproduces the exact numbers of
         // a config that never mentions faults.
         let m = ipsc860(8);
-        let baseline = Simulator::with_config(&m, SimConfig { runs: 30, ..Default::default() })
-            .simulate(&spmd(8), None);
+        let baseline = Simulator::with_config(
+            &m,
+            SimConfig {
+                runs: 30,
+                ..Default::default()
+            },
+        )
+        .simulate(&spmd(8), None);
         let explicit = Simulator::with_config(
             &m,
-            SimConfig { runs: 30, faults: machine::FaultPlan::none(), ..Default::default() },
+            SimConfig {
+                runs: 30,
+                faults: machine::FaultPlan::none(),
+                ..Default::default()
+            },
         )
         .simulate(&spmd(8), None);
         assert_eq!(baseline.mean.to_bits(), explicit.mean.to_bits());
@@ -231,8 +310,15 @@ END
     fn fault_plans_are_deterministic_and_costly() {
         let m = ipsc860(8);
         let run = |plan: machine::FaultPlan| {
-            Simulator::with_config(&m, SimConfig { runs: 30, faults: plan, ..Default::default() })
-                .simulate(&spmd(8), None)
+            Simulator::with_config(
+                &m,
+                SimConfig {
+                    runs: 30,
+                    faults: plan,
+                    ..Default::default()
+                },
+            )
+            .simulate(&spmd(8), None)
         };
         let healthy = run(machine::FaultPlan::none());
         for plan in [
@@ -244,7 +330,13 @@ END
             let b = run(plan.clone());
             assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{}", plan.name);
             assert_eq!(a.fault_stats, b.fault_stats, "{}", plan.name);
-            assert!(a.mean > healthy.mean, "{}: {} vs {}", plan.name, a.mean, healthy.mean);
+            assert!(
+                a.mean > healthy.mean,
+                "{}: {} vs {}",
+                plan.name,
+                a.mean,
+                healthy.mean
+            );
         }
     }
 
@@ -253,7 +345,11 @@ END
         let m = ipsc860(8);
         let r = Simulator::with_config(
             &m,
-            SimConfig { runs: 30, faults: machine::FaultPlan::lossy(0.2), ..Default::default() },
+            SimConfig {
+                runs: 30,
+                faults: machine::FaultPlan::lossy(0.2),
+                ..Default::default()
+            },
         )
         .simulate(&spmd(8), None);
         assert!(r.fault_stats.retries > 0);
@@ -263,25 +359,52 @@ END
     #[test]
     fn slow_node_slows_compute_not_comm() {
         let m = ipsc860(8);
-        let healthy = Simulator::with_config(&m, SimConfig { runs: 10, ..Default::default() })
-            .simulate(&spmd(8), None);
-        let slowed = Simulator::with_config(
+        let healthy = Simulator::with_config(
             &m,
-            SimConfig { runs: 10, faults: machine::FaultPlan::slow_node(2, 3.0), ..Default::default() },
+            SimConfig {
+                runs: 10,
+                ..Default::default()
+            },
         )
         .simulate(&spmd(8), None);
-        assert!(slowed.comp > 2.5 * healthy.comp, "{} vs {}", slowed.comp, healthy.comp);
+        let slowed = Simulator::with_config(
+            &m,
+            SimConfig {
+                runs: 10,
+                faults: machine::FaultPlan::slow_node(2, 3.0),
+                ..Default::default()
+            },
+        )
+        .simulate(&spmd(8), None);
+        assert!(
+            slowed.comp > 2.5 * healthy.comp,
+            "{} vs {}",
+            slowed.comp,
+            healthy.comp
+        );
         let comm_ratio = slowed.comm / healthy.comm.max(1e-12);
-        assert!(comm_ratio < 1.05, "comm should be untouched: ratio {comm_ratio}");
+        assert!(
+            comm_ratio < 1.05,
+            "comm should be untouched: ratio {comm_ratio}"
+        );
     }
 
     #[test]
     fn calibration_covers_all_ops_and_sizes() {
         let m = calibrate(8);
         let cal = m.calibration.as_ref().unwrap();
-        assert!(cal.compute_scale > 1.0 && cal.compute_scale < 1.5, "{}", cal.compute_scale);
+        assert!(
+            cal.compute_scale > 1.0 && cal.compute_scale < 1.5,
+            "{}",
+            cal.compute_scale
+        );
         // 8 ops × p in {2,4,8}
-        assert_eq!(cal.comm.len(), 8 * 3, "{:?}", cal.comm.keys().collect::<Vec<_>>());
+        assert_eq!(
+            cal.comm.len(),
+            8 * 3,
+            "{:?}",
+            cal.comm.keys().collect::<Vec<_>>()
+        );
         for pc in cal.comm.values() {
             assert!(pc.small.alpha_s >= 0.0 && pc.large.alpha_s >= 0.0);
         }

@@ -68,7 +68,10 @@ pub fn simulate_phase(
         node_done[m.to] = node_done[m.to].max(t);
     }
     let duration = node_done.iter().copied().fold(0.0, f64::max);
-    PhaseTiming { node_done, duration }
+    PhaseTiming {
+        node_done,
+        duration,
+    }
 }
 
 /// Counts of fault events observed while delivering messages.
@@ -212,7 +215,13 @@ pub fn simulate_phase_faulty(
         }
     }
     let duration = node_done.iter().copied().fold(0.0, f64::max);
-    (PhaseTiming { node_done, duration }, stats)
+    (
+        PhaseTiming {
+            node_done,
+            duration,
+        },
+        stats,
+    )
 }
 
 /// Build the message list for one stage-structured collective.
@@ -229,8 +238,16 @@ pub mod patterns {
         }
         for n in 0..nodes {
             let up = (n + 1) % nodes;
-            ms.push(Message { from: n, to: up, bytes });
-            ms.push(Message { from: up, to: n, bytes });
+            ms.push(Message {
+                from: n,
+                to: up,
+                bytes,
+            });
+            ms.push(Message {
+                from: up,
+                to: n,
+                bytes,
+            });
         }
         ms
     }
@@ -244,7 +261,11 @@ pub mod patterns {
             for n in 0..nodes {
                 let partner = cube.neighbor(n, d);
                 if partner < nodes {
-                    ms.push(Message { from: n, to: partner, bytes });
+                    ms.push(Message {
+                        from: n,
+                        to: partner,
+                        bytes,
+                    });
                 }
             }
             stages.push(ms);
@@ -280,7 +301,11 @@ pub mod patterns {
             for n in 0..nodes {
                 let partner = n ^ r;
                 if partner < nodes {
-                    ms.push(Message { from: n, to: partner, bytes: bytes_per_pair });
+                    ms.push(Message {
+                        from: n,
+                        to: partner,
+                        bytes: bytes_per_pair,
+                    });
                 }
             }
             rounds.push(ms);
@@ -295,7 +320,11 @@ pub mod patterns {
             for d in 0..cube.dim.min(2) {
                 let partner = cube.neighbor(n, d);
                 if partner < nodes {
-                    ms.push(Message { from: partner, to: n, bytes });
+                    ms.push(Message {
+                        from: partner,
+                        to: n,
+                        bytes,
+                    });
                 }
             }
         }
@@ -316,10 +345,18 @@ mod tests {
             cube,
             &comm,
             8,
-            &[Message { from: 0, to: 1, bytes: 1024 }],
+            &[Message {
+                from: 0,
+                to: 1,
+                bytes: 1024,
+            }],
         );
         let expect = comm.long_latency_s + 1024.0 * comm.per_byte_s + comm.per_hop_s;
-        assert!((t.duration - expect).abs() < 1e-9, "{} vs {expect}", t.duration);
+        assert!(
+            (t.duration - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            t.duration
+        );
     }
 
     #[test]
@@ -332,12 +369,34 @@ mod tests {
             &comm,
             4,
             &[
-                Message { from: 0, to: 1, bytes: 4096 },
-                Message { from: 0, to: 1, bytes: 4096 },
+                Message {
+                    from: 0,
+                    to: 1,
+                    bytes: 4096,
+                },
+                Message {
+                    from: 0,
+                    to: 1,
+                    bytes: 4096,
+                },
             ],
         );
-        let t1 = simulate_phase(cube, &comm, 4, &[Message { from: 0, to: 1, bytes: 4096 }]);
-        assert!(t2.duration > 1.5 * t1.duration, "{} vs {}", t2.duration, t1.duration);
+        let t1 = simulate_phase(
+            cube,
+            &comm,
+            4,
+            &[Message {
+                from: 0,
+                to: 1,
+                bytes: 4096,
+            }],
+        );
+        assert!(
+            t2.duration > 1.5 * t1.duration,
+            "{} vs {}",
+            t2.duration,
+            t1.duration
+        );
     }
 
     #[test]
@@ -349,11 +408,28 @@ mod tests {
             &comm,
             4,
             &[
-                Message { from: 0, to: 1, bytes: 4096 },
-                Message { from: 2, to: 3, bytes: 4096 },
+                Message {
+                    from: 0,
+                    to: 1,
+                    bytes: 4096,
+                },
+                Message {
+                    from: 2,
+                    to: 3,
+                    bytes: 4096,
+                },
             ],
         );
-        let one = simulate_phase(cube, &comm, 4, &[Message { from: 0, to: 1, bytes: 4096 }]);
+        let one = simulate_phase(
+            cube,
+            &comm,
+            4,
+            &[Message {
+                from: 0,
+                to: 1,
+                bytes: 4096,
+            }],
+        );
         assert!((par.duration - one.duration).abs() < 1e-9);
     }
 
@@ -361,8 +437,26 @@ mod tests {
     fn multi_hop_costs_more() {
         let comm = ipsc860_comm();
         let cube = Hypercube { dim: 3 };
-        let far = simulate_phase(cube, &comm, 8, &[Message { from: 0, to: 7, bytes: 512 }]);
-        let near = simulate_phase(cube, &comm, 8, &[Message { from: 0, to: 1, bytes: 512 }]);
+        let far = simulate_phase(
+            cube,
+            &comm,
+            8,
+            &[Message {
+                from: 0,
+                to: 7,
+                bytes: 512,
+            }],
+        );
+        let near = simulate_phase(
+            cube,
+            &comm,
+            8,
+            &[Message {
+                from: 0,
+                to: 1,
+                bytes: 512,
+            }],
+        );
         assert!(far.duration > near.duration);
     }
 
@@ -423,9 +517,21 @@ mod fault_tests {
         let comm = ipsc860_comm();
         let cube = Hypercube { dim: 3 };
         let ms = [
-            Message { from: 0, to: 5, bytes: 2048 },
-            Message { from: 1, to: 6, bytes: 64 },
-            Message { from: 3, to: 3, bytes: 9 },
+            Message {
+                from: 0,
+                to: 5,
+                bytes: 2048,
+            },
+            Message {
+                from: 1,
+                to: 6,
+                bytes: 64,
+            },
+            Message {
+                from: 3,
+                to: 3,
+                bytes: 9,
+            },
         ];
         let healthy = simulate_phase(cube, &comm, 8, &ms);
         let (faulty, stats) =
@@ -440,12 +546,25 @@ mod fault_tests {
         let comm = ipsc860_comm();
         let cube = Hypercube { dim: 2 };
         let plan = FaultPlan::degraded_link(0, 1, 4.0);
-        let crossing = [Message { from: 0, to: 1, bytes: 4096 }];
-        let avoiding = [Message { from: 2, to: 3, bytes: 4096 }];
+        let crossing = [Message {
+            from: 0,
+            to: 1,
+            bytes: 4096,
+        }];
+        let avoiding = [Message {
+            from: 2,
+            to: 3,
+            bytes: 4096,
+        }];
         let (t_cross, _) = simulate_phase_faulty(cube, &comm, 4, &crossing, &plan, &mut rng());
         let (t_avoid, _) = simulate_phase_faulty(cube, &comm, 4, &avoiding, &plan, &mut rng());
         let base = simulate_phase(cube, &comm, 4, &crossing);
-        assert!(t_cross.duration > base.duration * 1.5, "{} vs {}", t_cross.duration, base.duration);
+        assert!(
+            t_cross.duration > base.duration * 1.5,
+            "{} vs {}",
+            t_cross.duration,
+            base.duration
+        );
         assert_eq!(t_avoid.duration, base.duration);
     }
 
@@ -454,7 +573,11 @@ mod fault_tests {
         let comm = ipsc860_comm();
         let cube = Hypercube { dim: 3 };
         let plan = FaultPlan::link_down(0, 1);
-        let ms = [Message { from: 0, to: 1, bytes: 512 }];
+        let ms = [Message {
+            from: 0,
+            to: 1,
+            bytes: 512,
+        }];
         let (t, stats) = simulate_phase_faulty(cube, &comm, 8, &ms, &plan, &mut rng());
         assert_eq!(stats.detours, 1);
         assert_eq!(stats.undeliverable, 0);
@@ -468,7 +591,11 @@ mod fault_tests {
         let comm = ipsc860_comm();
         let cube = Hypercube { dim: 1 }; // 2 nodes, single link
         let plan = FaultPlan::link_down(0, 1);
-        let ms = [Message { from: 0, to: 1, bytes: 512 }];
+        let ms = [Message {
+            from: 0,
+            to: 1,
+            bytes: 512,
+        }];
         let (t, stats) = simulate_phase_faulty(cube, &comm, 2, &ms, &plan, &mut rng());
         assert_eq!(stats.undeliverable, 1);
         // Receiver never completes; sender burned its retry budget.
@@ -481,11 +608,19 @@ mod fault_tests {
         let comm = ipsc860_comm();
         let cube = Hypercube { dim: 3 };
         let plan = FaultPlan::lossy(0.4);
-        let ms: Vec<Message> =
-            (0..8).map(|n| Message { from: n, to: (n + 1) % 8, bytes: 256 }).collect();
+        let ms: Vec<Message> = (0..8)
+            .map(|n| Message {
+                from: n,
+                to: (n + 1) % 8,
+                bytes: 256,
+            })
+            .collect();
         let (t1, s1) = simulate_phase_faulty(cube, &comm, 8, &ms, &plan, &mut rng());
         let (t2, s2) = simulate_phase_faulty(cube, &comm, 8, &ms, &plan, &mut rng());
-        assert!(s1.retries > 0, "p=0.4 over 8 messages should lose at least one");
+        assert!(
+            s1.retries > 0,
+            "p=0.4 over 8 messages should lose at least one"
+        );
         assert_eq!(s1, s2);
         assert_eq!(t1.node_done, t2.node_done);
         // Retries only ever add time.

@@ -104,7 +104,10 @@ const DISTORTION: Distortion = Distortion {
 
 impl<'m> Simulator<'m> {
     pub fn new(machine: &'m MachineModel) -> Self {
-        Simulator { machine, config: SimConfig::default() }
+        Simulator {
+            machine,
+            config: SimConfig::default(),
+        }
     }
 
     pub fn with_config(machine: &'m MachineModel, config: SimConfig) -> Self {
@@ -115,6 +118,7 @@ impl<'m> Simulator<'m> {
     /// (from the functional interpreter); without it the simulator falls
     /// back to the same static hints the predictor uses.
     pub fn simulate(&self, spmd: &SpmdProgram, profile: Option<&ExecutionProfile>) -> SimResult {
+        let _span = hpf_trace::span("simulate");
         let plan = &self.config.faults;
         let faults_active = !plan.is_zero();
 
@@ -166,10 +170,24 @@ impl<'m> Simulator<'m> {
         let n = totals.len().max(1) as f64;
         let mean = totals.iter().sum::<f64>() / n;
         let var = totals.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / n;
+        if hpf_trace::enabled() {
+            hpf_trace::counter_add("sim.simulations", 1);
+            hpf_trace::counter_add("sim.runs", self.config.runs as u64);
+            // Every run walks the same phase tree, so the events of the
+            // base pass scale to the whole simulation.
+            hpf_trace::counter_add("sim.events", base.events * (self.config.runs as u64 + 1));
+            hpf_trace::counter_add("sim.fault.retries", fault_stats.retries);
+            hpf_trace::counter_add("sim.fault.detours", fault_stats.detours);
+            hpf_trace::counter_add("sim.fault.undeliverable", fault_stats.undeliverable);
+        }
         SimResult {
             mean: if totals.is_empty() { base_total } else { mean },
             std: var.sqrt(),
-            min: totals.iter().copied().fold(f64::INFINITY, f64::min).min(base_total),
+            min: totals
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min)
+                .min(base_total),
             max: totals.iter().copied().fold(0.0, f64::max).max(base_total),
             runs: self.config.runs,
             comp,
@@ -213,6 +231,9 @@ struct Walk<'a, 'm> {
     comp: f64,
     comm: f64,
     overhead: f64,
+    /// Phase-tree nodes visited (weighted by loop trips) — the walk's
+    /// event count, reported to the trace registry as `sim.events`.
+    events: u64,
     /// Memoized base durations of comm phases keyed by (op, bytes, p).
     /// Bypassed when faults are active: loss draws make each phase
     /// instance distinct, so caching would freeze the first draw.
@@ -236,6 +257,7 @@ impl<'a, 'm> Walk<'a, 'm> {
             comp: 0.0,
             comm: 0.0,
             overhead: 0.0,
+            events: 0,
             comm_cache: HashMap::new(),
         }
     }
@@ -260,11 +282,14 @@ impl<'a, 'm> Walk<'a, 'm> {
     }
 
     fn node(&mut self, n: &SpmdNode) -> f64 {
+        self.events += 1;
         match n {
             SpmdNode::Seq(s) => self.seq(s),
             SpmdNode::Comp(c) => self.comp_phase(c),
             SpmdNode::Comm(c) => self.comm_phase(c),
-            SpmdNode::Loop { trips, body, span, .. } => {
+            SpmdNode::Loop {
+                trips, body, span, ..
+            } => {
                 // Actual trip count from the execution profile when present.
                 let trips = match self.profile.and_then(|p| p.get(*span)) {
                     Some(st) if st.executions > 0 && st.iterations > 0 => {
@@ -289,7 +314,11 @@ impl<'a, 'm> Walk<'a, 'm> {
                 }
                 t * self.jitter()
             }
-            SpmdNode::Branch { arms, else_body, span } => {
+            SpmdNode::Branch {
+                arms,
+                else_body,
+                span,
+            } => {
                 // Arm probability from the profile where available.
                 let taken = self
                     .profile
@@ -338,7 +367,10 @@ impl<'a, 'm> Walk<'a, 'm> {
         } else {
             1.0
         };
-        let stats = self.profile.and_then(|pr| pr.get(c.span)).filter(|st| st.executions > 0);
+        let stats = self
+            .profile
+            .and_then(|pr| pr.get(c.span))
+            .filter(|st| st.executions > 0);
         // (mask-evaluation iterations, mask-true body iterations) per node.
         let (iters, body_iters) = match stats {
             Some(st) if st.mask_total > 0 => {
@@ -439,7 +471,6 @@ impl<'a, 'm> Walk<'a, 'm> {
     fn ops_time_hit(&self, ops: &OpCounts, hit: f64) -> f64 {
         sim_ops_time(self.machine, ops, hit)
     }
-
 }
 
 /// Event-simulated base duration of one collective (no packing, no jitter):
@@ -470,8 +501,11 @@ fn stage_time(
         None => simulate_phase(cube, comm, nodes, ms).duration,
         Some(s) => {
             let (timing, st) = simulate_phase_faulty(cube, comm, nodes, ms, s.plan, &mut s.rng);
-            let recovery =
-                if s.plan.needs_recovery() && st.any() { comm.sync_overhead_s } else { 0.0 };
+            let recovery = if s.plan.needs_recovery() && st.any() {
+                comm.sync_overhead_s
+            } else {
+                0.0
+            };
             s.stats.absorb(st);
             timing.duration + recovery
         }
@@ -543,7 +577,10 @@ pub fn collective_base_time_with(
 /// "off-line, performed only once" system abstraction step.
 pub fn calibrate(nodes: usize) -> MachineModel {
     let mut machine = machine::ipsc860(nodes);
-    let mut cal = machine::Calibration { compute_scale: compute_scale(&machine), comm: Default::default() };
+    let mut cal = machine::Calibration {
+        compute_scale: compute_scale(&machine),
+        comm: Default::default(),
+    };
 
     let ops = [
         CollectiveOp::Shift,

@@ -104,7 +104,11 @@ pub fn trace_program(
         nodes: spmd.nodes,
     };
     tr.walk(&spmd.body, 1);
-    SimTrace { nodes: spmd.nodes, total_s: tr.clock, events: tr.events }
+    SimTrace {
+        nodes: spmd.nodes,
+        total_s: tr.clock,
+        events: tr.events,
+    }
 }
 
 struct Tracer<'a> {
@@ -160,18 +164,17 @@ impl<'a> Tracer<'a> {
                     self.clock += phase.iter().copied().fold(0.0, f64::max);
                 }
                 SpmdNode::Comm(c) => {
-                    let t = collective_base_time(
-                        self.machine,
-                        c.op,
-                        c.participants,
-                        c.bytes_per_node,
-                    ) + self.machine.comm.pack_time(c.bytes_per_node);
+                    let t =
+                        collective_base_time(self.machine, c.op, c.participants, c.bytes_per_node)
+                            + self.machine.comm.pack_time(c.bytes_per_node);
                     for node in 0..self.nodes {
                         self.emit(node, t, Activity::Comm, &c.label, repeat);
                     }
                     self.clock += t;
                 }
-                SpmdNode::Loop { trips, body, span, .. } => {
+                SpmdNode::Loop {
+                    trips, body, span, ..
+                } => {
                     let trips = match self.profile.and_then(|p| p.get(*span)) {
                         Some(st) if st.executions > 0 && st.iterations > 0 => {
                             (st.iterations as f64 / st.executions as f64).round() as u64
@@ -187,7 +190,9 @@ impl<'a> Tracer<'a> {
                     let body_t = self.clock - start;
                     self.clock = start + body_t * trips as f64;
                 }
-                SpmdNode::Branch { arms, else_body, .. } => {
+                SpmdNode::Branch {
+                    arms, else_body, ..
+                } => {
                     // Trace the most likely arm.
                     let best = arms
                         .iter()
@@ -202,7 +207,10 @@ impl<'a> Tracer<'a> {
 
     fn comp_duration(&self, c: &CompPhase) -> Vec<f64> {
         let p = &self.machine.node_processing;
-        let hit = self.machine.node_memory.hit_ratio(c.working_set_bytes, 4, c.locality);
+        let hit = self
+            .machine
+            .node_memory
+            .hit_ratio(c.working_set_bytes, 4, c.locality);
         let density = c.mask_density_hint.unwrap_or(1.0);
         let mut per_iter = sim_ops_time(self.machine, &c.per_iter, hit);
         if let Some(body) = &c.masked_ops {
@@ -226,7 +234,14 @@ mod tests {
     fn trace_src(src: &str, nodes: usize) -> SimTrace {
         let p = parse_program(src).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
-        let spmd = compile(&a, &CompileOptions { nodes, ..Default::default() }).unwrap();
+        let spmd = compile(
+            &a,
+            &CompileOptions {
+                nodes,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let m = ipsc860(nodes);
         trace_program(&m, &spmd, None)
     }
@@ -280,7 +295,10 @@ END
 ";
         // Only node 0 owns the touched range: others idle.
         let tr = trace_src(src, 4);
-        assert!(tr.events.iter().any(|e| e.activity == Activity::Idle && e.node != 0));
+        assert!(tr
+            .events
+            .iter()
+            .any(|e| e.activity == Activity::Idle && e.node != 0));
         let util = tr.utilization();
         assert!(util[0].0 > util[3].0, "node 0 busier than node 3");
     }

@@ -194,7 +194,9 @@ pub fn all_kernels() -> Vec<Kernel> {
 
 /// Look a kernel up by its Table-1 name.
 pub fn kernel_by_name(name: &str) -> Option<Kernel> {
-    all_kernels().into_iter().find(|k| k.name.eq_ignore_ascii_case(name))
+    all_kernels()
+        .into_iter()
+        .find(|k| k.name.eq_ignore_ascii_case(name))
 }
 
 /// 1-D PROCESSORS / TEMPLATE / ALIGN / DISTRIBUTE boilerplate.
@@ -518,12 +520,18 @@ mod tests {
             for &procs in &[1usize, 2, 4, 8] {
                 let n = k.size_range.0.max(32);
                 let src = k.source(n, procs);
-                let p = parse_program(&src)
-                    .unwrap_or_else(|e| panic!("{} parse: {e}\n{src}", k.name));
+                let p =
+                    parse_program(&src).unwrap_or_else(|e| panic!("{} parse: {e}\n{src}", k.name));
                 let a = analyze(&p, &BTreeMap::new())
                     .unwrap_or_else(|e| panic!("{} sema: {e}", k.name));
-                compile(&a, &CompileOptions { nodes: procs, ..Default::default() })
-                    .unwrap_or_else(|e| panic!("{} compile: {e}", k.name));
+                compile(
+                    &a,
+                    &CompileOptions {
+                        nodes: procs,
+                        ..Default::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{} compile: {e}", k.name));
             }
         }
     }
@@ -609,8 +617,14 @@ mod tests {
         let src = k.source(64, 8);
         let p = parse_program(&src).unwrap();
         let a = analyze(&p, &BTreeMap::new()).unwrap();
-        let spmd =
-            compile(&a, &CompileOptions { nodes: 8, ..Default::default() }).unwrap();
+        let spmd = compile(
+            &a,
+            &CompileOptions {
+                nodes: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(spmd.comm_phase_count() > 0);
     }
 }

@@ -44,10 +44,16 @@ impl PiecewiseCost {
     /// Fit each regime from the samples on its side of `boundary`
     /// (boundary samples inform both fits for continuity).
     pub fn fit(samples: &[(u64, f64)], boundary: u64) -> PiecewiseCost {
-        let small: Vec<(u64, f64)> =
-            samples.iter().copied().filter(|(b, _)| *b <= boundary).collect();
-        let large: Vec<(u64, f64)> =
-            samples.iter().copied().filter(|(b, _)| *b >= boundary).collect();
+        let small: Vec<(u64, f64)> = samples
+            .iter()
+            .copied()
+            .filter(|(b, _)| *b <= boundary)
+            .collect();
+        let large: Vec<(u64, f64)> = samples
+            .iter()
+            .copied()
+            .filter(|(b, _)| *b >= boundary)
+            .collect();
         let fit_or = |v: &[(u64, f64)]| {
             if v.is_empty() {
                 LinearCost::fit(samples)
@@ -55,7 +61,11 @@ impl PiecewiseCost {
                 LinearCost::fit(v)
             }
         };
-        PiecewiseCost { boundary, small: fit_or(&small), large: fit_or(&large) }
+        PiecewiseCost {
+            boundary,
+            small: fit_or(&small),
+            large: fit_or(&large),
+        }
     }
 }
 
@@ -80,11 +90,17 @@ impl LinearCost {
         let sxy: f64 = samples.iter().map(|(b, t)| (*b as f64) * t).sum();
         let denom = n * sxx - sx * sx;
         if denom.abs() < 1e-30 {
-            return LinearCost { alpha_s: sy / n, beta_s_per_byte: 0.0 };
+            return LinearCost {
+                alpha_s: sy / n,
+                beta_s_per_byte: 0.0,
+            };
         }
         let beta = (n * sxy - sx * sy) / denom;
         let alpha = (sy - beta * sx) / n;
-        LinearCost { alpha_s: alpha.max(0.0), beta_s_per_byte: beta.max(0.0) }
+        LinearCost {
+            alpha_s: alpha.max(0.0),
+            beta_s_per_byte: beta.max(0.0),
+        }
     }
 }
 
@@ -105,8 +121,10 @@ mod tests {
 
     #[test]
     fn linear_fit_recovers_model() {
-        let samples: Vec<(u64, f64)> =
-            [4u64, 64, 1024, 8192].iter().map(|&b| (b, 1e-4 + 2e-7 * b as f64)).collect();
+        let samples: Vec<(u64, f64)> = [4u64, 64, 1024, 8192]
+            .iter()
+            .map(|&b| (b, 1e-4 + 2e-7 * b as f64))
+            .collect();
         let lc = LinearCost::fit(&samples);
         assert!((lc.alpha_s - 1e-4).abs() < 1e-9, "alpha {}", lc.alpha_s);
         assert!((lc.beta_s_per_byte - 2e-7).abs() < 1e-12);
@@ -125,16 +143,29 @@ mod tests {
     fn piecewise_fit_keeps_regimes_separate() {
         // small regime: 100µs flat; large regime: 150µs + 0.4µs/B
         let mut samples: Vec<(u64, f64)> = vec![(4, 1e-4), (64, 1.05e-4), (512, 1.1e-4)];
-        samples.extend([(2048u64, 1.5e-4 + 0.4e-6 * 2048.0), (65536, 1.5e-4 + 0.4e-6 * 65536.0)]);
+        samples.extend([
+            (2048u64, 1.5e-4 + 0.4e-6 * 2048.0),
+            (65536, 1.5e-4 + 0.4e-6 * 65536.0),
+        ]);
         let pc = PiecewiseCost::fit(&samples, 1024);
-        assert!((pc.time(16) - 1e-4).abs() < 2e-5, "small regime {}", pc.time(16));
+        assert!(
+            (pc.time(16) - 1e-4).abs() < 2e-5,
+            "small regime {}",
+            pc.time(16)
+        );
         assert!((pc.time(32768) - (1.5e-4 + 0.4e-6 * 32768.0)).abs() < 3e-5);
     }
 
     #[test]
     fn key_buckets_by_log_p() {
-        assert_eq!(Calibration::key(CollectiveOp::Shift, 4), Calibration::key(CollectiveOp::Shift, 4));
-        assert_ne!(Calibration::key(CollectiveOp::Shift, 4), Calibration::key(CollectiveOp::Shift, 8));
+        assert_eq!(
+            Calibration::key(CollectiveOp::Shift, 4),
+            Calibration::key(CollectiveOp::Shift, 4)
+        );
+        assert_ne!(
+            Calibration::key(CollectiveOp::Shift, 4),
+            Calibration::key(CollectiveOp::Shift, 8)
+        );
         assert_ne!(
             Calibration::key(CollectiveOp::Shift, 4),
             Calibration::key(CollectiveOp::Reduce, 4)

@@ -84,16 +84,15 @@ impl<'a> CollectiveModel<'a> {
             CollectiveOp::Broadcast => stages * p2p(bytes),
             CollectiveOp::AllToAll => {
                 // Pairwise exchange algorithm: p-1 rounds of per-pair payload.
-                (p as f64 - 1.0) * (p2p(bytes / p.max(1) as u64) + self.comm.pack_time(bytes / p.max(1) as u64))
+                (p as f64 - 1.0)
+                    * (p2p(bytes / p.max(1) as u64) + self.comm.pack_time(bytes / p.max(1) as u64))
             }
             CollectiveOp::Gather | CollectiveOp::Scatter => {
                 // Unstructured: pack + exchange with up to log p partners
                 // holding the requested elements.
                 self.comm.pack_time(bytes) + stages.min(2.0) * p2p(bytes)
             }
-            CollectiveOp::Barrier => {
-                stages * p2p(0) + p as f64 * self.comm.sync_overhead_s
-            }
+            CollectiveOp::Barrier => stages * p2p(0) + p as f64 * self.comm.sync_overhead_s,
         }
     }
 }
@@ -105,8 +104,12 @@ mod tests {
 
     fn model(comm: &CommComponent, proc_: &ProcessingComponent, p: usize) -> f64 {
         // convenience: reduce of one 4-byte scalar
-        CollectiveModel { comm, proc: proc_, cube: Hypercube::fitting(p) }
-            .time(CollectiveOp::Reduce, p, 4)
+        CollectiveModel {
+            comm,
+            proc: proc_,
+            cube: Hypercube::fitting(p),
+        }
+        .time(CollectiveOp::Reduce, p, 4)
     }
 
     #[test]
@@ -125,7 +128,11 @@ mod tests {
     fn single_node_collectives_are_free_or_copy() {
         let comm = ipsc860_comm();
         let proc_ = ipsc860_node_processing();
-        let m = CollectiveModel { comm: &comm, proc: &proc_, cube: Hypercube::fitting(1) };
+        let m = CollectiveModel {
+            comm: &comm,
+            proc: &proc_,
+            cube: Hypercube::fitting(1),
+        };
         assert_eq!(m.time(CollectiveOp::Reduce, 1, 4), 0.0);
         assert!(m.time(CollectiveOp::Shift, 1, 1024) > 0.0); // local copy
         assert!(m.time(CollectiveOp::Shift, 1, 1024) < m.time(CollectiveOp::Shift, 2, 1024));
@@ -135,7 +142,11 @@ mod tests {
     fn shift_grows_with_payload() {
         let comm = ipsc860_comm();
         let proc_ = ipsc860_node_processing();
-        let m = CollectiveModel { comm: &comm, proc: &proc_, cube: Hypercube::fitting(8) };
+        let m = CollectiveModel {
+            comm: &comm,
+            proc: &proc_,
+            cube: Hypercube::fitting(8),
+        };
         assert!(m.time(CollectiveOp::Shift, 8, 8192) > m.time(CollectiveOp::Shift, 8, 64));
     }
 
@@ -143,7 +154,11 @@ mod tests {
     fn reduceloc_costs_more_than_reduce() {
         let comm = ipsc860_comm();
         let proc_ = ipsc860_node_processing();
-        let m = CollectiveModel { comm: &comm, proc: &proc_, cube: Hypercube::fitting(8) };
+        let m = CollectiveModel {
+            comm: &comm,
+            proc: &proc_,
+            cube: Hypercube::fitting(8),
+        };
         assert!(m.time(CollectiveOp::ReduceLoc, 8, 4) >= m.time(CollectiveOp::Reduce, 8, 4));
     }
 
@@ -151,7 +166,11 @@ mod tests {
     fn barrier_positive_and_grows() {
         let comm = ipsc860_comm();
         let proc_ = ipsc860_node_processing();
-        let m = CollectiveModel { comm: &comm, proc: &proc_, cube: Hypercube::fitting(8) };
+        let m = CollectiveModel {
+            comm: &comm,
+            proc: &proc_,
+            cube: Hypercube::fitting(8),
+        };
         assert!(m.time(CollectiveOp::Barrier, 2, 0) > 0.0);
         assert!(m.time(CollectiveOp::Barrier, 8, 0) > m.time(CollectiveOp::Barrier, 2, 0));
     }

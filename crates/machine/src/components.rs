@@ -176,8 +176,11 @@ pub struct CommComponent {
 impl CommComponent {
     /// Point-to-point transfer time for `bytes` over `hops` links.
     pub fn p2p_time(&self, bytes: u64, hops: u32) -> f64 {
-        let startup =
-            if bytes <= self.short_threshold { self.short_latency_s } else { self.long_latency_s };
+        let startup = if bytes <= self.short_threshold {
+            self.short_latency_s
+        } else {
+            self.long_latency_s
+        };
         startup + bytes as f64 * self.per_byte_s + hops.saturating_sub(1) as f64 * self.per_hop_s
     }
 

@@ -62,7 +62,11 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { timeout_s: 500e-6, max_retries: 4, backoff: 2.0 }
+        RetryPolicy {
+            timeout_s: 500e-6,
+            max_retries: 4,
+            backoff: 2.0,
+        }
     }
 }
 
@@ -127,7 +131,11 @@ impl FaultPlan {
     pub fn degraded_link(a: usize, b: usize, factor: f64) -> FaultPlan {
         FaultPlan {
             name: format!("degraded-link {a}-{b} x{factor}"),
-            link_faults: vec![LinkFault { a, b, state: LinkState::Degraded { factor } }],
+            link_faults: vec![LinkFault {
+                a,
+                b,
+                state: LinkState::Degraded { factor },
+            }],
             ..FaultPlan::none()
         }
     }
@@ -136,7 +144,11 @@ impl FaultPlan {
     pub fn link_down(a: usize, b: usize) -> FaultPlan {
         FaultPlan {
             name: format!("link-down {a}-{b}"),
-            link_faults: vec![LinkFault { a, b, state: LinkState::Down }],
+            link_faults: vec![LinkFault {
+                a,
+                b,
+                state: LinkState::Down,
+            }],
             ..FaultPlan::none()
         }
     }
@@ -180,7 +192,11 @@ impl FaultPlan {
     /// Worst node slowdown anywhere in the plan. Loosely: SPMD phases
     /// synchronize, so the slowest node gates every phase.
     pub fn max_slowdown(&self) -> f64 {
-        self.node_faults.iter().map(|f| f.slowdown).fold(1.0, f64::max).max(1.0)
+        self.node_faults
+            .iter()
+            .map(|f| f.slowdown)
+            .fold(1.0, f64::max)
+            .max(1.0)
     }
 
     /// State of the undirected link (a, b), if faulted.
@@ -307,7 +323,10 @@ mod tests {
     fn slow_node_gates_processing() {
         let m = ipsc860(8);
         let d = m.degrade(&FaultPlan::slow_node(3, 2.0));
-        assert_eq!(d.node_processing.clock_mhz, m.node_processing.clock_mhz / 2.0);
+        assert_eq!(
+            d.node_processing.clock_mhz,
+            m.node_processing.clock_mhz / 2.0
+        );
         assert_eq!(d.node_memory.clock_mhz, m.node_memory.clock_mhz / 2.0);
         // comm untouched by a pure node fault
         assert_eq!(d.comm.per_byte_s, m.comm.per_byte_s);
@@ -359,13 +378,22 @@ mod tests {
     #[test]
     fn degrade_rescales_calibration() {
         let mut m = ipsc860(4);
-        let mut cal = crate::Calibration { compute_scale: 1.0, comm: Default::default() };
+        let mut cal = crate::Calibration {
+            compute_scale: 1.0,
+            comm: Default::default(),
+        };
         cal.comm.insert(
             crate::Calibration::key(crate::CollectiveOp::Reduce, 4),
             crate::PiecewiseCost {
                 boundary: 100,
-                small: crate::LinearCost { alpha_s: 1e-4, beta_s_per_byte: 1e-7 },
-                large: crate::LinearCost { alpha_s: 2e-4, beta_s_per_byte: 2e-7 },
+                small: crate::LinearCost {
+                    alpha_s: 1e-4,
+                    beta_s_per_byte: 1e-7,
+                },
+                large: crate::LinearCost {
+                    alpha_s: 2e-4,
+                    beta_s_per_byte: 2e-7,
+                },
             },
         );
         m.calibration = Some(cal);

@@ -22,9 +22,7 @@ pub mod topology;
 
 pub use calibration::{Calibration, LinearCost, PiecewiseCost};
 pub use collectives::{CollectiveModel, CollectiveOp};
-pub use components::{
-    CommComponent, IoComponent, MemoryComponent, OpClass, ProcessingComponent,
-};
+pub use components::{CommComponent, IoComponent, MemoryComponent, OpClass, ProcessingComponent};
 pub use faults::{FaultPlan, LinkFault, LinkState, NodeFault, RetryPolicy};
 pub use sag::Sau;
 pub use topology::Hypercube;
@@ -58,7 +56,11 @@ impl MachineModel {
 
     /// Collective cost model bound to this machine.
     pub fn collectives(&self) -> CollectiveModel<'_> {
-        CollectiveModel { comm: &self.comm, proc: &self.node_processing, cube: self.cube() }
+        CollectiveModel {
+            comm: &self.comm,
+            proc: &self.node_processing,
+            cube: self.cube(),
+        }
     }
 
     /// Convenience: time for `op` with `p` participants and per-node payload.
@@ -78,7 +80,10 @@ impl MachineModel {
     /// Measured-to-counted scaling of computation times (1.0 before
     /// characterization).
     pub fn compute_scale(&self) -> f64 {
-        self.calibration.as_ref().map(|c| c.compute_scale).unwrap_or(1.0)
+        self.calibration
+            .as_ref()
+            .map(|c| c.compute_scale)
+            .unwrap_or(1.0)
     }
 }
 
@@ -333,6 +338,9 @@ mod cluster_tests {
     fn cluster_collectives_latency_bound() {
         let now = now_cluster(8);
         let t = now.collective_time(CollectiveOp::Reduce, 8, 4);
-        assert!(t > 3.0 * now.comm.short_latency_s * 0.9, "log p stages of ≥1 ms: {t}");
+        assert!(
+            t > 3.0 * now.comm.short_latency_s * 0.9,
+            "log p stages of ≥1 ms: {t}"
+        );
     }
 }

@@ -126,7 +126,9 @@ mod tests {
         // cube-level C/S parameters.
         let comm = m.sag.resolve(&["i860 cube", "node 0"], |s| s.comm.as_ref());
         assert!(comm.is_some());
-        let proc_ = m.sag.resolve(&["i860 cube", "node 0"], |s| s.processing.as_ref());
+        let proc_ = m
+            .sag
+            .resolve(&["i860 cube", "node 0"], |s| s.processing.as_ref());
         assert!(proc_.is_some());
     }
 

@@ -45,13 +45,16 @@ pub fn search_distributions(
         .directives
         .iter()
         .find_map(|d| match d {
-            Directive::Distribute { target, formats, .. } => {
-                Some((target.clone(), formats.len()))
-            }
+            Directive::Distribute {
+                target, formats, ..
+            } => Some((target.clone(), formats.len())),
             _ => None,
         })
         .ok_or_else(|| {
-            PipelineError::new(PipelineStage::Analyze, "program has no DISTRIBUTE directive")
+            PipelineError::new(
+                PipelineStage::Analyze,
+                "program has no DISTRIBUTE directive",
+            )
         })?;
 
     let mut results = Vec::new();
@@ -62,10 +65,15 @@ pub fn search_distributions(
         // Rewrite the AST and re-render — the "edit the directives" step,
         // done mechanically.
         let mut variant = program.clone();
-        let dist_dims = combo.iter().filter(|f| **f != DistFormat::Degenerate).count();
+        let dist_dims = combo
+            .iter()
+            .filter(|f| **f != DistFormat::Degenerate)
+            .count();
         for d in &mut variant.directives {
             match d {
-                Directive::Distribute { target, formats, .. } if *target == target_name => {
+                Directive::Distribute {
+                    target, formats, ..
+                } if *target == target_name => {
                     *formats = combo.clone();
                 }
                 Directive::Processors { shape, .. } => {
@@ -96,7 +104,11 @@ pub fn search_distributions(
 
 /// All `3^rank` format tuples.
 fn format_combos(rank: usize) -> Vec<Vec<DistFormat>> {
-    let opts = [DistFormat::Block, DistFormat::Cyclic, DistFormat::Degenerate];
+    let opts = [
+        DistFormat::Block,
+        DistFormat::Cyclic,
+        DistFormat::Degenerate,
+    ];
     let mut combos: Vec<Vec<DistFormat>> = vec![Vec::new()];
     for _ in 0..rank {
         let mut next = Vec::new();

@@ -5,9 +5,7 @@
 //! error against the simulated machine.
 
 use hpf_report::experiments::SweepConfig;
-use hpf_report::pipeline::{
-    calibrated_machine, compile_source, predict_source_on, PredictOptions,
-};
+use hpf_report::pipeline::{calibrated_machine, compile_source, predict_source_on, PredictOptions};
 use interp::InterpOptions;
 use ipsc_sim::{SimConfig, Simulator};
 
@@ -21,7 +19,10 @@ struct Ablation {
 }
 
 fn main() {
-    let cfg = SweepConfig { runs: 200, ..SweepConfig::quick() };
+    let cfg = SweepConfig {
+        runs: 200,
+        ..SweepConfig::quick()
+    };
     let apps = [
         ("PI", 1024usize),
         ("LFK 1", 1024),
@@ -40,13 +41,19 @@ fn main() {
         },
         Ablation {
             name: "no memory hierarchy",
-            interp: InterpOptions { memory_hierarchy: false, ..Default::default() },
+            interp: InterpOptions {
+                memory_hierarchy: false,
+                ..Default::default()
+            },
             uncalibrated: false,
             loop_reorder: false,
         },
         Ablation {
             name: "with comp/comm overlap",
-            interp: InterpOptions { overlap_comp_comm: true, ..Default::default() },
+            interp: InterpOptions {
+                overlap_comp_comm: true,
+                ..Default::default()
+            },
             uncalibrated: false,
             loop_reorder: false,
         },
@@ -96,15 +103,22 @@ fn main() {
                 &src,
                 procs,
                 &Default::default(),
-                &hpf_compiler::CompileOptions { nodes: procs, ..Default::default() },
+                &hpf_compiler::CompileOptions {
+                    nodes: procs,
+                    ..Default::default()
+                },
             )
             .expect("compile");
-            let profile =
-                hpf_eval::run_with_limit(&analyzed, cfg.profile_steps).ok().map(|o| o.profile);
+            let profile = hpf_eval::run_with_limit(&analyzed, cfg.profile_steps)
+                .ok()
+                .map(|o| o.profile);
             let raw = machine::ipsc860(procs);
             let meas = Simulator::with_config(
                 &raw,
-                SimConfig { runs: cfg.runs, ..Default::default() },
+                SimConfig {
+                    runs: cfg.runs,
+                    ..Default::default()
+                },
             )
             .simulate(&spmd, profile.as_ref());
 

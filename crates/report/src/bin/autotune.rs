@@ -7,7 +7,10 @@ use hpf_report::autotune::search_distributions;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).map(String::as_str).unwrap_or("Laplace (Blk-Blk)");
+    let name = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("Laplace (Blk-Blk)");
     let size: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(256);
     let procs: usize = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(4);
 
@@ -19,7 +22,10 @@ fn main() {
     println!("Directive search for {name} (n={size}, p={procs})\n");
     match search_distributions(&src, procs) {
         Ok(choices) => {
-            println!("{:<18} {:>10} {:>14}", "DISTRIBUTE", "grid", "predicted (s)");
+            println!(
+                "{:<18} {:>10} {:>14}",
+                "DISTRIBUTE", "grid", "predicted (s)"
+            );
             for c in &choices {
                 println!(
                     "{:<18} {:>10} {:>14.6}",
@@ -29,7 +35,11 @@ fn main() {
                 );
             }
             if let Some(best) = choices.first() {
-                println!("\nselected: DISTRIBUTE {} ONTO {:?}", best.label(), best.grid);
+                println!(
+                    "\nselected: DISTRIBUTE {} ONTO {:?}",
+                    best.label(),
+                    best.grid
+                );
             }
         }
         Err(e) => eprintln!("search failed: {e}"),

@@ -7,7 +7,10 @@
 use machine::{CollectiveOp, OpClass};
 
 fn main() {
-    let nodes: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(8);
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
     let m = ipsc_sim::calibrate(nodes);
 
     println!("System characterization: {}", m.name);
@@ -35,27 +38,45 @@ fn main() {
 
     let mem = &m.node_memory;
     println!("\n== Memory component (node) ==");
-    println!("  I-cache {} KB, D-cache {} KB, DRAM {} MB, {}B lines",
-        mem.icache_bytes / 1024, mem.dcache_bytes / 1024,
-        mem.main_bytes / 1024 / 1024, mem.cache_line_bytes);
-    println!("  hit {:.0} ns, miss {:.0} ns",
-        mem.access_time(1.0) * 1e9, mem.access_time(0.0) * 1e9);
+    println!(
+        "  I-cache {} KB, D-cache {} KB, DRAM {} MB, {}B lines",
+        mem.icache_bytes / 1024,
+        mem.dcache_bytes / 1024,
+        mem.main_bytes / 1024 / 1024,
+        mem.cache_line_bytes
+    );
+    println!(
+        "  hit {:.0} ns, miss {:.0} ns",
+        mem.access_time(1.0) * 1e9,
+        mem.access_time(0.0) * 1e9
+    );
     println!("  hit-ratio model: ws=4KB/unit-stride {:.3}, ws=1MB/unit-stride {:.3}, ws=1MB/strided {:.3}",
         mem.hit_ratio(4096, 4, 1.0), mem.hit_ratio(1 << 20, 4, 1.0), mem.hit_ratio(1 << 20, 4, 0.1));
 
     println!("\n== Communication component ==");
-    println!("  short latency {:.0} µs (≤{}B), long latency {:.0} µs, {:.2} µs/KB, {:.1} µs/hop",
-        m.comm.short_latency_s * 1e6, m.comm.short_threshold,
-        m.comm.long_latency_s * 1e6, m.comm.per_byte_s * 1e6 * 1024.0, m.comm.per_hop_s * 1e6);
+    println!(
+        "  short latency {:.0} µs (≤{}B), long latency {:.0} µs, {:.2} µs/KB, {:.1} µs/hop",
+        m.comm.short_latency_s * 1e6,
+        m.comm.short_threshold,
+        m.comm.long_latency_s * 1e6,
+        m.comm.per_byte_s * 1e6 * 1024.0,
+        m.comm.per_hop_s * 1e6
+    );
 
     println!("\n== I/O component (SRM host) ==");
-    println!("  load: {:.1} s latency + {:.0} KB/s; transfer {:.0} KB/s",
-        m.io.load_latency_s, m.io.load_bandwidth_bps / 1024.0,
-        m.io.transfer_bandwidth_bps / 1024.0);
+    println!(
+        "  load: {:.1} s latency + {:.0} KB/s; transfer {:.0} KB/s",
+        m.io.load_latency_s,
+        m.io.load_bandwidth_bps / 1024.0,
+        m.io.transfer_bandwidth_bps / 1024.0
+    );
 
     if let Some(cal) = &m.calibration {
         println!("\n== Fitted characterization (benchmarking runs) ==");
-        println!("  compute scale: {:.4} (measured / instruction-counted)", cal.compute_scale);
+        println!(
+            "  compute scale: {:.4} (measured / instruction-counted)",
+            cal.compute_scale
+        );
         println!("\n  collective library (α + β·m, per regime):");
         println!(
             "  {:<12} {:>4}  {:>12} {:>12}   {:>12} {:>12}",

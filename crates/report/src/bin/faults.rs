@@ -26,7 +26,8 @@ fn main() {
                 .clone()
         };
         let number = |flag: &str, v: &str| -> usize {
-            v.parse().unwrap_or_else(|_| usage_err(&format!("{flag} expects a number, got {v:?}")))
+            v.parse()
+                .unwrap_or_else(|_| usage_err(&format!("{flag} expects a number, got {v:?}")))
         };
         match flag.as_str() {
             "--kernel" => cfg.kernel = value(&mut it),

@@ -12,7 +12,10 @@ fn main() {
 
     println!("Figure 8: Experimentation Time — Laplace Solver (16 instances per variant)");
     println!();
-    println!("{:<12} {:>18} {:>18}", "Impl.", "Interpreter (min)", "iPSC/860 (min)");
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "Impl.", "Interpreter (min)", "iPSC/860 (min)"
+    );
 
     let variants = [
         (LaplaceDist::BlockBlock, 0.065),
@@ -21,7 +24,10 @@ fn main() {
     ];
     for (dist, mean_run_s) in variants {
         let t = model.variant_times(&machine, dist.label(), 16, 1000, mean_run_s);
-        println!("{:<12} {:>18.1} {:>18.1}", t.variant, t.interpreter_min, t.measured_min);
+        println!(
+            "{:<12} {:>18.1} {:>18.1}",
+            t.variant, t.interpreter_min, t.measured_min
+        );
     }
     println!();
     println!("(paper: interpreter ≈10 min per variant; measurements 27–60 min)");
@@ -30,7 +36,11 @@ fn main() {
     // The modern analog: actual wall time of our two code paths across the
     // same 16-size sweep.
     println!("Actual wall-clock of this reproduction's two paths (16 sizes, 4 procs):");
-    for dist in [LaplaceDist::BlockBlock, LaplaceDist::BlockStar, LaplaceDist::StarBlock] {
+    for dist in [
+        LaplaceDist::BlockBlock,
+        LaplaceDist::BlockStar,
+        LaplaceDist::StarBlock,
+    ] {
         let kernel = kernels::Kernel {
             kind: kernels::KernelKind::Laplace(dist),
             name: "Laplace",
@@ -38,8 +48,9 @@ fn main() {
             is_kernel: false,
             size_range: (16, 256),
         };
-        let sources: Vec<(usize, String)> =
-            (1..=16).map(|i| (i * 16, kernel.source(i * 16, 4))).collect();
+        let sources: Vec<(usize, String)> = (1..=16)
+            .map(|i| (i * 16, kernel.source(i * 16, 4)))
+            .collect();
         let t = time_actual_paths(dist.label(), &sources, 4, 100);
         println!(
             "  {:<10} interpreter {:>8.2}s    simulated machine {:>8.2}s   ({:.0}x)",

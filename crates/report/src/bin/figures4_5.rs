@@ -28,7 +28,9 @@ fn main() {
     let mut all_points = Vec::new();
 
     for (fig, procs, grid) in [(4, 4, "2x2 / 4"), (5, 8, "2x4 / 8")] {
-        println!("Figure {fig}: Laplace Solver ({procs} Procs, grids {grid}) — estimated/measured (s)");
+        println!(
+            "Figure {fig}: Laplace Solver ({procs} Procs, grids {grid}) — estimated/measured (s)"
+        );
         println!();
         let pts = laplace_curves(procs, max_size, runs);
         all_points.extend(pts.clone());

@@ -23,7 +23,13 @@ fn main() {
     println!("{:-<72}", "");
     println!(
         "kernels: {}   applications: {}",
-        kernels::all_kernels().iter().filter(|k| k.is_kernel).count(),
-        kernels::all_kernels().iter().filter(|k| !k.is_kernel).count()
+        kernels::all_kernels()
+            .iter()
+            .filter(|k| k.is_kernel)
+            .count(),
+        kernels::all_kernels()
+            .iter()
+            .filter(|k| !k.is_kernel)
+            .count()
     );
 }

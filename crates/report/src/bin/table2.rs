@@ -8,10 +8,16 @@ use hpf_report::experiments::{table2, table2_text, SweepConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut cfg =
-        if args.iter().any(|a| a == "--quick") { SweepConfig::quick() } else { SweepConfig::default() };
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
     if let Some(i) = args.iter().position(|a| a == "--runs") {
-        cfg.runs = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(cfg.runs);
+        cfg.runs = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cfg.runs);
     }
     if let Some(i) = args.iter().position(|a| a == "--max-size") {
         cfg.max_size = args.get(i + 1).and_then(|v| v.parse().ok());
@@ -25,11 +31,18 @@ fn main() {
     let t0 = std::time::Instant::now();
     let out = table2(&cfg);
     let (rows, samples) = (out.rows, out.samples);
-    eprintln!("{} samples in {:.1}s", samples.len(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "{} samples in {:.1}s",
+        samples.len(),
+        t0.elapsed().as_secs_f64()
+    );
     if !out.failures.is_empty() {
         eprintln!("{} configuration(s) failed:", out.failures.len());
         for f in &out.failures {
-            eprintln!("  {} — {} (after {} attempt(s))", f.label, f.failure, f.attempts);
+            eprintln!(
+                "  {} — {} (after {} attempt(s))",
+                f.label, f.failure, f.attempts
+            );
         }
     }
 
@@ -45,21 +58,35 @@ fn main() {
     }
 
     println!("Table 2: Accuracy of the Performance Prediction Framework");
-    println!("(measured = mean of {} simulated runs with load jitter)\n", cfg.runs);
+    println!(
+        "(measured = mean of {} simulated runs with load jitter)\n",
+        cfg.runs
+    );
     println!("{}", table2_text(&rows));
 
     let worst = rows.iter().map(|r| r.max_err_pct).fold(0.0f64, f64::max);
-    let best = rows.iter().map(|r| r.min_err_pct).fold(f64::INFINITY, f64::min);
+    let best = rows
+        .iter()
+        .map(|r| r.min_err_pct)
+        .fold(f64::INFINITY, f64::min);
     println!("worst-case max error : {worst:.2}%  (paper: 18.6%, \"within 20%\")");
     println!("best-case  min error : {best:.3}%  (paper: 0.00%)");
     let kernel_max: f64 = rows
         .iter()
-        .filter(|r| kernels::kernel_by_name(&r.app).map(|k| k.is_kernel).unwrap_or(false))
+        .filter(|r| {
+            kernels::kernel_by_name(&r.app)
+                .map(|k| k.is_kernel)
+                .unwrap_or(false)
+        })
         .map(|r| r.max_err_pct)
         .fold(0.0, f64::max);
     let app_max: f64 = rows
         .iter()
-        .filter(|r| kernels::kernel_by_name(&r.app).map(|k| !k.is_kernel).unwrap_or(false))
+        .filter(|r| {
+            kernels::kernel_by_name(&r.app)
+                .map(|k| !k.is_kernel)
+                .unwrap_or(false)
+        })
         .map(|r| r.max_err_pct)
         .fold(0.0, f64::max);
     println!("kernels max error    : {kernel_max:.2}%   applications max error: {app_max:.2}%");

@@ -105,7 +105,10 @@ mod tests {
         let csv = table2_csv(&rows);
         let mut lines = csv.lines();
         assert!(lines.next().unwrap().starts_with("app,size_min"));
-        assert_eq!(lines.next().unwrap(), "LFK 1,128,4096,1,8,1.5000,12.2500,24");
+        assert_eq!(
+            lines.next().unwrap(),
+            "LFK 1,128,4096,1,8,1.5000,12.2500,24"
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Experiment drivers for the paper's tables and figures.
 
 use crate::harness::{run_batch, HarnessConfig, JobFailure, SweepFailure};
-use crate::pipeline::{
-    compile_source, predict_source, PredictOptions,
-};
+use crate::pipeline::{compile_source, predict_source, PredictOptions};
 use hpf_compiler::CompileOptions;
 use ipsc_sim::{SimConfig, Simulator};
 use kernels::{all_kernels, Kernel, KernelKind, LaplaceDist};
@@ -94,15 +92,24 @@ pub fn accuracy_sample(
         &src,
         procs,
         &Default::default(),
-        &CompileOptions { nodes: procs, ..Default::default() },
+        &CompileOptions {
+            nodes: procs,
+            ..Default::default()
+        },
     )?;
-    let profile = hpf_eval::run_with_limit(&analyzed, cfg.profile_steps)
-        .ok()
-        .map(|o| o.profile);
+    let profile = {
+        let _s = hpf_trace::span("profile");
+        hpf_eval::run_with_limit(&analyzed, cfg.profile_steps)
+            .ok()
+            .map(|o| o.profile)
+    };
     let machine = ipsc860(procs);
     let sim = Simulator::with_config(
         &machine,
-        SimConfig { runs: cfg.runs, ..Default::default() },
+        SimConfig {
+            runs: cfg.runs,
+            ..Default::default()
+        },
     );
     let meas = sim.simulate(&spmd, profile.as_ref());
 
@@ -161,8 +168,7 @@ pub fn table2(cfg: &SweepConfig) -> Table2Output {
             let label = format!("{} n={size} p={p}", k.name);
             let inner_label = label.clone();
             let job = move || {
-                accuracy_sample(&k, size, p, &cfg)
-                    .map_err(|e| (inner_label.clone(), e.to_string()))
+                accuracy_sample(&k, size, p, &cfg).map_err(|e| (inner_label.clone(), e.to_string()))
             };
             (label, job)
         })
@@ -185,12 +191,14 @@ pub fn table2(cfg: &SweepConfig) -> Table2Output {
     // Aggregate per application.
     let mut rows = Vec::new();
     for k in all_kernels() {
-        let ss: Vec<&AccuracySample> =
-            samples.iter().filter(|s| s.app == k.name).collect();
+        let ss: Vec<&AccuracySample> = samples.iter().filter(|s| s.app == k.name).collect();
         if ss.is_empty() {
             continue;
         }
-        let min_err = ss.iter().map(|s| s.abs_error_pct).fold(f64::INFINITY, f64::min);
+        let min_err = ss
+            .iter()
+            .map(|s| s.abs_error_pct)
+            .fold(f64::INFINITY, f64::min);
         let max_err = ss.iter().map(|s| s.abs_error_pct).fold(0.0, f64::max);
         rows.push(Table2Row {
             app: k.name.to_string(),
@@ -207,7 +215,11 @@ pub fn table2(cfg: &SweepConfig) -> Table2Output {
             samples: ss.len(),
         });
     }
-    Table2Output { rows, samples, failures }
+    Table2Output {
+        rows,
+        samples,
+        failures,
+    }
 }
 
 /// Render Table 2 as text.
@@ -216,9 +228,7 @@ pub fn table2_text(rows: &[Table2Row]) -> String {
     out.push_str(
         "Name               Problem Sizes    System Size   Min Abs Error   Max Abs Error\n",
     );
-    out.push_str(
-        "                   (data elements)  (# procs)     (%)             (%)\n",
-    );
+    out.push_str("                   (data elements)  (# procs)     (%)             (%)\n");
     for r in rows {
         out.push_str(&format!(
             "{:<18} {:>6} - {:<7} {} - {:<9} {:>6.2}%         {:>6.2}%\n",
@@ -242,7 +252,11 @@ pub struct LaplacePoint {
 /// the Laplace solver for the three distributions, sizes stepping by 16.
 pub fn laplace_curves(procs: usize, max_size: usize, runs: usize) -> Vec<LaplacePoint> {
     let mut pts = Vec::new();
-    for dist in [LaplaceDist::BlockBlock, LaplaceDist::BlockStar, LaplaceDist::StarBlock] {
+    for dist in [
+        LaplaceDist::BlockBlock,
+        LaplaceDist::BlockStar,
+        LaplaceDist::StarBlock,
+    ] {
         let kernel = Kernel {
             kind: KernelKind::Laplace(dist),
             name: "Laplace",
@@ -252,7 +266,10 @@ pub fn laplace_curves(procs: usize, max_size: usize, runs: usize) -> Vec<Laplace
         };
         let mut size = 16;
         while size <= max_size {
-            let cfg = SweepConfig { runs, ..Default::default() };
+            let cfg = SweepConfig {
+                runs,
+                ..Default::default()
+            };
             if let Ok(s) = accuracy_sample(&kernel, size, procs, &cfg) {
                 pts.push(LaplacePoint {
                     dist: dist.label().to_string(),
@@ -272,7 +289,11 @@ pub fn laplace_curves(procs: usize, max_size: usize, runs: usize) -> Vec<Laplace
 /// `procs` processors (ownership of an `n × n` template).
 pub fn figure3(n: usize, procs: usize) -> String {
     let mut out = String::new();
-    for dist in [LaplaceDist::BlockBlock, LaplaceDist::BlockStar, LaplaceDist::StarBlock] {
+    for dist in [
+        LaplaceDist::BlockBlock,
+        LaplaceDist::BlockStar,
+        LaplaceDist::StarBlock,
+    ] {
         let kernel = Kernel {
             kind: KernelKind::Laplace(dist),
             name: "Laplace",
@@ -285,7 +306,10 @@ pub fn figure3(n: usize, procs: usize) -> String {
             &src,
             procs,
             &Default::default(),
-            &CompileOptions { nodes: procs, ..Default::default() },
+            &CompileOptions {
+                nodes: procs,
+                ..Default::default()
+            },
         )
         .expect("laplace compiles");
         let u = spmd.dist.get("U").expect("U mapped");
@@ -378,7 +402,10 @@ END
         src,
         4,
         &Default::default(),
-        &CompileOptions { nodes: 4, ..Default::default() },
+        &CompileOptions {
+            nodes: 4,
+            ..Default::default()
+        },
     )
     .expect("figure 2 compiles");
     let aag = appgraph::build_aag(&spmd);

@@ -91,7 +91,10 @@ pub fn fault_experiment(cfg: &FaultExperimentConfig) -> Result<Vec<FaultRow>, Pi
         &src,
         cfg.procs,
         &Default::default(),
-        &CompileOptions { nodes: cfg.procs, ..Default::default() },
+        &CompileOptions {
+            nodes: cfg.procs,
+            ..Default::default()
+        },
     )?;
     let profile = hpf_eval::run_with_limit(&analyzed, cfg.profile_steps)
         .ok()
@@ -112,7 +115,11 @@ pub fn fault_experiment(cfg: &FaultExperimentConfig) -> Result<Vec<FaultRow>, Pi
         // Measured: the DES with the plan injected at the network level.
         let sim = Simulator::with_config(
             &healthy_machine,
-            SimConfig { runs: cfg.runs, faults: plan.clone(), ..Default::default() },
+            SimConfig {
+                runs: cfg.runs,
+                faults: plan.clone(),
+                ..Default::default()
+            },
         );
         let meas = sim.simulate(&spmd, profile.as_ref());
 
@@ -193,7 +200,10 @@ mod tests {
         let baseline = accuracy_sample(&k, cfg.size, cfg.procs, &sweep).unwrap();
         assert_eq!(none.predicted_s.to_bits(), baseline.predicted_s.to_bits());
         assert_eq!(none.measured_s.to_bits(), baseline.measured_s.to_bits());
-        assert_eq!(none.measured_std_s.to_bits(), baseline.measured_std_s.to_bits());
+        assert_eq!(
+            none.measured_std_s.to_bits(),
+            baseline.measured_std_s.to_bits()
+        );
         assert_eq!((none.retries, none.detours, none.undeliverable), (0, 0, 0));
     }
 
@@ -236,7 +246,10 @@ mod tests {
         }
         let lossy = rows.iter().find(|r| r.plan.starts_with("lossy")).unwrap();
         assert!(lossy.retries > 0, "lossy plan should record retries");
-        let severed = rows.iter().find(|r| r.plan.starts_with("link-down")).unwrap();
+        let severed = rows
+            .iter()
+            .find(|r| r.plan.starts_with("link-down"))
+            .unwrap();
         assert!(severed.detours > 0, "severed link should record detours");
     }
 }

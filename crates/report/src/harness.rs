@@ -25,7 +25,10 @@ pub struct HarnessConfig {
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        HarnessConfig { timeout: Some(Duration::from_secs(120)), retries: 1 }
+        HarnessConfig {
+            timeout: Some(Duration::from_secs(120)),
+            retries: 1,
+        }
     }
 }
 
@@ -73,7 +76,12 @@ where
     F: Fn() -> T + Clone + Send + 'static,
 {
     let mut last = JobFailure::TimedOut;
-    for _attempt in 0..=cfg.retries {
+    hpf_trace::counter_add("harness.jobs", 1);
+    for attempt in 0..=cfg.retries {
+        if attempt > 0 {
+            hpf_trace::counter_add("harness.retries", 1);
+        }
+        let started = std::time::Instant::now();
         let (tx, rx) = mpsc::channel();
         let j = job.clone();
         std::thread::spawn(move || {
@@ -85,12 +93,20 @@ where
             Some(t) => rx.recv_timeout(t).map_err(|_| JobFailure::TimedOut),
             None => rx.recv().map_err(|_| JobFailure::TimedOut),
         };
+        hpf_trace::histogram_record("harness.job_seconds", started.elapsed().as_secs_f64());
         match received {
             Ok(Ok(v)) => return Ok(v),
-            Ok(Err(msg)) => last = JobFailure::Panicked(msg),
-            Err(f) => last = f,
+            Ok(Err(msg)) => {
+                hpf_trace::counter_add("harness.panics", 1);
+                last = JobFailure::Panicked(msg);
+            }
+            Err(f) => {
+                hpf_trace::counter_add("harness.timeouts", 1);
+                last = f;
+            }
         }
     }
+    hpf_trace::counter_add("harness.failures", 1);
     Err(last)
 }
 
@@ -126,15 +142,19 @@ where
                     break;
                 }
                 let (label, job) = &jobs[i];
+                let _job_span = hpf_trace::span("job");
                 match run_isolated(job.clone(), cfg) {
                     Ok(v) => results.lock().unwrap_or_else(|e| e.into_inner()).push(v),
-                    Err(f) => failures.lock().unwrap_or_else(|e| e.into_inner()).push(
-                        SweepFailure {
-                            label: label.clone(),
-                            failure: f,
-                            attempts: cfg.retries + 1,
-                        },
-                    ),
+                    Err(f) => {
+                        failures
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(SweepFailure {
+                                label: label.clone(),
+                                failure: f,
+                                attempts: cfg.retries + 1,
+                            })
+                    }
                 }
             });
         }
@@ -150,7 +170,10 @@ mod tests {
     use super::*;
 
     fn quick() -> HarnessConfig {
-        HarnessConfig { timeout: Some(Duration::from_secs(5)), retries: 0 }
+        HarnessConfig {
+            timeout: Some(Duration::from_secs(5)),
+            retries: 0,
+        }
     }
 
     #[test]
@@ -170,11 +193,11 @@ mod tests {
 
     #[test]
     fn wedged_job_times_out() {
-        let cfg = HarnessConfig { timeout: Some(Duration::from_millis(50)), retries: 0 };
-        let r: Result<(), _> = run_isolated(
-            || std::thread::sleep(Duration::from_secs(600)),
-            &cfg,
-        );
+        let cfg = HarnessConfig {
+            timeout: Some(Duration::from_millis(50)),
+            retries: 0,
+        };
+        let r: Result<(), _> = run_isolated(|| std::thread::sleep(Duration::from_secs(600)), &cfg);
         assert_eq!(r.unwrap_err(), JobFailure::TimedOut);
     }
 
@@ -182,7 +205,10 @@ mod tests {
     fn retries_are_bounded_and_counted() {
         // A job that always panics consumes exactly retries+1 attempts.
         static ATTEMPTS: AtomicUsize = AtomicUsize::new(0);
-        let cfg = HarnessConfig { timeout: Some(Duration::from_secs(5)), retries: 2 };
+        let cfg = HarnessConfig {
+            timeout: Some(Duration::from_secs(5)),
+            retries: 2,
+        };
         let r: Result<(), _> = run_isolated(
             || {
                 ATTEMPTS.fetch_add(1, Ordering::SeqCst);
@@ -195,21 +221,85 @@ mod tests {
     }
 
     #[test]
+    fn wedged_first_attempt_recovers_on_retry() {
+        // Timeout path + retry: attempt 0 wedges past the budget, attempt 1
+        // returns promptly — the job as a whole must succeed.
+        static ATTEMPTS: AtomicUsize = AtomicUsize::new(0);
+        let cfg = HarnessConfig {
+            timeout: Some(Duration::from_millis(80)),
+            retries: 1,
+        };
+        let r = run_isolated(
+            || {
+                if ATTEMPTS.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_secs(600));
+                }
+                "recovered"
+            },
+            &cfg,
+        );
+        assert_eq!(r.unwrap(), "recovered");
+        assert_eq!(ATTEMPTS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn timeout_exhaustion_reports_timed_out_not_panic() {
+        // Every attempt wedges: the final failure must be TimedOut even
+        // though earlier attempts also timed out (the last-attempt rule).
+        let cfg = HarnessConfig {
+            timeout: Some(Duration::from_millis(40)),
+            retries: 2,
+        };
+        let r: Result<(), _> = run_isolated(|| std::thread::sleep(Duration::from_secs(600)), &cfg);
+        assert_eq!(r.unwrap_err(), JobFailure::TimedOut);
+    }
+
+    #[test]
+    fn timeout_path_is_observable_in_trace_metrics() {
+        // The harness instrumentation: a timed-out attempt increments
+        // `harness.timeouts`, its wall time lands in `harness.job_seconds`,
+        // and the retry is counted. Deltas are used because the trace
+        // registry is process-global.
+        let _lock = crate::TRACE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        hpf_trace::enable();
+        let t0 = hpf_trace::counter_get("harness.timeouts");
+        let r0 = hpf_trace::counter_get("harness.retries");
+        let h0 = hpf_trace::histogram_snapshot("harness.job_seconds")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        let cfg = HarnessConfig {
+            timeout: Some(Duration::from_millis(40)),
+            retries: 1,
+        };
+        let r: Result<(), _> = run_isolated(|| std::thread::sleep(Duration::from_secs(600)), &cfg);
+        hpf_trace::disable();
+        assert!(r.is_err());
+        // >= rather than ==: other harness tests may run (and time out)
+        // concurrently inside the enabled window.
+        assert!(
+            hpf_trace::counter_get("harness.timeouts") - t0 >= 2,
+            "both attempts"
+        );
+        assert!(hpf_trace::counter_get("harness.retries") - r0 >= 1);
+        let h1 = hpf_trace::histogram_snapshot("harness.job_seconds").unwrap();
+        assert!(h1.count - h0 >= 2, "one wall-time sample per attempt");
+    }
+
+    #[test]
     fn batch_survives_poison_job() {
         // The panic-isolation acceptance test: a deliberately panicking
         // experiment completes the remaining experiments and reports the
         // failure.
         let mut jobs = Vec::new();
         for i in 0..8usize {
-            jobs.push((
-                format!("job-{i}"),
-                move || {
-                    if i == 3 {
-                        panic!("poison experiment");
-                    }
-                    i * 10
-                },
-            ));
+            jobs.push((format!("job-{i}"), move || {
+                if i == 3 {
+                    panic!("poison experiment");
+                }
+                i * 10
+            }));
         }
         let (mut ok, failed) = run_batch(jobs, &quick());
         ok.sort();

@@ -26,3 +26,7 @@ pub use pipeline::{
     compile_source, predict_source, predict_source_full, simulate_source, PipelineError,
     PipelineStage, PredictOptions, SimulateOptions,
 };
+
+/// Serializes tests that flip the process-global `hpf_trace` enable flag.
+#[cfg(test)]
+pub(crate) static TRACE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());

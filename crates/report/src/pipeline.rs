@@ -18,7 +18,10 @@ pub fn calibrated_machine(nodes: usize) -> MachineModel {
     static CACHE: OnceLock<Mutex<HashMap<usize, MachineModel>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
-    guard.entry(nodes).or_insert_with(|| ipsc_sim::calibrate(nodes)).clone()
+    guard
+        .entry(nodes)
+        .or_insert_with(|| ipsc_sim::calibrate(nodes))
+        .clone()
 }
 
 /// Options for [`predict_source`].
@@ -44,7 +47,10 @@ impl Default for PredictOptions {
 
 impl PredictOptions {
     pub fn with_nodes(nodes: usize) -> Self {
-        PredictOptions { nodes, ..Default::default() }
+        PredictOptions {
+            nodes,
+            ..Default::default()
+        }
     }
 }
 
@@ -74,7 +80,10 @@ impl Default for SimulateOptions {
 
 impl SimulateOptions {
     pub fn with_nodes(nodes: usize) -> Self {
-        SimulateOptions { nodes, ..Default::default() }
+        SimulateOptions {
+            nodes,
+            ..Default::default()
+        }
     }
 }
 
@@ -123,11 +132,23 @@ pub struct PipelineError {
 
 impl PipelineError {
     pub fn new(stage: PipelineStage, message: impl Into<String>) -> Self {
-        PipelineError { stage, message: message.into(), span: None }
+        PipelineError {
+            stage,
+            message: message.into(),
+            span: None,
+        }
     }
 
-    pub fn with_span(stage: PipelineStage, message: impl Into<String>, span: hpf_lang::Span) -> Self {
-        PipelineError { stage, message: message.into(), span: Some(span) }
+    pub fn with_span(
+        stage: PipelineStage,
+        message: impl Into<String>,
+        span: hpf_lang::Span,
+    ) -> Self {
+        PipelineError {
+            stage,
+            message: message.into(),
+            span: Some(span),
+        }
     }
 
     /// 1-based source line of the error, if located.
@@ -154,19 +175,31 @@ impl From<LangError> for PipelineError {
             hpf_lang::Phase::Lex | hpf_lang::Phase::Parse => PipelineStage::Parse,
             hpf_lang::Phase::Sema => PipelineStage::Analyze,
         };
-        PipelineError { stage, message: e.message, span: Some(e.span) }
+        PipelineError {
+            stage,
+            message: e.message,
+            span: Some(e.span),
+        }
     }
 }
 
 impl From<hpf_compiler::CompileError> for PipelineError {
     fn from(e: hpf_compiler::CompileError) -> Self {
-        PipelineError { stage: PipelineStage::Compile, message: e.message, span: Some(e.span) }
+        PipelineError {
+            stage: PipelineStage::Compile,
+            message: e.message,
+            span: Some(e.span),
+        }
     }
 }
 
 impl From<hpf_eval::EvalError> for PipelineError {
     fn from(e: hpf_eval::EvalError) -> Self {
-        PipelineError { stage: PipelineStage::Evaluate, message: e.message, span: Some(e.span) }
+        PipelineError {
+            stage: PipelineStage::Evaluate,
+            message: e.message,
+            span: Some(e.span),
+        }
     }
 }
 
@@ -177,6 +210,7 @@ pub fn compile_source(
     overrides: &BTreeMap<String, i64>,
     copts: &CompileOptions,
 ) -> Result<(hpf_lang::AnalyzedProgram, SpmdProgram), PipelineError> {
+    let _span = hpf_trace::span("frontend");
     let program = parse_program(src)?;
     let analyzed = analyze(&program, overrides)?;
     let mut copts = copts.clone();
@@ -187,7 +221,11 @@ pub fn compile_source(
 
 /// Source-driven performance prediction: the interpretive path.
 pub fn predict_source(src: &str, opts: &PredictOptions) -> Result<Prediction, PipelineError> {
-    let machine = calibrated_machine(opts.nodes);
+    let _span = hpf_trace::span("predict");
+    let machine = {
+        let _s = hpf_trace::span("calibrate");
+        calibrated_machine(opts.nodes)
+    };
     predict_source_on(src, &machine, opts)
 }
 
@@ -219,9 +257,10 @@ pub fn predict_source_full(
 
 /// "Measured" execution: run the program on the simulated iPSC/860.
 pub fn simulate_source(src: &str, opts: &SimulateOptions) -> Result<SimResult, PipelineError> {
-    let (analyzed, spmd) =
-        compile_source(src, opts.nodes, &opts.param_overrides, &opts.compile)?;
+    let _span = hpf_trace::span("measure");
+    let (analyzed, spmd) = compile_source(src, opts.nodes, &opts.param_overrides, &opts.compile)?;
     let profile = if opts.use_profile {
+        let _s = hpf_trace::span("profile");
         hpf_eval::run(&analyzed).ok().map(|o| o.profile)
     } else {
         None
@@ -270,5 +309,49 @@ END
     #[test]
     fn bad_source_is_error() {
         assert!(predict_source("NOT FORTRAN", &PredictOptions::default()).is_err());
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        // The zero-overhead contract, checked at its strongest: enabling
+        // the observability layer leaves prediction and simulation
+        // bit-identical (no RNG stream is touched by instrumentation).
+        let popts = PredictOptions::with_nodes(4);
+        let mut sopts = SimulateOptions::with_nodes(4);
+        sopts.sim.runs = 50;
+
+        let pred_off = predict_source(PI_SRC, &popts).unwrap();
+        let meas_off = simulate_source(PI_SRC, &sopts).unwrap();
+
+        let _lock = crate::TRACE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        hpf_trace::enable();
+        let pred_on = predict_source(PI_SRC, &popts).unwrap();
+        let meas_on = simulate_source(PI_SRC, &sopts).unwrap();
+        hpf_trace::disable();
+
+        assert_eq!(
+            pred_off.total_seconds().to_bits(),
+            pred_on.total_seconds().to_bits(),
+            "prediction must be bit-identical under tracing"
+        );
+        assert_eq!(
+            meas_off.mean.to_bits(),
+            meas_on.mean.to_bits(),
+            "simulation must be bit-identical under tracing"
+        );
+
+        // And the traced pass actually produced the stage spans.
+        let paths: Vec<String> = hpf_trace::span_snapshot()
+            .into_iter()
+            .map(|s| s.path)
+            .collect();
+        for expected in ["predict", "predict/frontend/parse", "measure/simulate"] {
+            assert!(
+                paths.iter().any(|p| p == expected),
+                "missing span {expected:?} in {paths:?}"
+            );
+        }
     }
 }

@@ -112,10 +112,17 @@ impl Session {
         };
         let k = kernels::kernel_by_name(name)
             .ok_or_else(|| format!("unknown kernel `{name}` — see the `table1` binary"))?;
-        let size = if size == 0 { k.size_range.1.min(256) } else { size };
+        let size = if size == 0 {
+            k.size_range.1.min(256)
+        } else {
+            size
+        };
         self.source = Some(k.source(size, self.nodes));
         self.source_name = format!("{name} (n={size})");
-        Ok(format!("loaded {} for {} nodes", self.source_name, self.nodes))
+        Ok(format!(
+            "loaded {} for {} nodes",
+            self.source_name, self.nodes
+        ))
     }
 
     fn cmd_load(&mut self, path: &str) -> Result<String, String> {
@@ -141,31 +148,47 @@ impl Session {
             "mask-density" => {
                 self.copts.mask_density_hint =
                     val.parse().map_err(|_| "mask-density must be a float")?;
-                Ok(format!("mask density hint = {}", self.copts.mask_density_hint))
+                Ok(format!(
+                    "mask density hint = {}",
+                    self.copts.mask_density_hint
+                ))
             }
             "while-trips" => {
                 self.copts.while_trips_hint =
                     val.parse().map_err(|_| "while-trips must be an integer")?;
-                Ok(format!("while trips hint = {}", self.copts.while_trips_hint))
+                Ok(format!(
+                    "while trips hint = {}",
+                    self.copts.while_trips_hint
+                ))
             }
             "memory-model" => {
                 self.iopts.memory_hierarchy = val.parse().map_err(|_| "true/false")?;
-                Ok(format!("memory hierarchy model = {}", self.iopts.memory_hierarchy))
+                Ok(format!(
+                    "memory hierarchy model = {}",
+                    self.iopts.memory_hierarchy
+                ))
             }
             "overlap" => {
                 self.iopts.overlap_comp_comm = val.parse().map_err(|_| "true/false")?;
-                Ok(format!("comp/comm overlap model = {}", self.iopts.overlap_comp_comm))
+                Ok(format!(
+                    "comp/comm overlap model = {}",
+                    self.iopts.overlap_comp_comm
+                ))
             }
             name if name.starts_with("param:") => {
                 let pname = name.trim_start_matches("param:").to_ascii_uppercase();
-                let v: i64 = val.parse().map_err(|_| "parameter value must be an integer")?;
+                let v: i64 = val
+                    .parse()
+                    .map_err(|_| "parameter value must be an integer")?;
                 self.overrides.insert(pname.clone(), v);
                 Ok(format!("{pname} = {v} (override)"))
             }
             // Critical variables the tracer could not resolve (§4.2).
             name if name.starts_with("critical:") => {
                 let cname = name.trim_start_matches("critical:").to_ascii_uppercase();
-                let v: i64 = val.parse().map_err(|_| "critical value must be an integer")?;
+                let v: i64 = val
+                    .parse()
+                    .map_err(|_| "critical value must be an integer")?;
                 self.copts.critical_values.insert(cname.clone(), v);
                 Ok(format!("critical {cname} = {v}"))
             }
@@ -178,7 +201,15 @@ impl Session {
 
     fn cmd_show(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "program    : {}", if self.source.is_some() { &self.source_name } else { "<none>" });
+        let _ = writeln!(
+            out,
+            "program    : {}",
+            if self.source.is_some() {
+                &self.source_name
+            } else {
+                "<none>"
+            }
+        );
         let _ = writeln!(out, "machine    : {:?} × {}", self.target, self.nodes);
         let _ = writeln!(out, "runs       : {}", self.runs);
         let _ = writeln!(out, "mask hint  : {}", self.copts.mask_density_hint);
@@ -256,8 +287,14 @@ impl Session {
 
     fn cmd_lines(&self, rest: &str) -> Result<String, String> {
         let mut it = rest.split_whitespace();
-        let a: u32 = it.next().and_then(|v| v.parse().ok()).ok_or("usage: lines <a> <b>")?;
-        let b: u32 = it.next().and_then(|v| v.parse().ok()).ok_or("usage: lines <a> <b>")?;
+        let a: u32 = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or("usage: lines <a> <b>")?;
+        let b: u32 = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or("usage: lines <a> <b>")?;
         let (pred, aag) = self.predicted()?;
         let m = query_lines(&pred, &aag, a..=b);
         Ok(format!(
@@ -318,7 +355,10 @@ impl Session {
         let mut o = SimulateOptions::with_nodes(self.nodes);
         o.param_overrides = self.overrides.clone();
         o.compile = self.copts.clone();
-        o.sim = SimConfig { runs, ..Default::default() };
+        o.sim = SimConfig {
+            runs,
+            ..Default::default()
+        };
         let r = crate::pipeline::simulate_source(src, &o).map_err(|e| e.to_string())?;
         Ok(format!(
             "measured {:.6} s ± {:.6} over {} runs (comp {:.6}, comm {:.6})",
@@ -329,12 +369,14 @@ impl Session {
     fn cmd_compare(&self) -> Result<String, String> {
         let src = self.require_source()?;
         let machine = self.machine();
-        let pred =
-            predict_source_on(src, &machine, &self.popts()).map_err(|e| e.to_string())?;
+        let pred = predict_source_on(src, &machine, &self.popts()).map_err(|e| e.to_string())?;
         let mut o = SimulateOptions::with_nodes(self.nodes);
         o.param_overrides = self.overrides.clone();
         o.compile = self.copts.clone();
-        o.sim = SimConfig { runs: self.runs.min(200), ..Default::default() };
+        o.sim = SimConfig {
+            runs: self.runs.min(200),
+            ..Default::default()
+        };
         let meas = crate::pipeline::simulate_source(src, &o).map_err(|e| e.to_string())?;
         let err = 100.0 * (pred.total_seconds() - meas.mean).abs() / meas.mean.max(1e-30);
         Ok(format!(
@@ -350,7 +392,13 @@ impl Session {
         let choices = search_distributions(src, self.nodes).map_err(|e| e.to_string())?;
         let mut out = String::new();
         for c in &choices {
-            let _ = writeln!(out, "{:<18} {:?} {:>12.6} s", c.label(), c.grid, c.predicted_s);
+            let _ = writeln!(
+                out,
+                "{:<18} {:?} {:>12.6} s",
+                c.label(),
+                c.grid,
+                c.predicted_s
+            );
         }
         if let Some(best) = choices.first() {
             let _ = writeln!(out, "recommended: DISTRIBUTE {}", best.label());
@@ -362,7 +410,9 @@ impl Session {
         let src = self.require_source()?;
         let (analyzed, spmd) = compile_source(src, self.nodes, &self.overrides, &self.copts)
             .map_err(|e| e.to_string())?;
-        let profile = hpf_eval::run_with_limit(&analyzed, 10_000_000).ok().map(|o| o.profile);
+        let profile = hpf_eval::run_with_limit(&analyzed, 10_000_000)
+            .ok()
+            .map(|o| o.profile);
         let machine = machine::ipsc860(self.nodes);
         let tr = ipsc_sim::trace_program(&machine, &spmd, profile.as_ref());
         let mut out = tr.gantt(64);
@@ -389,7 +439,11 @@ impl Session {
                 self.target = Target::NowCluster;
                 Ok("target machine: NOW cluster".into())
             }
-            "" => Ok(format!("target machine: {:?}\n{}", self.target, self.machine().sag.outline())),
+            "" => Ok(format!(
+                "target machine: {:?}\n{}",
+                self.target,
+                self.machine().sag.outline()
+            )),
             other => Err(format!("unknown machine `{other}` (ipsc860, now)")),
         }
     }
@@ -426,7 +480,9 @@ mod tests {
     use super::*;
 
     fn s(session: &mut Session, cmd: &str) -> String {
-        session.execute(cmd).unwrap_or_else(|e| panic!("{cmd}: {e}"))
+        session
+            .execute(cmd)
+            .unwrap_or_else(|e| panic!("{cmd}: {e}"))
     }
 
     #[test]

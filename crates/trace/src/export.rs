@@ -1,0 +1,170 @@
+//! Exports: the machine-readable JSON document and the human-readable
+//! flamegraph-style text tree.
+
+use crate::json::Value;
+use crate::registry::{counters_snapshot, gauges_snapshot, histograms_snapshot, Histogram};
+use crate::span::{span_snapshot, SpanSnapshot};
+
+/// Serialize the current spans + metrics as a `hpf-trace/v1` JSON
+/// document. Deterministic layout (sorted keys/paths) so two exports of
+/// the same run diff cleanly.
+pub fn export_json() -> String {
+    let spans: Vec<Value> = span_snapshot()
+        .iter()
+        .map(|s| {
+            Value::obj(vec![
+                ("path", Value::Str(s.path.clone())),
+                ("count", Value::Num(s.count as f64)),
+                ("total_s", Value::Num(s.total_s())),
+                ("min_s", Value::Num(s.min_ns as f64 / 1e9)),
+                ("max_s", Value::Num(s.max_ns as f64 / 1e9)),
+            ])
+        })
+        .collect();
+
+    let counters = Value::Obj(
+        counters_snapshot()
+            .into_iter()
+            .map(|(k, v)| (k, Value::Num(v as f64)))
+            .collect(),
+    );
+    let gauges = Value::Obj(
+        gauges_snapshot()
+            .into_iter()
+            .map(|(k, v)| (k, Value::Num(v)))
+            .collect(),
+    );
+    let histograms = Value::Obj(
+        histograms_snapshot()
+            .into_iter()
+            .map(|(k, h)| {
+                let buckets: Vec<Value> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        Value::Arr(vec![
+                            Value::Num(Histogram::bucket_lower(i)),
+                            Value::Num(c as f64),
+                        ])
+                    })
+                    .collect();
+                let v = Value::obj(vec![
+                    ("count", Value::Num(h.count as f64)),
+                    ("sum_s", Value::Num(h.sum)),
+                    ("min_s", Value::Num(h.min)),
+                    ("max_s", Value::Num(h.max)),
+                    ("p50_s", Value::Num(h.quantile(0.50))),
+                    ("p95_s", Value::Num(h.quantile(0.95))),
+                    ("buckets", Value::Arr(buckets)),
+                ]);
+                (k, v)
+            })
+            .collect(),
+    );
+
+    Value::obj(vec![
+        ("schema", Value::Str("hpf-trace/v1".into())),
+        ("spans", Value::Arr(spans)),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+    .pretty()
+}
+
+/// Render the span tree as indented flamegraph-style text:
+///
+/// ```text
+/// predict                       12.88ms 100.0%  ×1
+///   compile                      1.02ms   7.9%  ×1   (self 0.31ms)
+///     parse                      0.71ms   5.5%  ×3
+/// ```
+///
+/// Percentages are of the total root time; `self` is the span's time not
+/// covered by its (recorded) children, shown when it differs from the
+/// total.
+pub fn flame_text() -> String {
+    let spans = span_snapshot();
+    if spans.is_empty() {
+        return "(no spans recorded)\n".to_string();
+    }
+    let root_total: u64 = spans
+        .iter()
+        .filter(|s| s.depth == 0)
+        .map(|s| s.total_ns)
+        .sum::<u64>()
+        .max(1);
+
+    let name_width = spans
+        .iter()
+        .map(|s| 2 * s.depth + s.leaf().len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+
+    let mut out = String::new();
+    for s in &spans {
+        let self_ns = s.total_ns.saturating_sub(child_total(&spans, s));
+        let pct = 100.0 * s.total_ns as f64 / root_total as f64;
+        let indent = "  ".repeat(s.depth);
+        let name = format!("{indent}{}", s.leaf());
+        out.push_str(&format!(
+            "{name:<name_width$} {:>10} {pct:>5.1}%  ×{}",
+            fmt_ns(s.total_ns),
+            s.count
+        ));
+        if self_ns != s.total_ns {
+            out.push_str(&format!("   (self {})", fmt_ns(self_ns)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Sum of the total times of `parent`'s direct children.
+fn child_total(spans: &[SpanSnapshot], parent: &SpanSnapshot) -> u64 {
+    let prefix = format!("{}/", parent.path);
+    spans
+        .iter()
+        .filter(|s| s.depth == parent.depth + 1 && s.path.starts_with(&prefix))
+        .map(|s| s.total_ns)
+        .sum()
+}
+
+/// Human duration: picks ns/µs/ms/s so the mantissa stays readable.
+pub fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v < 1e3 {
+        format!("{ns}ns")
+    } else if v < 1e6 {
+        format!("{:.2}µs", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.2}ms", v / 1e6)
+    } else {
+        format!("{:.2}s", v / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_000_000), "2.00ms");
+        assert_eq!(fmt_ns(3_500_000_000), "3.50s");
+    }
+
+    #[test]
+    fn flame_text_handles_empty() {
+        let _g = crate::tests::GLOBAL
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::reset();
+        assert_eq!(flame_text(), "(no spans recorded)\n");
+    }
+}

@@ -1,0 +1,192 @@
+//! # hpf-trace — pipeline observability
+//!
+//! The paper's premise is *interpreting* where time goes; this crate lets
+//! the reproduction do the same to itself. It provides three pieces, all
+//! dependency-free and thread-safe:
+//!
+//! * **Span timers** ([`span()`]) — RAII guards that time a region of code
+//!   and record it under a `/`-separated path built from the enclosing
+//!   spans on the same thread (`predict/compile/parse`, …).
+//! * **A metrics registry** ([`counter_add`], [`gauge_set`],
+//!   [`histogram_record`]) — counters, gauges, and histograms with fixed
+//!   log₂-scale buckets (see [`registry::Histogram`]).
+//! * **Exports** — a machine-readable JSON document
+//!   ([`export::export_json`]) and a human-readable flamegraph-style text
+//!   tree ([`export::flame_text`]).
+//!
+//! ## Zero overhead when disabled
+//!
+//! Tracing is **off** by default. Every entry point first checks a single
+//! relaxed atomic flag and returns immediately when tracing is disabled:
+//! no allocation, no locking, no clock reads. Instrumented code paths are
+//! bit-identical to uninstrumented ones (nothing touches any RNG stream).
+//!
+//! ## Usage
+//!
+//! ```
+//! hpf_trace::reset();
+//! hpf_trace::enable();
+//! {
+//!     let _outer = hpf_trace::span("predict");
+//!     let _inner = hpf_trace::span("parse");
+//!     hpf_trace::counter_add("parse.stmts", 3);
+//! }
+//! let spans = hpf_trace::span_snapshot();
+//! assert_eq!(spans.iter().map(|s| s.path.as_str()).collect::<Vec<_>>(),
+//!            vec!["predict", "predict/parse"]);
+//! hpf_trace::disable();
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use export::{export_json, flame_text};
+pub use registry::{
+    counter_add, counter_get, gauge_get, gauge_set, histogram_record, histogram_snapshot,
+    HistogramSnapshot,
+};
+pub use span::{span, span_snapshot, SpanGuard, SpanSnapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is tracing globally enabled? A single relaxed load — the only cost an
+/// instrumented call site pays when tracing is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn tracing on (spans and metrics start recording).
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn tracing off (instrumented call sites become no-ops again).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Clear all recorded spans and metrics (the enabled flag is untouched).
+pub fn reset() {
+    span::reset_spans();
+    registry::reset_metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global trace state is shared by every test in the process, so
+    // tests that enable tracing serialize on this lock.
+    pub(crate) static GLOBAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        disable();
+        reset();
+        {
+            let _s = span("ghost");
+            counter_add("ghost.count", 5);
+            histogram_record("ghost.hist", 1.0);
+        }
+        assert!(span_snapshot().is_empty());
+        assert_eq!(counter_get("ghost.count"), 0);
+        assert!(histogram_snapshot("ghost.hist").is_none());
+    }
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        enable();
+        {
+            let _a = span("outer");
+            {
+                let _b = span("inner");
+            }
+            {
+                let _c = span("inner");
+            }
+        }
+        disable();
+        let snap = span_snapshot();
+        let paths: Vec<(&str, u64)> = snap.iter().map(|s| (s.path.as_str(), s.count)).collect();
+        assert_eq!(paths, vec![("outer", 1), ("outer/inner", 2)]);
+        let outer = &snap[0];
+        let inner = &snap[1];
+        assert!(outer.total_ns >= inner.total_ns, "parent covers children");
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        enable();
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        counter_add("test.concurrent", 1);
+                    }
+                });
+            }
+        });
+        disable();
+        assert_eq!(counter_get("test.concurrent"), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn spans_on_threads_do_not_interleave_paths() {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        enable();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _a = span("worker");
+                    let _b = span("step");
+                });
+            }
+        });
+        disable();
+        let snap = span_snapshot();
+        let paths: Vec<&str> = snap.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["worker", "worker/step"]);
+        assert!(snap.iter().all(|s| s.count == 4));
+    }
+
+    #[test]
+    fn export_json_parses_back() {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        enable();
+        {
+            let _s = span("stage");
+            counter_add("n.things", 7);
+            gauge_set("depth", 3.5);
+            histogram_record("lat", 0.25);
+        }
+        disable();
+        let doc = export_json();
+        let v = json::parse(&doc).expect("export is valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("hpf-trace/v1")
+        );
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("n.things"))
+                .and_then(|n| n.as_f64()),
+            Some(7.0)
+        );
+        let flame = flame_text();
+        assert!(flame.contains("stage"), "{flame}");
+    }
+}

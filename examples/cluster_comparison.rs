@@ -32,8 +32,12 @@ fn main() {
         let kernel = hpf90d::kernels::kernel_by_name(name).expect("kernel");
         let src = kernel.source(size, nodes);
         let opts = PredictOptions::with_nodes(nodes);
-        let t_cube = predict_source_on(&src, &cube, &opts).expect("cube").total_seconds();
-        let t_now = predict_source_on(&src, &now, &opts).expect("now").total_seconds();
+        let t_cube = predict_source_on(&src, &cube, &opts)
+            .expect("cube")
+            .total_seconds();
+        let t_now = predict_source_on(&src, &now, &opts)
+            .expect("now")
+            .total_seconds();
         println!(
             "{:<22} {:>14.5} {:>14.5}   {}",
             format!("{name} (n={size})"),

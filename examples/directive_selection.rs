@@ -19,8 +19,11 @@ fn main() {
     println!("Selecting DISTRIBUTE directives for the Laplace solver");
     println!("problem size {size}x{size}, {procs} processors\n");
 
-    let variants =
-        [LaplaceDist::BlockBlock, LaplaceDist::BlockStar, LaplaceDist::StarBlock];
+    let variants = [
+        LaplaceDist::BlockBlock,
+        LaplaceDist::BlockStar,
+        LaplaceDist::StarBlock,
+    ];
 
     let mut rows = Vec::new();
     for dist in variants {
@@ -55,8 +58,14 @@ fn main() {
         rows.push((dist, est.total_seconds(), meas.mean));
     }
 
-    let best_est = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("rows");
-    let best_meas = rows.iter().min_by(|a, b| a.2.total_cmp(&b.2)).expect("rows");
+    let best_est = rows
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("rows");
+    let best_meas = rows
+        .iter()
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("rows");
     println!();
     println!("framework selects : {}", best_est.0.label());
     println!("machine agrees    : {}", best_meas.0.label());

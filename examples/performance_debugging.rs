@@ -19,7 +19,10 @@ fn main() {
         predict_source_full(&src, &PredictOptions::with_nodes(4)).expect("prediction");
 
     // Output form 1: the generic application profile.
-    println!("{}", profile_report(&pred, &aag, "stock option pricing, 4 procs, size 256"));
+    println!(
+        "{}",
+        profile_report(&pred, &aag, "stock option pricing, 4 procs, size 256")
+    );
 
     // Output form 2: per-line queries — walk every source line and show
     // which ones carry the cost (the "identify bottlenecks" workflow).
@@ -50,20 +53,19 @@ fn main() {
 
     // Output form 3: the ParaGraph-style interpretation trace.
     let trace = paragraph_trace(&pred, &aag);
-    println!("\n== ParaGraph trace (first 12 events of {}) ==", trace.lines().count());
+    println!(
+        "\n== ParaGraph trace (first 12 events of {}) ==",
+        trace.lines().count()
+    );
     for l in trace.lines().take(12) {
         println!("  {l}");
     }
 
     // Bonus: the machine-side per-node utilization view (what ParaGraph
     // would draw from the trace), from the simulated iPSC/860.
-    let (analyzed, spmd) = hpf90d::report::pipeline::compile_source(
-        &src,
-        4,
-        &Default::default(),
-        &Default::default(),
-    )
-    .expect("compile");
+    let (analyzed, spmd) =
+        hpf90d::report::pipeline::compile_source(&src, 4, &Default::default(), &Default::default())
+            .expect("compile");
     let profile = hpf90d::eval::run(&analyzed).ok().map(|o| o.profile);
     let machine = hpf90d::machine::ipsc860(4);
     let sim_trace = hpf90d::sim::trace_program(&machine, &spmd, profile.as_ref());
@@ -71,6 +73,11 @@ fn main() {
     print!("{}", sim_trace.gantt(64));
     println!("\nutilization (busy/comm/idle):");
     for (n, (b, c, i)) in sim_trace.utilization().iter().enumerate() {
-        println!("  node {n}: {:>5.1}% / {:>5.1}% / {:>5.1}%", b * 100.0, c * 100.0, i * 100.0);
+        println!(
+            "  node {n}: {:>5.1}% / {:>5.1}% / {:>5.1}%",
+            b * 100.0,
+            c * 100.0,
+            i * 100.0
+        );
     }
 }

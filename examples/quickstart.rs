@@ -39,7 +39,10 @@ fn main() {
     println!("{}", aag.outline());
 
     println!("== Interpreted performance ==");
-    println!("{}", hpf90d::interp::profile_report(&prediction, &aag, "SAXPY on 8 nodes"));
+    println!(
+        "{}",
+        hpf90d::interp::profile_report(&prediction, &aag, "SAXPY on 8 nodes")
+    );
 
     // 2. The same program "run on the machine" (discrete-event simulation),
     //    averaged over 1000 runs like the paper's measurements.

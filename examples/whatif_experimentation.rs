@@ -41,19 +41,30 @@ fn main() {
     let lap = hpf90d::kernels::kernel_by_name("Laplace (Blk-X)").expect("kernel");
     let src = lap.source(256, 4);
     let mut base_opts = PredictOptions::with_nodes(4);
-    let base =
-        predict_source(&src, &base_opts).expect("predict").total_seconds();
+    let base = predict_source(&src, &base_opts)
+        .expect("predict")
+        .total_seconds();
     println!("  full model                : {base:.4} s");
 
-    base_opts.interp = InterpOptions { memory_hierarchy: false, ..Default::default() };
-    let flat = predict_source(&src, &base_opts).expect("predict").total_seconds();
+    base_opts.interp = InterpOptions {
+        memory_hierarchy: false,
+        ..Default::default()
+    };
+    let flat = predict_source(&src, &base_opts)
+        .expect("predict")
+        .total_seconds();
     println!(
         "  flat memory (no caches)   : {flat:.4} s   ({:+.1}%)",
         100.0 * (flat - base) / base
     );
 
-    base_opts.interp = InterpOptions { overlap_comp_comm: true, ..Default::default() };
-    let ovl = predict_source(&src, &base_opts).expect("predict").total_seconds();
+    base_opts.interp = InterpOptions {
+        overlap_comp_comm: true,
+        ..Default::default()
+    };
+    let ovl = predict_source(&src, &base_opts)
+        .expect("predict")
+        .total_seconds();
     println!(
         "  with comp/comm overlap    : {ovl:.4} s   ({:+.1}%)",
         100.0 * (ovl - base) / base
@@ -64,6 +75,8 @@ fn main() {
     println!("\n== what-if: critical variables from the interface ==");
     let mut opts = PredictOptions::with_nodes(4);
     opts.param_overrides.insert("N".into(), 128);
-    let t128 = predict_source(&src, &opts).expect("predict").total_seconds();
+    let t128 = predict_source(&src, &opts)
+        .expect("predict")
+        .total_seconds();
     println!("  N overridden to 128       : {t128:.4} s (no source edit needed)");
 }

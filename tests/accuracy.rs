@@ -8,7 +8,10 @@ use hpf90d::report::workflow::WorkflowModel;
 use hpf90d::{predict_source, simulate_source, PredictOptions, SimulateOptions};
 
 fn cfg() -> SweepConfig {
-    SweepConfig { runs: 30, ..SweepConfig::quick() }
+    SweepConfig {
+        runs: 30,
+        ..SweepConfig::quick()
+    }
 }
 
 /// Every application predicted within the paper's stated worst case
@@ -16,7 +19,14 @@ fn cfg() -> SweepConfig {
 /// configuration.
 #[test]
 fn predictions_inside_accuracy_band() {
-    for name in ["PI", "LFK 1", "LFK 3", "LFK 22", "Financial", "Laplace (Blk-X)"] {
+    for name in [
+        "PI",
+        "LFK 1",
+        "LFK 3",
+        "LFK 22",
+        "Financial",
+        "Laplace (Blk-X)",
+    ] {
         let k = hpf90d::kernels::kernel_by_name(name).unwrap();
         let n = k.size_range.0.max(128).min(k.size_range.1);
         for procs in [1usize, 4] {
@@ -41,7 +51,9 @@ fn directive_selection_agrees_with_measurement() {
     for name in ["Laplace (Blk-Blk)", "Laplace (Blk-X)", "Laplace (X-Blk)"] {
         let k = hpf90d::kernels::kernel_by_name(name).unwrap();
         let src = k.source(256, 4);
-        let e = predict_source(&src, &PredictOptions::with_nodes(4)).unwrap().total_seconds();
+        let e = predict_source(&src, &PredictOptions::with_nodes(4))
+            .unwrap()
+            .total_seconds();
         let mut so = SimulateOptions::with_nodes(4);
         so.sim.runs = 30;
         let m = simulate_source(&src, &so).unwrap().mean;
@@ -143,7 +155,11 @@ fn node_scaling_ranking_agrees() {
     let mut meas = Vec::new();
     for p in [1usize, 2, 4, 8] {
         let src = src_for(p);
-        pred.push(predict_source(&src, &PredictOptions::with_nodes(p)).unwrap().total_seconds());
+        pred.push(
+            predict_source(&src, &PredictOptions::with_nodes(p))
+                .unwrap()
+                .total_seconds(),
+        );
         let mut so = SimulateOptions::with_nodes(p);
         so.sim.runs = 20;
         meas.push(simulate_source(&src, &so).unwrap().mean);

@@ -41,9 +41,7 @@ fn check(src: &str) {
 
 #[test]
 fn whole_array_ops_preserved() {
-    check(
-        "PROGRAM T\nREAL A(10), B(10), S\nA = 2.0\nB = A * 3.0 + 1.0\nS = SUM(B)\nEND\n",
-    );
+    check("PROGRAM T\nREAL A(10), B(10), S\nA = 2.0\nB = A * 3.0 + 1.0\nS = SUM(B)\nEND\n");
 }
 
 #[test]
@@ -125,9 +123,13 @@ END
 fn kernels_survive_normalization() {
     // The kernels that avoid CSHIFT boundary semantics must be semantics-
     // preserving end to end.
-    for (name, n) in
-        [("PI", 64usize), ("PBS 1", 64), ("PBS 4", 64), ("LFK 1", 64), ("LFK 22", 64)]
-    {
+    for (name, n) in [
+        ("PI", 64usize),
+        ("PBS 1", 64),
+        ("PBS 4", 64),
+        ("LFK 1", 64),
+        ("LFK 22", 64),
+    ] {
         let k = hpf90d::kernels::kernel_by_name(name).unwrap();
         check(&k.source(n, 4));
     }

@@ -16,7 +16,10 @@ fn run_kernel(name: &str, n: usize) -> eval::RunOutcome {
 }
 
 fn scalar(out: &eval::RunOutcome, name: &str) -> f64 {
-    out.scalars.get(name).and_then(|v| v.as_f64()).unwrap_or_else(|| panic!("scalar {name}"))
+    out.scalars
+        .get(name)
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("scalar {name}"))
 }
 
 #[test]
@@ -25,8 +28,10 @@ fn pi_quadrature_matches_oracle() {
     let out = run_kernel("PI", n);
     // Oracle: midpoint rule for 4/(1+x^2).
     let h = 1.0 / n as f64;
-    let oracle: f64 =
-        (1..=n).map(|i| 4.0 / (1.0 + ((i as f64 - 0.5) * h).powi(2))).sum::<f64>() * h;
+    let oracle: f64 = (1..=n)
+        .map(|i| 4.0 / (1.0 + ((i as f64 - 0.5) * h).powi(2)))
+        .sum::<f64>()
+        * h;
     assert!((scalar(&out, "PIE") - oracle).abs() < 1e-9);
     assert!((oracle - std::f64::consts::PI).abs() < 1e-3);
 }
@@ -92,9 +97,15 @@ fn pbs1_trapezoid_matches_oracle() {
     let n = 256;
     let out = run_kernel("PBS 1", n);
     let h = 1.0 / n as f64;
-    let oracle: f64 =
-        (1..=n).map(|i| (-(((i as f64 - 0.5) * h).powi(2))).exp()).sum::<f64>() * h;
-    assert!((scalar(&out, "S") - oracle).abs() < 1e-9, "{} vs {oracle}", scalar(&out, "S"));
+    let oracle: f64 = (1..=n)
+        .map(|i| (-(((i as f64 - 0.5) * h).powi(2))).exp())
+        .sum::<f64>()
+        * h;
+    assert!(
+        (scalar(&out, "S") - oracle).abs() < 1e-9,
+        "{} vs {oracle}",
+        scalar(&out, "S")
+    );
 }
 
 #[test]
@@ -102,7 +113,11 @@ fn pbs4_reciprocal_sum_matches_oracle() {
     let n = 256;
     let out = run_kernel("PBS 4", n);
     let oracle: f64 = (1..=n).map(|i| 1.0 / (1.0 + (i % 97) as f64 / 97.0)).sum();
-    assert!((scalar(&out, "R") - oracle).abs() < 1e-3, "{} vs {oracle}", scalar(&out, "R"));
+    assert!(
+        (scalar(&out, "R") - oracle).abs() < 1e-3,
+        "{} vs {oracle}",
+        scalar(&out, "R")
+    );
 }
 
 #[test]
@@ -133,12 +148,20 @@ fn every_kernel_compiles_on_every_machine_size() {
             let a = analyze(&p, &BTreeMap::new()).expect("analyze");
             let spmd = hpf90d::compiler::compile(
                 &a,
-                &hpf90d::compiler::CompileOptions { nodes: procs, ..Default::default() },
+                &hpf90d::compiler::CompileOptions {
+                    nodes: procs,
+                    ..Default::default()
+                },
             )
             .unwrap_or_else(|e| panic!("{} @p{procs}: {e}", k.name));
             assert_eq!(spmd.nodes, procs);
             if procs == 1 {
-                assert_eq!(spmd.comm_phase_count(), 0, "{} must not communicate on 1 node", k.name);
+                assert_eq!(
+                    spmd.comm_phase_count(),
+                    0,
+                    "{} must not communicate on 1 node",
+                    k.name
+                );
             }
         }
     }

@@ -21,7 +21,11 @@ pub struct Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), sample_size: self.effective_samples(), _c: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.effective_samples(),
+            _c: self,
+        }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(
@@ -69,7 +73,11 @@ impl BenchmarkGroup<'_> {
         id: impl AsRef<str>,
         mut f: F,
     ) -> &mut Self {
-        run_bench(&format!("{}/{}", self.name, id.as_ref()), self.sample_size, &mut f);
+        run_bench(
+            &format!("{}/{}", self.name, id.as_ref()),
+            self.sample_size,
+            &mut f,
+        );
         self
     }
 
@@ -108,7 +116,10 @@ impl Bencher {
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
-    let mut b = Bencher { samples: Vec::new(), per_sample: samples.max(1) };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        per_sample: samples.max(1),
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("bench {id:<50} (no samples)");
@@ -157,7 +168,8 @@ mod tests {
     fn bench_function_runs_closure() {
         let mut c = Criterion::default();
         let mut runs = 0;
-        c.sample_size(3).bench_function("t", |b| b.iter(|| runs += 1));
+        c.sample_size(3)
+            .bench_function("t", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 3);
     }
 

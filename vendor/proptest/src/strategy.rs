@@ -17,7 +17,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng { state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -164,7 +166,9 @@ fn parse_pattern(pat: &str) -> Vec<Atom> {
             }
             '\\' => {
                 i += 1;
-                let c = *chars.get(i).unwrap_or_else(|| panic!("dangling \\ in {pat:?}"));
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling \\ in {pat:?}"));
                 i += 1;
                 match c {
                     'P' => {
@@ -201,10 +205,15 @@ fn parse_pattern(pat: &str) -> Vec<Atom> {
             match body.split_once(',') {
                 Some((lo, hi)) => (
                     lo.trim().parse().unwrap_or(0),
-                    hi.trim().parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+                    hi.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
                 ),
                 None => {
-                    let n = body.trim().parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+                    let n = body
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
                     (n, n)
                 }
             }
@@ -223,7 +232,10 @@ fn parse_class(body: &[char], pat: &str) -> Pool {
     while i < body.len() {
         let c = if body[i] == '\\' {
             i += 1;
-            match *body.get(i).unwrap_or_else(|| panic!("dangling \\ in class of {pat:?}")) {
+            match *body
+                .get(i)
+                .unwrap_or_else(|| panic!("dangling \\ in class of {pat:?}"))
+            {
                 'n' => '\n',
                 't' => '\t',
                 other => other,

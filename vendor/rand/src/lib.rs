@@ -131,7 +131,9 @@ pub mod rngs {
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed ^ 0xD6E8_FEB8_6659_FD93 }
+            StdRng {
+                state: seed ^ 0xD6E8_FEB8_6659_FD93,
+            }
         }
     }
 }
