@@ -354,6 +354,10 @@ pub struct CompareConfig {
     pub tolerance_pct: f64,
     /// Absolute median-delta floor in seconds; smaller deltas are ignored.
     pub min_delta_s: f64,
+    /// Restrict the diff to cases whose name contains this substring
+    /// (`None` = every case). Lets CI gate one stage family — e.g.
+    /// `sweep_point` — at a tighter tolerance than the rest of the suite.
+    pub case_filter: Option<String>,
 }
 
 impl Default for CompareConfig {
@@ -361,6 +365,7 @@ impl Default for CompareConfig {
         CompareConfig {
             tolerance_pct: DEFAULT_TOLERANCE_PCT,
             min_delta_s: DEFAULT_MIN_DELTA_S,
+            case_filter: None,
         }
     }
 }
@@ -370,6 +375,11 @@ impl Default for CompareConfig {
 pub fn compare(old: &BenchReport, new: &BenchReport, cfg: &CompareConfig) -> Vec<Finding> {
     let mut findings = Vec::new();
     for oc in &old.cases {
+        if let Some(f) = &cfg.case_filter {
+            if !oc.name.contains(f.as_str()) {
+                continue;
+            }
+        }
         let Some(nc) = new.cases.iter().find(|c| c.name == oc.name) else {
             findings.push(Finding::Missing {
                 case: oc.name.clone(),
@@ -524,6 +534,22 @@ mod tests {
         assert_eq!(new.cases[0].stages[0].stage, "parse");
         new.cases[0].stages[0].median_s = 80e-6;
         assert!(compare(&old, &new, &CompareConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn compare_case_filter_restricts_scope() {
+        let old = report_with(0.010);
+        let new = report_with(0.0125); // +25 %: regresses when in scope
+        let filtered = CompareConfig {
+            case_filter: Some("no_such_case".into()),
+            ..Default::default()
+        };
+        assert!(compare(&old, &new, &filtered).is_empty());
+        let matching = CompareConfig {
+            case_filter: Some("cas".into()),
+            ..Default::default()
+        };
+        assert_eq!(compare(&old, &new, &matching).len(), 1);
     }
 
     #[test]

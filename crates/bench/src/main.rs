@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hpf-bench run [--quick] [--iters N] [--out PATH]
-//! hpf-bench compare OLD NEW [--tolerance PCT] [--min-delta S]
+//! hpf-bench compare OLD NEW [--tolerance PCT] [--min-delta S] [--case SUBSTR]
 //! ```
 //!
 //! `run` writes a `hpf-bench/v1` JSON report (default
@@ -16,7 +16,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hpf-bench run [--quick] [--iters N] [--out PATH]\n  \
-         hpf-bench compare OLD NEW [--tolerance PCT] [--min-delta S]"
+         hpf-bench compare OLD NEW [--tolerance PCT] [--min-delta S] [--case SUBSTR]"
     );
     ExitCode::from(2)
 }
@@ -82,6 +82,9 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         let r = match args[i].as_str() {
             "--tolerance" => parse_flag(args, &mut i, "--tolerance").map(|p| cfg.tolerance_pct = p),
             "--min-delta" => parse_flag(args, &mut i, "--min-delta").map(|s| cfg.min_delta_s = s),
+            "--case" => {
+                parse_flag(args, &mut i, "--case").map(|c: String| cfg.case_filter = Some(c))
+            }
             _ => {
                 paths.push(&args[i]);
                 Ok(())

@@ -5,7 +5,9 @@
 
 use report::experiments::{table2, SweepConfig};
 use report::faults::{default_plans, fault_experiment, FaultExperimentConfig};
+use report::sweep::SweepSession;
 use report::{predict_source, simulate_source, PredictOptions, SimulateOptions};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which suite to run.
@@ -68,9 +70,42 @@ fn table2_case(max_size: usize, runs: usize) -> BenchCase {
                     timeout: Some(Duration::from_secs(60)),
                     retries: 0,
                 },
+                share_artifacts: true,
             };
             let out = table2(&cfg);
             assert!(!out.rows.is_empty(), "sweep produced no rows");
+        }),
+    }
+}
+
+/// Steady-state cost of one compile-once sweep point: the session (and its
+/// cached profile) is built once at suite construction, so the measured
+/// loop is exactly what an interpretation sweep pays per additional
+/// (n, procs) point — re-bind, predict, simulate.
+fn sweep_point_case(kernel: &str, n: usize, procs: usize) -> BenchCase {
+    let k = kernels::kernel_by_name(kernel).expect("kernel");
+    let cfg = SweepConfig {
+        runs: 20,
+        profile_steps: 2_000_000,
+        ..Default::default()
+    };
+    let session = Arc::new(SweepSession::new(&k, &cfg).expect("session"));
+    // Warm the profile cache outside the timed region.
+    session.evaluate(n, procs).expect("evaluates");
+    let mut name_frag = String::new();
+    for c in kernel.chars() {
+        if c.is_ascii_alphanumeric() {
+            name_frag.push(c.to_ascii_lowercase());
+        } else if !name_frag.ends_with('_') && !name_frag.is_empty() {
+            name_frag.push('_');
+        }
+    }
+    let name_frag = name_frag.trim_end_matches('_');
+    BenchCase {
+        name: format!("sweep_point_{name_frag}_n{n}_p{procs}"),
+        run: Box::new(move || {
+            let s = session.evaluate(n, procs).expect("evaluates");
+            assert!(s.predicted_s > 0.0 && s.measured_s > 0.0);
         }),
     }
 }
@@ -103,6 +138,7 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
         SuiteKind::Quick => vec![
             laplace_case(64, 4, 30),
             table2_case(128, 20),
+            sweep_point_case("PI", 512, 4),
             faults_case(64, 4, 30),
         ],
         SuiteKind::Full => vec![
@@ -112,6 +148,8 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             laplace_case(256, 8, 30),
             table2_case(128, 20),
             table2_case(512, 50),
+            sweep_point_case("PI", 512, 4),
+            sweep_point_case("Laplace (Blk-Blk)", 256, 8),
             faults_case(64, 4, 30),
             faults_case(256, 8, 100),
         ],

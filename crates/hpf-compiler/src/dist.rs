@@ -240,6 +240,20 @@ pub fn partition(
     analyzed: &AnalyzedProgram,
     nodes_override: Option<usize>,
 ) -> Result<DistributionTable, PartitionError> {
+    partition_onto(analyzed, nodes_override, None)
+}
+
+/// [`partition`] with an exact processor-grid shape. When `grid_extents` is
+/// given it replaces the PROCESSORS arrangement verbatim — no
+/// [`reshape_grid`] refactoring — which is what a compile-once artifact
+/// needs to re-bind the machine-size critical variable: the caller pins the
+/// exact grid the equivalent regenerated source would have declared, so the
+/// partitioning (and everything downstream) is identical.
+pub fn partition_onto(
+    analyzed: &AnalyzedProgram,
+    nodes_override: Option<usize>,
+    grid_extents: Option<&[i64]>,
+) -> Result<DistributionTable, PartitionError> {
     // 1. The processor arrangement: last PROCESSORS directive wins; the
     //    override rescales the total while keeping the shape ratio when it
     //    can (exact grid reshaping is the caller's business via directives).
@@ -259,7 +273,12 @@ pub fn partition(
             }
         }
     }
-    if let Some(n) = nodes_override {
+    if let Some(extents) = grid_extents {
+        grid = ProcGrid {
+            name: grid.name.clone(),
+            extents: extents.to_vec(),
+        };
+    } else if let Some(n) = nodes_override {
         if grid.total() != n {
             grid = reshape_grid(&grid, n);
         }
@@ -726,6 +745,36 @@ END
         assert_eq!(u.dims[0].pcount(), 8);
         // 16 rows over 8 procs: 2 each.
         assert_eq!(u.local_extent(0, 0), 2);
+    }
+
+    #[test]
+    fn exact_extents_override_beats_reshape() {
+        // reshape_grid would turn the 2-D directive grid into [4, 2] for 8
+        // nodes; the exact override pins the transposed shape instead —
+        // the mechanism compile-once artifacts use to match generated
+        // source bit-for-bit.
+        let src = "
+PROGRAM T
+INTEGER, PARAMETER :: N = 16
+REAL U(N,N)
+!HPF$ PROCESSORS P(2,2)
+!HPF$ TEMPLATE TT(N,N)
+!HPF$ ALIGN U(I,J) WITH TT(I,J)
+!HPF$ DISTRIBUTE TT(BLOCK,BLOCK) ONTO P
+U = 0.0
+END
+";
+        let p = parse_program(src).unwrap();
+        let a = analyze(&p, &Map::new()).unwrap();
+        let reshaped = partition(&a, Some(8)).unwrap();
+        assert_eq!(reshaped.grid.extents, vec![4, 2]);
+        let exact = partition_onto(&a, Some(8), Some(&[2, 4])).unwrap();
+        assert_eq!(exact.grid.extents, vec![2, 4]);
+        assert_eq!(exact.grid.total(), 8);
+        assert_eq!(exact.grid.name, "P");
+        let u = exact.get("U").unwrap();
+        assert_eq!(u.dims[0].pcount(), 2);
+        assert_eq!(u.dims[1].pcount(), 4);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod normalize;
 pub mod ops;
 pub mod spmd;
 
-pub use dist::{partition, ArrayDist, DimDist, DistributionTable, ProcGrid};
+pub use dist::{partition, partition_onto, ArrayDist, DimDist, DistributionTable, ProcGrid};
 pub use lower::{compile, CompileError, CompileOptions};
 pub use normalize::normalize;
 pub use ops::{count_assign, count_expr, expr_type, ExprType, OpCounts};

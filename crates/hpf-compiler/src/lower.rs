@@ -36,6 +36,11 @@ pub struct CompileOptions {
     /// Compiler optimization toggle: reorder generated loops for stride-1
     /// inner access where legal (§4.2 "loop re-ordering etc.").
     pub loop_reorder: bool,
+    /// Exact processor-grid extents, replacing the PROCESSORS arrangement
+    /// verbatim (no grid reshaping). Used when re-binding the machine-size
+    /// critical variable on a compile-once artifact: the caller supplies
+    /// the grid the equivalent regenerated source would declare.
+    pub grid_extents: Option<Vec<i64>>,
 }
 
 impl Default for CompileOptions {
@@ -47,6 +52,7 @@ impl Default for CompileOptions {
             branch_prob_hint: 0.5,
             critical_values: BTreeMap::new(),
             loop_reorder: false,
+            grid_extents: None,
         }
     }
 }
@@ -87,10 +93,11 @@ pub fn compile(analyzed: &AnalyzedProgram, opts: &CompileOptions) -> CResult<Spm
     };
     let dist = {
         let _s = hpf_trace::span("partition");
-        crate::dist::partition(analyzed, Some(opts.nodes)).map_err(|e| CompileError {
-            message: e.message,
-            span: e.span,
-        })?
+        crate::dist::partition_onto(analyzed, Some(opts.nodes), opts.grid_extents.as_deref())
+            .map_err(|e| CompileError {
+                message: e.message,
+                span: e.span,
+            })?
     };
 
     let _lower_span = hpf_trace::span("lower");

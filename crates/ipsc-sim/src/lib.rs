@@ -12,7 +12,10 @@ pub mod network;
 pub mod simulator;
 pub mod trace;
 
-pub use network::{simulate_phase, simulate_phase_faulty, FaultStats, Message, PhaseTiming};
+pub use network::{
+    route_table, simulate_phase, simulate_phase_faulty, simulate_phase_with, FaultStats, Message,
+    PhaseTiming, RouteTable, ROUTE_TABLE_MAX_DIM,
+};
 pub use simulator::{
     calibrate, collective_base_time, collective_base_time_with, sim_ops_time, FaultSession,
     SimConfig, SimResult, Simulator,

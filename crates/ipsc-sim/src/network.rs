@@ -11,6 +11,7 @@ use machine::{CommComponent, FaultPlan, Hypercube, LinkState};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One message to deliver within a communication phase.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +30,112 @@ pub struct PhaseTiming {
     pub duration: f64,
 }
 
+/// Per-link occupancy end-times as a flat array: every hypercube link is
+/// between XOR-neighbors `a` and `b = a ^ (1 << d)`, so the canonical
+/// undirected link id `min(a, b) * dim + d` is dense in
+/// `0..nodes * dim` — no hashing in the per-message hot loop.
+struct LinkTable {
+    dim: usize,
+    free: Vec<f64>,
+}
+
+impl LinkTable {
+    fn new(cube: Hypercube) -> Self {
+        let dim = (cube.dim as usize).max(1);
+        LinkTable {
+            dim,
+            free: vec![0.0f64; cube.nodes() * dim],
+        }
+    }
+
+    /// Canonical undirected index of the link between XOR-neighbors.
+    #[inline]
+    fn index(dim: usize, a: usize, b: usize) -> usize {
+        let d = (a ^ b).trailing_zeros() as usize;
+        a.min(b) * dim + d
+    }
+
+    /// Reserve the link for a transmission of `wire` seconds plus the
+    /// per-hop switch cost, starting no earlier than `t`; returns the time
+    /// the transmission clears the link. The two cost terms are added to
+    /// `start` separately — the exact f64 association the original
+    /// hash-map walk used, preserving bit-identical phase timings.
+    #[inline]
+    fn occupy(&mut self, a: usize, b: usize, t: f64, wire: f64, hop: f64) -> f64 {
+        let i = Self::index(self.dim, a, b);
+        debug_assert!(
+            i < self.free.len(),
+            "link ({a},{b}) indexes {i} past table of {}",
+            self.free.len()
+        );
+        let start = t.max(self.free[i]);
+        let end = start + wire + hop;
+        self.free[i] = end;
+        end
+    }
+}
+
+/// Precomputed e-cube routes for every (from, to) pair of one hypercube —
+/// the flattened-CSR replacement for calling [`Hypercube::route_links`]
+/// (which allocates a fresh `Vec`) on every message of every phase of
+/// every simulated run.
+pub struct RouteTable {
+    nodes: usize,
+    offsets: Vec<u32>,
+    links: Vec<(u32, u32)>,
+}
+
+impl RouteTable {
+    fn build(cube: Hypercube) -> RouteTable {
+        let n = cube.nodes();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        let mut links = Vec::new();
+        offsets.push(0u32);
+        for from in 0..n {
+            for to in 0..n {
+                for (a, b) in cube.route_links(from, to) {
+                    links.push((a as u32, b as u32));
+                }
+                offsets.push(links.len() as u32);
+            }
+        }
+        RouteTable {
+            nodes: n,
+            offsets,
+            links,
+        }
+    }
+
+    /// The e-cube route `from → to` as (from, to) link hops.
+    #[inline]
+    pub fn route(&self, from: usize, to: usize) -> &[(u32, u32)] {
+        let i = from * self.nodes + to;
+        &self.links[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// Largest cube dimension whose route table is precomputed (64 nodes →
+/// 4096 pairs). Bigger cubes fall back to on-the-fly routing, counted as
+/// `sim.route_cache_miss`.
+pub const ROUTE_TABLE_MAX_DIM: u32 = 6;
+
+/// The shared route table for `cube`, built once per dimension for the
+/// whole process. `None` when the cube exceeds [`ROUTE_TABLE_MAX_DIM`].
+pub fn route_table(cube: Hypercube) -> Option<Arc<RouteTable>> {
+    if cube.dim > ROUTE_TABLE_MAX_DIM {
+        return None;
+    }
+    static CACHE: OnceLock<Mutex<HashMap<u32, Arc<RouteTable>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+    Some(
+        guard
+            .entry(cube.dim)
+            .or_insert_with(|| Arc::new(RouteTable::build(cube)))
+            .clone(),
+    )
+}
+
 /// Simulate the delivery of a set of messages injected simultaneously at
 /// phase start. Links are half-duplex channels; messages crossing the same
 /// link serialize (store-and-forward per link occupancy).
@@ -38,9 +145,24 @@ pub fn simulate_phase(
     nodes: usize,
     messages: &[Message],
 ) -> PhaseTiming {
+    let table = route_table(cube);
+    simulate_phase_with(cube, comm, nodes, messages, table.as_deref())
+}
+
+/// [`simulate_phase`] against a caller-held route table (the simulator
+/// resolves the table once per run set instead of once per phase).
+pub fn simulate_phase_with(
+    cube: Hypercube,
+    comm: &CommComponent,
+    nodes: usize,
+    messages: &[Message],
+    table: Option<&RouteTable>,
+) -> PhaseTiming {
     let mut node_done = vec![0.0f64; nodes];
-    // Occupancy end-time per undirected link (a,b) with a < b.
-    let mut link_free: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut links = LinkTable::new(cube);
+    let traced = hpf_trace::enabled();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
 
     // Deterministic order: messages as given (phase algorithms inject in a
     // fixed order already).
@@ -55,17 +177,31 @@ pub fn simulate_phase(
         };
         let wire = m.bytes as f64 * comm.per_byte_s;
         let mut t = node_done[m.from] + startup;
-        for (a, b) in cube.route_links(m.from, m.to) {
-            let key = (a.min(b), a.max(b));
-            let free = link_free.get(&key).copied().unwrap_or(0.0);
-            let start = t.max(free);
-            let end = start + wire + comm.per_hop_s;
-            link_free.insert(key, end);
-            t = end;
+        match table {
+            Some(tab) => {
+                hits += 1;
+                for &(a, b) in tab.route(m.from, m.to) {
+                    t = links.occupy(a as usize, b as usize, t, wire, comm.per_hop_s);
+                }
+            }
+            None => {
+                misses += 1;
+                for (a, b) in cube.route_links(m.from, m.to) {
+                    t = links.occupy(a, b, t, wire, comm.per_hop_s);
+                }
+            }
         }
         // Sender is busy only for injection; receiver blocks until arrival.
         node_done[m.from] = node_done[m.from].max(node_done[m.from] + startup + wire);
         node_done[m.to] = node_done[m.to].max(t);
+    }
+    if traced {
+        if hits > 0 {
+            hpf_trace::counter_add("sim.route_cache_hit", hits);
+        }
+        if misses > 0 {
+            hpf_trace::counter_add("sim.route_cache_miss", misses);
+        }
     }
     let duration = node_done.iter().copied().fold(0.0, f64::max);
     PhaseTiming {
@@ -108,9 +244,17 @@ fn route_avoiding(
     from: usize,
     to: usize,
     plan: &FaultPlan,
+    table: Option<&RouteTable>,
 ) -> Option<(Vec<(usize, usize)>, bool)> {
     let up = |a: usize, b: usize| plan.link_state(a, b) != Some(LinkState::Down);
-    let direct = cube.route_links(from, to);
+    let direct: Vec<(usize, usize)> = match table {
+        Some(t) => t
+            .route(from, to)
+            .iter()
+            .map(|&(a, b)| (a as usize, b as usize))
+            .collect(),
+        None => cube.route_links(from, to),
+    };
     if direct.iter().all(|&(a, b)| up(a, b)) {
         return Some((direct, false));
     }
@@ -155,9 +299,14 @@ pub fn simulate_phase_faulty(
     plan: &FaultPlan,
     rng: &mut StdRng,
 ) -> (PhaseTiming, FaultStats) {
+    let table = route_table(cube);
+    let table = table.as_deref();
     let mut node_done = vec![0.0f64; nodes];
-    let mut link_free: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut links = LinkTable::new(cube);
     let mut stats = FaultStats::default();
+    let traced = hpf_trace::enabled();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
 
     for m in messages {
         if m.from == m.to || m.from >= nodes || m.to >= nodes {
@@ -170,8 +319,10 @@ pub fn simulate_phase_faulty(
         };
         let wire = m.bytes as f64 * comm.per_byte_s;
 
-        let Some((route, detoured)) = route_avoiding(cube, m.from, m.to, plan) else {
-            // Partitioned: the sender burns its full retry budget waiting.
+        let Some((route, detoured)) = route_avoiding(cube, m.from, m.to, plan, table) else {
+            // Partitioned: the BFS ran and found nothing — a cache miss
+            // and the sender burns its full retry budget waiting.
+            misses += 1;
             stats.undeliverable += 1;
             let mut waited = 0.0;
             for k in 0..plan.retry.max_retries {
@@ -180,6 +331,11 @@ pub fn simulate_phase_faulty(
             node_done[m.from] = node_done[m.from].max(node_done[m.from] + startup + waited);
             continue;
         };
+        if detoured || table.is_none() {
+            misses += 1;
+        } else {
+            hits += 1;
+        }
         if detoured {
             stats.detours += 1;
         }
@@ -189,16 +345,11 @@ pub fn simulate_phase_faulty(
             // The transmission occupies links whether or not it is lost.
             let mut t = inject + startup;
             for &(a, b) in &route {
-                let key = (a.min(b), a.max(b));
-                let free = link_free.get(&key).copied().unwrap_or(0.0);
-                let start = t.max(free);
                 let slow = match plan.link_state(a, b) {
                     Some(LinkState::Degraded { factor }) => factor.max(1.0),
                     _ => 1.0,
                 };
-                let end = start + wire * slow + comm.per_hop_s;
-                link_free.insert(key, end);
-                t = end;
+                t = links.occupy(a, b, t, wire * slow, comm.per_hop_s);
             }
             let lost = plan.loss_prob > 0.0
                 && attempt < plan.retry.max_retries
@@ -212,6 +363,14 @@ pub fn simulate_phase_faulty(
             node_done[m.from] = node_done[m.from].max(inject + startup + wire);
             node_done[m.to] = node_done[m.to].max(t);
             break;
+        }
+    }
+    if traced {
+        if hits > 0 {
+            hpf_trace::counter_add("sim.route_cache_hit", hits);
+        }
+        if misses > 0 {
+            hpf_trace::counter_add("sim.route_cache_miss", misses);
         }
     }
     let duration = node_done.iter().copied().fold(0.0, f64::max);
@@ -458,6 +617,112 @@ mod tests {
             }],
         );
         assert!(far.duration > near.duration);
+    }
+
+    /// Serializes tests that flip the process-global trace enable flag.
+    static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn link_index_in_bounds_up_to_1024_nodes() {
+        // The flat link table's contract: for every cube up to 1024 nodes
+        // (dim 10), every XOR-neighbor pair maps inside `nodes * dim`, and
+        // distinct undirected links get distinct slots (nodes * dim / 2 of
+        // them — the other half of the table is unused headroom).
+        for dim in 1u32..=10 {
+            let cube = Hypercube { dim };
+            let nodes = cube.nodes();
+            let d = dim as usize;
+            let mut seen = std::collections::HashSet::new();
+            for a in 0..nodes {
+                for bit in 0..d {
+                    let b = a ^ (1 << bit);
+                    let i = LinkTable::index(d, a, b);
+                    assert!(i < nodes * d, "dim {dim}: link ({a},{b}) -> {i}");
+                    assert_eq!(i, LinkTable::index(d, b, a), "must be undirected");
+                    seen.insert(i);
+                }
+            }
+            assert_eq!(seen.len(), nodes * d / 2, "dim {dim}: slot collisions");
+        }
+    }
+
+    #[test]
+    fn route_table_matches_on_the_fly_routing() {
+        for dim in 1u32..=ROUTE_TABLE_MAX_DIM {
+            let cube = Hypercube { dim };
+            let tab = route_table(cube).expect("within precompute bound");
+            for from in 0..cube.nodes() {
+                for to in 0..cube.nodes() {
+                    let cached: Vec<(usize, usize)> = tab
+                        .route(from, to)
+                        .iter()
+                        .map(|&(a, b)| (a as usize, b as usize))
+                        .collect();
+                    assert_eq!(cached, cube.route_links(from, to), "dim {dim} {from}->{to}");
+                }
+            }
+        }
+        assert!(route_table(Hypercube {
+            dim: ROUTE_TABLE_MAX_DIM + 1
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn healthy_phase_counts_route_cache_hits() {
+        let comm = ipsc860_comm();
+        let cube = Hypercube { dim: 3 };
+        let ms = patterns::shift(8, 256);
+
+        let _lock = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let h0 = hpf_trace::counter_get("sim.route_cache_hit");
+        let m0 = hpf_trace::counter_get("sim.route_cache_miss");
+        hpf_trace::enable();
+        simulate_phase(cube, &comm, 8, &ms);
+        hpf_trace::disable();
+        assert_eq!(
+            hpf_trace::counter_get("sim.route_cache_hit") - h0,
+            ms.len() as u64
+        );
+        assert_eq!(hpf_trace::counter_get("sim.route_cache_miss"), m0);
+    }
+
+    #[test]
+    fn severed_link_counts_route_cache_misses() {
+        use rand::SeedableRng;
+        let comm = ipsc860_comm();
+        let cube = Hypercube { dim: 3 };
+        let plan = FaultPlan::link_down(0, 1);
+        // 0->1 must detour (miss); 2->3 rides the table (hit).
+        let ms = [
+            Message {
+                from: 0,
+                to: 1,
+                bytes: 512,
+            },
+            Message {
+                from: 2,
+                to: 3,
+                bytes: 512,
+            },
+        ];
+
+        let _lock = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let h0 = hpf_trace::counter_get("sim.route_cache_hit");
+        let m0 = hpf_trace::counter_get("sim.route_cache_miss");
+        hpf_trace::enable();
+        let (_, stats) = simulate_phase_faulty(
+            cube,
+            &comm,
+            8,
+            &ms,
+            &plan,
+            &mut StdRng::seed_from_u64(0xFA17),
+        );
+        hpf_trace::disable();
+        assert_eq!(stats.detours, 1);
+        assert_eq!(hpf_trace::counter_get("sim.route_cache_miss") - m0, 1);
+        assert_eq!(hpf_trace::counter_get("sim.route_cache_hit") - h0, 1);
     }
 
     #[test]

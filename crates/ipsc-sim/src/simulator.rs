@@ -139,6 +139,12 @@ impl<'m> Simulator<'m> {
             }
         };
 
+        // Base comm-phase durations are deterministic for a fixed machine,
+        // so the memo table persists across every walk of this simulation
+        // (each run re-draws only the jitter applied on top). Unused while
+        // faults are active — each walk then re-simulates its phases.
+        let mut comm_cache: HashMap<(u8, u64, usize), f64> = HashMap::new();
+
         // Jitter-free base pass for the breakdown.
         let mut base = Walk::new(
             self,
@@ -146,10 +152,12 @@ impl<'m> Simulator<'m> {
             profile,
             None,
             faults_active.then(|| FaultSession::new(plan, 0)),
+            &mut comm_cache,
         );
         let base_total = base.run(&spmd.body);
         let (comp, comm, overhead) = (base.comp, base.comm, base.overhead);
-        let mut fault_stats = base.faults.map(|s| s.stats).unwrap_or_default();
+        let base_events = base.events;
+        let mut fault_stats = base.faults.take().map(|s| s.stats).unwrap_or_default();
 
         let mut totals = Vec::with_capacity(self.config.runs);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -159,9 +167,16 @@ impl<'m> Simulator<'m> {
             // zero-fault config consumes the RNG exactly as before.
             let jitter_rng = StdRng::seed_from_u64(rng.gen());
             let session = faults_active.then(|| FaultSession::new(plan, rng.gen()));
-            let mut w = Walk::new(self, machine, profile, Some(jitter_rng), session);
+            let mut w = Walk::new(
+                self,
+                machine,
+                profile,
+                Some(jitter_rng),
+                session,
+                &mut comm_cache,
+            );
             let t = w.run(&spmd.body);
-            if let Some(s) = w.faults {
+            if let Some(s) = w.faults.take() {
                 fault_stats.absorb(s.stats);
             }
             let timer = rng.gen_range(-1.0..1.0) * self.config.timer_tolerance;
@@ -175,7 +190,7 @@ impl<'m> Simulator<'m> {
             hpf_trace::counter_add("sim.runs", self.config.runs as u64);
             // Every run walks the same phase tree, so the events of the
             // base pass scale to the whole simulation.
-            hpf_trace::counter_add("sim.events", base.events * (self.config.runs as u64 + 1));
+            hpf_trace::counter_add("sim.events", base_events * (self.config.runs as u64 + 1));
             hpf_trace::counter_add("sim.fault.retries", fault_stats.retries);
             hpf_trace::counter_add("sim.fault.detours", fault_stats.detours);
             hpf_trace::counter_add("sim.fault.undeliverable", fault_stats.undeliverable);
@@ -234,10 +249,12 @@ struct Walk<'a, 'm> {
     /// Phase-tree nodes visited (weighted by loop trips) — the walk's
     /// event count, reported to the trace registry as `sim.events`.
     events: u64,
-    /// Memoized base durations of comm phases keyed by (op, bytes, p).
-    /// Bypassed when faults are active: loss draws make each phase
-    /// instance distinct, so caching would freeze the first draw.
-    comm_cache: HashMap<(u8, u64, usize), f64>,
+    /// Memoized base durations of comm phases keyed by (op, bytes, p),
+    /// owned by [`Simulator::simulate`] so the table persists across every
+    /// walk of a simulation. Bypassed when faults are active: loss draws
+    /// make each phase instance distinct, so caching would freeze the
+    /// first draw.
+    comm_cache: &'a mut HashMap<(u8, u64, usize), f64>,
 }
 
 impl<'a, 'm> Walk<'a, 'm> {
@@ -247,6 +264,7 @@ impl<'a, 'm> Walk<'a, 'm> {
         profile: Option<&'a ExecutionProfile>,
         rng: Option<StdRng>,
         faults: Option<FaultSession<'a>>,
+        comm_cache: &'a mut HashMap<(u8, u64, usize), f64>,
     ) -> Self {
         Walk {
             sim,
@@ -258,7 +276,7 @@ impl<'a, 'm> Walk<'a, 'm> {
             comm: 0.0,
             overhead: 0.0,
             events: 0,
-            comm_cache: HashMap::new(),
+            comm_cache,
         }
     }
 

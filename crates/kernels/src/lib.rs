@@ -11,6 +11,8 @@
 //! knobs the paper's experiments sweep (§5.1: problem sizes 128–4096 on
 //! 1–8 nodes, etc.).
 
+pub mod compiled;
 pub mod suite;
 
+pub use compiled::{CompiledKernel, KernelBindError};
 pub use suite::{all_kernels, kernel_by_name, Kernel, KernelKind, LaplaceDist};

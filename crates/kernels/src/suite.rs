@@ -60,6 +60,21 @@ impl Kernel {
         source_for(self.kind, n, procs)
     }
 
+    /// The exact processor-grid extents [`source`](Self::source) bakes into
+    /// its PROCESSORS directive for `procs` processors. A compile-once
+    /// artifact re-binding the machine-size critical variable must pin this
+    /// shape (via `CompileOptions::grid_extents`) so its partitioning
+    /// matches regenerated source exactly.
+    pub fn grid_extents(&self, procs: usize) -> Vec<i64> {
+        match self.kind {
+            KernelKind::Laplace(LaplaceDist::BlockBlock) => {
+                let p1 = near_square_factor(procs);
+                vec![p1 as i64, (procs / p1) as i64]
+            }
+            _ => vec![procs as i64],
+        }
+    }
+
     /// The paper's sweep sizes (doubling within the range).
     pub fn sweep_sizes(&self) -> Vec<usize> {
         let (lo, hi) = self.size_range;
@@ -594,6 +609,34 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip(&b), strip(&s));
+    }
+
+    #[test]
+    fn grid_extents_match_generated_source() {
+        // The compile-once contract: the pinned grid shape must be exactly
+        // what the source generator would have baked into its PROCESSORS
+        // directive, for every kernel and machine size.
+        for k in all_kernels() {
+            for &procs in &[1usize, 2, 4, 8, 16] {
+                let src = k.source(k.size_range.0.max(32), procs);
+                let p = parse_program(&src).unwrap();
+                let a = analyze(&p, &BTreeMap::new()).unwrap();
+                let spmd = compile(
+                    &a,
+                    &CompileOptions {
+                        nodes: procs,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    spmd.grid.extents,
+                    k.grid_extents(procs),
+                    "{} p={procs}",
+                    k.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! Experiment drivers for the paper's tables and figures.
 
 use crate::harness::{run_batch, HarnessConfig, JobFailure, SweepFailure};
-use crate::pipeline::{compile_source, predict_source, PredictOptions};
-use hpf_compiler::CompileOptions;
+use crate::pipeline::{calibrated_machine, compile_source, PredictOptions};
+use crate::sweep::SweepSession;
+use hpf_compiler::{CompileOptions, SpmdProgram};
+use hpf_eval::ExecutionProfile;
+use interp::{InterpOptions, InterpretationEngine};
 use ipsc_sim::{SimConfig, Simulator};
 use kernels::{all_kernels, Kernel, KernelKind, LaplaceDist};
 use machine::ipsc860;
 use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One (application, size, procs) accuracy sample.
 #[derive(Debug, Clone, Serialize)]
@@ -46,6 +51,11 @@ pub struct SweepConfig {
     pub profile_steps: u64,
     /// Per-configuration isolation limits (timeout, retries).
     pub harness: HarnessConfig,
+    /// Compile each kernel once per session and re-bind it per sweep point
+    /// (the [`SweepSession`] fast path). `false` regenerates and recompiles
+    /// source from scratch at every point — the pre-session behaviour, kept
+    /// for the bit-identity cross-check.
+    pub share_artifacts: bool,
 }
 
 impl Default for SweepConfig {
@@ -56,6 +66,7 @@ impl Default for SweepConfig {
             runs: 1000,
             profile_steps: 40_000_000,
             harness: HarnessConfig::default(),
+            share_artifacts: true,
         }
     }
 }
@@ -72,11 +83,62 @@ impl SweepConfig {
                 timeout: Some(std::time::Duration::from_secs(60)),
                 retries: 0,
             },
+            share_artifacts: true,
         }
     }
 }
 
-/// Run one accuracy sample.
+/// Analytic prediction and simulated measurement of one SPMD artifact —
+/// the point where the interpretive and measurement paths provably operate
+/// on the *same* compiled program. Both [`accuracy_sample`] (from-scratch)
+/// and [`SweepSession::evaluate`] (compile-once) funnel through here.
+pub fn sample_from_artifact(
+    app: &str,
+    spmd: &SpmdProgram,
+    profile: Option<&ExecutionProfile>,
+    size: usize,
+    procs: usize,
+    runs: usize,
+) -> AccuracySample {
+    let pred = {
+        let _span = hpf_trace::span("predict");
+        let machine = {
+            let _s = hpf_trace::span("calibrate");
+            calibrated_machine(procs)
+        };
+        let aag = appgraph::build_aag(spmd);
+        let engine = InterpretationEngine::with_options(&machine, InterpOptions::default());
+        engine.interpret(&aag)
+    };
+
+    let machine = ipsc860(procs);
+    let sim = Simulator::with_config(
+        &machine,
+        SimConfig {
+            runs,
+            ..Default::default()
+        },
+    );
+    let meas = sim.simulate(spmd, profile);
+
+    let err = if meas.mean > 0.0 {
+        100.0 * (pred.total_seconds() - meas.mean).abs() / meas.mean
+    } else {
+        0.0
+    };
+    AccuracySample {
+        app: app.to_string(),
+        size,
+        procs,
+        predicted_s: pred.total_seconds(),
+        measured_s: meas.mean,
+        measured_std_s: meas.std,
+        abs_error_pct: err,
+    }
+}
+
+/// Run one accuracy sample from scratch: generate source, compile once,
+/// profile, then predict *and* simulate the same compiled artifact.
 pub fn accuracy_sample(
     kernel: &Kernel,
     size: usize,
@@ -84,9 +146,6 @@ pub fn accuracy_sample(
     cfg: &SweepConfig,
 ) -> Result<AccuracySample, crate::PipelineError> {
     let src = kernel.source(size, procs);
-
-    let popts = PredictOptions::with_nodes(procs);
-    let pred = predict_source(&src, &popts)?;
 
     let (analyzed, spmd) = compile_source(
         &src,
@@ -103,30 +162,14 @@ pub fn accuracy_sample(
             .ok()
             .map(|o| o.profile)
     };
-    let machine = ipsc860(procs);
-    let sim = Simulator::with_config(
-        &machine,
-        SimConfig {
-            runs: cfg.runs,
-            ..Default::default()
-        },
-    );
-    let meas = sim.simulate(&spmd, profile.as_ref());
-
-    let err = if meas.mean > 0.0 {
-        100.0 * (pred.total_seconds() - meas.mean).abs() / meas.mean
-    } else {
-        0.0
-    };
-    Ok(AccuracySample {
-        app: kernel.name.to_string(),
+    Ok(sample_from_artifact(
+        kernel.name,
+        &spmd,
+        profile.as_ref(),
         size,
         procs,
-        predicted_s: pred.total_seconds(),
-        measured_s: meas.mean,
-        measured_std_s: meas.std,
-        abs_error_pct: err,
-    })
+        cfg.runs,
+    ))
 }
 
 /// Everything the Table 2 sweep produced: the aggregated rows, every
@@ -145,6 +188,23 @@ pub struct Table2Output {
 /// one pathological configuration is reported in `failures` instead of
 /// aborting the sweep.
 pub fn table2(cfg: &SweepConfig) -> Table2Output {
+    // Compile each kernel once per session: the workers share the artifact
+    // behind an Arc and only re-bind (N, P) per point. A kernel whose
+    // canonical instance fails to parse falls back to the from-scratch
+    // path, which reports the error per-point as before.
+    let sessions: HashMap<&'static str, Arc<SweepSession>> = if cfg.share_artifacts {
+        all_kernels()
+            .iter()
+            .filter_map(|k| {
+                SweepSession::new(k, cfg)
+                    .ok()
+                    .map(|s| (k.name, Arc::new(s)))
+            })
+            .collect()
+    } else {
+        HashMap::new()
+    };
+
     // Build the work list.
     let mut work: Vec<(Kernel, usize, usize)> = Vec::new();
     for k in all_kernels() {
@@ -165,10 +225,15 @@ pub fn table2(cfg: &SweepConfig) -> Table2Output {
         .into_iter()
         .map(|(k, size, p)| {
             let cfg = cfg.clone();
+            let session = sessions.get(k.name).cloned();
             let label = format!("{} n={size} p={p}", k.name);
             let inner_label = label.clone();
             let job = move || {
-                accuracy_sample(&k, size, p, &cfg).map_err(|e| (inner_label.clone(), e.to_string()))
+                let result = match &session {
+                    Some(s) => s.evaluate(size, p),
+                    None => accuracy_sample(&k, size, p, &cfg),
+                };
+                result.map_err(|e| (inner_label.clone(), e.to_string()))
             };
             (label, job)
         })
@@ -264,13 +329,20 @@ pub fn laplace_curves(procs: usize, max_size: usize, runs: usize) -> Vec<Laplace
             is_kernel: false,
             size_range: (16, max_size),
         };
+        let cfg = SweepConfig {
+            runs,
+            ..Default::default()
+        };
+        // One compile-once session per distribution; the curve only
+        // re-binds N at each size step.
+        let session = SweepSession::new(&kernel, &cfg).ok();
         let mut size = 16;
         while size <= max_size {
-            let cfg = SweepConfig {
-                runs,
-                ..Default::default()
+            let sample = match &session {
+                Some(s) => s.evaluate(size, procs),
+                None => accuracy_sample(&kernel, size, procs, &cfg),
             };
-            if let Ok(s) = accuracy_sample(&kernel, size, procs, &cfg) {
+            if let Ok(s) = sample {
                 pts.push(LaplacePoint {
                     dist: dist.label().to_string(),
                     procs,
@@ -422,6 +494,60 @@ mod tests {
         let s = accuracy_sample(&k, 512, 4, &SweepConfig::quick()).unwrap();
         assert!(s.predicted_s > 0.0 && s.measured_s > 0.0);
         assert!(s.abs_error_pct < 25.0, "error {:.1}%", s.abs_error_pct);
+    }
+
+    /// The whole trimmed Table 2 sweep must be bit-identical between the
+    /// compile-once session path and the from-scratch path — every
+    /// predicted and measured field, compared by `to_bits`.
+    #[test]
+    fn table2_shared_artifacts_bit_identical_to_scratch() {
+        let shared_cfg = SweepConfig {
+            proc_counts: vec![1, 4],
+            max_size: Some(128),
+            runs: 5,
+            profile_steps: 300_000,
+            harness: HarnessConfig {
+                timeout: Some(std::time::Duration::from_secs(120)),
+                retries: 0,
+            },
+            share_artifacts: true,
+        };
+        let scratch_cfg = SweepConfig {
+            share_artifacts: false,
+            ..shared_cfg.clone()
+        };
+
+        let shared = table2(&shared_cfg);
+        let scratch = table2(&scratch_cfg);
+
+        assert!(shared.failures.is_empty(), "{:?}", shared.failures);
+        assert!(scratch.failures.is_empty(), "{:?}", scratch.failures);
+        assert_eq!(shared.samples.len(), scratch.samples.len());
+        for (a, b) in shared.samples.iter().zip(&scratch.samples) {
+            assert_eq!(a.app, b.app);
+            assert_eq!((a.size, a.procs), (b.size, b.procs));
+            let ctx = format!("{} n={} p={}", a.app, a.size, a.procs);
+            assert_eq!(
+                a.predicted_s.to_bits(),
+                b.predicted_s.to_bits(),
+                "predicted_s drifted: {ctx}"
+            );
+            assert_eq!(
+                a.measured_s.to_bits(),
+                b.measured_s.to_bits(),
+                "measured_s drifted: {ctx}"
+            );
+            assert_eq!(
+                a.measured_std_s.to_bits(),
+                b.measured_std_s.to_bits(),
+                "measured_std_s drifted: {ctx}"
+            );
+            assert_eq!(
+                a.abs_error_pct.to_bits(),
+                b.abs_error_pct.to_bits(),
+                "abs_error_pct drifted: {ctx}"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod faults;
 pub mod harness;
 pub mod pipeline;
 pub mod session;
+pub mod sweep;
 pub mod workflow;
 
 pub use harness::{run_batch, run_isolated, HarnessConfig, JobFailure, SweepFailure};
@@ -26,6 +27,7 @@ pub use pipeline::{
     compile_source, predict_source, predict_source_full, simulate_source, PipelineError,
     PipelineStage, PredictOptions, SimulateOptions,
 };
+pub use sweep::SweepSession;
 
 /// Serializes tests that flip the process-global `hpf_trace` enable flag.
 #[cfg(test)]

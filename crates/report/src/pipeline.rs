@@ -193,6 +193,15 @@ impl From<hpf_compiler::CompileError> for PipelineError {
     }
 }
 
+impl From<kernels::KernelBindError> for PipelineError {
+    fn from(e: kernels::KernelBindError) -> Self {
+        match e {
+            kernels::KernelBindError::Lang(e) => e.into(),
+            kernels::KernelBindError::Compile(e) => e.into(),
+        }
+    }
+}
+
 impl From<hpf_eval::EvalError> for PipelineError {
     fn from(e: hpf_eval::EvalError) -> Self {
         PipelineError {

@@ -1,0 +1,220 @@
+//! # Interpretation sessions — compile-once sweep evaluation
+//!
+//! The paper's workflow (§5.3) is a *loop*: abstract the application once,
+//! then re-interpret it at many `(N, P)` points to map out the performance
+//! surface. Before this module, every sweep point re-ran the lexer, parser
+//! and semantic analyzer on freshly generated source — three times the
+//! front-end work the paper's own tooling does once.
+//!
+//! [`SweepSession`] holds a [`CompiledKernel`] artifact (one parse per
+//! kernel shape, ever) and a per-problem-size cache of functional-
+//! interpreter profiles. [`SweepSession::evaluate`] re-binds the critical
+//! variable `N` and the processor grid through semantic-analysis
+//! overrides, then feeds *one* SPMD program to both the analytic
+//! interpretation engine and the discrete-event simulator — the shared-
+//! artifact restructure that makes prediction and measurement provably
+//! compare the same program.
+//!
+//! Sessions are `Send + Sync`; sweep workers share one behind an `Arc`,
+//! so a size-`n` profile is computed by whichever worker gets there first
+//! and reused by the rest.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hpf_compiler::CompileOptions;
+use hpf_eval::ExecutionProfile;
+use hpf_lang::AnalyzedProgram;
+use kernels::{CompiledKernel, Kernel};
+
+use crate::experiments::{sample_from_artifact, AccuracySample, SweepConfig};
+use crate::pipeline::PipelineError;
+
+/// A computed-at-most-once profile entry: `None` means the functional
+/// interpreter exceeded its step budget for this point.
+type ProfileSlot = Arc<OnceLock<Option<Arc<ExecutionProfile>>>>;
+
+/// Memo key: (canonical source text, problem size, step budget).
+type ProfileKey = (String, usize, u64);
+
+/// Process-global profile memo. The profile is a deterministic function of
+/// (canonical source text, problem size, step budget), so entries are
+/// shareable across sessions, sweeps and figures without affecting any
+/// output bit. Bounded by the number of distinct sweep points profiled in
+/// one process (tens of entries in practice).
+fn global_profiles() -> &'static Mutex<HashMap<ProfileKey, ProfileSlot>> {
+    static CACHE: OnceLock<Mutex<HashMap<ProfileKey, ProfileSlot>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A compile-once interpretation session for one kernel.
+///
+/// Construction parses the kernel's canonical source a single time;
+/// [`evaluate`](SweepSession::evaluate) then serves any `(n, procs)` point
+/// by re-binding the cached AST (semantic analysis + SPMD lowering only)
+/// and reusing the per-size execution profile across processor counts —
+/// sound because the functional interpreter never reads the PROCESSORS
+/// arrangement, so the profile depends only on `(program, n)`.
+#[derive(Debug)]
+pub struct SweepSession {
+    compiled: CompiledKernel,
+    profile_steps: u64,
+    runs: usize,
+    profiles: Mutex<HashMap<usize, Option<Arc<ExecutionProfile>>>>,
+}
+
+impl SweepSession {
+    /// Parse the kernel once and capture the sweep-relevant limits from
+    /// `cfg` (profile step budget, simulated runs per measurement).
+    pub fn new(kernel: &Kernel, cfg: &SweepConfig) -> Result<Self, PipelineError> {
+        let compiled = CompiledKernel::new(kernel)?;
+        Ok(SweepSession {
+            compiled,
+            profile_steps: cfg.profile_steps,
+            runs: cfg.runs,
+            profiles: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The kernel this session evaluates.
+    pub fn kernel(&self) -> &Kernel {
+        self.compiled.kernel()
+    }
+
+    /// Evaluate one sweep point: re-bind the artifact to `(n, procs)`,
+    /// profile (cached per `n`), predict and simulate from the same SPMD
+    /// program.
+    pub fn evaluate(&self, n: usize, procs: usize) -> Result<AccuracySample, PipelineError> {
+        let _session = hpf_trace::span("session");
+        hpf_trace::counter_add("session.evaluate", 1);
+        let (analyzed, spmd) = {
+            let _bind = hpf_trace::span("bind");
+            hpf_trace::counter_add("session.bind", 1);
+            self.compiled
+                .bind(n as i64, procs, &CompileOptions::default())?
+        };
+        let profile = self.profile_for(n, &analyzed);
+        Ok(sample_from_artifact(
+            self.compiled.kernel().name,
+            &spmd,
+            profile.as_deref(),
+            n,
+            procs,
+            self.runs,
+        ))
+    }
+
+    /// The functional-interpreter profile for problem size `n`, computed
+    /// at most once per *process* for a given (canonical source, size,
+    /// step budget) — the profile is a pure function of those three, so
+    /// repeated sessions over the same kernel shape (bench iterations,
+    /// Figure 4 then Figure 5) skip the interpreter entirely. The global
+    /// map's lock only guards slot lookup; the per-slot [`OnceLock`] makes
+    /// same-size workers wait for the first computation while distinct
+    /// sizes profile concurrently.
+    fn profile_for(&self, n: usize, analyzed: &AnalyzedProgram) -> Option<Arc<ExecutionProfile>> {
+        if let Some(p) = self
+            .profiles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&n)
+        {
+            return p.clone();
+        }
+        let slot = {
+            let key = (
+                self.compiled.canonical_source().to_string(),
+                n,
+                self.profile_steps,
+            );
+            let mut guard = global_profiles().lock().unwrap_or_else(|e| e.into_inner());
+            guard.entry(key).or_default().clone()
+        };
+        let profile = slot
+            .get_or_init(|| {
+                let _s = hpf_trace::span("profile");
+                hpf_eval::run_with_limit(analyzed, self.profile_steps)
+                    .ok()
+                    .map(|o| Arc::new(o.profile))
+            })
+            .clone();
+        self.profiles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(n, profile.clone());
+        profile
+    }
+
+    /// Number of distinct problem sizes whose profiles are cached.
+    pub fn cached_profiles(&self) -> usize {
+        self.profiles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::accuracy_sample;
+
+    /// The heart of the tentpole: a session-evaluated point is
+    /// bit-identical to the from-scratch path for every output field.
+    #[test]
+    fn session_matches_scratch_bitwise() {
+        let k = kernels::kernel_by_name("PI").unwrap();
+        let cfg = SweepConfig::quick();
+        let session = SweepSession::new(&k, &cfg).unwrap();
+        for &(n, p) in &[(128usize, 1usize), (512, 4)] {
+            let a = session.evaluate(n, p).unwrap();
+            let b = accuracy_sample(&k, n, p, &cfg).unwrap();
+            assert_eq!(a.predicted_s.to_bits(), b.predicted_s.to_bits());
+            assert_eq!(a.measured_s.to_bits(), b.measured_s.to_bits());
+            assert_eq!(a.measured_std_s.to_bits(), b.measured_std_s.to_bits());
+            assert_eq!(a.abs_error_pct.to_bits(), b.abs_error_pct.to_bits());
+        }
+    }
+
+    /// Profiles are reused across processor counts: the functional
+    /// interpreter never reads PROCESSORS, so one profile per size.
+    #[test]
+    fn profile_cache_is_per_size_not_per_procs() {
+        let k = kernels::kernel_by_name("PI").unwrap();
+        let cfg = SweepConfig::quick();
+        let session = SweepSession::new(&k, &cfg).unwrap();
+        session.evaluate(128, 1).unwrap();
+        session.evaluate(128, 4).unwrap();
+        assert_eq!(session.cached_profiles(), 1);
+        session.evaluate(256, 4).unwrap();
+        assert_eq!(session.cached_profiles(), 2);
+    }
+
+    /// Session counters fire under tracing: one evaluate = one bind.
+    #[test]
+    fn session_counters_register() {
+        let k = kernels::kernel_by_name("PI").unwrap();
+        let cfg = SweepConfig::quick();
+        let session = SweepSession::new(&k, &cfg).unwrap();
+
+        let _lock = crate::TRACE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        hpf_trace::reset();
+        hpf_trace::enable();
+        session.evaluate(128, 4).unwrap();
+        session.evaluate(128, 1).unwrap();
+        hpf_trace::disable();
+
+        assert_eq!(hpf_trace::counter_get("session.evaluate"), 2);
+        assert_eq!(hpf_trace::counter_get("session.bind"), 2);
+        let paths: Vec<String> = hpf_trace::span_snapshot()
+            .into_iter()
+            .map(|s| s.path)
+            .collect();
+        assert!(
+            paths.iter().any(|p| p == "session/bind"),
+            "missing session/bind span in {paths:?}"
+        );
+    }
+}
