@@ -3,6 +3,7 @@
 //! Case names are part of the `BENCH_pipeline.json` schema — renaming one
 //! makes the CI compare job fail with a `Missing` finding, deliberately.
 
+use hpf_advisor::{Advisor, AdvisorConfig};
 use report::experiments::{table2, SweepConfig};
 use report::faults::{default_plans, fault_experiment, FaultExperimentConfig};
 use report::sweep::SweepSession;
@@ -130,6 +131,33 @@ fn faults_case(size: usize, procs: usize, runs: usize) -> BenchCase {
     }
 }
 
+/// One full directive-space advisor search: enumeration, parallel
+/// compile + lower-bound, wave-based branch-and-bound evaluation, and a
+/// trimmed simulator cross-check. The advisor re-parses nothing between
+/// candidates, so this measures the warm-session fan-out cost.
+fn advisor_case(n: usize, procs: usize) -> BenchCase {
+    let kernel = kernels::kernel_by_name("Laplace (Blk-Blk)").expect("kernel");
+    let advisor = Arc::new(Advisor::for_kernel(&kernel).expect("advisor"));
+    let cfg = AdvisorConfig {
+        n,
+        procs,
+        ks: vec![2, 16],
+        top_k: 1,
+        sim_runs: 10,
+        profile_steps: 2_000_000,
+        ..AdvisorConfig::default()
+    };
+    // Warm the shared profile outside the timed region.
+    advisor.search(&cfg).expect("search");
+    BenchCase {
+        name: format!("advisor_search_n{n}_p{procs}"),
+        run: Box::new(move || {
+            let report = advisor.search(&cfg).expect("search");
+            assert!(!report.ranked.is_empty());
+        }),
+    }
+}
+
 /// Build the suite. Case order is stable (it is the file order in the
 /// report); the Quick suite is a strict subset of Full case names so a
 /// quick report can be compared against a full baseline.
@@ -139,6 +167,7 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             laplace_case(64, 4, 30),
             table2_case(128, 20),
             sweep_point_case("PI", 512, 4),
+            advisor_case(96, 8),
             faults_case(64, 4, 30),
         ],
         SuiteKind::Full => vec![
@@ -150,6 +179,7 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             table2_case(512, 50),
             sweep_point_case("PI", 512, 4),
             sweep_point_case("Laplace (Blk-Blk)", 256, 8),
+            advisor_case(96, 8),
             faults_case(64, 4, 30),
             faults_case(256, 8, 100),
         ],

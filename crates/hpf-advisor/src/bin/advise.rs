@@ -1,0 +1,96 @@
+//! `advise` — the what-if advisor CLI.
+//!
+//! ```text
+//! advise [--kernel NAME] [--size N] [--procs P] [--top K] [--runs R]
+//!        [--threads T] [--seed S] [--quick] [--trace]
+//! ```
+//!
+//! Prints a ranked table of directive candidates for the kernel:
+//! predicted time (analytic interpretation), comp/comm split, DES-
+//! simulated time and error for the top-k, and the search's pruning /
+//! session-reuse accounting. Output is bit-identical across runs and
+//! `--threads` values; `--trace` additionally prints the deterministic
+//! trace counters to stderr.
+
+use hpf_advisor::{render_table, Advisor, AdvisorConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: advise [--kernel NAME] [--size N] [--procs P] [--top K] \
+         [--runs R] [--threads T] [--seed S] [--quick] [--trace]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut kernel_name = "Laplace (Blk-Blk)".to_string();
+    let mut cfg = AdvisorConfig::default();
+    let mut trace = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--kernel" => kernel_name = take(&mut i),
+            "--size" => cfg.n = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--procs" => cfg.procs = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--top" => cfg.top_k = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--runs" => cfg.sim_runs = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => cfg.threads = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--quick" => {
+                let threads = cfg.threads;
+                cfg = AdvisorConfig::quick();
+                cfg.threads = threads;
+            }
+            "--trace" => trace = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    let kernel = match kernels::kernel_by_name(&kernel_name) {
+        Some(k) => k,
+        None => {
+            eprintln!("unknown kernel `{kernel_name}`; available:");
+            for k in kernels::all_kernels() {
+                eprintln!("  {}", k.name);
+            }
+            std::process::exit(2)
+        }
+    };
+
+    if trace {
+        hpf_trace::enable();
+    }
+    let advisor = Advisor::for_kernel(&kernel).unwrap_or_else(|e| {
+        eprintln!("advisor setup failed: {e}");
+        std::process::exit(1)
+    });
+    let report = advisor.search(&cfg).unwrap_or_else(|e| {
+        eprintln!("advisor search failed: {e}");
+        std::process::exit(1)
+    });
+    print!("{}", render_table(&report));
+
+    if trace {
+        hpf_trace::disable();
+        for c in [
+            "advisor.candidates",
+            "advisor.evaluated",
+            "advisor.pruned",
+            "advisor.sessions_reused",
+            "advisor.profile_reused",
+        ] {
+            eprintln!("{c} = {}", hpf_trace::counter_get(c));
+        }
+    }
+}

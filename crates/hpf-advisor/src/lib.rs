@@ -1,0 +1,36 @@
+//! # hpf-advisor — directive-space search & what-if advisor
+//!
+//! The SC'94 framework was embedded in an application-development
+//! environment precisely so a developer could ask *"which PROCESSORS /
+//! DISTRIBUTE choice should I use?"* without running the program. This
+//! crate closes that loop: given a kernel and a node budget `P`, it
+//!
+//! 1. **enumerates** the legal directive space ([`space`]) — every
+//!    ordered factorization of `P` up to the template rank crossed with
+//!    per-dimension BLOCK / CYCLIC / CYCLIC(k) / `*` formats;
+//! 2. **prunes** dominated candidates with a compute-only analytic lower
+//!    bound (zero-communication interpretation, sound because dropping
+//!    communication can only shrink the predicted time);
+//! 3. **evaluates** the survivors with the analytic interpretation
+//!    engine through warm, memoized candidate sessions fanned across a
+//!    std-only work-stealing thread pool ([`pool`]);
+//! 4. **cross-validates** the top-k survivors against the discrete-event
+//!    simulator and reports the predicted-vs-simulated error.
+//!
+//! The whole search is deterministic: ties on predicted time are broken
+//! by a seeded hash of the candidate label, pruning decisions are made
+//! between fixed-width evaluation waves (never racing the incumbent),
+//! and results are assembled in candidate order — so the ranked table is
+//! bit-identical across repeated runs and thread counts.
+//!
+//! Trace instrumentation (when `hpf_trace::enable()` is on):
+//! `advisor.candidates`, `advisor.pruned`, `advisor.evaluated`,
+//! `advisor.sessions_reused`, `advisor.profile_reused` counters and
+//! `advisor/{enumerate,lower_bound,evaluate,simulate}` spans.
+
+pub mod pool;
+pub mod search;
+pub mod space;
+
+pub use search::{render_table, Advisor, AdvisorConfig, AdvisorReport, RankedCandidate};
+pub use space::{enumerate_candidates, ordered_factorizations, Candidate};

@@ -1,0 +1,457 @@
+//! The advisor search: enumerate → lower-bound prune → warm-session
+//! evaluation → simulator cross-check.
+//!
+//! ## Determinism contract
+//!
+//! The ranked table is bit-identical across repeated runs *and* thread
+//! counts. Three mechanisms enforce this:
+//!
+//! 1. every per-candidate computation (compile, lower-bound, full
+//!    interpretation, simulation) is a pure function of the candidate,
+//!    executed independently and written to an index-addressed slot;
+//! 2. branch-and-bound decisions never race the incumbent: candidates
+//!    are processed in fixed-width *waves* in a deterministic order
+//!    (ascending lower bound, seeded-hash tie-break), a wave's prune
+//!    decisions read only the incumbent left by completed waves, and the
+//!    incumbent is folded in candidate order after the wave finishes;
+//! 3. ties on predicted time are broken by an FNV-1a hash of the
+//!    candidate label mixed with the configured seed — stable, total,
+//!    and independent of enumeration order.
+
+use std::collections::BTreeMap;
+
+use hpf_compiler::{compile, CompileOptions, SpmdProgram};
+use hpf_lang::ast::Program;
+use hpf_lang::{analyze, parse_program, AnalyzedProgram};
+use interp::{InterpOptions, InterpretationEngine, Metrics};
+use ipsc_sim::{SimConfig, Simulator};
+use kernels::Kernel;
+use machine::ipsc860;
+use report::pipeline::calibrated_machine;
+use report::{shared_profile, PipelineError, PipelineStage};
+
+use crate::pool;
+use crate::space::{self, Candidate};
+
+/// Search-shaping knobs. The defaults match the paper-scale Laplace
+/// what-if loop; [`AdvisorConfig::quick`] trims sizes for CI.
+#[derive(Debug, Clone)]
+pub struct AdvisorConfig {
+    /// Problem size the critical variable `N` is bound to.
+    pub n: usize,
+    /// Node budget `P`: every candidate grid is a factorization of it.
+    pub procs: usize,
+    /// CYCLIC(k) block-size alphabet (entries ≥ 2; CYCLIC covers k = 1).
+    pub ks: Vec<i64>,
+    /// Survivors cross-validated against the DES simulator.
+    pub top_k: usize,
+    /// Simulated runs per cross-validated candidate.
+    pub sim_runs: usize,
+    /// Worker threads for the fan-out stages (0 = auto).
+    pub threads: usize,
+    /// Seed mixed into the tie-break hash.
+    pub seed: u64,
+    /// Candidates per branch-and-bound wave.
+    pub wave_width: usize,
+    /// Step budget for the functional-interpreter profile.
+    pub profile_steps: u64,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            n: 256,
+            procs: 8,
+            ks: vec![2, 16, 256],
+            top_k: 3,
+            sim_runs: 200,
+            threads: 0,
+            seed: 0x5EED_CAFE,
+            wave_width: 8,
+            profile_steps: 40_000_000,
+        }
+    }
+}
+
+impl AdvisorConfig {
+    /// CI-speed settings: smaller problem, fewer simulated runs. The
+    /// problem size stays large enough that sequentialized-computation
+    /// lower bounds can exceed the best parallel prediction — on the
+    /// Laplace kernel communication dominates below `n ≈ 128`, and no
+    /// compute-only bound can prune anything there.
+    pub fn quick() -> Self {
+        AdvisorConfig {
+            n: 160,
+            ks: vec![2, 16, 160],
+            sim_runs: 60,
+            profile_steps: 10_000_000,
+            ..AdvisorConfig::default()
+        }
+    }
+}
+
+/// One evaluated candidate in rank order.
+#[derive(Debug, Clone)]
+pub struct RankedCandidate {
+    pub candidate: Candidate,
+    /// `Candidate::label()`, precomputed (also the tie-break key).
+    pub label: String,
+    /// Full analytic prediction, seconds.
+    pub predicted_s: f64,
+    /// Per-component split of the prediction.
+    pub metrics: Metrics,
+    /// The zero-communication lower bound used for pruning, seconds.
+    pub lower_bound_s: f64,
+    /// DES-simulated mean time — populated for the top-k only.
+    pub simulated_s: Option<f64>,
+    /// |predicted − simulated| / simulated, percent (top-k only).
+    pub sim_error_pct: Option<f64>,
+}
+
+/// The outcome of one advisor search.
+#[derive(Debug, Clone)]
+pub struct AdvisorReport {
+    pub kernel: String,
+    pub n: usize,
+    pub procs: usize,
+    /// Size of the enumerated directive space.
+    pub candidates: usize,
+    /// Candidates skipped because their lower bound met the incumbent.
+    pub pruned: usize,
+    /// Candidates rejected by the compiler (should be zero for kernels
+    /// in the suite; counted rather than aborting the search).
+    pub invalid: usize,
+    /// Warm-artifact reuses: each full evaluation and each simulation
+    /// re-serves a memoized candidate session instead of recompiling.
+    pub sessions_reused: u64,
+    /// Whether the functional-interpreter profile was available to the
+    /// simulator (step budget not exceeded).
+    pub profile_available: bool,
+    /// Evaluated candidates, best predicted time first.
+    pub ranked: Vec<RankedCandidate>,
+}
+
+/// A candidate's memoized warm session: everything the later stages need,
+/// compiled exactly once in the lower-bound pass and re-served to the
+/// full evaluation and the simulator.
+struct CandidateSession {
+    analyzed: AnalyzedProgram,
+    spmd: SpmdProgram,
+    aag: appgraph::Aag,
+    lower_bound_s: f64,
+}
+
+/// A what-if advisor bound to one kernel: the canonical source is parsed
+/// exactly once, every candidate is an AST rewrite of that one program.
+#[derive(Debug)]
+pub struct Advisor {
+    kernel: Kernel,
+    source: String,
+    program: Program,
+    rank: usize,
+}
+
+impl Advisor {
+    /// Parse the kernel's canonical source and locate its template rank.
+    pub fn for_kernel(kernel: &Kernel) -> Result<Self, PipelineError> {
+        let source = kernel.source(kernel.size_range.0, 1);
+        let program = parse_program(&source)?;
+        let rank = space::distribute_rank(&program).ok_or_else(|| {
+            PipelineError::new(
+                PipelineStage::Analyze,
+                format!(
+                    "kernel `{}` has no DISTRIBUTE directive to search over",
+                    kernel.name
+                ),
+            )
+        })?;
+        Ok(Advisor {
+            kernel: kernel.clone(),
+            source,
+            program,
+            rank,
+        })
+    }
+
+    /// Template rank the enumeration runs over.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Run the full search. See the module docs for the stage structure
+    /// and the determinism contract.
+    pub fn search(&self, cfg: &AdvisorConfig) -> Result<AdvisorReport, PipelineError> {
+        let _root = hpf_trace::span("advisor");
+
+        let cands = {
+            let _s = hpf_trace::span("enumerate");
+            space::enumerate_candidates(self.rank, cfg.procs, &cfg.ks)
+        };
+        hpf_trace::counter_add("advisor.candidates", cands.len() as u64);
+        let labels: Vec<String> = cands.iter().map(|c| c.label()).collect();
+
+        let machine = calibrated_machine(cfg.procs);
+        let lb_engine = InterpretationEngine::with_options(
+            &machine,
+            InterpOptions {
+                zero_comm: true,
+                ..InterpOptions::default()
+            },
+        );
+        let full_engine = InterpretationEngine::with_options(&machine, InterpOptions::default());
+
+        // Stage 1: compile every candidate once and take its
+        // zero-communication lower bound, fanned across the pool. The
+        // session (analyzed + SPMD + AAG) is memoized for later stages.
+        let sessions: Vec<Option<CandidateSession>> =
+            pool::map_indexed(cands.len(), cfg.threads, |i| {
+                let _s = hpf_trace::span("lower_bound");
+                self.build_session(&cands[i], cfg)
+                    .map(|mut sess| {
+                        sess.lower_bound_s = lb_engine.interpret(&sess.aag).total_seconds();
+                        sess
+                    })
+                    .ok()
+            });
+        let invalid = sessions.iter().filter(|s| s.is_none()).count();
+
+        // Stage 2: deterministic wave-based branch-and-bound. Visit
+        // candidates in ascending-lower-bound order; a candidate whose
+        // bound already meets the best fully-evaluated time cannot win
+        // and is pruned without evaluation.
+        let mut order: Vec<usize> = (0..cands.len())
+            .filter(|&i| sessions[i].is_some())
+            .collect();
+        order.sort_by(|&a, &b| {
+            let la = sessions[a].as_ref().unwrap().lower_bound_s;
+            let lb = sessions[b].as_ref().unwrap().lower_bound_s;
+            la.total_cmp(&lb)
+                .then_with(|| tie_break(cfg.seed, &labels[a]).cmp(&tie_break(cfg.seed, &labels[b])))
+        });
+
+        let mut incumbent = f64::INFINITY;
+        let mut pruned = 0usize;
+        let mut predictions: Vec<Option<Metrics>> = vec![None; cands.len()];
+        for wave in order.chunks(cfg.wave_width.max(1)) {
+            let selected: Vec<usize> = wave
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let keep = sessions[i].as_ref().unwrap().lower_bound_s < incumbent;
+                    if !keep {
+                        pruned += 1;
+                    }
+                    keep
+                })
+                .collect();
+            let evals: Vec<Metrics> = pool::map_indexed(selected.len(), cfg.threads, |j| {
+                let _s = hpf_trace::span("evaluate");
+                hpf_trace::counter_add("advisor.sessions_reused", 1);
+                full_engine
+                    .interpret(&sessions[selected[j]].as_ref().unwrap().aag)
+                    .total
+            });
+            for (j, m) in evals.into_iter().enumerate() {
+                if m.time() < incumbent {
+                    incumbent = m.time();
+                }
+                predictions[selected[j]] = Some(m);
+            }
+        }
+        hpf_trace::counter_add("advisor.pruned", pruned as u64);
+        let evaluated: Vec<usize> = (0..cands.len())
+            .filter(|&i| predictions[i].is_some())
+            .collect();
+        hpf_trace::counter_add("advisor.evaluated", evaluated.len() as u64);
+
+        // Rank the evaluated candidates: best predicted time first,
+        // seeded-hash tie-break for bit-stable ordering.
+        let mut rank_order = evaluated.clone();
+        rank_order.sort_by(|&a, &b| {
+            let ta = predictions[a].unwrap().time();
+            let tb = predictions[b].unwrap().time();
+            ta.total_cmp(&tb)
+                .then_with(|| tie_break(cfg.seed, &labels[a]).cmp(&tie_break(cfg.seed, &labels[b])))
+        });
+
+        // Stage 3: cross-validate the leaders against the DES simulator,
+        // re-serving the memoized sessions and the shared functional
+        // profile (one interpreter run per problem size, process-wide,
+        // because the profile ignores directives).
+        let top: Vec<usize> = rank_order.iter().take(cfg.top_k).copied().collect();
+        let profile = top.first().map(|&i| {
+            let (p, reused) = shared_profile(
+                &self.source,
+                cfg.n,
+                cfg.profile_steps,
+                &sessions[i].as_ref().unwrap().analyzed,
+            );
+            if reused {
+                hpf_trace::counter_add("advisor.profile_reused", 1);
+            }
+            p
+        });
+        let profile = profile.flatten();
+        let sim_machine = ipsc860(cfg.procs);
+        let sims: Vec<f64> = pool::map_indexed(top.len(), cfg.threads, |j| {
+            let _s = hpf_trace::span("simulate");
+            hpf_trace::counter_add("advisor.sessions_reused", 1);
+            let sim = Simulator::with_config(
+                &sim_machine,
+                SimConfig {
+                    runs: cfg.sim_runs,
+                    ..SimConfig::default()
+                },
+            );
+            sim.simulate(&sessions[top[j]].as_ref().unwrap().spmd, profile.as_deref())
+                .mean
+        });
+
+        let ranked: Vec<RankedCandidate> = rank_order
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let m = predictions[i].unwrap();
+                let simulated_s = top.iter().position(|&t| t == i).map(|j| sims[j]);
+                let sim_error_pct = simulated_s.map(|s| {
+                    if s > 0.0 {
+                        100.0 * (m.time() - s).abs() / s
+                    } else {
+                        0.0
+                    }
+                });
+                let _ = pos;
+                RankedCandidate {
+                    candidate: cands[i].clone(),
+                    label: labels[i].clone(),
+                    predicted_s: m.time(),
+                    metrics: m,
+                    lower_bound_s: sessions[i].as_ref().unwrap().lower_bound_s,
+                    simulated_s,
+                    sim_error_pct,
+                }
+            })
+            .collect();
+
+        Ok(AdvisorReport {
+            kernel: self.kernel.name.to_string(),
+            n: cfg.n,
+            procs: cfg.procs,
+            candidates: cands.len(),
+            pruned,
+            invalid,
+            sessions_reused: (evaluated.len() + top.len()) as u64,
+            profile_available: profile.is_some(),
+            ranked,
+        })
+    }
+
+    /// Compile one candidate into its warm session: AST rewrite → semantic
+    /// analysis with the `N = n` override → SPMD lowering with the grid
+    /// pinned through `CompileOptions::grid_extents` → AAG construction.
+    fn build_session(
+        &self,
+        c: &Candidate,
+        cfg: &AdvisorConfig,
+    ) -> Result<CandidateSession, PipelineError> {
+        let variant = space::apply_candidate(&self.program, c);
+        let mut overrides = BTreeMap::new();
+        overrides.insert("N".to_string(), cfg.n as i64);
+        let analyzed = analyze(&variant, &overrides)?;
+        let opts = CompileOptions {
+            nodes: cfg.procs,
+            grid_extents: Some(c.grid.clone()),
+            ..CompileOptions::default()
+        };
+        let spmd = compile(&analyzed, &opts)?;
+        let aag = appgraph::build_aag(&spmd);
+        Ok(CandidateSession {
+            analyzed,
+            spmd,
+            aag,
+            lower_bound_s: 0.0,
+        })
+    }
+}
+
+/// Seeded FNV-1a over the candidate label: the total, stable tie-break
+/// order for equal predicted times (and equal lower bounds).
+fn tie_break(seed: u64, label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Render the ranked table exactly as the `advise` binary prints it —
+/// shared so the golden artifact and the bit-identity tests cover the
+/// same string. Timings are formatted to fixed precision; no wall-clock
+/// or machine-local value enters the output.
+pub fn render_table(r: &AdvisorReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "hpf-advisor: {}  n={}  budget P={}",
+        r.kernel, r.n, r.procs
+    );
+    let _ = writeln!(
+        out,
+        "space: {} candidates   evaluated: {}   pruned: {}   invalid: {}",
+        r.candidates,
+        r.ranked.len(),
+        r.pruned,
+        r.invalid
+    );
+    let _ = writeln!(
+        out,
+        "sessions reused: {}   profile: {}",
+        r.sessions_reused,
+        if r.profile_available {
+            "shared"
+        } else {
+            "budget-exceeded"
+        }
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<38} {:>13} {:>6} {:>6} {:>13} {:>7}",
+        "rank", "directives", "predicted(s)", "comp%", "comm%", "simulated(s)", "err%"
+    );
+    for (i, c) in r.ranked.iter().enumerate() {
+        let t = c.predicted_s;
+        let comp_pct = if t > 0.0 {
+            100.0 * c.metrics.comp / t
+        } else {
+            0.0
+        };
+        let comm_pct = if t > 0.0 {
+            100.0 * c.metrics.comm / t
+        } else {
+            0.0
+        };
+        let sim = c
+            .simulated_s
+            .map(|s| format!("{s:.6}"))
+            .unwrap_or_else(|| "-".to_string());
+        let err = c
+            .sim_error_pct
+            .map(|e| format!("{e:.2}"))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<38} {:>13.6} {:>6.1} {:>6.1} {:>13} {:>7}",
+            i + 1,
+            c.label,
+            t,
+            comp_pct,
+            comm_pct,
+            sim,
+            err
+        );
+    }
+    out
+}

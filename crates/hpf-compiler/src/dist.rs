@@ -140,7 +140,9 @@ impl ArrayDist {
                 // template cells are 0-based here.
                 (t / block).clamp(0, pcount - 1)
             }
-            DimDist::Cyclic { pcount, k, .. } => (t.div_euclid(k.max(1))).rem_euclid(pcount),
+            // `k >= 1` is enforced when the DISTRIBUTE is partitioned, so
+            // the block size is used as-is here.
+            DimDist::Cyclic { pcount, k, .. } => (t.div_euclid(k)).rem_euclid(pcount),
         }
     }
 
@@ -274,6 +276,23 @@ pub fn partition_onto(
         }
     }
     if let Some(extents) = grid_extents {
+        if extents.is_empty() || extents.iter().any(|&e| e < 1) {
+            return Err(PartitionError {
+                message: format!("grid_extents must be non-empty and positive, got {extents:?}"),
+                span: Span::SYNTHETIC,
+            });
+        }
+        let total: i64 = extents.iter().product();
+        if let Some(n) = nodes_override {
+            if total != n as i64 {
+                return Err(PartitionError {
+                    message: format!(
+                        "grid_extents {extents:?} hold {total} processors but {n} were requested"
+                    ),
+                    span: Span::SYNTHETIC,
+                });
+            }
+        }
         grid = ProcGrid {
             name: grid.name.clone(),
             extents: extents.to_vec(),
@@ -314,6 +333,22 @@ pub fn partition_onto(
             ..
         } = d
         {
+            // A non-positive block size has no HPF meaning; reject it here
+            // (the one place every DISTRIBUTE flows through, including
+            // programmatically built ASTs that never saw the parser) rather
+            // than clamping silently inside the ownership arithmetic.
+            for f in formats {
+                if let DistFormat::CyclicK(k) = f {
+                    if *k < 1 {
+                        return Err(PartitionError {
+                            message: format!(
+                                "CYCLIC block size must be a positive integer, got CYCLIC({k})"
+                            ),
+                            span: *span,
+                        });
+                    }
+                }
+            }
             match templates.get_mut(target) {
                 Some(t) => t.formats = formats.clone(),
                 None => {
@@ -659,6 +694,54 @@ END
         assert_eq!(a.local_extent(0, 0), 4);
         assert_eq!(a.local_extent(0, 1), 3);
         assert_eq!(a.local_extent(0, 2), 3);
+    }
+
+    /// A `CYCLIC(k)` with `k <= 0` is rejected during partitioning with a
+    /// located error — programmatically built ASTs bypass the parser's own
+    /// check, so the clamp-free ownership arithmetic relies on this.
+    #[test]
+    fn non_positive_cyclic_block_size_is_rejected() {
+        use hpf_lang::ast::{Directive, DistFormat};
+        let src = "
+PROGRAM T
+INTEGER, PARAMETER :: N = 10
+REAL A(N)
+!HPF$ PROCESSORS P(2)
+!HPF$ DISTRIBUTE A(CYCLIC(3)) ONTO P
+A = 0.0
+END
+";
+        for bad in [0i64, -4] {
+            let mut p = parse_program(src).unwrap();
+            for d in &mut p.directives {
+                if let Directive::Distribute { formats, .. } = d {
+                    formats[0] = DistFormat::CyclicK(bad);
+                }
+            }
+            let a = analyze(&p, &Map::new()).unwrap();
+            let err = partition(&a, None).unwrap_err();
+            assert!(
+                err.message.contains("CYCLIC block size"),
+                "unexpected message: {}",
+                err.message
+            );
+            assert!(err.span.line > 0, "error should carry the directive span");
+        }
+    }
+
+    /// `grid_extents` overrides are validated: extents must be positive
+    /// and hold exactly the requested number of processors.
+    #[test]
+    fn grid_extents_are_validated() {
+        let p = parse_program(LAP).unwrap();
+        let a = analyze(&p, &Map::new()).unwrap();
+        assert!(partition_onto(&a, Some(8), Some(&[2, 4])).is_ok());
+        let err = partition_onto(&a, Some(8), Some(&[2, 2])).unwrap_err();
+        assert!(err.message.contains("8 were requested"), "{}", err.message);
+        let err = partition_onto(&a, Some(8), Some(&[8, 0])).unwrap_err();
+        assert!(err.message.contains("positive"), "{}", err.message);
+        let err = partition_onto(&a, Some(1), Some(&[])).unwrap_err();
+        assert!(err.message.contains("non-empty"), "{}", err.message);
     }
 
     #[test]

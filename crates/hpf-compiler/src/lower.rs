@@ -879,7 +879,9 @@ impl<'a> Lower<'a> {
                                         // local share scaled by min(δ/k, 1).
                                         let local = own_count.div_ceil(pc_shift.max(1)).max(1);
                                         let frac_num = t_off.unsigned_abs().min(k as u64);
-                                        (local * frac_num / k.max(1) as u64).max(1)
+                                        // k >= 1 is guaranteed by partition-
+                                        // time validation of the DISTRIBUTE.
+                                        (local * frac_num / k as u64).max(1)
                                     }
                                     _ => t_off.unsigned_abs().max(1),
                                 };

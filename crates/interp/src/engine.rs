@@ -24,6 +24,12 @@ pub struct InterpOptions {
     /// Fraction of wire time that can overlap when enabled (NX supported
     /// limited overlap via asynchronous receives).
     pub overlap_fraction: f64,
+    /// Interpret every communication phase as free (zero comm, zero pack
+    /// overhead). The resulting prediction is a *lower bound* on the real
+    /// one for the same SPMD program — computation, loop bookkeeping and
+    /// wait are untouched — which is what branch-and-bound directive
+    /// search needs to discard dominated candidates soundly.
+    pub zero_comm: bool,
 }
 
 impl Default for InterpOptions {
@@ -32,6 +38,7 @@ impl Default for InterpOptions {
             memory_hierarchy: true,
             overlap_comp_comm: false,
             overlap_fraction: 0.5,
+            zero_comm: false,
         }
     }
 }
@@ -99,7 +106,7 @@ impl<'m> InterpretationEngine<'m> {
         let mut pending_overlap: f64 = 0.0; // overlappable wire time carried
         for &id in ids {
             let mut m = self.aau(aag, id, weight, per_aau);
-            if self.options.overlap_comp_comm {
+            if self.options.overlap_comp_comm && !self.options.zero_comm {
                 match &aag.aau(id).kind {
                     AauKind::Comm { phase, .. } => {
                         // Wire time (not packing) may hide under later comp.
@@ -211,6 +218,9 @@ impl<'m> InterpretationEngine<'m> {
 
     /// Comm AAU: the collective library call plus software packing.
     fn interpret_comm(&self, c: &CommPhase) -> Metrics {
+        if self.options.zero_comm {
+            return Metrics::ZERO;
+        }
         let lib = self
             .machine
             .collective_time(c.op, c.participants, c.bytes_per_node);

@@ -94,10 +94,14 @@ impl CompiledKernel {
     }
 
     /// Re-bind the artifact to a sweep point: override the critical
-    /// variable `N`, pin the processor grid to the exact shape the source
-    /// generator would emit for `procs`, and run the back half of the
+    /// variable `N`, pin the processor grid, and run the back half of the
     /// compiler. Extra [`CompileOptions`] knobs (hints, loop reorder) pass
-    /// through from `opts`; its `nodes` and `grid_extents` are replaced.
+    /// through from `opts`; its `nodes` is replaced. When the caller left
+    /// `grid_extents` unset, the grid defaults to the exact shape the
+    /// source generator would emit for `procs`; a caller-supplied shape is
+    /// honored verbatim (validated downstream by `partition_onto`), which
+    /// is the hook directive-space enumeration uses to sweep every
+    /// factorization of the node budget.
     pub fn bind(
         &self,
         n: i64,
@@ -109,7 +113,9 @@ impl CompiledKernel {
         let analyzed = analyze(&self.program, &overrides)?;
         let mut opts = opts.clone();
         opts.nodes = procs;
-        opts.grid_extents = Some(self.kernel.grid_extents(procs));
+        if opts.grid_extents.is_none() {
+            opts.grid_extents = Some(self.kernel.grid_extents(procs));
+        }
         let spmd = compile(&analyzed, &opts)?;
         Ok((analyzed, spmd))
     }

@@ -27,7 +27,7 @@ pub use pipeline::{
     compile_source, predict_source, predict_source_full, simulate_source, PipelineError,
     PipelineStage, PredictOptions, SimulateOptions,
 };
-pub use sweep::SweepSession;
+pub use sweep::{shared_profile, SweepSession};
 
 /// Serializes tests that flip the process-global `hpf_trace` enable flag.
 #[cfg(test)]

@@ -34,11 +34,24 @@ use crate::pipeline::PipelineError;
 /// interpreter exceeded its step budget for this point.
 type ProfileSlot = Arc<OnceLock<Option<Arc<ExecutionProfile>>>>;
 
-/// Memo key: (canonical source text, problem size, step budget).
+/// Memo key: (directive-stripped source text, problem size, step budget).
 type ProfileKey = (String, usize, u64);
 
+/// The profile memo key for a source text: the program with every HPF
+/// directive comment line removed. The functional interpreter never reads
+/// mapping directives, so programs differing only in PROCESSORS / ALIGN /
+/// DISTRIBUTE lines have bit-identical profiles — keying on the stripped
+/// text lets a directive-space search over hundreds of candidate rewrites
+/// run the interpreter exactly once per problem size.
+fn directive_free_source(src: &str) -> String {
+    src.lines()
+        .filter(|l| !l.trim_start().starts_with("!HPF$"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// Process-global profile memo. The profile is a deterministic function of
-/// (canonical source text, problem size, step budget), so entries are
+/// (directive-stripped source text, problem size, step budget), so entries are
 /// shareable across sessions, sweeps and figures without affecting any
 /// output bit. Bounded by the number of distinct sweep points profiled in
 /// one process (tens of entries in practice).
@@ -105,7 +118,7 @@ impl SweepSession {
     }
 
     /// The functional-interpreter profile for problem size `n`, computed
-    /// at most once per *process* for a given (canonical source, size,
+    /// at most once per *process* for a given (directive-stripped source, size,
     /// step budget) — the profile is a pure function of those three, so
     /// repeated sessions over the same kernel shape (bench iterations,
     /// Figure 4 then Figure 5) skip the interpreter entirely. The global
@@ -121,23 +134,12 @@ impl SweepSession {
         {
             return p.clone();
         }
-        let slot = {
-            let key = (
-                self.compiled.canonical_source().to_string(),
-                n,
-                self.profile_steps,
-            );
-            let mut guard = global_profiles().lock().unwrap_or_else(|e| e.into_inner());
-            guard.entry(key).or_default().clone()
-        };
-        let profile = slot
-            .get_or_init(|| {
-                let _s = hpf_trace::span("profile");
-                hpf_eval::run_with_limit(analyzed, self.profile_steps)
-                    .ok()
-                    .map(|o| Arc::new(o.profile))
-            })
-            .clone();
+        let (profile, _) = shared_profile(
+            self.compiled.canonical_source(),
+            n,
+            self.profile_steps,
+            analyzed,
+        );
         self.profiles
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -152,6 +154,37 @@ impl SweepSession {
             .unwrap_or_else(|e| e.into_inner())
             .len()
     }
+}
+
+/// The functional-interpreter profile for `(source, n, step budget)`,
+/// computed at most once per *process* — the warm-session primitive shared
+/// by [`SweepSession`] and the directive-space advisor. The memo key is the
+/// directive-stripped source (see module docs), so directive rewrites of
+/// the same program all hit one entry. Returns the profile (`None` = the
+/// step budget was exceeded) and whether the call was served from the memo
+/// without running the interpreter.
+pub fn shared_profile(
+    canonical_source: &str,
+    n: usize,
+    profile_steps: u64,
+    analyzed: &AnalyzedProgram,
+) -> (Option<Arc<ExecutionProfile>>, bool) {
+    let slot = {
+        let key = (directive_free_source(canonical_source), n, profile_steps);
+        let mut guard = global_profiles().lock().unwrap_or_else(|e| e.into_inner());
+        guard.entry(key).or_default().clone()
+    };
+    let mut computed = false;
+    let profile = slot
+        .get_or_init(|| {
+            computed = true;
+            let _s = hpf_trace::span("profile");
+            hpf_eval::run_with_limit(analyzed, profile_steps)
+                .ok()
+                .map(|o| Arc::new(o.profile))
+        })
+        .clone();
+    (profile, !computed)
 }
 
 #[cfg(test)]
