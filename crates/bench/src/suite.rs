@@ -4,6 +4,9 @@
 //! makes the CI compare job fail with a `Missing` finding, deliberately.
 
 use hpf_advisor::{Advisor, AdvisorConfig};
+use hpf_serve::api::Api;
+use hpf_serve::cache::CacheConfig;
+use hpf_serve::http::Request;
 use report::experiments::{table2, SweepConfig};
 use report::faults::{default_plans, fault_experiment, FaultExperimentConfig};
 use report::sweep::SweepSession;
@@ -158,6 +161,39 @@ fn advisor_case(n: usize, procs: usize) -> BenchCase {
     }
 }
 
+/// Steady-state cost of the prediction service's hot path: a batch of
+/// warm `POST /v1/predict` requests through `Api::handle` (JSON parse,
+/// cache lookups, response serving) with sockets out of the picture. The
+/// Api is warmed at suite construction, so the measured loop is what each
+/// additional warm request costs the server.
+fn serve_predict_case(batch: usize) -> BenchCase {
+    let api = Arc::new(Api::new(&CacheConfig::default()));
+    let bodies: Vec<String> = [(64, 4), (128, 4), (256, 8), (512, 8)]
+        .iter()
+        .map(|(n, p)| format!(r#"{{"kernel": "Laplace (Blk-Blk)", "n": {n}, "procs": {p}}}"#))
+        .collect();
+    let request = |body: &str| Request {
+        method: "POST".into(),
+        path: "/v1/predict".into(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    };
+    // Warm every distinct body (bind + interpret + body cache) outside
+    // the timed region.
+    for b in &bodies {
+        assert_eq!(api.handle(&request(b)).status, 200);
+    }
+    BenchCase {
+        name: format!("serve_predict_warm_b{batch}"),
+        run: Box::new(move || {
+            for i in 0..batch {
+                let resp = api.handle(&request(&bodies[i % bodies.len()]));
+                assert_eq!(resp.status, 200);
+            }
+        }),
+    }
+}
+
 /// Build the suite. Case order is stable (it is the file order in the
 /// report); the Quick suite is a strict subset of Full case names so a
 /// quick report can be compared against a full baseline.
@@ -169,6 +205,7 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             sweep_point_case("PI", 512, 4),
             advisor_case(96, 8),
             faults_case(64, 4, 30),
+            serve_predict_case(256),
         ],
         SuiteKind::Full => vec![
             laplace_case(64, 4, 30),
@@ -182,6 +219,7 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             advisor_case(96, 8),
             faults_case(64, 4, 30),
             faults_case(256, 8, 100),
+            serve_predict_case(256),
         ],
     }
 }

@@ -1,29 +1,34 @@
 //! `advise` — the what-if advisor CLI.
 //!
 //! ```text
-//! advise [--kernel NAME] [--size N] [--procs P] [--top K] [--runs R]
-//!        [--threads T] [--seed S] [--quick] [--trace]
+//! advise [--kernel NAME | --file PATH] [--size N] [--procs P] [--top K]
+//!        [--runs R] [--threads T] [--seed S] [--quick] [--trace]
 //! ```
 //!
-//! Prints a ranked table of directive candidates for the kernel:
-//! predicted time (analytic interpretation), comp/comm split, DES-
-//! simulated time and error for the top-k, and the search's pruning /
-//! session-reuse accounting. Output is bit-identical across runs and
-//! `--threads` values; `--trace` additionally prints the deterministic
-//! trace counters to stderr.
+//! Prints a ranked table of directive candidates for the kernel (or for an
+//! HPF source file given with `--file`): predicted time (analytic
+//! interpretation), comp/comm split, DES-simulated time and error for the
+//! top-k, and the search's pruning / session-reuse accounting. Output is
+//! bit-identical across runs and `--threads` values; `--trace`
+//! additionally prints the deterministic trace counters to stderr.
+//!
+//! Malformed HPF source is reported as a spanned diagnostic on stderr
+//! (source line + caret) with exit status 1 — the same diagnostic
+//! `hpf-serve` returns as a structured 400 body.
 
 use hpf_advisor::{render_table, Advisor, AdvisorConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: advise [--kernel NAME] [--size N] [--procs P] [--top K] \
-         [--runs R] [--threads T] [--seed S] [--quick] [--trace]"
+        "usage: advise [--kernel NAME | --file PATH] [--size N] [--procs P] \
+         [--top K] [--runs R] [--threads T] [--seed S] [--quick] [--trace]"
     );
     std::process::exit(2)
 }
 
 fn main() {
     let mut kernel_name = "Laplace (Blk-Blk)".to_string();
+    let mut source_path: Option<String> = None;
     let mut cfg = AdvisorConfig::default();
     let mut trace = false;
 
@@ -36,6 +41,7 @@ fn main() {
         };
         match args[i].as_str() {
             "--kernel" => kernel_name = take(&mut i),
+            "--file" => source_path = Some(take(&mut i)),
             "--size" => cfg.n = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--procs" => cfg.procs = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--top" => cfg.top_k = take(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -57,26 +63,40 @@ fn main() {
         i += 1;
     }
 
-    let kernel = match kernels::kernel_by_name(&kernel_name) {
-        Some(k) => k,
+    let advisor = match &source_path {
+        Some(path) => {
+            let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("advise: cannot read {path}: {e}");
+                std::process::exit(1)
+            });
+            Advisor::for_source(path, &source).unwrap_or_else(|e| {
+                eprint!("advise: {}", e.render_diagnostic(&source));
+                std::process::exit(1)
+            })
+        }
         None => {
-            eprintln!("unknown kernel `{kernel_name}`; available:");
-            for k in kernels::all_kernels() {
-                eprintln!("  {}", k.name);
-            }
-            std::process::exit(2)
+            let kernel = match kernels::kernel_by_name(&kernel_name) {
+                Some(k) => k,
+                None => {
+                    eprintln!("unknown kernel `{kernel_name}`; available:");
+                    for k in kernels::all_kernels() {
+                        eprintln!("  {}", k.name);
+                    }
+                    std::process::exit(2)
+                }
+            };
+            Advisor::for_kernel(&kernel).unwrap_or_else(|e| {
+                eprintln!("advise: advisor setup failed: {e}");
+                std::process::exit(1)
+            })
         }
     };
 
     if trace {
         hpf_trace::enable();
     }
-    let advisor = Advisor::for_kernel(&kernel).unwrap_or_else(|e| {
-        eprintln!("advisor setup failed: {e}");
-        std::process::exit(1)
-    });
     let report = advisor.search(&cfg).unwrap_or_else(|e| {
-        eprintln!("advisor search failed: {e}");
+        eprintln!("advise: search failed: {e}");
         std::process::exit(1)
     });
     print!("{}", render_table(&report));

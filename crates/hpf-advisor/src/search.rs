@@ -141,11 +141,11 @@ struct CandidateSession {
     lower_bound_s: f64,
 }
 
-/// A what-if advisor bound to one kernel: the canonical source is parsed
+/// A what-if advisor bound to one program: the canonical source is parsed
 /// exactly once, every candidate is an AST rewrite of that one program.
 #[derive(Debug)]
 pub struct Advisor {
-    kernel: Kernel,
+    name: String,
     source: String,
     program: Program,
     rank: usize,
@@ -155,19 +155,24 @@ impl Advisor {
     /// Parse the kernel's canonical source and locate its template rank.
     pub fn for_kernel(kernel: &Kernel) -> Result<Self, PipelineError> {
         let source = kernel.source(kernel.size_range.0, 1);
-        let program = parse_program(&source)?;
+        Advisor::for_source(kernel.name, &source)
+    }
+
+    /// Build an advisor over arbitrary HPF source (the `advise --file` /
+    /// `hpf-serve` entry point). Malformed programs come back as a spanned
+    /// [`PipelineError`] — never a panic — so callers can render the same
+    /// diagnostic on a terminal or in a structured 400 body.
+    pub fn for_source(name: &str, source: &str) -> Result<Self, PipelineError> {
+        let program = parse_program(source)?;
         let rank = space::distribute_rank(&program).ok_or_else(|| {
             PipelineError::new(
                 PipelineStage::Analyze,
-                format!(
-                    "kernel `{}` has no DISTRIBUTE directive to search over",
-                    kernel.name
-                ),
+                format!("program `{name}` has no DISTRIBUTE directive to search over"),
             )
         })?;
         Ok(Advisor {
-            kernel: kernel.clone(),
-            source,
+            name: name.to_string(),
+            source: source.to_string(),
             program,
             rank,
         })
@@ -334,7 +339,7 @@ impl Advisor {
             .collect();
 
         Ok(AdvisorReport {
-            kernel: self.kernel.name.to_string(),
+            kernel: self.name.clone(),
             n: cfg.n,
             procs: cfg.procs,
             candidates: cands.len(),

@@ -1,0 +1,795 @@
+//! Endpoint handlers: pure functions from a parsed request to a response
+//! body, shared by every worker.
+//!
+//! Handlers are deterministic — the same request always produces the same
+//! bytes, whatever worker runs it and in whatever order requests arrive —
+//! which is what lets the body cache serve repeats verbatim and what the
+//! cross-worker byte-identity tests pin down. The pieces that make this
+//! hold: all JSON objects are `BTreeMap`-backed (sorted keys), floats are
+//! formatted by the same `Display` path everywhere, the prediction and
+//! simulation engines are seeded and deterministic, and response bodies
+//! never embed timestamps or identity of the serving worker.
+//!
+//! Error surface: malformed HPF source comes back as a structured 400
+//! whose `diagnostic` field is the very string the `advise` CLI prints to
+//! stderr ([`PipelineError::render_diagnostic`]) — one diagnostic, two
+//! transports. Expired deadlines come back as 504 with the stage that was
+//! about to start.
+
+use hpf_trace::json::{parse as parse_json, Value};
+use interp::{InterpOptions, InterpretationEngine, Prediction};
+use ipsc_sim::{SimConfig, Simulator};
+use report::PipelineError;
+
+use crate::cache::{BoundArtifact, CacheConfig, Deadline, ServeCache, ServeFailure};
+use crate::http::Request;
+
+/// Schema tag stamped on every JSON body this service writes.
+pub const SCHEMA: &str = "hpf-serve/v1";
+
+/// A finished response: status + body (always JSON).
+#[derive(Debug, Clone)]
+pub struct ApiResponse {
+    pub status: u16,
+    pub body: Vec<u8>,
+}
+
+impl ApiResponse {
+    fn json(status: u16, value: &Value) -> ApiResponse {
+        ApiResponse {
+            status,
+            body: value.pretty().into_bytes(),
+        }
+    }
+}
+
+/// The service's request handler: routing plus the warm cache stack.
+#[derive(Debug)]
+pub struct Api {
+    cache: ServeCache,
+}
+
+fn num(v: f64) -> Value {
+    Value::Num(v)
+}
+
+fn metrics_value(m: &interp::Metrics) -> Value {
+    Value::obj(vec![
+        ("comp_s", num(m.comp)),
+        ("comm_s", num(m.comm)),
+        ("overhead_s", num(m.overhead)),
+        ("wait_s", num(m.wait)),
+        ("time_s", num(m.time())),
+    ])
+}
+
+fn kind_label(kind: &appgraph::AauKind) -> &'static str {
+    match kind {
+        appgraph::AauKind::Start => "start",
+        appgraph::AauKind::End => "end",
+        appgraph::AauKind::Seq { .. } => "seq",
+        appgraph::AauKind::IterD { .. } => "iterd",
+        appgraph::AauKind::CondtD { .. } => "condtd",
+        appgraph::AauKind::Comm { .. } => "comm",
+    }
+}
+
+/// The structured 400/504 body for a failed evaluation.
+fn failure_value(f: &ServeFailure, source: Option<&str>) -> (u16, Value) {
+    match f {
+        ServeFailure::Pipeline(e) => (400, pipeline_error_value(e, source)),
+        ServeFailure::Deadline { stage } => (
+            504,
+            Value::obj(vec![
+                ("schema", Value::Str(SCHEMA.into())),
+                (
+                    "error",
+                    Value::obj(vec![
+                        ("kind", Value::Str("deadline".into())),
+                        ("stage", Value::Str((*stage).into())),
+                        ("message", Value::Str(format!("{f}"))),
+                    ]),
+                ),
+            ]),
+        ),
+    }
+}
+
+fn pipeline_error_value(e: &PipelineError, source: Option<&str>) -> Value {
+    let mut err: Vec<(&str, Value)> = vec![
+        ("kind", Value::Str("pipeline".into())),
+        ("stage", Value::Str(e.stage.label().into())),
+        ("message", Value::Str(e.message.clone())),
+    ];
+    if let Some(line) = e.line() {
+        err.push(("line", num(line as f64)));
+    }
+    if let Some(src) = source {
+        if let Some(col) = e.column_in(src) {
+            err.push(("column", num(col as f64)));
+        }
+        // The exact string `advise` prints to stderr for the same input.
+        err.push(("diagnostic", Value::Str(e.render_diagnostic(src))));
+    }
+    Value::obj(vec![
+        ("schema", Value::Str(SCHEMA.into())),
+        ("error", Value::obj(err)),
+    ])
+}
+
+fn bad_request(message: impl Into<String>) -> ApiResponse {
+    ApiResponse::json(
+        400,
+        &Value::obj(vec![
+            ("schema", Value::Str(SCHEMA.into())),
+            (
+                "error",
+                Value::obj(vec![
+                    ("kind", Value::Str("request".into())),
+                    ("message", Value::Str(message.into())),
+                ]),
+            ),
+        ]),
+    )
+}
+
+/// What a predict/sweep/advise body may select: a suite kernel by name, or
+/// inline HPF source.
+enum Target {
+    Kernel(String),
+    Source(String),
+}
+
+impl Target {
+    fn from_body(body: &Value) -> Result<Target, ApiResponse> {
+        match (body.get("kernel"), body.get("source")) {
+            (Some(_), Some(_)) => Err(bad_request("give either `kernel` or `source`, not both")),
+            (Some(k), None) => match k.as_str() {
+                Some(name) => Ok(Target::Kernel(name.to_string())),
+                None => Err(bad_request("`kernel` must be a string")),
+            },
+            (None, Some(s)) => match s.as_str() {
+                Some(src) => Ok(Target::Source(src.to_string())),
+                None => Err(bad_request("`source` must be a string")),
+            },
+            (None, None) => Err(bad_request("body needs a `kernel` name or HPF `source`")),
+        }
+    }
+
+    fn source_text(&self) -> Option<&str> {
+        match self {
+            Target::Kernel(_) => None,
+            Target::Source(s) => Some(s.as_str()),
+        }
+    }
+
+    fn describe(&self) -> Value {
+        match self {
+            Target::Kernel(name) => Value::Str(name.clone()),
+            Target::Source(_) => Value::Str("<inline source>".into()),
+        }
+    }
+}
+
+fn uint_field(body: &Value, key: &str, default: usize) -> Result<usize, ApiResponse> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_f64() {
+            Some(f) if f >= 0.0 && f.fract() == 0.0 && f <= u32::MAX as f64 => Ok(f as usize),
+            _ => Err(bad_request(format!(
+                "`{key}` must be a small non-negative integer"
+            ))),
+        },
+    }
+}
+
+/// `deadline_ms` absent = no deadline; present (including 0) = a budget
+/// of that many milliseconds, enforced between pipeline stages.
+fn deadline_from(body: &Value) -> Result<Deadline, ApiResponse> {
+    match body.get("deadline_ms") {
+        None => Ok(Deadline::none()),
+        Some(_) => Ok(Deadline::in_ms(uint_field(body, "deadline_ms", 0)? as u64)),
+    }
+}
+
+/// Canonical cache key for a POST body: path + re-serialized (sorted,
+/// whitespace-normalized) JSON with the timing-only `deadline_ms` knob
+/// removed — so near-repeat requests (reordered keys, different
+/// formatting, different deadlines) share one cached response.
+fn body_key(path: &str, body: &Value) -> String {
+    let canonical = match body {
+        Value::Obj(map) => {
+            let mut map = map.clone();
+            map.remove("deadline_ms");
+            Value::Obj(map)
+        }
+        other => other.clone(),
+    };
+    format!("{path}\u{0}{}", canonical.pretty())
+}
+
+impl Api {
+    pub fn new(cfg: &CacheConfig) -> Api {
+        Api {
+            cache: ServeCache::new(cfg),
+        }
+    }
+
+    /// Route and serve one request. Infallible by construction — every
+    /// failure mode is a JSON error response.
+    pub fn handle(&self, req: &Request) -> ApiResponse {
+        hpf_trace::counter_add("serve.requests", 1);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/v1/healthz") => self.healthz(),
+            ("GET", "/v1/metrics") => self.metrics(),
+            ("POST", "/v1/predict") => self.cached_post(req, Self::predict),
+            ("POST", "/v1/sweep") => self.cached_post(req, Self::sweep),
+            ("POST", "/v1/advise") => self.cached_post(req, Self::advise),
+            (_, "/v1/healthz" | "/v1/metrics" | "/v1/predict" | "/v1/sweep" | "/v1/advise") => {
+                ApiResponse::json(
+                    405,
+                    &Value::obj(vec![
+                        ("schema", Value::Str(SCHEMA.into())),
+                        (
+                            "error",
+                            Value::obj(vec![
+                                ("kind", Value::Str("request".into())),
+                                (
+                                    "message",
+                                    Value::Str(format!(
+                                        "method {} not allowed on {}",
+                                        req.method, req.path
+                                    )),
+                                ),
+                            ]),
+                        ),
+                    ]),
+                )
+            }
+            _ => ApiResponse::json(
+                404,
+                &Value::obj(vec![
+                    ("schema", Value::Str(SCHEMA.into())),
+                    (
+                        "error",
+                        Value::obj(vec![
+                            ("kind", Value::Str("request".into())),
+                            ("message", Value::Str(format!("no route {}", req.path))),
+                        ]),
+                    ),
+                ]),
+            ),
+        }
+    }
+
+    fn healthz(&self) -> ApiResponse {
+        ApiResponse::json(
+            200,
+            &Value::obj(vec![
+                ("schema", Value::Str(SCHEMA.into())),
+                ("status", Value::Str("ok".into())),
+                (
+                    "kernels",
+                    Value::Arr(
+                        kernels::all_kernels()
+                            .iter()
+                            .map(|k| Value::Str(k.name.to_string()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )
+    }
+
+    fn metrics(&self) -> ApiResponse {
+        // The hpf-trace exporter's own "hpf-trace/v1" document, verbatim.
+        ApiResponse {
+            status: 200,
+            body: hpf_trace::export_json().into_bytes(),
+        }
+    }
+
+    /// Parse the body, serve from the body cache when the canonical
+    /// request was answered before, compute and store otherwise. Only
+    /// 200 responses are cached: errors are cheap to recompute and a 504
+    /// depends on the deadline, not the request.
+    fn cached_post(&self, req: &Request, handler: fn(&Api, &Value) -> ApiResponse) -> ApiResponse {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => return bad_request("body is not UTF-8"),
+        };
+        let body = match parse_json(text) {
+            Ok(v @ Value::Obj(_)) => v,
+            Ok(_) => return bad_request("body must be a JSON object"),
+            Err(e) => return bad_request(format!("body is not valid JSON: {e}")),
+        };
+        let key = body_key(&req.path, &body);
+        if let Some(cached) = self.cache.cached_body(&key) {
+            return ApiResponse {
+                status: 200,
+                body: cached.as_ref().clone(),
+            };
+        }
+        let response = handler(self, &body);
+        if response.status == 200 {
+            self.cache.store_body(&key, response.body.clone());
+        }
+        response
+    }
+
+    /// Bind the request's target to `(n, procs)` through the warm caches.
+    fn bind_target(
+        &self,
+        target: &Target,
+        n: Option<i64>,
+        procs: usize,
+        deadline: &Deadline,
+    ) -> Result<std::sync::Arc<BoundArtifact>, ServeFailure> {
+        match target {
+            Target::Kernel(name) => {
+                let n = n.unwrap_or(256);
+                self.cache.bind_kernel(name, n, procs, deadline)
+            }
+            Target::Source(src) => self.cache.bind_source(src, n, procs, deadline),
+        }
+    }
+
+    fn predict_value(
+        aag: &appgraph::Aag,
+        prediction: &Prediction,
+        target: &Target,
+        n: Option<i64>,
+        procs: usize,
+    ) -> Value {
+        let phases: Vec<Value> = aag
+            .aaus
+            .iter()
+            .zip(&prediction.per_aau)
+            .filter(|(_, m)| m.time() > 0.0 || m.wait > 0.0)
+            .map(|(aau, m)| {
+                Value::obj(vec![
+                    ("label", Value::Str(aau.label.clone())),
+                    ("kind", Value::Str(kind_label(&aau.kind).into())),
+                    ("metrics", metrics_value(m)),
+                ])
+            })
+            .collect();
+        let mut top: Vec<(&str, Value)> = vec![
+            ("schema", Value::Str(SCHEMA.into())),
+            ("kind", Value::Str("predict".into())),
+            ("target", target.describe()),
+            ("procs", num(procs as f64)),
+            ("predicted_s", num(prediction.total_seconds())),
+            ("total", metrics_value(&prediction.total)),
+            ("phases", Value::Arr(phases)),
+        ];
+        if let Some(n) = n {
+            top.push(("n", num(n as f64)));
+        }
+        Value::obj(top)
+    }
+
+    /// `POST /v1/predict` — per-phase predicted times for one
+    /// `(target, n, procs)` point.
+    fn predict(&self, body: &Value) -> ApiResponse {
+        let _span = hpf_trace::span("serve.predict");
+        let target = match Target::from_body(body) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let (n, procs, deadline) = match Self::point_params(body) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let bound = match self.bind_target(&target, n, procs, &deadline) {
+            Ok(b) => b,
+            Err(f) => {
+                let (status, value) = failure_value(&f, target.source_text());
+                return ApiResponse::json(status, &value);
+            }
+        };
+        if let Err(f) = deadline.check("interpret") {
+            let (status, value) = failure_value(&f, target.source_text());
+            return ApiResponse::json(status, &value);
+        }
+        let machine = report::pipeline::calibrated_machine(procs);
+        let engine = InterpretationEngine::with_options(&machine, InterpOptions::default());
+        let prediction = engine.interpret(&bound.aag);
+        ApiResponse::json(
+            200,
+            &Self::predict_value(&bound.aag, &prediction, &target, n, procs),
+        )
+    }
+
+    fn point_params(body: &Value) -> Result<(Option<i64>, usize, Deadline), ApiResponse> {
+        let n = match body.get("n") {
+            None => None,
+            Some(_) => match uint_field(body, "n", 0)? {
+                0 => return Err(bad_request("`n` must be positive")),
+                n => Some(n as i64),
+            },
+        };
+        let procs = uint_field(body, "procs", 8)?;
+        if !(1..=1024).contains(&procs) {
+            return Err(bad_request("`procs` must be between 1 and 1024"));
+        }
+        Ok((n, procs, deadline_from(body)?))
+    }
+
+    /// `POST /v1/sweep` — the predicted (and optionally simulated) curve
+    /// over a size range, served through the same warm bind cache so a
+    /// repeated or refined sweep recompiles nothing.
+    fn sweep(&self, body: &Value) -> ApiResponse {
+        let _span = hpf_trace::span("serve.sweep");
+        let target = match Target::from_body(body) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let procs = match uint_field(body, "procs", 8) {
+            Ok(p) if (1..=1024).contains(&p) => p,
+            Ok(_) => return bad_request("`procs` must be between 1 and 1024"),
+            Err(resp) => return resp,
+        };
+        let deadline = match deadline_from(body) {
+            Ok(d) => d,
+            Err(resp) => return resp,
+        };
+        let sizes = match Self::sweep_sizes(body) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let simulate = matches!(body.get("simulate"), Some(Value::Bool(true)));
+        let sim_runs = match uint_field(body, "runs", 100) {
+            Ok(r) if (1..=10_000).contains(&r) => r,
+            Ok(_) => return bad_request("`runs` must be between 1 and 10000"),
+            Err(resp) => return resp,
+        };
+
+        let machine = report::pipeline::calibrated_machine(procs);
+        let engine = InterpretationEngine::with_options(&machine, InterpOptions::default());
+        let mut points = Vec::with_capacity(sizes.len());
+        for &n in &sizes {
+            if let Err(f) = deadline.check("sweep_point") {
+                let (status, value) = failure_value(&f, target.source_text());
+                return ApiResponse::json(status, &value);
+            }
+            let bound = match self.bind_target(&target, Some(n as i64), procs, &deadline) {
+                Ok(b) => b,
+                Err(f) => {
+                    let (status, value) = failure_value(&f, target.source_text());
+                    return ApiResponse::json(status, &value);
+                }
+            };
+            let prediction = engine.interpret(&bound.aag);
+            let mut point: Vec<(&str, Value)> = vec![
+                ("n", num(n as f64)),
+                ("predicted_s", num(prediction.total_seconds())),
+                ("total", metrics_value(&prediction.total)),
+            ];
+            if simulate {
+                if let Err(f) = deadline.check("simulate") {
+                    let (status, value) = failure_value(&f, target.source_text());
+                    return ApiResponse::json(status, &value);
+                }
+                // Profile through the process-wide memo (shared with the
+                // sweep sessions and the advisor), then one seeded DES run
+                // set — deterministic for a given (target, n, procs, runs).
+                let (profile, _) =
+                    report::shared_profile(&bound.canonical, n, 50_000_000, &bound.analyzed);
+                let sim_machine = machine::ipsc860(procs);
+                let sim = Simulator::with_config(
+                    &sim_machine,
+                    SimConfig {
+                        runs: sim_runs,
+                        ..SimConfig::default()
+                    },
+                );
+                let result = sim.simulate(&bound.spmd, profile.as_deref());
+                point.push(("measured_s", num(result.measured())));
+                point.push(("measured_std_s", num(result.std)));
+            }
+            points.push(Value::obj(point));
+        }
+        ApiResponse::json(
+            200,
+            &Value::obj(vec![
+                ("schema", Value::Str(SCHEMA.into())),
+                ("kind", Value::Str("sweep".into())),
+                ("target", target.describe()),
+                ("procs", num(procs as f64)),
+                ("points", Value::Arr(points)),
+            ]),
+        )
+    }
+
+    /// Sizes from either an explicit `"sizes": [..]` array or a
+    /// `{"min":.., "max":.., "steps":..}` doubling/linear range object.
+    fn sweep_sizes(body: &Value) -> Result<Vec<usize>, ApiResponse> {
+        const MAX_POINTS: usize = 64;
+        match body.get("sizes") {
+            Some(Value::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for it in items {
+                    match it.as_f64() {
+                        Some(f) if f >= 1.0 && f.fract() == 0.0 => out.push(f as usize),
+                        _ => return Err(bad_request("`sizes` entries must be positive integers")),
+                    }
+                }
+                if out.is_empty() || out.len() > MAX_POINTS {
+                    return Err(bad_request(format!(
+                        "`sizes` must have 1..={MAX_POINTS} entries"
+                    )));
+                }
+                Ok(out)
+            }
+            Some(range @ Value::Obj(_)) => {
+                let min = uint_field(range, "min", 64)?;
+                let max = uint_field(range, "max", 512)?;
+                if min == 0 || max < min {
+                    return Err(bad_request(
+                        "`sizes.min`/`sizes.max` must satisfy 1 <= min <= max",
+                    ));
+                }
+                // Doubling sweep, the paper's Figure 4/5 convention.
+                let mut out = Vec::new();
+                let mut n = min;
+                while n <= max && out.len() < MAX_POINTS {
+                    out.push(n);
+                    n *= 2;
+                }
+                Ok(out)
+            }
+            None => Err(bad_request("body needs `sizes` (array or {min,max} range)")),
+            Some(_) => Err(bad_request(
+                "`sizes` must be an array or a {min,max} object",
+            )),
+        }
+    }
+
+    /// `POST /v1/advise` — top-k directive recommendations via the
+    /// hpf-advisor branch-and-bound search (deterministic across thread
+    /// counts, so the response is cacheable like any other).
+    fn advise(&self, body: &Value) -> ApiResponse {
+        let _span = hpf_trace::span("serve.advise");
+        let target = match Target::from_body(body) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let mut cfg = hpf_advisor::AdvisorConfig::quick();
+        cfg.n = match uint_field(body, "n", cfg.n) {
+            Ok(n) if n >= 1 => n,
+            Ok(_) => return bad_request("`n` must be positive"),
+            Err(resp) => return resp,
+        };
+        cfg.procs = match uint_field(body, "procs", cfg.procs) {
+            Ok(p) if (1..=64).contains(&p) => p,
+            Ok(_) => return bad_request("`procs` must be between 1 and 64"),
+            Err(resp) => return resp,
+        };
+        cfg.top_k = match uint_field(body, "top_k", cfg.top_k) {
+            Ok(k) if (1..=16).contains(&k) => k,
+            Ok(_) => return bad_request("`top_k` must be between 1 and 16"),
+            Err(resp) => return resp,
+        };
+        let deadline = match deadline_from(body) {
+            Ok(d) => d,
+            Err(resp) => return resp,
+        };
+        if let Err(f) = deadline.check("advise") {
+            let (status, value) = failure_value(&f, target.source_text());
+            return ApiResponse::json(status, &value);
+        }
+
+        let advisor = match &target {
+            Target::Kernel(name) => match kernels::kernel_by_name(name) {
+                Some(k) => hpf_advisor::Advisor::for_kernel(&k),
+                None => return bad_request(format!("unknown kernel `{name}`")),
+            },
+            Target::Source(src) => hpf_advisor::Advisor::for_source("<inline source>", src),
+        };
+        let advisor = match advisor {
+            Ok(a) => a,
+            Err(e) => {
+                let source = target.source_text().unwrap_or("");
+                return ApiResponse::json(400, &pipeline_error_value(&e, Some(source)));
+            }
+        };
+        let report = match advisor.search(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                let source = target.source_text().unwrap_or("");
+                return ApiResponse::json(400, &pipeline_error_value(&e, Some(source)));
+            }
+        };
+
+        let ranked: Vec<Value> = report
+            .ranked
+            .iter()
+            .take(cfg.top_k)
+            .map(|c| {
+                let mut entry: Vec<(&str, Value)> = vec![
+                    ("directives", Value::Str(c.label.clone())),
+                    ("predicted_s", num(c.predicted_s)),
+                    ("metrics", metrics_value(&c.metrics)),
+                ];
+                if let Some(s) = c.simulated_s {
+                    entry.push(("simulated_s", num(s)));
+                }
+                if let Some(e) = c.sim_error_pct {
+                    entry.push(("sim_error_pct", num(e)));
+                }
+                Value::obj(entry)
+            })
+            .collect();
+        ApiResponse::json(
+            200,
+            &Value::obj(vec![
+                ("schema", Value::Str(SCHEMA.into())),
+                ("kind", Value::Str("advise".into())),
+                ("target", target.describe()),
+                ("n", num(cfg.n as f64)),
+                ("procs", num(cfg.procs as f64)),
+                ("candidates", num(report.candidates as f64)),
+                ("pruned", num(report.pruned as f64)),
+                ("ranked", Value::Arr(ranked)),
+            ]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn api() -> Api {
+        Api::new(&CacheConfig::default())
+    }
+
+    #[test]
+    fn healthz_lists_kernels() {
+        let resp = api().handle(&get("/v1/healthz"));
+        assert_eq!(resp.status, 200);
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        let names = v.get("kernels").and_then(Value::as_arr).unwrap();
+        assert!(names.iter().any(|k| k.as_str() == Some("PI")));
+    }
+
+    #[test]
+    fn predict_kernel_reports_phases() {
+        let resp = api().handle(&post(
+            "/v1/predict",
+            r#"{"kernel": "PI", "n": 256, "procs": 4}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert!(v.get("predicted_s").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(!v.get("phases").and_then(Value::as_arr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repeat_predicts_are_byte_identical_and_cached() {
+        let api = api();
+        let body = r#"{"kernel": "Laplace (Blk-Blk)", "n": 64, "procs": 4}"#;
+        let a = api.handle(&post("/v1/predict", body));
+        // Same request, different formatting and key order: same bytes.
+        let b = api.handle(&post(
+            "/v1/predict",
+            "{\"procs\":4,\n  \"n\":64, \"kernel\":\"Laplace (Blk-Blk)\"}",
+        ));
+        assert_eq!(a.status, 200);
+        assert_eq!(a.body, b.body, "near-repeat must serve identical bytes");
+    }
+
+    #[test]
+    fn malformed_source_is_a_structured_400_with_the_cli_diagnostic() {
+        let src = "PROGRAM BAD\nINTEGER, PARAMETER :: N = 64\nREAL A(N)\nA(1) = +\nEND\n";
+        let body = Value::obj(vec![("source", Value::Str(src.into()))]).pretty();
+        let resp = api().handle(&post("/v1/predict", &body));
+        assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Value::as_str), Some("pipeline"));
+        assert!(err.get("line").and_then(Value::as_f64).is_some());
+        let diag = err.get("diagnostic").and_then(Value::as_str).unwrap();
+        // The CLI renders the identical diagnostic for the same source.
+        assert!(diag.contains('^'), "no caret in {diag:?}");
+        assert!(diag.contains("A(1) = +"), "no source excerpt in {diag:?}");
+    }
+
+    #[test]
+    fn expired_deadline_is_504() {
+        // A zero-millisecond budget expires before the cold bind's first
+        // stage; each test owns its Api, so nothing is warm yet.
+        let resp = api().handle(&post(
+            "/v1/predict",
+            r#"{"kernel": "PI", "n": 8192, "procs": 4, "deadline_ms": 0}"#,
+        ));
+        assert_eq!(resp.status, 504, "{}", String::from_utf8_lossy(&resp.body));
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("deadline")
+        );
+    }
+
+    #[test]
+    fn sweep_returns_a_monotone_size_curve() {
+        let resp = api().handle(&post(
+            "/v1/sweep",
+            r#"{"kernel": "PI", "sizes": {"min": 64, "max": 256}, "procs": 4}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let points = v.get("points").and_then(Value::as_arr).unwrap();
+        assert_eq!(points.len(), 3); // 64, 128, 256
+        let times: Vec<f64> = points
+            .iter()
+            .map(|p| p.get("predicted_s").and_then(Value::as_f64).unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn sweep_with_simulation_reports_measurements() {
+        let resp = api().handle(&post(
+            "/v1/sweep",
+            r#"{"kernel": "PI", "sizes": [128], "procs": 4, "simulate": true, "runs": 40}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let p0 = &v.get("points").and_then(Value::as_arr).unwrap()[0];
+        let predicted = p0.get("predicted_s").and_then(Value::as_f64).unwrap();
+        let measured = p0.get("measured_s").and_then(Value::as_f64).unwrap();
+        let err = (predicted - measured).abs() / measured;
+        assert!(err < 0.5, "prediction {predicted} vs measured {measured}");
+    }
+
+    #[test]
+    fn request_errors_are_structured() {
+        let api = api();
+        for (path, body, needle) in [
+            ("/v1/predict", "not json", "valid JSON"),
+            ("/v1/predict", "[1,2]", "JSON object"),
+            ("/v1/predict", "{}", "`kernel` name or HPF `source`"),
+            ("/v1/predict", r#"{"kernel":"PI","source":"X"}"#, "not both"),
+            ("/v1/predict", r#"{"kernel":"PI","procs":0}"#, "`procs`"),
+            ("/v1/sweep", r#"{"kernel":"PI"}"#, "`sizes`"),
+            ("/v1/sweep", r#"{"kernel":"PI","sizes":[]}"#, "`sizes`"),
+        ] {
+            let resp = api.handle(&post(path, body));
+            assert_eq!(resp.status, 400, "{path} {body}");
+            let text = String::from_utf8(resp.body).unwrap();
+            assert!(text.contains(needle), "{path} {body}: {text}");
+        }
+    }
+
+    #[test]
+    fn unknown_route_and_method_are_404_405() {
+        let api = api();
+        assert_eq!(api.handle(&get("/nope")).status, 404);
+        assert_eq!(api.handle(&get("/v1/predict")).status, 405);
+        assert_eq!(api.handle(&post("/v1/healthz", "")).status, 405);
+    }
+}

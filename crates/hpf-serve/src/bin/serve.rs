@@ -1,0 +1,111 @@
+//! `serve` — the prediction service CLI.
+//!
+//! ```text
+//! serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--no-trace]
+//! serve loadgen [--quick] [--requests R] [--clients C] [--workers W] [--seed S]
+//! ```
+//!
+//! `serve serve` runs the HTTP service until a `POST /v1/shutdown`
+//! arrives, then drains in-flight work and exits 0. `serve loadgen`
+//! starts a private in-process server, fires the seeded deterministic
+//! request mix at it, and prints throughput, latency percentiles, the
+//! warm-cache hit rate, and the order-independent response checksum.
+
+use hpf_serve::{loadgen, server, LoadgenConfig, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--no-trace]\n\
+         \x20      serve loadgen [--quick] [--requests R] [--clients C] [--workers W] [--seed S]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") | None => run_server(&args[args.len().min(1)..]),
+        Some("loadgen") => run_loadgen(&args[1..]),
+        Some("--help") | Some("-h") => usage(),
+        Some(other) => {
+            eprintln!("unknown subcommand: {other}");
+            usage()
+        }
+    }
+}
+
+fn take(args: &[String], i: &mut usize) -> String {
+    *i += 1;
+    args.get(*i).cloned().unwrap_or_else(|| usage())
+}
+
+fn run_server(args: &[String]) {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut trace = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take(args, &mut i),
+            "--workers" => cfg.workers = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--queue" => cfg.queue_depth = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--no-trace" => trace = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    if trace {
+        // Feeds /v1/metrics; the pipeline is bit-neutral under tracing.
+        hpf_trace::enable();
+    }
+    let handle = match server::start(&addr, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(1)
+        }
+    };
+    println!("serve: listening on http://{}", handle.addr());
+    handle.wait();
+    println!("serve: drained, exiting");
+}
+
+fn run_loadgen(args: &[String]) {
+    let mut cfg = LoadgenConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                cfg = LoadgenConfig {
+                    requests: LoadgenConfig::quick().requests,
+                    ..cfg
+                }
+            }
+            "--requests" => cfg.requests = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--clients" => cfg.clients = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    match loadgen::run(&cfg) {
+        Ok(report) => print!("{}", report.render()),
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1)
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Warm compiled state shared by every worker, behind bounded LRU caches.
+//!
+//! Four layers, all keyed deterministically and all safe to recompute on a
+//! miss (every cached object is a pure function of its key):
+//!
+//! * **kernel artifacts** — [`kernels::CompiledKernel`], one parse per
+//!   kernel shape (the PR-3 warm-session primitive);
+//! * **source programs** — parsed ASTs of POSTed HPF text, keyed by the
+//!   full source (directives included — they shape the partitioning);
+//! * **bound artifacts** — (analyzed, SPMD, AAG) per `(origin, n, procs)`
+//!   point, so a repeat or near-repeat request skips parse, semantic
+//!   analysis *and* partitioning entirely;
+//! * **response bodies** — the serialized JSON answer per canonical
+//!   request, the layer that makes a warm `/v1/predict` a hash lookup.
+//!
+//! Functional-interpreter profiles are *not* cached here: they live in the
+//! process-wide memo behind [`report::shared_profile`], keyed by the
+//! directive-stripped source, so directive variants of one program share a
+//! single profile with the advisor and the sweep sessions.
+//!
+//! Misses are computed outside the cache locks; two workers racing on the
+//! same key both compute the same (deterministic) value and the second
+//! insert is a harmless overwrite — responses stay bit-identical whatever
+//! the interleaving.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hpf_compiler::{compile, CompileOptions, SpmdProgram};
+use hpf_lang::{analyze, parse_program, AnalyzedProgram};
+use kernels::CompiledKernel;
+use report::lru::LruMap;
+use report::{directive_free_source, PipelineError, PipelineStage};
+
+/// Capacities of the serving caches.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Distinct kernel artifacts + parsed source programs.
+    pub sessions: usize,
+    /// Distinct bound (analyzed, SPMD, AAG) artifacts.
+    pub binds: usize,
+    /// Distinct serialized response bodies.
+    pub bodies: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            sessions: 32,
+            binds: 128,
+            bodies: 512,
+        }
+    }
+}
+
+/// A request deadline, checked between pipeline stages: work in progress
+/// is never interrupted mid-stage, but no new stage starts past the
+/// deadline — the graceful-cancellation contract.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline (loadgen warmup, tests).
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    pub fn in_ms(ms: u64) -> Self {
+        Deadline {
+            at: Some(Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+
+    /// Fail with the stage that would have started past the deadline.
+    pub fn check(&self, stage: &'static str) -> Result<(), ServeFailure> {
+        match self.at {
+            Some(at) if Instant::now() >= at => {
+                hpf_trace::counter_add("serve.deadline_exceeded", 1);
+                Err(ServeFailure::Deadline { stage })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Why a cached evaluation could not be served.
+#[derive(Debug)]
+pub enum ServeFailure {
+    /// The compilation pipeline rejected the program (spanned, maps to a
+    /// structured 400).
+    Pipeline(PipelineError),
+    /// The request deadline expired before `stage` could start (504).
+    Deadline { stage: &'static str },
+}
+
+impl From<PipelineError> for ServeFailure {
+    fn from(e: PipelineError) -> Self {
+        ServeFailure::Pipeline(e)
+    }
+}
+
+impl From<kernels::KernelBindError> for ServeFailure {
+    fn from(e: kernels::KernelBindError) -> Self {
+        ServeFailure::Pipeline(e.into())
+    }
+}
+
+impl std::fmt::Display for ServeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeFailure::Pipeline(e) => write!(f, "{e}"),
+            ServeFailure::Deadline { stage } => {
+                write!(f, "deadline exceeded before stage `{stage}`")
+            }
+        }
+    }
+}
+
+/// A POSTed program parsed once: the AST plus the directive-stripped text
+/// that keys the shared profile memo.
+#[derive(Debug)]
+pub struct SourceProgram {
+    pub source: String,
+    pub canonical: String,
+    pub program: hpf_lang::ast::Program,
+}
+
+/// Everything the predict/sweep paths need for one `(program, n, procs)`
+/// point, compiled once and re-served warm.
+#[derive(Debug)]
+pub struct BoundArtifact {
+    pub analyzed: AnalyzedProgram,
+    pub spmd: SpmdProgram,
+    pub aag: appgraph::Aag,
+    /// Directive-stripped source — the shared-profile memo key.
+    pub canonical: String,
+}
+
+/// The shared cache stack. One instance per server, shared by every
+/// worker behind an `Arc`.
+#[derive(Debug)]
+pub struct ServeCache {
+    kernels: Mutex<LruMap<String, Arc<CompiledKernel>>>,
+    programs: Mutex<LruMap<String, Arc<SourceProgram>>>,
+    binds: Mutex<LruMap<String, Arc<BoundArtifact>>>,
+    bodies: Mutex<LruMap<String, Arc<Vec<u8>>>>,
+}
+
+fn counter_pair(prefix: &'static str, hit: bool) {
+    hpf_trace::counter_add(
+        match (prefix, hit) {
+            ("session", true) => "serve.session.hit",
+            ("session", false) => "serve.session.miss",
+            ("bind", true) => "serve.bind.hit",
+            ("bind", false) => "serve.bind.miss",
+            _ => unreachable!(),
+        },
+        1,
+    );
+}
+
+impl ServeCache {
+    pub fn new(cfg: &CacheConfig) -> Self {
+        ServeCache {
+            kernels: Mutex::new(LruMap::new(cfg.sessions)),
+            programs: Mutex::new(LruMap::new(cfg.sessions)),
+            binds: Mutex::new(LruMap::new(cfg.binds)),
+            bodies: Mutex::new(LruMap::new(cfg.bodies)),
+        }
+    }
+
+    fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The compile-once artifact for a suite kernel (one parse per kernel
+    /// shape, process lifetime permitting).
+    pub fn kernel_artifact(&self, name: &str) -> Result<Arc<CompiledKernel>, ServeFailure> {
+        let key = name.to_string();
+        if let Some(k) = Self::lock(&self.kernels).get(&key) {
+            counter_pair("session", true);
+            return Ok(k.clone());
+        }
+        counter_pair("session", false);
+        let kernel = kernels::kernel_by_name(name).ok_or_else(|| {
+            ServeFailure::Pipeline(PipelineError::new(
+                PipelineStage::Parse,
+                format!("unknown kernel `{name}`"),
+            ))
+        })?;
+        let compiled = Arc::new(CompiledKernel::new(&kernel)?);
+        Self::lock(&self.kernels).insert(key, compiled.clone());
+        Ok(compiled)
+    }
+
+    /// The parsed AST for POSTed source (full text is the key: directive
+    /// lines shape partitioning, so they are part of program identity).
+    pub fn source_program(&self, source: &str) -> Result<Arc<SourceProgram>, ServeFailure> {
+        let key = source.to_string();
+        if let Some(p) = Self::lock(&self.programs).get(&key) {
+            counter_pair("session", true);
+            return Ok(p.clone());
+        }
+        counter_pair("session", false);
+        let program = parse_program(source).map_err(PipelineError::from)?;
+        let entry = Arc::new(SourceProgram {
+            source: source.to_string(),
+            canonical: directive_free_source(source),
+            program,
+        });
+        Self::lock(&self.programs).insert(key, entry.clone());
+        Ok(entry)
+    }
+
+    fn bind_cached(
+        &self,
+        key: &String,
+        deadline: &Deadline,
+        build: impl FnOnce() -> Result<BoundArtifact, ServeFailure>,
+    ) -> Result<Arc<BoundArtifact>, ServeFailure> {
+        if let Some(b) = Self::lock(&self.binds).get(key) {
+            counter_pair("bind", true);
+            return Ok(b.clone());
+        }
+        counter_pair("bind", false);
+        deadline.check("bind")?;
+        let built = Arc::new(build()?);
+        Self::lock(&self.binds).insert(key.clone(), built.clone());
+        Ok(built)
+    }
+
+    /// Bind a suite kernel to `(n, procs)` — warm, deadline-checked
+    /// between the pipeline stages it runs on a miss.
+    pub fn bind_kernel(
+        &self,
+        name: &str,
+        n: i64,
+        procs: usize,
+        deadline: &Deadline,
+    ) -> Result<Arc<BoundArtifact>, ServeFailure> {
+        let key = format!("k\u{0}{name}\u{0}{n}\u{0}{procs}");
+        self.bind_cached(&key, deadline, || {
+            let compiled = self.kernel_artifact(name)?;
+            deadline.check("analyze")?;
+            let (analyzed, spmd) = compiled.bind(n, procs, &CompileOptions::default())?;
+            deadline.check("build_aag")?;
+            let aag = appgraph::build_aag(&spmd);
+            Ok(BoundArtifact {
+                analyzed,
+                spmd,
+                aag,
+                canonical: directive_free_source(compiled.canonical_source()),
+            })
+        })
+    }
+
+    /// Bind POSTed source to `(n, procs)`. `n = None` leaves the program's
+    /// own PARAMETER values untouched; `Some(n)` overrides the critical
+    /// variable `N` exactly like the kernel path.
+    pub fn bind_source(
+        &self,
+        source: &str,
+        n: Option<i64>,
+        procs: usize,
+        deadline: &Deadline,
+    ) -> Result<Arc<BoundArtifact>, ServeFailure> {
+        let key = format!(
+            "s\u{0}{source}\u{0}{}\u{0}{procs}",
+            n.map(|v| v.to_string()).unwrap_or_default()
+        );
+        self.bind_cached(&key, deadline, || {
+            let program = self.source_program(source)?;
+            deadline.check("analyze")?;
+            let mut overrides = std::collections::BTreeMap::new();
+            if let Some(n) = n {
+                overrides.insert("N".to_string(), n);
+            }
+            let analyzed = analyze(&program.program, &overrides).map_err(PipelineError::from)?;
+            deadline.check("compile")?;
+            let opts = CompileOptions {
+                nodes: procs,
+                ..CompileOptions::default()
+            };
+            let spmd = compile(&analyzed, &opts).map_err(PipelineError::from)?;
+            deadline.check("build_aag")?;
+            let aag = appgraph::build_aag(&spmd);
+            Ok(BoundArtifact {
+                analyzed,
+                spmd,
+                aag,
+                canonical: program.canonical.clone(),
+            })
+        })
+    }
+
+    /// Look up a serialized response body (`serve.cache.hit` /
+    /// `serve.cache.miss` are the loadgen's warm-hit-rate counters).
+    pub fn cached_body(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        let mut bodies = Self::lock(&self.bodies);
+        let hit = bodies.get(&key.to_string()).cloned();
+        hpf_trace::counter_add(
+            if hit.is_some() {
+                "serve.cache.hit"
+            } else {
+                "serve.cache.miss"
+            },
+            1,
+        );
+        hit
+    }
+
+    /// Store a freshly computed response body.
+    pub fn store_body(&self, key: &str, body: Vec<u8>) -> Arc<Vec<u8>> {
+        let body = Arc::new(body);
+        Self::lock(&self.bodies).insert(key.to_string(), body.clone());
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI_SRC: &str = "
+PROGRAM PI
+INTEGER, PARAMETER :: N = 128
+REAL F(N), PIE
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE F(BLOCK) ONTO P
+FORALL (I = 1:N) F(I) = 4.0 / (1.0 + ((I - 0.5) * (1.0 / N)) ** 2)
+PIE = SUM(F) / N
+END
+";
+
+    #[test]
+    fn kernel_binds_are_reused() {
+        let cache = ServeCache::new(&CacheConfig::default());
+        let a = cache.bind_kernel("PI", 256, 4, &Deadline::none()).unwrap();
+        let b = cache.bind_kernel("PI", 256, 4, &Deadline::none()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second bind must be served warm");
+        let c = cache.bind_kernel("PI", 512, 4, &Deadline::none()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "different n is a different artifact");
+    }
+
+    #[test]
+    fn source_binds_are_reused_and_match_kernel_semantics() {
+        let cache = ServeCache::new(&CacheConfig::default());
+        let a = cache
+            .bind_source(PI_SRC, None, 4, &Deadline::none())
+            .unwrap();
+        let b = cache
+            .bind_source(PI_SRC, None, 4, &Deadline::none())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.spmd.nodes, 4);
+        assert!(!a.canonical.contains("!HPF$"));
+    }
+
+    #[test]
+    fn unknown_kernel_is_a_pipeline_error() {
+        let cache = ServeCache::new(&CacheConfig::default());
+        match cache.bind_kernel("NOSUCH", 64, 4, &Deadline::none()) {
+            Err(ServeFailure::Pipeline(e)) => assert!(e.message.contains("NOSUCH")),
+            other => panic!("expected pipeline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_source_is_a_spanned_pipeline_error() {
+        let cache = ServeCache::new(&CacheConfig::default());
+        let bad = "PROGRAM X\nREAL A(\nEND\n";
+        match cache.bind_source(bad, None, 4, &Deadline::none()) {
+            Err(ServeFailure::Pipeline(e)) => {
+                assert!(e.line().is_some(), "diagnostic must carry a span: {e}")
+            }
+            other => panic!("expected pipeline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_before_the_next_stage() {
+        let cache = ServeCache::new(&CacheConfig::default());
+        // Already-expired deadline: the cold path must refuse to start.
+        match cache.bind_kernel("PI", 300, 4, &Deadline::in_ms(0)) {
+            Err(ServeFailure::Deadline { .. }) => {}
+            other => panic!("expected deadline failure, got {other:?}"),
+        }
+        // A warm hit needs no stages, so it is served even when expired.
+        cache.bind_kernel("PI", 300, 4, &Deadline::none()).unwrap();
+        cache
+            .bind_kernel("PI", 300, 4, &Deadline::in_ms(0))
+            .expect("warm hit carries no further stages");
+    }
+
+    #[test]
+    fn body_cache_round_trips() {
+        let cache = ServeCache::new(&CacheConfig::default());
+        assert!(cache.cached_body("k").is_none());
+        cache.store_body("k", b"{\"x\":1}".to_vec());
+        assert_eq!(cache.cached_body("k").unwrap().as_slice(), b"{\"x\":1}");
+    }
+}

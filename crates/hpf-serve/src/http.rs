@@ -1,0 +1,367 @@
+//! A minimal HTTP/1.1 layer over `std::net` — request parsing, response
+//! serialization, keep-alive bookkeeping. Zero dependencies, consistent
+//! with the vendored-deps policy: the service only needs the subset of
+//! HTTP that `curl` and the loadgen speak (request line, headers,
+//! `Content-Length` bodies, persistent connections).
+
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body, bytes. HPF programs are kilobytes; a
+/// megabyte leaves room without letting one request balloon the worker.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted header section (request line + headers), bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    /// Path only — query strings are not part of the API surface.
+    pub path: String,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// A malformed or over-limit request, mapped to the HTTP status the
+/// connection handler should answer with before closing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HTTP {}: {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The canonical reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Read one request from a buffered connection.
+///
+/// Returns `Ok(None)` on a clean end-of-stream before any bytes of a new
+/// request (the keep-alive peer hung up — not an error). I/O errors and
+/// timeouts surface as `Err` with status 408-ish semantics handled by the
+/// caller; protocol violations surface with the 4xx status to answer.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(HttpError::new(400, format!("read request line: {e}"))),
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(
+            400,
+            format!("unsupported version {version}"),
+        ));
+    }
+
+    let mut headers = Vec::new();
+    let mut header_bytes = line.len();
+    loop {
+        let mut h = String::new();
+        match reader.read_line(&mut h) {
+            Ok(0) => return Err(HttpError::new(400, "eof inside headers")),
+            Ok(n) => header_bytes += n,
+            Err(e) => return Err(HttpError::new(400, format!("read header: {e}"))),
+        }
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::new(413, "header section too large"));
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            return Err(HttpError::new(400, format!("malformed header {h:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        std::io::Read::read_exact(reader, &mut body)
+            .map_err(|e| HttpError::new(400, format!("read body: {e}")))?;
+    }
+
+    let path = path.split('?').next().unwrap_or("").to_string();
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Serialize a response. `retry_after` adds the backpressure header the
+/// 429 path promises; `keep_alive` decides the `Connection` header.
+pub fn response_bytes(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    retry_after_s: Option<u32>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 160);
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if let Some(s) = retry_after_s {
+        let _ = write!(out, "retry-after: {s}\r\n");
+    }
+    let _ = out.write_all(b"\r\n");
+    let _ = out.write_all(body);
+    out
+}
+
+/// One parsed response: `(status, headers, body)`, header names lower-cased.
+pub type Response = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Read one response from a buffered connection — the client half used by
+/// the loadgen and the end-to-end tests.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, HttpError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(HttpError::new(400, "eof before status line")),
+        Ok(_) => {}
+        Err(e) => return Err(HttpError::new(400, format!("read status line: {e}"))),
+    }
+    let mut parts = line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(s)) if v.starts_with("HTTP/1.") => s
+            .parse::<u16>()
+            .map_err(|_| HttpError::new(400, format!("bad status {s:?}")))?,
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed status line {line:?}"),
+            ))
+        }
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        match reader.read_line(&mut h) {
+            Ok(0) => return Err(HttpError::new(400, "eof inside response headers")),
+            Ok(_) => {}
+            Err(e) => return Err(HttpError::new(400, format!("read response header: {e}"))),
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            return Err(HttpError::new(
+                400,
+                format!("malformed response header {h:?}"),
+            ));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        std::io::Read::read_exact(reader, &mut body)
+            .map_err(|e| HttpError::new(400, format!("read response body: {e}")))?;
+    }
+    Ok((status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/predict");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"a\"");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_strips_query() {
+        let req = parse("GET /v1/healthz?x=1 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_close_is_detected() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_error() {
+        assert_eq!(parse("").unwrap().map(|r| r.method), None);
+    }
+
+    #[test]
+    fn rejects_protocol_garbage() {
+        assert_eq!(parse("NONSENSE\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET / SPDY/3\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(&raw).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn response_bytes_carry_headers() {
+        let bytes = response_bytes(429, "application/json", b"{}", true, Some(2));
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn read_response_round_trips_what_response_bytes_wrote() {
+        let bytes = response_bytes(404, "application/json", b"{\"e\":1}", false, None);
+        let (status, headers, body) = read_response(&mut BufReader::new(bytes.as_slice())).unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, b"{\"e\":1}");
+        assert!(headers
+            .iter()
+            .any(|(k, v)| k == "connection" && v == "close"));
+    }
+
+    #[test]
+    fn keep_alive_roundtrip_reads_two_requests() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = BufReader::new(raw.as_bytes());
+        let a = read_request(&mut r).unwrap().unwrap();
+        let b = read_request(&mut r).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(read_request(&mut r).unwrap().is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! # hpf-serve — a concurrent prediction service over warm sessions
+//!
+//! The SC'94 framework was built to live inside an interactive
+//! application-development environment: a developer edits directives and
+//! asks "what would this cost on 16 nodes?" over and over. This crate
+//! packages the prediction pipeline as a long-running HTTP/1.1 JSON
+//! service shaped for exactly that loop — the expensive front half
+//! (parse, semantic analysis, partitioning) happens once per distinct
+//! program shape and is then re-served warm from bounded LRU caches,
+//! while the cheap back half (interpretation over the AAG) runs per
+//! request.
+//!
+//! Zero external dependencies, per the workspace's offline policy: the
+//! HTTP layer ([`http`]), JSON (via `hpf_trace::json`), thread pool and
+//! load generator ([`loadgen`]) are all std-only.
+//!
+//! ## Endpoints
+//!
+//! | route | answer |
+//! |---|---|
+//! | `POST /v1/predict` | per-phase predicted times for `(kernel or source, n, procs)` |
+//! | `POST /v1/sweep`   | predicted (optionally DES-simulated) curve over a size range |
+//! | `POST /v1/advise`  | top-k directive recommendations via the hpf-advisor search |
+//! | `GET /v1/metrics`  | the live `hpf-trace/v1` counters/spans document |
+//! | `GET /v1/healthz`  | liveness + the kernel suite |
+//! | `POST /v1/shutdown`| graceful drain: answer in-flight work, then exit |
+//!
+//! ## Guarantees
+//!
+//! * **Determinism** — responses for identical requests are bit-identical
+//!   regardless of worker count or arrival order (pure handlers, sorted
+//!   JSON keys, seeded simulation); the loadgen checksum and the
+//!   end-to-end tests enforce this.
+//! * **Bounded memory** — every cache layer (kernel artifacts, parsed
+//!   sources, bound artifacts, response bodies, and the process-wide
+//!   profile memo in `report`) is LRU-bounded.
+//! * **Backpressure** — a full connection queue answers `429` with
+//!   `Retry-After` instead of queueing without limit.
+//! * **Graceful cancellation** — per-request deadlines are checked
+//!   between pipeline stages; an expired deadline yields `504` without
+//!   interrupting a stage midway.
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+
+pub use api::{Api, ApiResponse, SCHEMA};
+pub use cache::{CacheConfig, Deadline, ServeCache, ServeFailure};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use server::{start, ServerConfig, ServerHandle};

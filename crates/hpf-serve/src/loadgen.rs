@@ -1,0 +1,355 @@
+//! Deterministic load generator: a seeded request mix over the kernel
+//! suite, fired at an in-process server over real sockets.
+//!
+//! The mix is a pure function of `(seed, request index)` — ~90% of
+//! requests are warm Laplace predicts drawn from a handful of distinct
+//! bodies (the steady-state shape a prediction service sees), the rest
+//! spread over the other kernels and small sweep curves. Every response
+//! body is folded into an FNV-1a checksum *in request-index order*, so
+//! two runs with the same seed and request count produce the same
+//! checksum no matter how many workers or client threads raced — the
+//! drive-by proof of the service's byte-determinism contract.
+//!
+//! Reported: throughput, latency percentiles (p50/p95/p99), status
+//! counts, warm-cache hit rate (from the server's own
+//! `serve.cache.{hit,miss}` counters via `GET /v1/metrics`), and the
+//! body checksum.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use hpf_trace::json::{parse as parse_json, Value};
+
+use crate::http::read_response;
+use crate::server::{start, ServerConfig};
+
+/// Loadgen knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total requests in the run.
+    pub requests: usize,
+    /// Client threads. Clamped to `workers` so a parked keep-alive client
+    /// can never starve the pool (each client holds one connection, each
+    /// connection holds one worker).
+    pub clients: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Mix seed.
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// The `--quick` preset the CI gate and EXPERIMENTS numbers use.
+    pub fn quick() -> Self {
+        LoadgenConfig {
+            requests: 2_000,
+            clients: 4,
+            workers: 4,
+            seed: 0x010A_D6E4,
+        }
+    }
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 10_000,
+            ..LoadgenConfig::quick()
+        }
+    }
+}
+
+/// One finished run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    pub requests: usize,
+    pub clients: usize,
+    pub workers: usize,
+    pub seed: u64,
+    pub wall_s: f64,
+    pub throughput_rps: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub ok: usize,
+    pub failed: usize,
+    /// `serve.cache.hit / (hit + miss)` over the run.
+    pub cache_hit_rate: f64,
+    /// FNV-1a over all response bodies in request-index order.
+    pub checksum: u64,
+}
+
+impl LoadgenReport {
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: {} requests, {} clients, {} workers, seed {:#x}\n\
+             wall          {:.3} s\n\
+             throughput    {:.0} req/s\n\
+             latency p50   {:.3} ms\n\
+             latency p95   {:.3} ms\n\
+             latency p99   {:.3} ms\n\
+             ok / failed   {} / {}\n\
+             cache hits    {:.1} %\n\
+             checksum      {:016x}\n",
+            self.requests,
+            self.clients,
+            self.workers,
+            self.seed,
+            self.wall_s,
+            self.throughput_rps,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.ok,
+            self.failed,
+            self.cache_hit_rate * 100.0,
+            self.checksum
+        )
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The deterministic request at index `i`: `(path, body)`.
+pub fn request_at(seed: u64, i: usize) -> (&'static str, String) {
+    let r = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9)) % 100;
+    match r {
+        // ~90%: the warm Laplace predict mix — 6 distinct bodies.
+        0..=89 => {
+            let n = [64usize, 128, 256][(r % 3) as usize];
+            let procs = [4usize, 8][(r % 2) as usize];
+            (
+                "/v1/predict",
+                format!(r#"{{"kernel": "Laplace (Blk-Blk)", "n": {n}, "procs": {procs}}}"#),
+            )
+        }
+        // ~5%: predicts over the rest of the suite.
+        90..=94 => {
+            let kernel = ["PI", "Laplace (Blk-X)", "Laplace (X-Blk)"][(r % 3) as usize];
+            (
+                "/v1/predict",
+                format!(r#"{{"kernel": "{kernel}", "n": 128, "procs": 4}}"#),
+            )
+        }
+        // ~5%: small predicted sweep curves.
+        _ => (
+            "/v1/sweep",
+            format!(
+                r#"{{"kernel": "PI", "sizes": {{"min": {}, "max": 128}}, "procs": 4}}"#,
+                [32usize, 64][(r % 2) as usize]
+            ),
+        ),
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() as f64 * q).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+struct ClientResult {
+    /// `(request index, latency ms, status, body hash)` per request.
+    samples: Vec<(usize, f64, u16, u64)>,
+}
+
+fn client_run(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    requests: usize,
+    stride: usize,
+    first: usize,
+) -> std::io::Result<ClientResult> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    let mut samples = Vec::with_capacity(requests / stride + 1);
+    let mut i = first;
+    while i < requests {
+        let (path, body) = request_at(seed, i);
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let t0 = Instant::now();
+        stream.write_all(raw.as_bytes())?;
+        let (status, _, resp_body) =
+            read_response(&mut reader).map_err(|e| std::io::Error::other(e.message))?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        samples.push((i, ms, status, fnv1a(FNV_OFFSET, &resp_body)));
+        i += stride;
+    }
+    Ok(ClientResult { samples })
+}
+
+/// Warm-cache hit rate from the server's own metrics endpoint.
+fn fetch_hit_rate(addr: std::net::SocketAddr) -> std::io::Result<f64> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /v1/metrics HTTP/1.1\r\nconnection: close\r\n\r\n")?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let (status, _, body) =
+        read_response(&mut reader).map_err(|e| std::io::Error::other(e.message))?;
+    if status != 200 {
+        return Err(std::io::Error::other(format!("metrics status {status}")));
+    }
+    let doc = parse_json(std::str::from_utf8(&body).map_err(std::io::Error::other)?)
+        .map_err(|e| std::io::Error::other(format!("metrics json: {e}")))?;
+    let counter = |name: &str| -> f64 {
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    let (hit, miss) = (counter("serve.cache.hit"), counter("serve.cache.miss"));
+    Ok(if hit + miss == 0.0 {
+        0.0
+    } else {
+        hit / (hit + miss)
+    })
+}
+
+/// Run the generator against a fresh in-process server and drain it.
+///
+/// Tracing is enabled (and the registry reset) for the duration so the
+/// hit-rate counters exist; the instrumented pipeline is bit-neutral
+/// under tracing, so this perturbs nothing.
+pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    let workers = cfg.workers.max(1);
+    let clients = cfg.clients.max(1).min(workers);
+
+    hpf_trace::enable();
+    hpf_trace::reset();
+
+    let handle = start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            // Never the bottleneck here: clients <= workers holds every
+            // connection on a worker, the queue stays empty.
+            queue_depth: workers * 2,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = handle.addr();
+
+    let t0 = Instant::now();
+    let mut joins = Vec::with_capacity(clients);
+    for j in 0..clients {
+        let seed = cfg.seed;
+        let requests = cfg.requests;
+        joins.push(std::thread::spawn(move || {
+            client_run(addr, seed, requests, clients, j)
+        }));
+    }
+    let mut samples = Vec::with_capacity(cfg.requests);
+    for j in joins {
+        let result = j
+            .join()
+            .map_err(|_| std::io::Error::other("client thread panicked"))??;
+        samples.extend(result.samples);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let cache_hit_rate = fetch_hit_rate(addr)?;
+
+    // Shut the server down the way a supervisor would: over the wire.
+    {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.write_all(b"POST /v1/shutdown HTTP/1.1\r\ncontent-length: 0\r\n\r\n")?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let _ = read_response(&mut reader);
+    }
+    handle.wait();
+    hpf_trace::disable();
+
+    // Fold body hashes in request-index order: worker count and arrival
+    // order cancel out of the checksum by construction.
+    samples.sort_by_key(|&(i, _, _, _)| i);
+    let mut checksum = FNV_OFFSET;
+    let mut ok = 0;
+    let mut failed = 0;
+    for &(_, _, status, body_hash) in &samples {
+        checksum = fnv1a(checksum, &body_hash.to_be_bytes());
+        if status == 200 {
+            ok += 1;
+        } else {
+            failed += 1;
+        }
+    }
+
+    let mut lat: Vec<f64> = samples.iter().map(|&(_, ms, _, _)| ms).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    Ok(LoadgenReport {
+        requests: cfg.requests,
+        clients,
+        workers,
+        seed: cfg.seed,
+        wall_s,
+        throughput_rps: cfg.requests as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
+        ok,
+        failed,
+        cache_hit_rate,
+        checksum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_warm_heavy() {
+        let a: Vec<_> = (0..500).map(|i| request_at(7, i)).collect();
+        let b: Vec<_> = (0..500).map(|i| request_at(7, i)).collect();
+        assert_eq!(a, b);
+        let laplace = a
+            .iter()
+            .filter(|(_, body)| body.contains("Laplace (Blk-Blk)"))
+            .count();
+        assert!(laplace >= 400, "warm share too small: {laplace}/500");
+        // The whole mix draws from a small body alphabet — that is what
+        // makes the steady state warm.
+        let distinct: std::collections::BTreeSet<_> =
+            a.iter().map(|(p, b)| (*p, b.clone())).collect();
+        assert!(distinct.len() <= 16, "{} distinct bodies", distinct.len());
+    }
+
+    #[test]
+    fn percentile_is_rank_based() {
+        let lat = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&lat, 0.50), 2.0);
+        assert_eq!(percentile(&lat, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn fnv_checksum_is_order_sensitive() {
+        let a = fnv1a(fnv1a(FNV_OFFSET, b"one"), b"two");
+        let b = fnv1a(fnv1a(FNV_OFFSET, b"two"), b"one");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,469 @@
+//! The concurrent server: acceptor + fixed worker pool over a bounded
+//! connection queue.
+//!
+//! Concurrency model, simplest-thing-that-is-correct:
+//!
+//! * one **acceptor** thread owns the listening socket. Accepted
+//!   connections go into a bounded queue; when the queue is full the
+//!   acceptor answers `429 Too Many Requests` with a `Retry-After`
+//!   header and closes — explicit backpressure instead of an unbounded
+//!   backlog;
+//! * a **fixed pool** of worker threads pops connections and serves them
+//!   keep-alive until the peer closes, a read times out, or shutdown
+//!   begins. Handlers are pure ([`crate::api`]), so any worker can serve
+//!   any request and the response bytes do not depend on which one did;
+//! * **graceful shutdown** is a `POST /v1/shutdown` (std has no signal
+//!   API, so the SIGTERM role is played by an endpoint the supervisor —
+//!   or CI — posts to): the acceptor stops accepting, idle workers wake
+//!   and exit, busy workers finish the request in flight and close the
+//!   connection after answering, and [`ServerHandle::wait`] joins them
+//!   all before returning.
+//!
+//! Trace counters (when tracing is enabled): `serve.conn.accepted`,
+//! `serve.conn.rejected`, `serve.conn.served`, plus the request/cache
+//! counters the API layer and [`crate::cache`] maintain.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hpf_trace::json::Value;
+
+use crate::api::{Api, SCHEMA};
+use crate::cache::CacheConfig;
+use crate::http;
+
+const JSON: &str = "application/json";
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Connections that may wait for a worker before new ones get 429.
+    pub queue_depth: usize,
+    /// Keep-alive read timeout: an idle connection is closed after this
+    /// long with no next request.
+    pub read_timeout_ms: u64,
+    /// `Retry-After` seconds advertised on 429.
+    pub retry_after_s: u32,
+    pub cache: CacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            read_timeout_ms: 5_000,
+            retry_after_s: 1,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    api: Api,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake idle workers so they can observe the flag and exit.
+        self.ready.notify_all();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server: its bound address plus the thread handles needed to
+/// stop it and drain it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Trigger shutdown from in-process (equivalent to `POST
+    /// /v1/shutdown`): stop accepting, let in-flight work finish.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Block until every server thread has exited. Returns cleanly only
+    /// after in-flight connections have been answered and closed.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and start the acceptor + worker pool.
+pub fn start(addr: &str, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        api: Api::new(&cfg.cache),
+        cfg: ServerConfig {
+            workers: cfg.workers.max(1),
+            queue_depth: cfg.queue_depth.max(1),
+            ..cfg
+        },
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let mut threads = Vec::with_capacity(shared.cfg.workers + 1);
+    for _ in 0..shared.cfg.workers {
+        let s = shared.clone();
+        threads.push(std::thread::spawn(move || worker_loop(&s)));
+    }
+    {
+        let s = shared.clone();
+        threads.push(std::thread::spawn(move || acceptor_loop(&s, listener)));
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn acceptor_loop(shared: &Shared, listener: TcpListener) {
+    // Non-blocking accept polled on a short tick, so shutdown is observed
+    // promptly without platform signal machinery.
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(false);
+                let mut q = lock(&shared.queue);
+                if q.len() >= shared.cfg.queue_depth {
+                    drop(q);
+                    hpf_trace::counter_add("serve.conn.rejected", 1);
+                    reject_overloaded(shared, stream);
+                } else {
+                    hpf_trace::counter_add("serve.conn.accepted", 1);
+                    q.push_back(stream);
+                    drop(q);
+                    shared.ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// The backpressure answer: 429 + `Retry-After`, then close.
+fn reject_overloaded(shared: &Shared, mut stream: TcpStream) {
+    let body = Value::obj(vec![
+        ("schema", Value::Str(SCHEMA.into())),
+        (
+            "error",
+            Value::obj(vec![
+                ("kind", Value::Str("overloaded".into())),
+                (
+                    "message",
+                    Value::Str("request queue is full; retry shortly".into()),
+                ),
+            ]),
+        ),
+    ])
+    .pretty();
+    let _ = stream.write_all(&http::response_bytes(
+        429,
+        JSON,
+        body.as_bytes(),
+        false,
+        Some(shared.cfg.retry_after_s),
+    ));
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match conn {
+            Some(stream) => {
+                hpf_trace::counter_add("serve.conn.served", 1);
+                serve_connection(shared, stream);
+            }
+            None => return,
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.read_timeout_ms.max(1),
+    )));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        match http::read_request(&mut reader) {
+            // Peer closed between requests: normal end of a keep-alive
+            // connection.
+            Ok(None) => return,
+            // Protocol violation or read timeout. Answer the 4xx (a
+            // timed-out peer ignores it; a broken client learns why) and
+            // close either way.
+            Err(e) => {
+                let body = Value::obj(vec![
+                    ("schema", Value::Str(SCHEMA.into())),
+                    (
+                        "error",
+                        Value::obj(vec![
+                            ("kind", Value::Str("http".into())),
+                            ("message", Value::Str(e.message.clone())),
+                        ]),
+                    ),
+                ])
+                .pretty();
+                let _ = stream.write_all(&http::response_bytes(
+                    e.status,
+                    JSON,
+                    body.as_bytes(),
+                    false,
+                    None,
+                ));
+                return;
+            }
+            Ok(Some(req)) => {
+                if req.method == "POST" && req.path == "/v1/shutdown" {
+                    shared.begin_shutdown();
+                    let body = Value::obj(vec![
+                        ("schema", Value::Str(SCHEMA.into())),
+                        ("status", Value::Str("draining".into())),
+                    ])
+                    .pretty();
+                    let _ = stream.write_all(&http::response_bytes(
+                        200,
+                        JSON,
+                        body.as_bytes(),
+                        false,
+                        None,
+                    ));
+                    return;
+                }
+                let resp = shared.api.handle(&req);
+                // Once draining, answer the request in flight but refuse
+                // to keep the connection open for more.
+                let keep = !req.wants_close() && !shared.shutting_down();
+                if stream
+                    .write_all(&http::response_bytes(
+                        resp.status,
+                        JSON,
+                        &resp.body,
+                        keep,
+                        None,
+                    ))
+                    .is_err()
+                {
+                    return;
+                }
+                if !keep {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::read_response;
+    use std::io::BufRead;
+
+    // Trace counters are process-global; tests that read them serialize.
+    static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn send(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> std::io::Result<()> {
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes())
+    }
+
+    fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        send(&mut stream, method, path, body).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, _, body) = read_response(&mut reader).unwrap();
+        (status, body)
+    }
+
+    #[test]
+    fn healthz_and_predict_over_a_real_socket() {
+        let handle = start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        let (status, body) = roundtrip(addr, "GET", "/v1/healthz", "");
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+
+        let (status, body) = roundtrip(
+            addr,
+            "POST",
+            "/v1/predict",
+            r#"{"kernel": "PI", "n": 128, "procs": 4}"#,
+        );
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert!(String::from_utf8_lossy(&body).contains("predicted_s"));
+
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let handle = start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut bodies = Vec::new();
+        for _ in 0..3 {
+            send(
+                &mut stream,
+                "POST",
+                "/v1/predict",
+                r#"{"kernel": "PI", "n": 64, "procs": 4}"#,
+            )
+            .unwrap();
+            let (status, _, body) = read_response(&mut reader).unwrap();
+            assert_eq!(status, 200);
+            bodies.push(body);
+        }
+        assert_eq!(bodies[0], bodies[1]);
+        assert_eq!(bodies[1], bodies[2]);
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn full_queue_answers_429_with_retry_after() {
+        let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        hpf_trace::enable();
+        let base_served = hpf_trace::counter_get("serve.conn.served");
+        let base_accepted = hpf_trace::counter_get("serve.conn.accepted");
+
+        let handle = start(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+
+        // Occupy the single worker with an idle keep-alive connection.
+        let held = TcpStream::connect(addr).unwrap();
+        wait_for(|| hpf_trace::counter_get("serve.conn.served") > base_served);
+        // Fill the one queue slot with a second idle connection.
+        let parked = TcpStream::connect(addr).unwrap();
+        wait_for(|| hpf_trace::counter_get("serve.conn.accepted") >= base_accepted + 2);
+
+        // The third connection must be rejected with backpressure.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        send(&mut stream, "GET", "/v1/healthz", "").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, headers, body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
+        assert!(
+            headers
+                .iter()
+                .any(|(k, v)| k == "retry-after" && !v.is_empty()),
+            "{headers:?}"
+        );
+
+        drop(held);
+        drop(parked);
+        hpf_trace::disable();
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_and_joins() {
+        let handle = start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.addr();
+        let (status, body) = roundtrip(addr, "POST", "/v1/shutdown", "");
+        assert_eq!(status, 200);
+        assert!(String::from_utf8_lossy(&body).contains("draining"));
+        handle.wait();
+        // The listener is gone: a fresh connect may be refused outright or
+        // accepted by the OS backlog and then closed without a response.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = send(&mut s, "GET", "/v1/healthz", "");
+            let mut line = String::new();
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let n = BufReader::new(s).read_line(&mut line).unwrap_or(0);
+            assert_eq!(n, 0, "server answered after shutdown: {line:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_http_is_answered_and_closed() {
+        let handle = start("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, _, _) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 400);
+        handle.shutdown();
+        handle.wait();
+    }
+
+    fn wait_for(mut cond: impl FnMut() -> bool) {
+        for _ in 0..500 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("condition not reached within 1s");
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end determinism and concurrency tests for the prediction
+//! service.
+//!
+//! The contract under test: for a fixed request set, the response bodies
+//! are bit-identical whatever the concurrency — one thread or many, one
+//! worker or many, arrival order shuffled by scheduling. The loadgen's
+//! order-independent checksum plus direct body comparison enforce it
+//! from two angles.
+
+use std::sync::{Arc, Mutex};
+
+use hpf_serve::api::Api;
+use hpf_serve::cache::CacheConfig;
+use hpf_serve::http::Request;
+use hpf_serve::loadgen::{self, request_at, LoadgenConfig};
+
+/// The loadgen (and anything reading trace counters) flips process-global
+/// trace state; such tests serialize here.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn post(path: &str, body: &str) -> Request {
+    Request {
+        method: "POST".into(),
+        path: path.into(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+/// A deterministic request set drawn from the loadgen mix plus inline
+/// sources, so both the kernel and the POSTed-source cache paths are
+/// hammered.
+fn request_set(count: usize) -> Vec<(String, String)> {
+    const INLINE: &str = "
+PROGRAM PI
+INTEGER, PARAMETER :: N = 128
+REAL F(N), PIE
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE F(BLOCK) ONTO P
+FORALL (I = 1:N) F(I) = 4.0 / (1.0 + ((I - 0.5) * (1.0 / N)) ** 2)
+PIE = SUM(F) / N
+END
+";
+    (0..count)
+        .map(|i| {
+            if i % 11 == 3 {
+                let body = hpf_trace::json::Value::obj(vec![
+                    ("source", hpf_trace::json::Value::Str(INLINE.to_string())),
+                    ("procs", hpf_trace::json::Value::Num(4.0)),
+                ])
+                .pretty();
+                ("/v1/predict".to_string(), body)
+            } else {
+                let (path, body) = request_at(0xE2E, i);
+                (path.to_string(), body)
+            }
+        })
+        .collect()
+}
+
+/// Satellite: N threads hammering one shared `Api` (shared sessions,
+/// shared caches) must produce responses bit-identical to a sequential
+/// pass over the same request set on a fresh `Api`.
+#[test]
+fn concurrent_session_reuse_matches_sequential() {
+    let requests = request_set(176);
+
+    // Sequential reference on its own cache stack.
+    let sequential = Api::new(&CacheConfig::default());
+    let expected: Vec<(u16, Vec<u8>)> = requests
+        .iter()
+        .map(|(path, body)| {
+            let resp = sequential.handle(&post(path, body));
+            (resp.status, resp.body)
+        })
+        .collect();
+
+    // 8 threads over one shared Api, interleaved assignment so every
+    // thread touches every distinct request shape and races the others
+    // on the same cache entries.
+    let shared = Arc::new(Api::new(&CacheConfig::default()));
+    let requests = Arc::new(requests);
+    let threads = 8;
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let shared = shared.clone();
+        let requests = requests.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for i in (t..requests.len()).step_by(threads) {
+                let (path, body) = &requests[i];
+                let resp = shared.handle(&post(path, body));
+                got.push((i, resp.status, resp.body));
+            }
+            got
+        }));
+    }
+    let mut concurrent: Vec<(usize, u16, Vec<u8>)> = Vec::new();
+    for j in joins {
+        concurrent.extend(j.join().expect("worker thread panicked"));
+    }
+    concurrent.sort_by_key(|&(i, _, _)| i);
+
+    assert_eq!(concurrent.len(), expected.len());
+    for (i, status, body) in concurrent {
+        assert_eq!(status, expected[i].0, "status diverged at request {i}");
+        assert_eq!(
+            body, expected[i].1,
+            "body diverged at request {i}: concurrent run is not bit-identical"
+        );
+    }
+}
+
+/// Acceptance: two loadgen runs with different `--workers` values answer
+/// the same request set with byte-identical bodies (equal order-folded
+/// checksums) and no failures.
+#[test]
+fn worker_count_does_not_change_response_bytes() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let base = LoadgenConfig {
+        requests: 300,
+        clients: 4,
+        workers: 1,
+        seed: 0xD00D,
+    };
+    let one = loadgen::run(&base).expect("loadgen workers=1");
+    let four = loadgen::run(&LoadgenConfig { workers: 4, ..base }).expect("loadgen workers=4");
+
+    assert_eq!(one.failed, 0, "failures with one worker");
+    assert_eq!(four.failed, 0, "failures with four workers");
+    assert_eq!(
+        one.checksum, four.checksum,
+        "response bytes depend on worker count"
+    );
+}
+
+/// The steady-state mix is warm: after the first occurrence of each
+/// distinct body, everything is a response-cache hit.
+#[test]
+fn loadgen_mix_runs_warm() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let report = loadgen::run(&LoadgenConfig {
+        requests: 400,
+        clients: 4,
+        workers: 4,
+        seed: 0x5EED,
+    })
+    .expect("loadgen run");
+    assert_eq!(report.failed, 0);
+    assert!(
+        report.cache_hit_rate >= 0.9,
+        "warm-cache hit rate {:.3} below 0.9",
+        report.cache_hit_rate
+    );
+    assert!(report.p99_ms >= report.p50_ms);
+    assert!(report.throughput_rps > 0.0);
+}

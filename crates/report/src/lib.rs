@@ -17,17 +17,19 @@ pub mod csv;
 pub mod experiments;
 pub mod faults;
 pub mod harness;
+pub mod lru;
 pub mod pipeline;
 pub mod session;
 pub mod sweep;
 pub mod workflow;
 
 pub use harness::{run_batch, run_isolated, HarnessConfig, JobFailure, SweepFailure};
+pub use lru::LruMap;
 pub use pipeline::{
     compile_source, predict_source, predict_source_full, simulate_source, PipelineError,
     PipelineStage, PredictOptions, SimulateOptions,
 };
-pub use sweep::{shared_profile, SweepSession};
+pub use sweep::{directive_free_source, shared_profile, SweepSession};
 
 /// Serializes tests that flip the process-global `hpf_trace` enable flag.
 #[cfg(test)]

@@ -155,6 +155,61 @@ impl PipelineError {
     pub fn line(&self) -> Option<u32> {
         self.span.map(|s| s.line)
     }
+
+    /// 1-based column of the error within its line, if located (computed
+    /// from the span's byte offset against `source`).
+    pub fn column_in(&self, source: &str) -> Option<u32> {
+        let span = self.span?;
+        if span == hpf_lang::Span::SYNTHETIC {
+            return None;
+        }
+        let start = (span.start as usize).min(source.len());
+        let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        Some(source[line_start..start].chars().count() as u32 + 1)
+    }
+
+    /// Render a human-readable spanned diagnostic against the source text
+    /// the error came from:
+    ///
+    /// ```text
+    /// parse error at line 4: expected an expression
+    ///   4 | FORALL (I = 1:N) A(I) = +
+    ///     |                         ^
+    /// ```
+    ///
+    /// Degrades to the plain [`Display`](std::fmt::Display) form when the
+    /// error carries no usable span. The `advise` CLI prints this to
+    /// stderr and `hpf-serve` embeds the same string in its structured
+    /// 400 bodies, so both surfaces show one diagnostic.
+    pub fn render_diagnostic(&self, source: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("{self}\n");
+        let (Some(span), Some(line), Some(col)) = (self.span, self.line(), self.column_in(source))
+        else {
+            return out;
+        };
+        let Some(text) = source.lines().nth(line as usize - 1) else {
+            return out;
+        };
+        let gutter = format!("{line}");
+        let _ = writeln!(out, "  {gutter} | {text}");
+        let width = (span.end.saturating_sub(span.start) as usize).max(1);
+        let caret_width = if span.end_line == span.line {
+            width.min(text.chars().count().saturating_sub(col as usize - 1).max(1))
+        } else {
+            1
+        };
+        let _ = writeln!(
+            out,
+            "  {:gw$} | {:pad$}{}",
+            "",
+            "",
+            "^".repeat(caret_width),
+            gw = gutter.len(),
+            pad = col as usize - 1
+        );
+        out
+    }
 }
 
 impl std::fmt::Display for PipelineError {
@@ -318,6 +373,30 @@ END
     #[test]
     fn bad_source_is_error() {
         assert!(predict_source("NOT FORTRAN", &PredictOptions::default()).is_err());
+    }
+
+    #[test]
+    fn render_diagnostic_points_at_the_offending_line() {
+        let src = "PROGRAM BAD\nINTEGER, PARAMETER :: N = 64\nREAL A(N)\nA(1) = +\nEND\n";
+        let err = predict_source(src, &PredictOptions::default()).unwrap_err();
+        let rendered = err.render_diagnostic(src);
+        let line = err.line().expect("error carries a span");
+        assert!(
+            rendered.contains(&format!("line {line}")),
+            "missing line number: {rendered}"
+        );
+        let offending = src.lines().nth(line as usize - 1).unwrap();
+        assert!(
+            rendered.contains(offending),
+            "missing source excerpt: {rendered}"
+        );
+        assert!(rendered.contains('^'), "missing caret: {rendered}");
+    }
+
+    #[test]
+    fn render_diagnostic_without_span_degrades_to_display() {
+        let err = PipelineError::new(PipelineStage::Sweep, "worker timed out");
+        assert_eq!(err.render_diagnostic("anything"), format!("{err}\n"));
     }
 
     #[test]

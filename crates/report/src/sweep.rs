@@ -28,6 +28,7 @@ use hpf_lang::AnalyzedProgram;
 use kernels::{CompiledKernel, Kernel};
 
 use crate::experiments::{sample_from_artifact, AccuracySample, SweepConfig};
+use crate::lru::LruMap;
 use crate::pipeline::PipelineError;
 
 /// A computed-at-most-once profile entry: `None` means the functional
@@ -37,13 +38,21 @@ type ProfileSlot = Arc<OnceLock<Option<Arc<ExecutionProfile>>>>;
 /// Memo key: (directive-stripped source text, problem size, step budget).
 type ProfileKey = (String, usize, u64);
 
+/// Capacity of the process-wide profile memo. Profiles are the largest
+/// cached objects in the process, and a long-running server profiles an
+/// unbounded stream of distinct programs — without eviction the memo is a
+/// slow leak. 64 slots comfortably covers every sweep in the experiment
+/// harness (tens of distinct (source, n) points) while bounding resident
+/// memory for serving workloads.
+pub const PROFILE_MEMO_CAP: usize = 64;
+
 /// The profile memo key for a source text: the program with every HPF
 /// directive comment line removed. The functional interpreter never reads
 /// mapping directives, so programs differing only in PROCESSORS / ALIGN /
 /// DISTRIBUTE lines have bit-identical profiles — keying on the stripped
 /// text lets a directive-space search over hundreds of candidate rewrites
 /// run the interpreter exactly once per problem size.
-fn directive_free_source(src: &str) -> String {
+pub fn directive_free_source(src: &str) -> String {
     src.lines()
         .filter(|l| !l.trim_start().starts_with("!HPF$"))
         .collect::<Vec<_>>()
@@ -51,13 +60,14 @@ fn directive_free_source(src: &str) -> String {
 }
 
 /// Process-global profile memo. The profile is a deterministic function of
-/// (directive-stripped source text, problem size, step budget), so entries are
-/// shareable across sessions, sweeps and figures without affecting any
-/// output bit. Bounded by the number of distinct sweep points profiled in
-/// one process (tens of entries in practice).
-fn global_profiles() -> &'static Mutex<HashMap<ProfileKey, ProfileSlot>> {
-    static CACHE: OnceLock<Mutex<HashMap<ProfileKey, ProfileSlot>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// (directive-stripped source text, problem size, step budget), so entries
+/// are shareable across sessions, sweeps and figures without affecting any
+/// output bit. Bounded at [`PROFILE_MEMO_CAP`] entries with LRU eviction
+/// (`profile_cache.evict` counts evictions) so a long-running process —
+/// the `hpf-serve` server in particular — cannot grow it without limit.
+fn global_profiles() -> &'static Mutex<LruMap<ProfileKey, ProfileSlot>> {
+    static CACHE: OnceLock<Mutex<LruMap<ProfileKey, ProfileSlot>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(LruMap::new(PROFILE_MEMO_CAP)))
 }
 
 /// A compile-once interpretation session for one kernel.
@@ -172,7 +182,19 @@ pub fn shared_profile(
     let slot = {
         let key = (directive_free_source(canonical_source), n, profile_steps);
         let mut guard = global_profiles().lock().unwrap_or_else(|e| e.into_inner());
-        guard.entry(key).or_default().clone()
+        let (slot, hit, evicted) = guard.get_or_insert_with(&key, ProfileSlot::default);
+        hpf_trace::counter_add(
+            if hit {
+                "profile_cache.hit"
+            } else {
+                "profile_cache.miss"
+            },
+            1,
+        );
+        if evicted.is_some() {
+            hpf_trace::counter_add("profile_cache.evict", 1);
+        }
+        slot
     };
     let mut computed = false;
     let profile = slot
@@ -221,6 +243,49 @@ mod tests {
         assert_eq!(session.cached_profiles(), 1);
         session.evaluate(256, 4).unwrap();
         assert_eq!(session.cached_profiles(), 2);
+    }
+
+    /// The process-wide memo is bounded and instrumented: repeat lookups
+    /// count as hits, first-time lookups as misses (the memo itself is
+    /// shared process state, so the test only asserts deltas).
+    #[test]
+    fn profile_cache_counters_fire() {
+        let k = kernels::kernel_by_name("PI").unwrap();
+        let cfg = SweepConfig::quick();
+        let session = SweepSession::new(&k, &cfg).unwrap();
+        let analyzed = {
+            let compiled = kernels::CompiledKernel::new(&k).unwrap();
+            compiled.bind(96, 1, &CompileOptions::default()).unwrap().0
+        };
+
+        let _lock = crate::TRACE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        hpf_trace::reset();
+        hpf_trace::enable();
+        // First call may hit or miss depending on what ran before in this
+        // process; the two calls after it must both be hits.
+        shared_profile(
+            session.compiled.canonical_source(),
+            96,
+            cfg.profile_steps,
+            &analyzed,
+        );
+        let hits_before = hpf_trace::counter_get("profile_cache.hit");
+        shared_profile(
+            session.compiled.canonical_source(),
+            96,
+            cfg.profile_steps,
+            &analyzed,
+        );
+        shared_profile(
+            session.compiled.canonical_source(),
+            96,
+            cfg.profile_steps,
+            &analyzed,
+        );
+        hpf_trace::disable();
+        assert_eq!(hpf_trace::counter_get("profile_cache.hit") - hits_before, 2);
     }
 
     /// Session counters fire under tracing: one evaluate = one bind.
