@@ -14,24 +14,49 @@
 //! whose `diagnostic` field is the very string the `advise` CLI prints to
 //! stderr ([`PipelineError::render_diagnostic`]) — one diagnostic, two
 //! transports. Expired deadlines come back as 504 with the stage that was
-//! about to start.
+//! about to start — including a deadline that is already dead at *parse*
+//! time, which short-circuits before the cache lookup or any pipeline
+//! stage runs.
+//!
+//! Degradation surface: the expensive DES cross-check behind
+//! `simulate: true` sweeps and the advisor's top-k validation runs under
+//! a [`crate::breaker::Breaker`]; when it is open (or the call fails),
+//! the response is served from the analytic interpreter alone and carries
+//! `"degraded": true`. Degraded bodies are never stored in the response
+//! cache, so a healthy breaker never replays them.
+
+use std::sync::Arc;
 
 use hpf_trace::json::{parse as parse_json, Value};
 use interp::{InterpOptions, InterpretationEngine, Prediction};
 use ipsc_sim::{SimConfig, Simulator};
 use report::PipelineError;
 
+use crate::breaker::{Breaker, BreakerConfig, BreakerOutcome};
 use crate::cache::{BoundArtifact, CacheConfig, Deadline, ServeCache, ServeFailure};
 use crate::http::Request;
+use crate::status::ServiceStatus;
 
 /// Schema tag stamped on every JSON body this service writes.
 pub const SCHEMA: &str = "hpf-serve/v1";
 
-/// A finished response: status + body (always JSON).
+/// The test-only fault-injection header, honored only when the server
+/// runs with chaos enabled: `handler` panics inside the request handler
+/// (caught by the worker's panic isolation), `sim` panics inside the
+/// breaker-guarded DES cross-check, `fatal` (interpreted by the server
+/// layer, outside the isolation wrapper) kills the worker thread to
+/// exercise supervisor respawn.
+pub const CHAOS_HEADER: &str = "x-chaos-panic";
+
+/// A finished response: status + body (always JSON). `cacheable` is
+/// false for bodies that depend on transient service state (degraded
+/// answers served while the breaker is open) — they must not be replayed
+/// once the service recovers.
 #[derive(Debug, Clone)]
 pub struct ApiResponse {
     pub status: u16,
     pub body: Vec<u8>,
+    pub cacheable: bool,
 }
 
 impl ApiResponse {
@@ -39,14 +64,34 @@ impl ApiResponse {
         ApiResponse {
             status,
             body: value.pretty().into_bytes(),
+            cacheable: true,
         }
     }
+
+    fn json_uncacheable(status: u16, value: &Value) -> ApiResponse {
+        ApiResponse {
+            cacheable: false,
+            ..ApiResponse::json(status, value)
+        }
+    }
+}
+
+/// Per-request context threaded from routing into the handlers: the
+/// chaos injection flags the handler honors when chaos is enabled.
+#[derive(Debug, Default, Clone, Copy)]
+struct ReqCtx {
+    /// Panic inside the breaker-guarded DES cross-check.
+    sim_panic: bool,
 }
 
 /// The service's request handler: routing plus the warm cache stack.
 #[derive(Debug)]
 pub struct Api {
     cache: ServeCache,
+    breaker: Breaker,
+    status: Arc<ServiceStatus>,
+    /// Honor the `x-chaos-panic` fault-injection header.
+    chaos: bool,
 }
 
 fn num(v: f64) -> Value {
@@ -210,21 +255,34 @@ fn body_key(path: &str, body: &Value) -> String {
 
 impl Api {
     pub fn new(cfg: &CacheConfig) -> Api {
+        Self::with_runtime(cfg, Arc::new(ServiceStatus::default()), false)
+    }
+
+    /// The server-side constructor: shares the liveness status the
+    /// worker pool maintains and opts into chaos-header handling.
+    pub fn with_runtime(cfg: &CacheConfig, status: Arc<ServiceStatus>, chaos: bool) -> Api {
         Api {
             cache: ServeCache::new(cfg),
+            breaker: Breaker::new(BreakerConfig::default()),
+            status,
+            chaos,
         }
     }
 
     /// Route and serve one request. Infallible by construction — every
-    /// failure mode is a JSON error response.
+    /// failure mode is a JSON error response. The one deliberate
+    /// exception: an injected chaos panic (test-only header, only when
+    /// chaos is enabled), which the worker's `catch_unwind` isolation is
+    /// expected to convert into a structured 500.
     pub fn handle(&self, req: &Request) -> ApiResponse {
         hpf_trace::counter_add("serve.requests", 1);
+        let ctx = self.chaos_ctx(req);
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/v1/healthz") => self.healthz(),
             ("GET", "/v1/metrics") => self.metrics(),
-            ("POST", "/v1/predict") => self.cached_post(req, Self::predict),
-            ("POST", "/v1/sweep") => self.cached_post(req, Self::sweep),
-            ("POST", "/v1/advise") => self.cached_post(req, Self::advise),
+            ("POST", "/v1/predict") => self.cached_post(req, ctx, Self::predict),
+            ("POST", "/v1/sweep") => self.cached_post(req, ctx, Self::sweep),
+            ("POST", "/v1/advise") => self.cached_post(req, ctx, Self::advise),
             (_, "/v1/healthz" | "/v1/metrics" | "/v1/predict" | "/v1/sweep" | "/v1/advise") => {
                 ApiResponse::json(
                     405,
@@ -262,8 +320,27 @@ impl Api {
         }
     }
 
+    /// Interpret the chaos header (only when chaos is enabled). The
+    /// `handler` variant panics right here, inside the routed request —
+    /// the worker's panic isolation must turn it into a structured 500
+    /// without shrinking the pool.
+    fn chaos_ctx(&self, req: &Request) -> ReqCtx {
+        if !self.chaos {
+            return ReqCtx::default();
+        }
+        match req.header(CHAOS_HEADER) {
+            Some("handler") => panic!("chaos: injected handler panic"),
+            Some("sim") => ReqCtx { sim_panic: true },
+            _ => ReqCtx::default(),
+        }
+    }
+
+    /// Liveness, pool health and breaker state — the supervision layer's
+    /// observable surface. Health bodies are never cached and vary with
+    /// service state by design.
     fn healthz(&self) -> ApiResponse {
-        ApiResponse::json(
+        let s = &self.status;
+        ApiResponse::json_uncacheable(
             200,
             &Value::obj(vec![
                 ("schema", Value::Str(SCHEMA.into())),
@@ -277,6 +354,24 @@ impl Api {
                             .collect(),
                     ),
                 ),
+                (
+                    "workers",
+                    Value::obj(vec![
+                        ("configured", num(s.get(&s.workers_configured) as f64)),
+                        ("live", num(s.get(&s.workers_live) as f64)),
+                        ("panics", num(s.get(&s.worker_panics) as f64)),
+                        ("deaths", num(s.get(&s.worker_deaths) as f64)),
+                        ("respawns", num(s.get(&s.worker_respawns) as f64)),
+                    ]),
+                ),
+                (
+                    "queue",
+                    Value::obj(vec![
+                        ("depth", num(s.get(&s.queue_len) as f64)),
+                        ("shed", num(s.get(&s.shed) as f64)),
+                    ]),
+                ),
+                ("breaker", Value::Str(self.breaker.state_label().into())),
             ]),
         )
     }
@@ -286,14 +381,26 @@ impl Api {
         ApiResponse {
             status: 200,
             body: hpf_trace::export_json().into_bytes(),
+            cacheable: false,
         }
     }
 
     /// Parse the body, serve from the body cache when the canonical
     /// request was answered before, compute and store otherwise. Only
-    /// 200 responses are cached: errors are cheap to recompute and a 504
-    /// depends on the deadline, not the request.
-    fn cached_post(&self, req: &Request, handler: fn(&Api, &Value) -> ApiResponse) -> ApiResponse {
+    /// cacheable 200 responses are stored: errors are cheap to
+    /// recompute, a 504 depends on the deadline, and degraded bodies
+    /// depend on breaker state, not the request.
+    ///
+    /// A deadline that is already dead when the body is parsed
+    /// short-circuits to 504 here — before the cache lookup and before
+    /// any pipeline stage runs, so an overloaded client's expired work
+    /// costs one JSON parse and nothing more.
+    fn cached_post(
+        &self,
+        req: &Request,
+        ctx: ReqCtx,
+        handler: fn(&Api, &Value, ReqCtx) -> ApiResponse,
+    ) -> ApiResponse {
         let text = match std::str::from_utf8(&req.body) {
             Ok(t) => t,
             Err(_) => return bad_request("body is not UTF-8"),
@@ -303,15 +410,26 @@ impl Api {
             Ok(_) => return bad_request("body must be a JSON object"),
             Err(e) => return bad_request(format!("body is not valid JSON: {e}")),
         };
+        match deadline_from(&body) {
+            Ok(deadline) => {
+                if let Err(f) = deadline.check("parse") {
+                    let source = body.get("source").and_then(Value::as_str);
+                    let (status, value) = failure_value(&f, source);
+                    return ApiResponse::json(status, &value);
+                }
+            }
+            Err(resp) => return resp,
+        }
         let key = body_key(&req.path, &body);
         if let Some(cached) = self.cache.cached_body(&key) {
             return ApiResponse {
                 status: 200,
                 body: cached.as_ref().clone(),
+                cacheable: true,
             };
         }
-        let response = handler(self, &body);
-        if response.status == 200 {
+        let response = handler(self, &body, ctx);
+        if response.status == 200 && response.cacheable {
             self.cache.store_body(&key, response.body.clone());
         }
         response
@@ -371,7 +489,7 @@ impl Api {
 
     /// `POST /v1/predict` — per-phase predicted times for one
     /// `(target, n, procs)` point.
-    fn predict(&self, body: &Value) -> ApiResponse {
+    fn predict(&self, body: &Value, _ctx: ReqCtx) -> ApiResponse {
         let _span = hpf_trace::span("serve.predict");
         let target = match Target::from_body(body) {
             Ok(t) => t,
@@ -418,8 +536,11 @@ impl Api {
 
     /// `POST /v1/sweep` — the predicted (and optionally simulated) curve
     /// over a size range, served through the same warm bind cache so a
-    /// repeated or refined sweep recompiles nothing.
-    fn sweep(&self, body: &Value) -> ApiResponse {
+    /// repeated or refined sweep recompiles nothing. The DES cross-check
+    /// runs under the breaker: when it is open or the simulation fails,
+    /// the point is served analytic-only and the response carries
+    /// `"degraded": true`.
+    fn sweep(&self, body: &Value, ctx: ReqCtx) -> ApiResponse {
         let _span = hpf_trace::span("serve.sweep");
         let target = match Target::from_body(body) {
             Ok(t) => t,
@@ -448,6 +569,7 @@ impl Api {
         let machine = report::pipeline::calibrated_machine(procs);
         let engine = InterpretationEngine::with_options(&machine, InterpOptions::default());
         let mut points = Vec::with_capacity(sizes.len());
+        let mut degraded = false;
         for &n in &sizes {
             if let Err(f) = deadline.check("sweep_point") {
                 let (status, value) = failure_value(&f, target.source_text());
@@ -474,32 +596,55 @@ impl Api {
                 // Profile through the process-wide memo (shared with the
                 // sweep sessions and the advisor), then one seeded DES run
                 // set — deterministic for a given (target, n, procs, runs).
-                let (profile, _) =
-                    report::shared_profile(&bound.canonical, n, 50_000_000, &bound.analyzed);
-                let sim_machine = machine::ipsc860(procs);
-                let sim = Simulator::with_config(
-                    &sim_machine,
-                    SimConfig {
-                        runs: sim_runs,
-                        ..SimConfig::default()
-                    },
-                );
-                let result = sim.simulate(&bound.spmd, profile.as_deref());
-                point.push(("measured_s", num(result.measured())));
-                point.push(("measured_std_s", num(result.std)));
+                // The whole cross-check runs under the breaker: a panic or
+                // an open breaker degrades this point to analytic-only.
+                let sim_panic = ctx.sim_panic;
+                let outcome = self.breaker.call(|| {
+                    if sim_panic {
+                        panic!("chaos: injected DES cross-check panic");
+                    }
+                    let (profile, _) =
+                        report::shared_profile(&bound.canonical, n, 50_000_000, &bound.analyzed);
+                    let sim_machine = machine::ipsc860(procs);
+                    let sim = Simulator::with_config(
+                        &sim_machine,
+                        SimConfig {
+                            runs: sim_runs,
+                            ..SimConfig::default()
+                        },
+                    );
+                    let result = sim.simulate(&bound.spmd, profile.as_deref());
+                    (result.measured(), result.std)
+                });
+                match outcome {
+                    BreakerOutcome::Ok((measured, std)) => {
+                        point.push(("measured_s", num(measured)));
+                        point.push(("measured_std_s", num(std)));
+                    }
+                    BreakerOutcome::Rejected | BreakerOutcome::Failed(_) => {
+                        hpf_trace::counter_add("serve.degraded", 1);
+                        degraded = true;
+                    }
+                }
             }
             points.push(Value::obj(point));
         }
-        ApiResponse::json(
-            200,
-            &Value::obj(vec![
-                ("schema", Value::Str(SCHEMA.into())),
-                ("kind", Value::Str("sweep".into())),
-                ("target", target.describe()),
-                ("procs", num(procs as f64)),
-                ("points", Value::Arr(points)),
-            ]),
-        )
+        let mut top: Vec<(&str, Value)> = vec![
+            ("schema", Value::Str(SCHEMA.into())),
+            ("kind", Value::Str("sweep".into())),
+            ("target", target.describe()),
+            ("procs", num(procs as f64)),
+            ("points", Value::Arr(points)),
+        ];
+        if degraded {
+            top.push(("degraded", Value::Bool(true)));
+        }
+        let value = Value::obj(top);
+        if degraded {
+            ApiResponse::json_uncacheable(200, &value)
+        } else {
+            ApiResponse::json(200, &value)
+        }
     }
 
     /// Sizes from either an explicit `"sizes": [..]` array or a
@@ -548,8 +693,12 @@ impl Api {
 
     /// `POST /v1/advise` — top-k directive recommendations via the
     /// hpf-advisor branch-and-bound search (deterministic across thread
-    /// counts, so the response is cacheable like any other).
-    fn advise(&self, body: &Value) -> ApiResponse {
+    /// counts, so the response is cacheable like any other). The DES
+    /// cross-validation of the top-k runs under the breaker: when it is
+    /// open, the search runs without simulation (`top_k = 0` inside the
+    /// advisor) and the ranked table is served analytic-only with
+    /// `"degraded": true`.
+    fn advise(&self, body: &Value, _ctx: ReqCtx) -> ApiResponse {
         let _span = hpf_trace::span("serve.advise");
         let target = match Target::from_body(body) {
             Ok(t) => t,
@@ -594,7 +743,24 @@ impl Api {
                 return ApiResponse::json(400, &pipeline_error_value(&e, Some(source)));
             }
         };
-        let report = match advisor.search(&cfg) {
+        // The cross-validating search runs under the breaker. On an open
+        // breaker or a contained panic, fall back to the same search with
+        // the simulator fanned down to zero candidates — the analytic
+        // ranking is identical (simulation never reorders it), only the
+        // `simulated_s`/`sim_error_pct` columns disappear.
+        let shown_k = cfg.top_k;
+        let (report, degraded) = match self.breaker.call(|| advisor.search(&cfg)) {
+            BreakerOutcome::Ok(r) => (r, false),
+            BreakerOutcome::Rejected | BreakerOutcome::Failed(_) => {
+                hpf_trace::counter_add("serve.degraded", 1);
+                let degraded_cfg = hpf_advisor::AdvisorConfig {
+                    top_k: 0,
+                    ..cfg.clone()
+                };
+                (advisor.search(&degraded_cfg), true)
+            }
+        };
+        let report = match report {
             Ok(r) => r,
             Err(e) => {
                 let source = target.source_text().unwrap_or("");
@@ -605,7 +771,7 @@ impl Api {
         let ranked: Vec<Value> = report
             .ranked
             .iter()
-            .take(cfg.top_k)
+            .take(shown_k)
             .map(|c| {
                 let mut entry: Vec<(&str, Value)> = vec![
                     ("directives", Value::Str(c.label.clone())),
@@ -621,19 +787,25 @@ impl Api {
                 Value::obj(entry)
             })
             .collect();
-        ApiResponse::json(
-            200,
-            &Value::obj(vec![
-                ("schema", Value::Str(SCHEMA.into())),
-                ("kind", Value::Str("advise".into())),
-                ("target", target.describe()),
-                ("n", num(cfg.n as f64)),
-                ("procs", num(cfg.procs as f64)),
-                ("candidates", num(report.candidates as f64)),
-                ("pruned", num(report.pruned as f64)),
-                ("ranked", Value::Arr(ranked)),
-            ]),
-        )
+        let mut top: Vec<(&str, Value)> = vec![
+            ("schema", Value::Str(SCHEMA.into())),
+            ("kind", Value::Str("advise".into())),
+            ("target", target.describe()),
+            ("n", num(cfg.n as f64)),
+            ("procs", num(cfg.procs as f64)),
+            ("candidates", num(report.candidates as f64)),
+            ("pruned", num(report.pruned as f64)),
+            ("ranked", Value::Arr(ranked)),
+        ];
+        if degraded {
+            top.push(("degraded", Value::Bool(true)));
+        }
+        let value = Value::obj(top);
+        if degraded {
+            ApiResponse::json_uncacheable(200, &value)
+        } else {
+            ApiResponse::json(200, &value)
+        }
     }
 }
 

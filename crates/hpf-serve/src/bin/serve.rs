@@ -3,6 +3,7 @@
 //! ```text
 //! serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--no-trace]
 //! serve loadgen [--quick] [--requests R] [--clients C] [--workers W] [--seed S]
+//! serve chaos   [--quick] [--requests R] [--clients C] [--workers W] [--seed S]
 //! ```
 //!
 //! `serve serve` runs the HTTP service until a `POST /v1/shutdown`
@@ -10,13 +11,20 @@
 //! starts a private in-process server, fires the seeded deterministic
 //! request mix at it, and prints throughput, latency percentiles, the
 //! warm-cache hit rate, and the order-independent response checksum.
+//! `serve chaos` runs the seeded service-level fault-injection plan
+//! (handler panics, DES panics, deadline storms, slow-loris reads,
+//! truncated bodies, client aborts) against a private server and exits
+//! non-zero unless the resilience contract holds — zero worker deaths,
+//! structured answers for every fault, and a healthy-request checksum
+//! bit-identical to a fault-free baseline pass.
 
-use hpf_serve::{loadgen, server, LoadgenConfig, ServerConfig};
+use hpf_serve::{chaos, loadgen, server, ChaosConfig, LoadgenConfig, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--no-trace]\n\
-         \x20      serve loadgen [--quick] [--requests R] [--clients C] [--workers W] [--seed S]"
+         \x20      serve loadgen [--quick] [--requests R] [--clients C] [--workers W] [--seed S]\n\
+         \x20      serve chaos   [--quick] [--requests R] [--clients C] [--workers W] [--seed S]"
     );
     std::process::exit(2)
 }
@@ -26,6 +34,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") | None => run_server(&args[args.len().min(1)..]),
         Some("loadgen") => run_loadgen(&args[1..]),
+        Some("chaos") => run_chaos(&args[1..]),
         Some("--help") | Some("-h") => usage(),
         Some(other) => {
             eprintln!("unknown subcommand: {other}");
@@ -105,6 +114,45 @@ fn run_loadgen(args: &[String]) {
         Ok(report) => print!("{}", report.render()),
         Err(e) => {
             eprintln!("loadgen: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
+fn run_chaos(args: &[String]) {
+    let mut cfg = ChaosConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                cfg = ChaosConfig {
+                    requests: ChaosConfig::quick().requests,
+                    ..cfg
+                }
+            }
+            "--requests" => cfg.requests = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--clients" => cfg.clients = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    match chaos::run(&cfg) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if !report.passed() {
+                std::process::exit(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("chaos: {e}");
             std::process::exit(1)
         }
     }

@@ -1,0 +1,293 @@
+//! A circuit breaker for the expensive DES cross-check.
+//!
+//! `/v1/sweep` (with `simulate: true`) and `/v1/advise` both lean on the
+//! discrete-event simulator — the one stage of a request that is orders
+//! of magnitude slower than the analytic interpreter and the only one
+//! that has ever been worth injecting faults into. The breaker wraps that
+//! stage in the classic three-state machine:
+//!
+//! * **Closed** — calls run normally; consecutive failures (a panic
+//!   caught by the breaker's own `catch_unwind`, or a call that exceeds
+//!   the latency cap) are counted, and reaching the threshold trips the
+//!   breaker open;
+//! * **Open** — calls are rejected without running until the cooldown
+//!   elapses; the caller serves the analytic-only answer with
+//!   `"degraded": true` — the service-level analogue of PR 1's
+//!   degraded-mode SAU prediction;
+//! * **HalfOpen** — after the cooldown, exactly one trial call runs; a
+//!   clean, fast success closes the breaker, anything else reopens it.
+//!
+//! Trace counters: `serve.breaker_open`, `serve.breaker_half_open`,
+//! `serve.breaker_close`, plus `serve.breaker_rejected` per shed call.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures (panic or over-latency call) that trip the
+    /// breaker open.
+    pub failure_threshold: u32,
+    /// A successful call slower than this still counts as a failure for
+    /// the state machine (its result is served — it already ran).
+    pub latency_cap_ms: u64,
+    /// How long the breaker stays open before allowing a half-open trial.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            latency_cap_ms: 2_000,
+            cooldown_ms: 500,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen { trial_in_flight: bool },
+}
+
+/// The outcome of a breaker-guarded call.
+#[derive(Debug)]
+pub enum BreakerOutcome<T> {
+    /// The call ran and returned (it may still have counted as slow).
+    Ok(T),
+    /// The breaker is open (or a half-open trial is already in flight);
+    /// the call never ran. Serve the degraded answer.
+    Rejected,
+    /// The call panicked; the panic was contained here. Serve the
+    /// degraded answer.
+    Failed(String),
+}
+
+/// Three-state circuit breaker, shared by every worker behind the `Api`.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+}
+
+fn lock<'a>(m: &'a Mutex<State>) -> std::sync::MutexGuard<'a, State> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A bounded, human-readable excerpt of a panic payload (shared with the
+/// server's structured-500 path).
+pub(crate) fn panic_excerpt(payload: Box<dyn std::any::Any + Send>) -> String {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    let mut excerpt: String = msg.chars().take(200).collect();
+    if excerpt.len() < msg.len() {
+        excerpt.push('…');
+    }
+    excerpt
+}
+
+impl Breaker {
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    /// The current state, for `/v1/healthz`.
+    pub fn state_label(&self) -> &'static str {
+        match *lock(&self.state) {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen { .. } => "half_open",
+        }
+    }
+
+    /// Admission decision: may a call run right now? Transitions
+    /// Open → HalfOpen when the cooldown has elapsed.
+    fn admit(&self) -> bool {
+        let mut state = lock(&self.state);
+        match *state {
+            State::Closed { .. } => true,
+            State::Open { until } => {
+                if Instant::now() >= until {
+                    *state = State::HalfOpen {
+                        trial_in_flight: true,
+                    };
+                    hpf_trace::counter_add("serve.breaker_half_open", 1);
+                    true
+                } else {
+                    false
+                }
+            }
+            State::HalfOpen {
+                ref mut trial_in_flight,
+            } => {
+                // Exactly one concurrent trial; the rest are rejected.
+                if *trial_in_flight {
+                    false
+                } else {
+                    *trial_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    fn record(&self, failed: bool) {
+        let mut state = lock(&self.state);
+        if failed {
+            let trip = match *state {
+                State::Closed {
+                    ref mut consecutive_failures,
+                } => {
+                    *consecutive_failures += 1;
+                    *consecutive_failures >= self.cfg.failure_threshold
+                }
+                // A failed half-open trial reopens immediately.
+                State::HalfOpen { .. } => true,
+                State::Open { .. } => false,
+            };
+            if trip {
+                *state = State::Open {
+                    until: Instant::now() + Duration::from_millis(self.cfg.cooldown_ms),
+                };
+                hpf_trace::counter_add("serve.breaker_open", 1);
+            }
+        } else {
+            match *state {
+                State::Closed {
+                    ref mut consecutive_failures,
+                } => *consecutive_failures = 0,
+                State::HalfOpen { .. } => {
+                    *state = State::Closed {
+                        consecutive_failures: 0,
+                    };
+                    hpf_trace::counter_add("serve.breaker_close", 1);
+                }
+                State::Open { .. } => {}
+            }
+        }
+    }
+
+    /// Run `f` under the breaker. Panics are contained here (they count
+    /// as failures and surface as [`BreakerOutcome::Failed`]); a call
+    /// slower than the latency cap counts as a failure but its value is
+    /// still returned.
+    pub fn call<T>(&self, f: impl FnOnce() -> T) -> BreakerOutcome<T> {
+        if !self.admit() {
+            hpf_trace::counter_add("serve.breaker_rejected", 1);
+            return BreakerOutcome::Rejected;
+        }
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => {
+                let slow = started.elapsed() > Duration::from_millis(self.cfg.latency_cap_ms);
+                self.record(slow);
+                BreakerOutcome::Ok(v)
+            }
+            Err(payload) => {
+                self.record(true);
+                BreakerOutcome::Failed(panic_excerpt(payload))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> Breaker {
+        Breaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_ms,
+            ..BreakerConfig::default()
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_panics_and_rejects_while_open() {
+        let b = breaker(3, 60_000);
+        for _ in 0..3 {
+            match b.call(|| -> u32 { panic!("boom") }) {
+                BreakerOutcome::Failed(msg) => assert!(msg.contains("boom")),
+                other => panic!("expected Failed, got {other:?}"),
+            }
+        }
+        assert_eq!(b.state_label(), "open");
+        match b.call(|| 1u32) {
+            BreakerOutcome::Rejected => {}
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn successes_reset_the_failure_count() {
+        let b = breaker(2, 60_000);
+        let _ = b.call(|| -> u32 { panic!("one") });
+        match b.call(|| 7u32) {
+            BreakerOutcome::Ok(7) => {}
+            other => panic!("{other:?}"),
+        }
+        // The earlier failure was cleared: one more does not trip.
+        let _ = b.call(|| -> u32 { panic!("two") });
+        assert_eq!(b.state_label(), "closed");
+    }
+
+    #[test]
+    fn half_open_trial_closes_on_success_and_reopens_on_failure() {
+        let b = breaker(1, 0); // cooldown 0: open immediately re-arms
+        let _ = b.call(|| -> u32 { panic!("trip") });
+        assert_eq!(b.state_label(), "open");
+        // Cooldown elapsed: the next call is the half-open trial.
+        match b.call(|| 9u32) {
+            BreakerOutcome::Ok(9) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(b.state_label(), "closed");
+
+        let _ = b.call(|| -> u32 { panic!("trip again") });
+        assert_eq!(b.state_label(), "open");
+        let _ = b.call(|| -> u32 { panic!("failed trial") });
+        assert_eq!(b.state_label(), "open");
+    }
+
+    #[test]
+    fn slow_success_counts_as_failure_but_serves_its_value() {
+        let b = Breaker::new(BreakerConfig {
+            failure_threshold: 1,
+            latency_cap_ms: 0, // everything is "slow"
+            cooldown_ms: 60_000,
+        });
+        match b.call(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            42u32
+        }) {
+            BreakerOutcome::Ok(42) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(b.state_label(), "open");
+    }
+
+    #[test]
+    fn panic_excerpt_is_bounded() {
+        let b = breaker(10, 0);
+        let long = "x".repeat(5_000);
+        match b.call(move || -> u32 { panic!("{long}") }) {
+            BreakerOutcome::Failed(msg) => assert!(msg.chars().count() <= 201, "{}", msg.len()),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -73,12 +73,25 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
+    }
+}
+
+/// Map a read error to the right protocol answer: a timed-out read (a
+/// slow-loris peer, or an idle keep-alive connection expiring) is `408
+/// Request Timeout`; anything else is a `400` protocol violation.
+fn read_error(context: &str, e: &std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            HttpError::new(408, format!("{context}: read timed out"))
+        }
+        _ => HttpError::new(400, format!("{context}: {e}")),
     }
 }
 
@@ -93,7 +106,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     match reader.read_line(&mut line) {
         Ok(0) => return Ok(None),
         Ok(_) => {}
-        Err(e) => return Err(HttpError::new(400, format!("read request line: {e}"))),
+        Err(e) => return Err(read_error("read request line", &e)),
     }
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
@@ -119,7 +132,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
         match reader.read_line(&mut h) {
             Ok(0) => return Err(HttpError::new(400, "eof inside headers")),
             Ok(n) => header_bytes += n,
-            Err(e) => return Err(HttpError::new(400, format!("read header: {e}"))),
+            Err(e) => return Err(read_error("read header", &e)),
         }
         if header_bytes > MAX_HEADER_BYTES {
             return Err(HttpError::new(413, "header section too large"));
@@ -148,8 +161,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     }
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        std::io::Read::read_exact(reader, &mut body)
-            .map_err(|e| HttpError::new(400, format!("read body: {e}")))?;
+        std::io::Read::read_exact(reader, &mut body).map_err(|e| read_error("read body", &e))?;
     }
 
     let path = path.split('?').next().unwrap_or("").to_string();

@@ -22,7 +22,7 @@
 //! | `POST /v1/sweep`   | predicted (optionally DES-simulated) curve over a size range |
 //! | `POST /v1/advise`  | top-k directive recommendations via the hpf-advisor search |
 //! | `GET /v1/metrics`  | the live `hpf-trace/v1` counters/spans document |
-//! | `GET /v1/healthz`  | liveness + the kernel suite |
+//! | `GET /v1/healthz`  | liveness: pool strength, queue depth, panics, breaker state |
 //! | `POST /v1/shutdown`| graceful drain: answer in-flight work, then exit |
 //!
 //! ## Guarantees
@@ -38,15 +38,37 @@
 //!   `Retry-After` instead of queueing without limit.
 //! * **Graceful cancellation** — per-request deadlines are checked
 //!   between pipeline stages; an expired deadline yields `504` without
-//!   interrupting a stage midway.
+//!   interrupting a stage midway, and a deadline that is already dead at
+//!   parse time short-circuits before any pipeline stage runs.
+//! * **Crash isolation** — a panicking handler is caught at the worker
+//!   boundary and answered as a structured `500` (kind `panic`); the
+//!   worker survives, and a supervisor respawns any worker that dies
+//!   anyway, so the pool never silently shrinks ([`server`], [`status`]).
+//! * **Deadline-aware shedding** — connections that out-wait the
+//!   queue-wait cap are shed at dequeue with a structured `504` instead
+//!   of being serviced after their caller gave up.
+//! * **Graceful degradation** — the DES cross-check runs behind a
+//!   circuit [`breaker`]; when it trips, sweeps and advice are served
+//!   analytic-only with `"degraded": true` rather than failing.
+//! * **Chaos-tested** — the seeded, replayable service-level [`chaos`]
+//!   plan (`serve chaos`) injects handler panics, DES panics, deadline
+//!   storms, slow-loris reads, truncated bodies and client aborts, and
+//!   asserts zero worker deaths, structured answers for every fault, and
+//!   a healthy-request checksum bit-identical to a fault-free run.
 
 pub mod api;
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod http;
 pub mod loadgen;
 pub mod server;
+pub mod status;
 
 pub use api::{Api, ApiResponse, SCHEMA};
+pub use breaker::{Breaker, BreakerConfig, BreakerOutcome};
 pub use cache::{CacheConfig, Deadline, ServeCache, ServeFailure};
+pub use chaos::{ChaosConfig, ChaosReport};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use status::ServiceStatus;

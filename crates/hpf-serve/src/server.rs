@@ -1,41 +1,57 @@
-//! The concurrent server: acceptor + fixed worker pool over a bounded
-//! connection queue.
+//! The concurrent server: acceptor + supervised worker pool over a
+//! bounded connection queue.
 //!
 //! Concurrency model, simplest-thing-that-is-correct:
 //!
 //! * one **acceptor** thread owns the listening socket. Accepted
-//!   connections go into a bounded queue; when the queue is full the
-//!   acceptor answers `429 Too Many Requests` with a `Retry-After`
-//!   header and closes — explicit backpressure instead of an unbounded
-//!   backlog;
+//!   connections go into a bounded queue (timestamped at enqueue); when
+//!   the queue is full the acceptor answers `429 Too Many Requests` with
+//!   a `Retry-After` header and closes — explicit backpressure instead
+//!   of an unbounded backlog;
 //! * a **fixed pool** of worker threads pops connections and serves them
 //!   keep-alive until the peer closes, a read times out, or shutdown
 //!   begins. Handlers are pure ([`crate::api`]), so any worker can serve
 //!   any request and the response bytes do not depend on which one did;
+//! * **panic isolation**: each request dispatch runs under
+//!   `catch_unwind`, so a panicking handler answers a structured 500
+//!   (with a panic-payload excerpt) and the pool keeps its capacity —
+//!   the connection is closed, the worker survives;
+//! * a **supervisor** thread watches for the panics that escape the
+//!   wrapper anyway (a worker thread dying): each death is counted,
+//!   surfaced in `/v1/healthz`, and answered with a respawned worker so
+//!   the pool never silently shrinks;
+//! * **deadline-aware shedding**: a connection that out-waits the
+//!   queue-wait cap is answered with a structured 504 at dequeue instead
+//!   of burning a worker on work its client has given up on;
 //! * **graceful shutdown** is a `POST /v1/shutdown` (std has no signal
 //!   API, so the SIGTERM role is played by an endpoint the supervisor —
 //!   or CI — posts to): the acceptor stops accepting, idle workers wake
 //!   and exit, busy workers finish the request in flight and close the
 //!   connection after answering, and [`ServerHandle::wait`] joins them
-//!   all before returning.
+//!   all (respawned workers included, via the supervisor) before
+//!   returning.
 //!
 //! Trace counters (when tracing is enabled): `serve.conn.accepted`,
-//! `serve.conn.rejected`, `serve.conn.served`, plus the request/cache
-//! counters the API layer and [`crate::cache`] maintain.
+//! `serve.conn.rejected`, `serve.conn.served`, `serve.worker_panic`,
+//! `serve.worker_death`, `serve.worker_respawn`, `serve.queue.shed`,
+//! plus the request/cache/breaker counters the API layer and
+//! [`crate::cache`] maintain.
 
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hpf_trace::json::Value;
 
-use crate::api::{Api, SCHEMA};
+use crate::api::{Api, CHAOS_HEADER, SCHEMA};
 use crate::cache::CacheConfig;
 use crate::http;
+use crate::status::ServiceStatus;
 
 const JSON: &str = "application/json";
 
@@ -51,6 +67,13 @@ pub struct ServerConfig {
     pub read_timeout_ms: u64,
     /// `Retry-After` seconds advertised on 429.
     pub retry_after_s: u32,
+    /// Longest a connection may wait in the accept queue before it is
+    /// shed with a structured 504 at dequeue instead of served late.
+    pub queue_wait_cap_ms: u64,
+    /// Honor the test-only `x-chaos-panic` fault-injection header
+    /// ([`crate::api::CHAOS_HEADER`]). Never enable outside the chaos
+    /// harness and its tests.
+    pub chaos: bool,
     pub cache: CacheConfig,
 }
 
@@ -61,24 +84,39 @@ impl Default for ServerConfig {
             queue_depth: 64,
             read_timeout_ms: 5_000,
             retry_after_s: 1,
+            queue_wait_cap_ms: 2_000,
+            chaos: false,
             cache: CacheConfig::default(),
         }
     }
 }
 
+/// A connection parked in the accept queue, timestamped so dequeue can
+/// shed it if it has already out-waited the cap.
+struct QueuedConn {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
 struct Shared {
     api: Api,
     cfg: ServerConfig,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<QueuedConn>>,
     ready: Condvar,
     shutdown: AtomicBool,
+    status: Arc<ServiceStatus>,
+    /// Supervisor wakeup: notified by a dying worker's drop guard.
+    supervisor_gate: Mutex<()>,
+    supervisor_wake: Condvar,
 }
 
 impl Shared {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake idle workers so they can observe the flag and exit.
+        // Wake idle workers and the supervisor so they can observe the
+        // flag and exit.
         self.ready.notify_all();
+        self.supervisor_wake.notify_all();
     }
 
     fn shutting_down(&self) -> bool {
@@ -115,12 +153,13 @@ impl ServerHandle {
     }
 }
 
-/// Bind `addr` and start the acceptor + worker pool.
+/// Bind `addr` and start the acceptor + supervised worker pool.
 pub fn start(addr: &str, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let status = Arc::new(ServiceStatus::default());
     let shared = Arc::new(Shared {
-        api: Api::new(&cfg.cache),
+        api: Api::with_runtime(&cfg.cache, status.clone(), cfg.chaos),
         cfg: ServerConfig {
             workers: cfg.workers.max(1),
             queue_depth: cfg.queue_depth.max(1),
@@ -129,12 +168,22 @@ pub fn start(addr: &str, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        status,
+        supervisor_gate: Mutex::new(()),
+        supervisor_wake: Condvar::new(),
     });
+    shared
+        .status
+        .add(&shared.status.workers_configured, shared.cfg.workers);
 
-    let mut threads = Vec::with_capacity(shared.cfg.workers + 1);
+    let mut threads = Vec::with_capacity(shared.cfg.workers + 2);
     for _ in 0..shared.cfg.workers {
         let s = shared.clone();
-        threads.push(std::thread::spawn(move || worker_loop(&s)));
+        threads.push(std::thread::spawn(move || worker_entry(&s)));
+    }
+    {
+        let s = shared.clone();
+        threads.push(std::thread::spawn(move || supervisor_loop(&s)));
     }
     {
         let s = shared.clone();
@@ -145,6 +194,68 @@ pub fn start(addr: &str, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         shared,
         threads,
     })
+}
+
+/// Worker thread body: liveness accounting plus the death guard that
+/// turns an escaped panic into a supervisor wakeup instead of a silent
+/// pool shrink.
+fn worker_entry(shared: &Arc<Shared>) {
+    struct DeathGuard {
+        shared: Arc<Shared>,
+    }
+    impl Drop for DeathGuard {
+        fn drop(&mut self) {
+            let status = &self.shared.status;
+            status.sub(&status.workers_live, 1);
+            if std::thread::panicking() {
+                status.add(&status.worker_deaths, 1);
+                hpf_trace::counter_add("serve.worker_death", 1);
+                self.shared.supervisor_wake.notify_all();
+            }
+        }
+    }
+
+    shared.status.add(&shared.status.workers_live, 1);
+    let _guard = DeathGuard {
+        shared: shared.clone(),
+    };
+    worker_loop(shared);
+}
+
+/// Respawn workers that died to escaped panics. Runs until shutdown,
+/// then joins every worker it spawned so [`ServerHandle::wait`] (which
+/// joins this thread) transitively drains them too.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let mut respawned: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        {
+            let mut gate = lock(&shared.supervisor_gate);
+            loop {
+                if shared.shutting_down() {
+                    drop(gate);
+                    for t in respawned {
+                        let _ = t.join();
+                    }
+                    return;
+                }
+                let status = &shared.status;
+                if status.get(&status.worker_deaths) > status.get(&status.worker_respawns) {
+                    break;
+                }
+                // Timed wait as a missed-notify backstop: the guard's
+                // notify can race this loop's predicate check.
+                let (g, _) = shared
+                    .supervisor_wake
+                    .wait_timeout(gate, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                gate = g;
+            }
+        }
+        shared.status.add(&shared.status.worker_respawns, 1);
+        hpf_trace::counter_add("serve.worker_respawn", 1);
+        let s = shared.clone();
+        respawned.push(std::thread::spawn(move || worker_entry(&s)));
+    }
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -170,7 +281,11 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener) {
                     reject_overloaded(shared, stream);
                 } else {
                     hpf_trace::counter_add("serve.conn.accepted", 1);
-                    q.push_back(stream);
+                    q.push_back(QueuedConn {
+                        stream,
+                        enqueued: Instant::now(),
+                    });
+                    shared.status.add(&shared.status.queue_len, 1);
                     drop(q);
                     shared.ready.notify_one();
                 }
@@ -208,6 +323,30 @@ fn reject_overloaded(shared: &Shared, mut stream: TcpStream) {
     ));
 }
 
+/// The structured 500 a caught handler panic is answered with.
+fn panic_response(payload: Box<dyn std::any::Any + Send>) -> crate::api::ApiResponse {
+    let excerpt = crate::breaker::panic_excerpt(payload);
+    let body = Value::obj(vec![
+        ("schema", Value::Str(SCHEMA.into())),
+        (
+            "error",
+            Value::obj(vec![
+                ("kind", Value::Str("panic".into())),
+                (
+                    "message",
+                    Value::Str(format!("handler panicked: {excerpt}")),
+                ),
+            ]),
+        ),
+    ])
+    .pretty();
+    crate::api::ApiResponse {
+        status: 500,
+        body: body.into_bytes(),
+        cacheable: false,
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let conn = {
@@ -223,13 +362,52 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match conn {
-            Some(stream) => {
+            Some(QueuedConn { stream, enqueued }) => {
+                shared.status.sub(&shared.status.queue_len, 1);
+                // Deadline-aware admission: a connection that out-waited
+                // the queue cap is dead work — its client has timed out
+                // or will. Shed it with a structured 504 instead of
+                // burning this worker on a late answer.
+                if enqueued.elapsed() > Duration::from_millis(shared.cfg.queue_wait_cap_ms) {
+                    hpf_trace::counter_add("serve.queue.shed", 1);
+                    shared.status.add(&shared.status.shed, 1);
+                    shed_expired(shared, stream);
+                    continue;
+                }
                 hpf_trace::counter_add("serve.conn.served", 1);
                 serve_connection(shared, stream);
             }
             None => return,
         }
     }
+}
+
+/// The shedding answer: 504 + `Retry-After`, then close — without ever
+/// reading the request (the connection is being dropped unserved).
+fn shed_expired(shared: &Shared, mut stream: TcpStream) {
+    let body = Value::obj(vec![
+        ("schema", Value::Str(SCHEMA.into())),
+        (
+            "error",
+            Value::obj(vec![
+                ("kind", Value::Str("shed".into())),
+                (
+                    "message",
+                    Value::Str(
+                        "connection out-waited the queue-wait cap; shed before service".into(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+    .pretty();
+    let _ = stream.write_all(&http::response_bytes(
+        504,
+        JSON,
+        body.as_bytes(),
+        false,
+        Some(shared.cfg.retry_after_s),
+    ));
 }
 
 fn serve_connection(shared: &Shared, stream: TcpStream) {
@@ -287,10 +465,29 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                     ));
                     return;
                 }
-                let resp = shared.api.handle(&req);
+                // Chaos-only: a `fatal` injection panics *outside* the
+                // isolation wrapper, killing this worker thread — the
+                // supervisor's respawn path is the thing under test.
+                if shared.cfg.chaos && req.header(CHAOS_HEADER) == Some("fatal") {
+                    panic!("chaos: injected fatal worker panic");
+                }
+                // Panic isolation: a panicking handler answers a
+                // structured 500 and the worker keeps its place in the
+                // pool. The connection is closed — its request/response
+                // rhythm is intact, but a handler that panicked halfway
+                // earns no further trust.
+                let (resp, panicked) =
+                    match catch_unwind(AssertUnwindSafe(|| shared.api.handle(&req))) {
+                        Ok(resp) => (resp, false),
+                        Err(payload) => {
+                            hpf_trace::counter_add("serve.worker_panic", 1);
+                            shared.status.add(&shared.status.worker_panics, 1);
+                            (panic_response(payload), true)
+                        }
+                    };
                 // Once draining, answer the request in flight but refuse
                 // to keep the connection open for more.
-                let keep = !req.wants_close() && !shared.shutting_down();
+                let keep = !req.wants_close() && !shared.shutting_down() && !panicked;
                 if stream
                     .write_all(&http::response_bytes(
                         resp.status,

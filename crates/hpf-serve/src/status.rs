@@ -1,0 +1,64 @@
+//! Shared liveness state surfaced by `/v1/healthz`.
+//!
+//! The server side (acceptor, workers, supervisor) updates these atomics
+//! as connections queue and workers live, panic, die and respawn; the API
+//! side reads them when answering a health probe. One instance per
+//! server, shared between [`crate::server`] and [`crate::api`] behind an
+//! `Arc` — an `Api` constructed without a server (tests, bench) carries a
+//! detached all-zero instance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live counters for one server instance. All loads/stores are
+/// `SeqCst`: health reporting is far off the hot path.
+#[derive(Debug, Default)]
+pub struct ServiceStatus {
+    /// Worker threads the server was configured with.
+    pub workers_configured: AtomicUsize,
+    /// Worker threads currently alive (dips below `workers_configured`
+    /// only in the window between a worker death and its respawn).
+    pub workers_live: AtomicUsize,
+    /// Connections currently parked in the accept queue.
+    pub queue_len: AtomicUsize,
+    /// Handler panics caught by the per-request `catch_unwind` (the
+    /// worker survived and answered a structured 500).
+    pub worker_panics: AtomicUsize,
+    /// Panics that escaped the request wrapper and killed a worker
+    /// thread (each one triggers a supervisor respawn).
+    pub worker_deaths: AtomicUsize,
+    /// Workers respawned by the supervisor after a death.
+    pub worker_respawns: AtomicUsize,
+    /// Connections shed at dequeue because they out-waited the
+    /// queue-wait cap (answered a structured 504 without service).
+    pub shed: AtomicUsize,
+}
+
+impl ServiceStatus {
+    pub fn get(&self, field: &AtomicUsize) -> usize {
+        field.load(Ordering::SeqCst)
+    }
+
+    pub fn add(&self, field: &AtomicUsize, delta: usize) {
+        field.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    pub fn sub(&self, field: &AtomicUsize, delta: usize) {
+        field.fetch_sub(delta, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_move() {
+        let s = ServiceStatus::default();
+        assert_eq!(s.get(&s.workers_live), 0);
+        s.add(&s.workers_live, 2);
+        s.sub(&s.workers_live, 1);
+        assert_eq!(s.get(&s.workers_live), 1);
+        s.add(&s.worker_panics, 1);
+        assert_eq!(s.get(&s.worker_panics), 1);
+    }
+}
