@@ -6,7 +6,9 @@
 //! trace store, runs the case, and reads the per-stage span totals back.
 //! Medians and p95s across iterations land in `BENCH_pipeline.json`
 //! (schema [`SCHEMA`]), and [`compare`] diffs two such files, flagging any
-//! >20 % median regression — the CI perf gate.
+//! median regression past 20 % — the CI perf gate. [`analyze_trend`] looks at
+//! the whole checked-in series (`bench_history/`) instead of one pair,
+//! catching slow cumulative drift the pairwise gate is blind to.
 //!
 //! The Criterion micro-benches under `benches/` remain for interactive
 //! exploration; this library is the *stable-schema* harness the perf
@@ -26,7 +28,11 @@ pub const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
 pub const DEFAULT_MIN_DELTA_S: f64 = 5e-4;
 
 mod suite;
+mod trend;
 pub use suite::{bench_suite, BenchCase, SuiteKind};
+pub use trend::{
+    analyze_trend, TrendConfig, TrendDrop, TrendReport, TrendRow, DEFAULT_TREND_GATE_PCT,
+};
 
 /// Per-stage timing statistics across the iterations of one case.
 #[derive(Debug, Clone)]

@@ -3,20 +3,29 @@
 //! ```text
 //! hpf-bench run [--quick] [--iters N] [--out PATH]
 //! hpf-bench compare OLD NEW [--tolerance PCT] [--min-delta S] [--case SUBSTR]
+//! hpf-bench trend [--gate PCT] [--min-delta S] [--case SUBSTR] [--dir DIR] [FILE...]
 //! ```
 //!
 //! `run` writes a `hpf-bench/v1` JSON report (default
 //! `BENCH_pipeline.json`) and prints a human-readable summary. `compare`
 //! diffs two reports and exits nonzero when any stage median regressed by
-//! more than the tolerance — the CI perf gate.
+//! more than the tolerance — the CI perf gate. `trend` ingests an ordered
+//! series of reports (explicit FILE args in order, or every `*.json`
+//! under `--dir` sorted by name) and exits nonzero when any case/stage's
+//! cumulative median drift from the first report to the last exceeds the
+//! gate — even if every pairwise step passed `compare` — or when a
+//! case/stage dropped out of the series.
 
-use hpf_bench::{compare, run_suite, BenchReport, CompareConfig, SuiteKind};
+use hpf_bench::{
+    analyze_trend, compare, run_suite, BenchReport, CompareConfig, SuiteKind, TrendConfig,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hpf-bench run [--quick] [--iters N] [--out PATH]\n  \
-         hpf-bench compare OLD NEW [--tolerance PCT] [--min-delta S] [--case SUBSTR]"
+         hpf-bench compare OLD NEW [--tolerance PCT] [--min-delta S] [--case SUBSTR]\n  \
+         hpf-bench trend [--gate PCT] [--min-delta S] [--case SUBSTR] [--dir DIR] [FILE...]"
     );
     ExitCode::from(2)
 }
@@ -26,6 +35,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("trend") => cmd_trend(&args[1..]),
         _ => usage(),
     }
 }
@@ -130,5 +140,85 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     } else {
         println!("only improvements — gate passes");
         ExitCode::SUCCESS
+    }
+}
+
+fn cmd_trend(args: &[String]) -> ExitCode {
+    let mut cfg = TrendConfig::default();
+    let mut dir: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let r = match args[i].as_str() {
+            "--gate" => parse_flag(args, &mut i, "--gate").map(|p| cfg.gate_pct = p),
+            "--min-delta" => parse_flag(args, &mut i, "--min-delta").map(|s| cfg.min_delta_s = s),
+            "--case" => {
+                parse_flag(args, &mut i, "--case").map(|c: String| cfg.case_filter = Some(c))
+            }
+            "--dir" => parse_flag(args, &mut i, "--dir").map(|d: String| dir = Some(d)),
+            _ => {
+                paths.push(args[i].clone());
+                Ok(())
+            }
+        };
+        if let Err(e) = r {
+            eprintln!("hpf-bench: {e}");
+            return usage();
+        }
+        i += 1;
+    }
+
+    // `--dir`: every *.json, sorted by file name — the naming convention
+    // (`0001_*.json`, `0002_*.json`, …) carries the series order.
+    if let Some(dir) = dir {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("hpf-bench: cannot read {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut found: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .filter_map(|p| p.to_str().map(String::from))
+            .collect();
+        found.sort();
+        paths.extend(found);
+    }
+    if paths.len() < 2 {
+        eprintln!(
+            "hpf-bench: trend needs at least two reports, got {}",
+            paths.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut reports = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("hpf-bench: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match BenchReport::from_json(&text) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("hpf-bench: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let t = analyze_trend(&reports, &cfg);
+    print!("{}", t.render());
+    if t.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("hpf-bench: trend gate FAILED");
+        ExitCode::FAILURE
     }
 }

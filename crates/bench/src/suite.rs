@@ -175,6 +175,7 @@ fn serve_predict_case(batch: usize) -> BenchCase {
     let request = |body: &str| Request {
         method: "POST".into(),
         path: "/v1/predict".into(),
+        query: String::new(),
         headers: Vec::new(),
         body: body.as_bytes().to_vec(),
     };

@@ -35,6 +35,7 @@ use report::PipelineError;
 use crate::breaker::{Breaker, BreakerConfig, BreakerOutcome};
 use crate::cache::{BoundArtifact, CacheConfig, Deadline, ServeCache, ServeFailure};
 use crate::http::Request;
+use crate::metrics::ServeMetrics;
 use crate::status::ServiceStatus;
 
 /// Schema tag stamped on every JSON body this service writes.
@@ -90,12 +91,39 @@ pub struct Api {
     cache: ServeCache,
     breaker: Breaker,
     status: Arc<ServiceStatus>,
+    /// Streaming metrics: windowed rates + the `?since=` cursor ring.
+    metrics: ServeMetrics,
     /// Honor the `x-chaos-panic` fault-injection header.
     chaos: bool,
 }
 
 fn num(v: f64) -> Value {
     Value::Num(v)
+}
+
+/// The `/v1/healthz` latency section: a compact snapshot of every
+/// per-endpoint request-latency sketch (`serve.latency.*`, kernels
+/// excluded — those live in the full `/v1/metrics` document).
+fn latency_value() -> Value {
+    Value::Obj(
+        hpf_trace::sketches_snapshot()
+            .into_iter()
+            .filter_map(|(name, s)| {
+                let short = name.strip_prefix("serve.latency.")?;
+                if short.starts_with("kernel.") {
+                    return None;
+                }
+                let v = Value::obj(vec![
+                    ("count", num(s.count() as f64)),
+                    ("p50_s", num(s.quantile(0.50))),
+                    ("p95_s", num(s.quantile(0.95))),
+                    ("p99_s", num(s.quantile(0.99))),
+                    ("p999_s", num(s.quantile(0.999))),
+                ]);
+                Some((short.to_string(), v))
+            })
+            .collect(),
+    )
 }
 
 fn metrics_value(m: &interp::Metrics) -> Value {
@@ -265,8 +293,15 @@ impl Api {
             cache: ServeCache::new(cfg),
             breaker: Breaker::new(BreakerConfig::default()),
             status,
+            metrics: ServeMetrics::new(),
             chaos,
         }
+    }
+
+    /// The streaming-metrics layer, shared with the server loops so shed
+    /// and panic events feed the windowed rates.
+    pub fn serve_metrics(&self) -> &ServeMetrics {
+        &self.metrics
     }
 
     /// Route and serve one request. Infallible by construction — every
@@ -275,11 +310,32 @@ impl Api {
     /// chaos is enabled), which the worker's `catch_unwind` isolation is
     /// expected to convert into a structured 500.
     pub fn handle(&self, req: &Request) -> ApiResponse {
+        // The metrics scrape itself never self-counts: a delta capture
+        // must observe the service, not perturb it.
+        if req.method == "GET" && req.path == "/v1/metrics" {
+            return self.metrics(req);
+        }
         hpf_trace::counter_add("serve.requests", 1);
+        let t0 = hpf_trace::enabled().then(std::time::Instant::now);
+        let resp = self.dispatch(req);
+        if let Some(t0) = t0 {
+            let name = match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/v1/healthz") => "serve.latency.healthz",
+                ("POST", "/v1/predict") => "serve.latency.predict",
+                ("POST", "/v1/sweep") => "serve.latency.sweep",
+                ("POST", "/v1/advise") => "serve.latency.advise",
+                _ => "serve.latency.other",
+            };
+            hpf_trace::sketch_record(name, t0.elapsed().as_secs_f64());
+            self.metrics.note_request(resp.status);
+        }
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> ApiResponse {
         let ctx = self.chaos_ctx(req);
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/v1/healthz") => self.healthz(),
-            ("GET", "/v1/metrics") => self.metrics(),
             ("POST", "/v1/predict") => self.cached_post(req, ctx, Self::predict),
             ("POST", "/v1/sweep") => self.cached_post(req, ctx, Self::sweep),
             ("POST", "/v1/advise") => self.cached_post(req, ctx, Self::advise),
@@ -372,15 +428,28 @@ impl Api {
                     ]),
                 ),
                 ("breaker", Value::Str(self.breaker.state_label().into())),
+                ("latency", latency_value()),
             ]),
         )
     }
 
-    fn metrics(&self) -> ApiResponse {
-        // The hpf-trace exporter's own "hpf-trace/v1" document, verbatim.
+    /// The streaming-metrics endpoint. Without a query: the full
+    /// `hpf-serve-metrics/v1` document (counter totals, windowed rates,
+    /// latency sketches, and the embedded `hpf-trace/v1` export), stamped
+    /// with a fresh `cursor`. With `?since=<cursor>`: per-counter and
+    /// per-sketch deltas against that cursor's snapshot (`"reset": true`
+    /// totals when the cursor has aged out of the ring).
+    fn metrics(&self, req: &Request) -> ApiResponse {
+        let doc = match req.query_param("since") {
+            None => self.metrics.export_full(),
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(since) => self.metrics.export_delta(since),
+                Err(_) => return bad_request("`since` must be an unsigned integer cursor"),
+            },
+        };
         ApiResponse {
             status: 200,
-            body: hpf_trace::export_json().into_bytes(),
+            body: doc.pretty().into_bytes(),
             cacheable: false,
         }
     }
@@ -421,18 +490,31 @@ impl Api {
             Err(resp) => return resp,
         }
         let key = body_key(&req.path, &body);
+        // Per-kernel latency sketch: covers both the warm (body-cache
+        // hit) and cold paths, so the distribution reflects what callers
+        // of this kernel actually observed.
+        let t0 = hpf_trace::enabled().then(std::time::Instant::now);
+        let record_kernel = |resp: ApiResponse| {
+            if let (Some(t0), Some(name)) = (t0, body.get("kernel").and_then(Value::as_str)) {
+                hpf_trace::sketch_record(
+                    &format!("serve.latency.kernel.{name}"),
+                    t0.elapsed().as_secs_f64(),
+                );
+            }
+            resp
+        };
         if let Some(cached) = self.cache.cached_body(&key) {
-            return ApiResponse {
+            return record_kernel(ApiResponse {
                 status: 200,
                 body: cached.as_ref().clone(),
                 cacheable: true,
-            };
+            });
         }
         let response = handler(self, &body, ctx);
         if response.status == 200 && response.cacheable {
             self.cache.store_body(&key, response.body.clone());
         }
-        response
+        record_kernel(response)
     }
 
     /// Bind the request's target to `(n, procs)` through the warm caches.
@@ -623,6 +705,7 @@ impl Api {
                     }
                     BreakerOutcome::Rejected | BreakerOutcome::Failed(_) => {
                         hpf_trace::counter_add("serve.degraded", 1);
+                        self.metrics.note_degraded();
                         degraded = true;
                     }
                 }
@@ -753,6 +836,7 @@ impl Api {
             BreakerOutcome::Ok(r) => (r, false),
             BreakerOutcome::Rejected | BreakerOutcome::Failed(_) => {
                 hpf_trace::counter_add("serve.degraded", 1);
+                self.metrics.note_degraded();
                 let degraded_cfg = hpf_advisor::AdvisorConfig {
                     top_k: 0,
                     ..cfg.clone()
@@ -817,6 +901,7 @@ mod tests {
         Request {
             method: "POST".into(),
             path: path.into(),
+            query: String::new(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
@@ -826,6 +911,7 @@ mod tests {
         Request {
             method: "GET".into(),
             path: path.into(),
+            query: String::new(),
             headers: Vec::new(),
             body: Vec::new(),
         }

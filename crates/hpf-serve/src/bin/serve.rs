@@ -4,6 +4,7 @@
 //! serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--no-trace]
 //! serve loadgen [--quick] [--requests R] [--clients C] [--workers W] [--seed S]
 //! serve chaos   [--quick] [--requests R] [--clients C] [--workers W] [--seed S]
+//!               [--metrics-out PATH]
 //! ```
 //!
 //! `serve serve` runs the HTTP service until a `POST /v1/shutdown`
@@ -16,7 +17,10 @@
 //! truncated bodies, client aborts) against a private server and exits
 //! non-zero unless the resilience contract holds — zero worker deaths,
 //! structured answers for every fault, and a healthy-request checksum
-//! bit-identical to a fault-free baseline pass.
+//! bit-identical to a fault-free baseline pass. `--metrics-out PATH`
+//! additionally writes the plan-deterministic summary of the pass's
+//! `/v1/metrics?since=` delta export as JSON — CI diffs it against a
+//! checked-in golden at several worker counts.
 
 use hpf_serve::{chaos, loadgen, server, ChaosConfig, LoadgenConfig, ServerConfig};
 
@@ -24,7 +28,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--no-trace]\n\
          \x20      serve loadgen [--quick] [--requests R] [--clients C] [--workers W] [--seed S]\n\
-         \x20      serve chaos   [--quick] [--requests R] [--clients C] [--workers W] [--seed S]"
+         \x20      serve chaos   [--quick] [--requests R] [--clients C] [--workers W] [--seed S]\n\
+         \x20                    [--metrics-out PATH]"
     );
     std::process::exit(2)
 }
@@ -121,6 +126,7 @@ fn run_loadgen(args: &[String]) {
 
 fn run_chaos(args: &[String]) {
     let mut cfg = ChaosConfig::default();
+    let mut metrics_out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -135,6 +141,7 @@ fn run_chaos(args: &[String]) {
             "--clients" => cfg.clients = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--workers" => cfg.workers = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--metrics-out" => metrics_out = Some(take(args, &mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -147,6 +154,14 @@ fn run_chaos(args: &[String]) {
     match chaos::run(&cfg) {
         Ok(report) => {
             print!("{}", report.render());
+            if let Some(path) = metrics_out {
+                let doc = format!("{}\n", report.metrics_summary.pretty());
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("chaos: cannot write {path}: {e}");
+                    std::process::exit(1)
+                }
+                println!("metrics summary written to {path}");
+            }
             if !report.passed() {
                 std::process::exit(1)
             }

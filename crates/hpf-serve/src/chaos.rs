@@ -205,6 +205,11 @@ pub struct ChaosReport {
     pub shed: usize,
     pub breaker_opens: u64,
     pub degraded_responses: u64,
+    /// The plan-deterministic slice of the chaos pass's
+    /// `/v1/metrics?since=` delta (see `summarize_delta`) — identical
+    /// for a given `(seed, requests)` whatever the worker count, and
+    /// diffed against a checked-in golden by CI.
+    pub metrics_summary: Value,
     /// Contract violations; empty means the run passed.
     pub failures: Vec<String>,
 }
@@ -244,6 +249,19 @@ impl ChaosReport {
             }
         }
         out.push('\n');
+        let summary_num = |section: &str, key: &str| {
+            self.metrics_summary
+                .get(section)
+                .and_then(|s| s.get(key))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        out.push_str(&format!(
+            "metrics delta: requests {}, latency sketch counts predict {} / sweep {}\n",
+            summary_num("counters", "serve.requests"),
+            summary_num("sketch_counts", "serve.latency.predict"),
+            summary_num("sketch_counts", "serve.latency.sweep"),
+        ));
         out.push_str(&format!(
             "workers: live {}/{}, deaths {}, caught panics {}, respawns {}, shed {}\n\
              breaker: opens {}, degraded responses {}\n",
@@ -442,13 +460,22 @@ fn shutdown_over_the_wire(addr: SocketAddr, handle: ServerHandle) {
     handle.wait();
 }
 
+/// Everything one pass of the plan observed.
+struct PassResult {
+    outcomes: Vec<Outcome>,
+    health: Health,
+    breaker_opens: u64,
+    degraded: u64,
+    /// The `/v1/metrics?since=<cursor>` document, where the cursor was
+    /// issued *before* any plan request fired — i.e. exactly what the
+    /// pass did to the service, as the delta export tells it.
+    metrics_delta: Value,
+}
+
 /// One pass of the plan. `chaos: false` is the baseline — only the
 /// plan's healthy requests are fired, against a server with injection
 /// disabled.
-fn run_pass(
-    cfg: &ChaosConfig,
-    chaos: bool,
-) -> std::io::Result<(Vec<Outcome>, Health, u64, u64, u64)> {
+fn run_pass(cfg: &ChaosConfig, chaos: bool) -> std::io::Result<PassResult> {
     let handle = start(
         "127.0.0.1:0",
         ServerConfig {
@@ -461,6 +488,12 @@ fn run_pass(
         },
     )?;
     let addr = handle.addr();
+
+    // Open the delta window before the first plan request fires.
+    let cursor = fetch_json(addr, "/v1/metrics")?
+        .get("cursor")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0) as u64;
 
     let clients = cfg.clients.max(1);
     let mut joins = Vec::with_capacity(clients);
@@ -487,13 +520,23 @@ fn run_pass(
         );
     }
 
+    // Close the delta window before the healthz fetch below — the delta
+    // must cover the plan's requests and nothing this harness does to
+    // inspect the aftermath.
+    let metrics_delta = fetch_json(addr, &format!("/v1/metrics?since={cursor}"))?;
+
     let health = fetch_health(addr)?;
     let breaker_opens = fetch_counter(addr, "serve.breaker_open");
     let degraded = fetch_counter(addr, "serve.degraded");
-    let sheds = fetch_counter(addr, "serve.queue.shed");
     shutdown_over_the_wire(addr, handle);
     outcomes.sort_by_key(|o| o.index);
-    Ok((outcomes, health, breaker_opens, degraded, sheds))
+    Ok(PassResult {
+        outcomes,
+        health,
+        breaker_opens,
+        degraded,
+        metrics_delta,
+    })
 }
 
 fn healthy_checksum_and_latencies(outcomes: &[Outcome]) -> (u64, Vec<f64>) {
@@ -518,12 +561,19 @@ pub fn run(cfg: &ChaosConfig) -> std::io::Result<ChaosReport> {
     silence_injected_panics();
     hpf_trace::enable();
     hpf_trace::reset();
-    let (baseline, _, _, _, _) = run_pass(cfg, false)?;
-    let (baseline_checksum, baseline_lat) = healthy_checksum_and_latencies(&baseline);
+    let baseline_pass = run_pass(cfg, false)?;
+    let (baseline_checksum, baseline_lat) = healthy_checksum_and_latencies(&baseline_pass.outcomes);
 
     hpf_trace::reset();
-    let (outcomes, health, breaker_opens, degraded_responses, _sheds) = run_pass(cfg, true)?;
+    let chaos_pass = run_pass(cfg, true)?;
     hpf_trace::disable();
+    let PassResult {
+        outcomes,
+        health,
+        breaker_opens,
+        degraded: degraded_responses,
+        metrics_delta,
+    } = chaos_pass;
     let (healthy_checksum, healthy_lat) = healthy_checksum_and_latencies(&outcomes);
 
     // Tally and per-fault contract: every injected fault that awaits an
@@ -602,6 +652,17 @@ pub fn run(cfg: &ChaosConfig) -> std::io::Result<ChaosReport> {
         ));
     }
 
+    // The delta-export contract: the chaos pass's window must carry the
+    // metrics schema and must have resolved the cursor exactly (a
+    // `reset` would mean the window silently became totals).
+    if metrics_delta.get("schema").and_then(Value::as_str) != Some(crate::metrics::METRICS_SCHEMA) {
+        failures.push("metrics delta: wrong or missing schema".into());
+    }
+    if metrics_delta.get("reset").is_some() {
+        failures.push("metrics delta: cursor aged out of the ring during the pass".into());
+    }
+    let metrics_summary = summarize_delta(cfg, &metrics_delta, healthy_checksum);
+
     let healthy = totals[Fault::Healthy.index()];
     Ok(ChaosReport {
         requests: cfg.requests,
@@ -627,8 +688,68 @@ pub fn run(cfg: &ChaosConfig) -> std::io::Result<ChaosReport> {
         shed: health.shed,
         breaker_opens,
         degraded_responses,
+        metrics_summary,
         failures,
     })
+}
+
+/// The deterministic slice of the chaos pass's `?since=` delta: values
+/// that are a pure function of the plan (seed + request count) and
+/// independent of worker count, client count, and timing. CI pins this
+/// document against a checked-in golden at several worker counts — the
+/// service-level analogue of the loadgen checksum.
+///
+/// Deliberately excluded: connection and cache counters (they see the
+/// harness's own scrapes and cache-timing races), shed/breaker/degraded
+/// counts (timing-dependent), and every latency *value* (only sketch
+/// *counts* are plan-determined).
+fn summarize_delta(cfg: &ChaosConfig, delta: &Value, healthy_checksum: u64) -> Value {
+    let counter = |name: &str| -> Value {
+        Value::Num(
+            delta
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        )
+    };
+    let sketch_count = |name: &str| -> Value {
+        Value::Num(
+            delta
+                .get("sketches")
+                .and_then(|s| s.get(name))
+                .and_then(|s| s.get("count"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        )
+    };
+    Value::obj(vec![
+        ("schema", Value::Str("hpf-serve-chaos-metrics/v1".into())),
+        ("seed", Value::Str(format!("{:#x}", cfg.seed))),
+        ("requests", Value::Num(cfg.requests as f64)),
+        (
+            "healthy_checksum",
+            Value::Str(format!("{healthy_checksum:016x}")),
+        ),
+        (
+            "counters",
+            Value::obj(vec![
+                ("serve.requests", counter("serve.requests")),
+                ("serve.worker_death", counter("serve.worker_death")),
+                ("serve.worker_panic", counter("serve.worker_panic")),
+            ]),
+        ),
+        (
+            "sketch_counts",
+            Value::obj(vec![
+                (
+                    "serve.latency.predict",
+                    sketch_count("serve.latency.predict"),
+                ),
+                ("serve.latency.sweep", sketch_count("serve.latency.sweep")),
+            ]),
+        ),
+    ])
 }
 
 #[cfg(test)]

@@ -17,8 +17,10 @@ pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 #[derive(Debug, Clone)]
 pub struct Request {
     pub method: String,
-    /// Path only — query strings are not part of the API surface.
+    /// Path with the query string stripped — routing is on the path alone.
     pub path: String,
+    /// Raw query string (no leading `?`); empty when the request had none.
+    pub query: String,
     /// Header name/value pairs, names lower-cased.
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
@@ -31,6 +33,14 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of the query parameter `name` (`k=v` pairs split on `&`).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
     }
 
     /// Did the client ask to close the connection after this exchange?
@@ -164,10 +174,14 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
         std::io::Read::read_exact(reader, &mut body).map_err(|e| read_error("read body", &e))?;
     }
 
-    let path = path.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (path, String::new()),
+    };
     Ok(Some(Request {
         method,
         path,
+        query,
         headers,
         body,
     }))
@@ -283,12 +297,16 @@ mod tests {
     }
 
     #[test]
-    fn parses_get_without_body_and_strips_query() {
-        let req = parse("GET /v1/healthz?x=1 HTTP/1.1\r\n\r\n")
+    fn parses_get_without_body_and_splits_query() {
+        let req = parse("GET /v1/healthz?x=1&since=42 HTTP/1.1\r\n\r\n")
             .unwrap()
             .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/v1/healthz");
+        assert_eq!(req.query, "x=1&since=42");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("since"), Some("42"));
+        assert_eq!(req.query_param("nope"), None);
         assert!(req.body.is_empty());
     }
 

@@ -21,7 +21,7 @@
 //! | `POST /v1/predict` | per-phase predicted times for `(kernel or source, n, procs)` |
 //! | `POST /v1/sweep`   | predicted (optionally DES-simulated) curve over a size range |
 //! | `POST /v1/advise`  | top-k directive recommendations via the hpf-advisor search |
-//! | `GET /v1/metrics`  | the live `hpf-trace/v1` counters/spans document |
+//! | `GET /v1/metrics`  | streaming metrics: totals, windowed rates, latency sketches, and the embedded `hpf-trace/v1` doc; `?since=<cursor>` answers deltas ([`metrics`]) |
 //! | `GET /v1/healthz`  | liveness: pool strength, queue depth, panics, breaker state |
 //! | `POST /v1/shutdown`| graceful drain: answer in-flight work, then exit |
 //!
@@ -62,6 +62,7 @@ pub mod cache;
 pub mod chaos;
 pub mod http;
 pub mod loadgen;
+pub mod metrics;
 pub mod server;
 pub mod status;
 
@@ -70,5 +71,13 @@ pub use breaker::{Breaker, BreakerConfig, BreakerOutcome};
 pub use cache::{CacheConfig, Deadline, ServeCache, ServeFailure};
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use metrics::{ServeMetrics, METRICS_SCHEMA};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use status::ServiceStatus;
+
+#[cfg(test)]
+pub(crate) mod testlock {
+    //! The hpf-trace global registry is shared by every unit test in this
+    //! binary; tests that enable/reset tracing serialize on this lock.
+    pub static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

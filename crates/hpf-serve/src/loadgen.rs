@@ -10,16 +10,22 @@
 //! checksum no matter how many workers or client threads raced — the
 //! drive-by proof of the service's byte-determinism contract.
 //!
-//! Reported: throughput, latency percentiles (p50/p95/p99), status
-//! counts, warm-cache hit rate (from the server's own
+//! Reported: throughput, latency percentiles (p50/p95/p99/p99.9),
+//! status counts, warm-cache hit rate (from the server's own
 //! `serve.cache.{hit,miss}` counters via `GET /v1/metrics`), and the
 //! body checksum.
+//!
+//! Percentiles come from a [`QuantileSketch`] per client thread, merged
+//! at the end — the same shard-then-merge shape the service itself uses,
+//! and (by the sketch's exact-merge guarantee) identical to what one
+//! sketch over all samples would report.
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
 use hpf_trace::json::{parse as parse_json, Value};
+use hpf_trace::QuantileSketch;
 
 use crate::http::read_response;
 use crate::server::{start, ServerConfig};
@@ -72,6 +78,7 @@ pub struct LoadgenReport {
     pub p50_ms: f64,
     pub p95_ms: f64,
     pub p99_ms: f64,
+    pub p999_ms: f64,
     pub ok: usize,
     pub failed: usize,
     /// `serve.cache.hit / (hit + miss)` over the run.
@@ -89,6 +96,7 @@ impl LoadgenReport {
              latency p50   {:.3} ms\n\
              latency p95   {:.3} ms\n\
              latency p99   {:.3} ms\n\
+             latency p99.9 {:.3} ms\n\
              ok / failed   {} / {}\n\
              cache hits    {:.1} %\n\
              checksum      {:016x}\n",
@@ -101,6 +109,7 @@ impl LoadgenReport {
             self.p50_ms,
             self.p95_ms,
             self.p99_ms,
+            self.p999_ms,
             self.ok,
             self.failed,
             self.cache_hit_rate * 100.0,
@@ -170,6 +179,9 @@ pub(crate) fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
 struct ClientResult {
     /// `(request index, latency ms, status, body hash)` per request.
     samples: Vec<(usize, f64, u16, u64)>,
+    /// This client's latency shard (seconds), merged with the other
+    /// clients' shards for the report percentiles.
+    sketch: QuantileSketch,
 }
 
 fn client_run(
@@ -184,6 +196,7 @@ fn client_run(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
     let mut samples = Vec::with_capacity(requests / stride + 1);
+    let mut sketch = QuantileSketch::new();
     let mut i = first;
     while i < requests {
         let (path, body) = request_at(seed, i);
@@ -195,11 +208,12 @@ fn client_run(
         stream.write_all(raw.as_bytes())?;
         let (status, _, resp_body) =
             read_response(&mut reader).map_err(|e| std::io::Error::other(e.message))?;
-        let ms = t0.elapsed().as_secs_f64() * 1e3;
-        samples.push((i, ms, status, fnv1a(FNV_OFFSET, &resp_body)));
+        let secs = t0.elapsed().as_secs_f64();
+        sketch.record(secs);
+        samples.push((i, secs * 1e3, status, fnv1a(FNV_OFFSET, &resp_body)));
         i += stride;
     }
-    Ok(ClientResult { samples })
+    Ok(ClientResult { samples, sketch })
 }
 
 /// Warm-cache hit rate from the server's own metrics endpoint.
@@ -262,11 +276,13 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         }));
     }
     let mut samples = Vec::with_capacity(cfg.requests);
+    let mut merged = QuantileSketch::new();
     for j in joins {
         let result = j
             .join()
             .map_err(|_| std::io::Error::other("client thread panicked"))??;
         samples.extend(result.samples);
+        merged.merge(&result.sketch);
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
@@ -297,8 +313,7 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         }
     }
 
-    let mut lat: Vec<f64> = samples.iter().map(|&(_, ms, _, _)| ms).collect();
-    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    debug_assert_eq!(merged.count() as usize, samples.len());
 
     Ok(LoadgenReport {
         requests: cfg.requests,
@@ -307,9 +322,10 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         seed: cfg.seed,
         wall_s,
         throughput_rps: cfg.requests as f64 / wall_s.max(1e-9),
-        p50_ms: percentile(&lat, 0.50),
-        p95_ms: percentile(&lat, 0.95),
-        p99_ms: percentile(&lat, 0.99),
+        p50_ms: merged.quantile(0.50) * 1e3,
+        p95_ms: merged.quantile(0.95) * 1e3,
+        p99_ms: merged.quantile(0.99) * 1e3,
+        p999_ms: merged.quantile(0.999) * 1e3,
         ok,
         failed,
         cache_hit_rate,

@@ -370,6 +370,7 @@ fn worker_loop(shared: &Shared) {
                 // burning this worker on a late answer.
                 if enqueued.elapsed() > Duration::from_millis(shared.cfg.queue_wait_cap_ms) {
                     hpf_trace::counter_add("serve.queue.shed", 1);
+                    shared.api.serve_metrics().note_shed();
                     shared.status.add(&shared.status.shed, 1);
                     shed_expired(shared, stream);
                     continue;
@@ -481,6 +482,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                         Ok(resp) => (resp, false),
                         Err(payload) => {
                             hpf_trace::counter_add("serve.worker_panic", 1);
+                            shared.api.serve_metrics().note_panic();
                             shared.status.add(&shared.status.worker_panics, 1);
                             (panic_response(payload), true)
                         }
@@ -515,7 +517,7 @@ mod tests {
     use std::io::BufRead;
 
     // Trace counters are process-global; tests that read them serialize.
-    static TRACE_LOCK: Mutex<()> = Mutex::new(());
+    use crate::testlock::TRACE_LOCK;
 
     fn send(stream: &mut TcpStream, method: &str, path: &str, body: &str) -> std::io::Result<()> {
         let req = format!(

@@ -22,6 +22,7 @@ fn post(path: &str, body: &str) -> Request {
     Request {
         method: "POST".into(),
         path: path.into(),
+        query: String::new(),
         headers: Vec::new(),
         body: body.as_bytes().to_vec(),
     }

@@ -2,7 +2,9 @@
 //! flamegraph-style text tree.
 
 use crate::json::Value;
-use crate::registry::{counters_snapshot, gauges_snapshot, histograms_snapshot, Histogram};
+use crate::registry::{
+    counters_snapshot, gauges_snapshot, histograms_snapshot, sketches_snapshot, Histogram,
+};
 use crate::span::{span_snapshot, SpanSnapshot};
 
 /// Serialize the current spans + metrics as a `hpf-trace/v1` JSON
@@ -64,12 +66,20 @@ pub fn export_json() -> String {
             .collect(),
     );
 
+    let sketches = Value::Obj(
+        sketches_snapshot()
+            .into_iter()
+            .map(|(k, s)| (k, s.to_value()))
+            .collect(),
+    );
+
     Value::obj(vec![
         ("schema", Value::Str("hpf-trace/v1".into())),
         ("spans", Value::Arr(spans)),
         ("counters", counters),
         ("gauges", gauges),
         ("histograms", histograms),
+        ("sketches", sketches),
     ])
     .pretty()
 }

@@ -10,6 +10,11 @@
 //! * **A metrics registry** ([`counter_add`], [`gauge_set`],
 //!   [`histogram_record`]) — counters, gauges, and histograms with fixed
 //!   log₂-scale buckets (see [`registry::Histogram`]).
+//! * **Streaming aggregation** ([`sketch_record`], [`sketch_merge`]) —
+//!   mergeable quantile sketches with an exact, deterministic merge
+//!   (see [`sketch::QuantileSketch`]) plus windowed rate counters
+//!   ([`sketch::WindowedRate`]), the primitives behind the service's
+//!   `/v1/metrics` delta export.
 //! * **Exports** — a machine-readable JSON document
 //!   ([`export::export_json`]) and a human-readable flamegraph-style text
 //!   tree ([`export::flame_text`]).
@@ -40,13 +45,15 @@
 pub mod export;
 pub mod json;
 pub mod registry;
+pub mod sketch;
 pub mod span;
 
 pub use export::{export_json, flame_text};
 pub use registry::{
     counter_add, counter_get, gauge_get, gauge_set, histogram_record, histogram_snapshot,
-    HistogramSnapshot,
+    sketch_merge, sketch_record, sketch_snapshot, sketches_snapshot, HistogramSnapshot,
 };
+pub use sketch::{QuantileSketch, WindowedRate};
 pub use span::{span, span_snapshot, SpanGuard, SpanSnapshot};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -3,6 +3,7 @@
 //! convention: `sim.fault.retries`). Everything is process-global and
 //! cleared by [`crate::reset`].
 
+use crate::sketch::QuantileSketch;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -158,6 +159,10 @@ struct Registry {
     counters: BTreeMap<&'static str, Arc<AtomicU64>>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Arc<Histogram>>,
+    /// Quantile sketches keyed by owned names — sketch names are often
+    /// built at runtime (`serve.latency.kernel.<name>`), unlike the
+    /// `&'static str` counter/histogram keys.
+    sketches: BTreeMap<String, Arc<Mutex<QuantileSketch>>>,
 }
 
 static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
@@ -222,6 +227,69 @@ pub fn histogram_record(name: &'static str, value: f64) {
 /// Snapshot of the histogram `name`, if it has ever been written.
 pub fn histogram_snapshot(name: &str) -> Option<HistogramSnapshot> {
     with_registry(|r| r.histograms.get(name).map(|h| h.snapshot()))
+}
+
+/// Record `value` into the mergeable quantile sketch `name`. No-op while
+/// tracing is disabled. Unlike [`histogram_record`], the name may be
+/// built at runtime (per-kernel breakdowns).
+#[inline]
+pub fn sketch_record(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let s = with_registry(|r| match r.sketches.get(name) {
+        Some(s) => s.clone(),
+        None => {
+            let s = Arc::new(Mutex::new(QuantileSketch::new()));
+            r.sketches.insert(name.to_string(), s.clone());
+            s
+        }
+    });
+    s.lock().unwrap_or_else(|e| e.into_inner()).record(value);
+}
+
+/// Merge a locally-accumulated sketch into the registry sketch `name`.
+/// No-op while tracing is disabled. This is the shard pattern: writers
+/// own a private sketch (no contention) and fold it in when done; the
+/// result is exactly the sketch a single shared writer would have built.
+#[inline]
+pub fn sketch_merge(name: &str, shard: &QuantileSketch) {
+    if !crate::enabled() {
+        return;
+    }
+    let s = with_registry(|r| match r.sketches.get(name) {
+        Some(s) => s.clone(),
+        None => {
+            let s = Arc::new(Mutex::new(QuantileSketch::new()));
+            r.sketches.insert(name.to_string(), s.clone());
+            s
+        }
+    });
+    s.lock().unwrap_or_else(|e| e.into_inner()).merge(shard);
+}
+
+/// Clone of the sketch `name`, if it has ever been written.
+pub fn sketch_snapshot(name: &str) -> Option<QuantileSketch> {
+    with_registry(|r| {
+        r.sketches
+            .get(name)
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+    })
+}
+
+/// All sketches, sorted by name.
+pub fn sketches_snapshot() -> Vec<(String, QuantileSketch)> {
+    with_registry(|r| {
+        r.sketches
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    s.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+                )
+            })
+            .collect()
+    })
 }
 
 /// All counters, sorted by name.

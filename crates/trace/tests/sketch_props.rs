@@ -1,0 +1,122 @@
+//! Property tests for the mergeable quantile sketch: the merge must be
+//! exact and invariant under merge order and shard count, the JSON
+//! roundtrip must be lossless, and cursor deltas must telescope. These
+//! are the invariants the service's `/v1/metrics?since=` export and the
+//! loadgen's shard-merged percentiles lean on.
+
+use hpf_trace::sketch::QuantileSketch;
+use proptest::prelude::*;
+
+/// Build one sketch over all values sequentially.
+fn whole(values: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+/// Round-robin the values over `shards` sketches, then merge them in the
+/// given order permutation (rotation by `rot`).
+fn sharded(values: &[f64], shards: usize, rot: usize) -> QuantileSketch {
+    let mut parts: Vec<QuantileSketch> = (0..shards).map(|_| QuantileSketch::new()).collect();
+    for (i, &v) in values.iter().enumerate() {
+        parts[i % shards].record(v);
+    }
+    let mut merged = QuantileSketch::new();
+    for k in 0..shards {
+        merged.merge(&parts[(k + rot) % shards]);
+    }
+    merged
+}
+
+proptest! {
+    /// Shard-count invariance: splitting a value stream over any number
+    /// of shards and merging reproduces the single-writer sketch
+    /// exactly — buckets, count, sum, min, max, every quantile.
+    #[test]
+    fn merge_is_shard_count_invariant(
+        values in proptest::collection::vec(1e-9f64..10.0, 1..400),
+        shards in 1usize..9,
+    ) {
+        prop_assert_eq!(sharded(&values, shards, 0), whole(&values));
+    }
+
+    /// Merge-order invariance: folding the same shards in a rotated
+    /// order yields the identical sketch.
+    #[test]
+    fn merge_is_order_invariant(
+        values in proptest::collection::vec(1e-9f64..10.0, 1..400),
+        shards in 2usize..8,
+        rot in 0usize..8,
+    ) {
+        prop_assert_eq!(sharded(&values, shards, rot % shards), sharded(&values, shards, 0));
+    }
+
+    /// The sparse JSON encoding reconstructs the sketch exactly (modulo
+    /// min/max, which serialize at f64 text precision — counts, buckets
+    /// and quantile structure are integer-exact).
+    #[test]
+    fn json_roundtrip_preserves_structure(
+        values in proptest::collection::vec(1e-9f64..100.0, 0..200),
+    ) {
+        let s = whole(&values);
+        let text = s.to_value().pretty();
+        let back = QuantileSketch::from_value(
+            &hpf_trace::json::parse(&text).expect("export parses"),
+        ).expect("sketch loads");
+        prop_assert_eq!(back.count(), s.count());
+        prop_assert_eq!(back.quantile(0.5).to_bits(), s.quantile(0.5).to_bits());
+        prop_assert_eq!(back.quantile(0.99).to_bits(), s.quantile(0.99).to_bits());
+        prop_assert_eq!(back.sum().to_bits(), s.sum().to_bits());
+    }
+
+    /// Deltas telescope: for any split point, delta_since(prefix) merged
+    /// back onto the prefix reproduces the full sketch — count and sum
+    /// exactly, quantiles to within the delta's slot-bound clamp slack
+    /// (min/max of a window are re-derived from bucket bounds, ≤ 12.5%).
+    #[test]
+    fn deltas_telescope(
+        values in proptest::collection::vec(1e-9f64..10.0, 1..300),
+        split_pct in 0usize..101,
+    ) {
+        let split = values.len() * split_pct / 100;
+        let prefix = whole(&values[..split]);
+        let full = whole(&values);
+        let delta = full.delta_since(&prefix);
+        prop_assert_eq!(delta.count(), (values.len() - split) as u64);
+        let mut recombined = prefix.clone();
+        recombined.merge(&delta);
+        prop_assert_eq!(recombined.count(), full.count());
+        prop_assert_eq!(recombined.sum().to_bits(), full.sum().to_bits());
+        let (a, b) = (recombined.quantile(0.95), full.quantile(0.95));
+        prop_assert!((a - b).abs() <= 0.125 * b + 1e-12, "p95 {a} vs {b}");
+    }
+
+    /// Quantile sanity on arbitrary streams: monotone in q, inside
+    /// [min, max], and the relative error at the median is bounded by
+    /// the sub-bucket resolution (≤ 1/8 of a factor-two bucket).
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(1e-6f64..10.0, 1..300),
+    ) {
+        let s = whole(&values);
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0]
+            .iter().map(|&q| s.quantile(q)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", qs);
+        }
+        prop_assert!(qs[0] >= s.min() && qs[5] <= s.max());
+
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = sorted[(sorted.len() - 1) / 2];
+        let est = s.quantile(0.5);
+        // One sub-bucket is ≤ 12.5% wide; allow a whole bucket of slack
+        // for interpolation at small counts.
+        prop_assert!(
+            (est - exact).abs() <= 0.25 * exact + 1e-9,
+            "median {est} vs exact {exact}"
+        );
+    }
+}
