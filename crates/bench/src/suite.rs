@@ -195,6 +195,47 @@ fn serve_predict_case(batch: usize) -> BenchCase {
     }
 }
 
+/// Cost of one batched `/v1/sweep` evaluation through `Api::handle`: the
+/// session and bind caches are warm, but the response-body layers are
+/// sized to a single entry and two distinct sweep bodies alternate — each
+/// request evicts the other's cached body, so every iteration re-runs the
+/// batched bind-once/evaluate-many pass (resolve the kernel artifact
+/// once, evaluate every sweep point against warm binds, serialize). This
+/// is the serving cost the batching layer is supposed to bound, isolated
+/// from the response cache that normally hides it.
+fn serve_sweep_batched_case() -> BenchCase {
+    let api = Arc::new(Api::new(&CacheConfig {
+        bodies: 1,
+        ..CacheConfig::default()
+    }));
+    let bodies: Vec<String> = [(32usize, 128usize, 4usize), (64, 256, 8)]
+        .iter()
+        .map(|(min, max, p)| {
+            format!(r#"{{"kernel": "PI", "sizes": {{"min": {min}, "max": {max}}}, "procs": {p}}}"#)
+        })
+        .collect();
+    let request = |body: &str| Request {
+        method: "POST".into(),
+        path: "/v1/sweep".into(),
+        query: String::new(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    };
+    // Warm the session, profile, and bind caches outside the timed region.
+    for b in &bodies {
+        assert_eq!(api.handle(&request(b)).status, 200);
+    }
+    BenchCase {
+        name: "serve_sweep_batched".into(),
+        run: Box::new(move || {
+            for b in &bodies {
+                let resp = api.handle(&request(b));
+                assert_eq!(resp.status, 200);
+            }
+        }),
+    }
+}
+
 /// Build the suite. Case order is stable (it is the file order in the
 /// report); the Quick suite is a strict subset of Full case names so a
 /// quick report can be compared against a full baseline.
@@ -207,6 +248,7 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             advisor_case(96, 8),
             faults_case(64, 4, 30),
             serve_predict_case(256),
+            serve_sweep_batched_case(),
         ],
         SuiteKind::Full => vec![
             laplace_case(64, 4, 30),
@@ -221,6 +263,7 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             faults_case(64, 4, 30),
             faults_case(256, 8, 100),
             serve_predict_case(256),
+            serve_sweep_batched_case(),
         ],
     }
 }

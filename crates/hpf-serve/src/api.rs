@@ -33,7 +33,10 @@ use ipsc_sim::{SimConfig, Simulator};
 use report::PipelineError;
 
 use crate::breaker::{Breaker, BreakerConfig, BreakerOutcome};
-use crate::cache::{BoundArtifact, CacheConfig, Deadline, ServeCache, ServeFailure};
+use crate::cache::{
+    body_cache_key, BoundArtifact, CacheConfig, Deadline, FlightJoin, FlightWait, ServeCache,
+    ServeFailure, WireEntry,
+};
 use crate::http::Request;
 use crate::metrics::ServeMetrics;
 use crate::status::ServiceStatus;
@@ -53,10 +56,14 @@ pub const CHAOS_HEADER: &str = "x-chaos-panic";
 /// false for bodies that depend on transient service state (degraded
 /// answers served while the breaker is open) — they must not be replayed
 /// once the service recovers.
+///
+/// The body is an `Arc` so a cache hit, a single-flight waiter, and the
+/// wire write all share one allocation instead of cloning kilobytes per
+/// request.
 #[derive(Debug, Clone)]
 pub struct ApiResponse {
     pub status: u16,
-    pub body: Vec<u8>,
+    pub body: Arc<Vec<u8>>,
     pub cacheable: bool,
 }
 
@@ -64,7 +71,7 @@ impl ApiResponse {
     fn json(status: u16, value: &Value) -> ApiResponse {
         ApiResponse {
             status,
-            body: value.pretty().into_bytes(),
+            body: Arc::new(value.pretty().into_bytes()),
             cacheable: true,
         }
     }
@@ -244,6 +251,14 @@ impl Target {
     }
 }
 
+/// A target with its session-level artifact resolved once, so a batch of
+/// points (a sweep's sizes) binds from one warm artifact instead of
+/// re-resolving per point.
+enum ResolvedTarget {
+    Kernel(String, std::sync::Arc<kernels::CompiledKernel>),
+    Source(std::sync::Arc<crate::cache::SourceProgram>),
+}
+
 fn uint_field(body: &Value, key: &str, default: usize) -> Result<usize, ApiResponse> {
     match body.get(key) {
         None => Ok(default),
@@ -265,20 +280,24 @@ fn deadline_from(body: &Value) -> Result<Deadline, ApiResponse> {
     }
 }
 
-/// Canonical cache key for a POST body: path + re-serialized (sorted,
-/// whitespace-normalized) JSON with the timing-only `deadline_ms` knob
-/// removed — so near-repeat requests (reordered keys, different
-/// formatting, different deadlines) share one cached response.
-fn body_key(path: &str, body: &Value) -> String {
-    let canonical = match body {
-        Value::Obj(map) => {
-            let mut map = map.clone();
-            map.remove("deadline_ms");
-            Value::Obj(map)
-        }
-        other => other.clone(),
-    };
-    format!("{path}\u{0}{}", canonical.pretty())
+/// The per-kernel latency sketch name, preallocated for every suite
+/// kernel so the hot path records without a `format!` per request.
+/// Unknown names (a request for a kernel that does not exist still gets
+/// its latency recorded) fall back to an owned allocation.
+fn kernel_metric_name(name: &str) -> std::borrow::Cow<'static, str> {
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<HashMap<&'static str, String>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| {
+        kernels::all_kernels()
+            .iter()
+            .map(|k| (k.name, format!("serve.latency.kernel.{}", k.name)))
+            .collect()
+    });
+    match names.get(name) {
+        Some(s) => std::borrow::Cow::Borrowed(s.as_str()),
+        None => std::borrow::Cow::Owned(format!("serve.latency.kernel.{name}")),
+    }
 }
 
 impl Api {
@@ -449,7 +468,7 @@ impl Api {
         };
         ApiResponse {
             status: 200,
-            body: doc.pretty().into_bytes(),
+            body: Arc::new(doc.pretty().into_bytes()),
             cacheable: false,
         }
     }
@@ -459,6 +478,16 @@ impl Api {
     /// cacheable 200 responses are stored: errors are cheap to
     /// recompute, a 504 depends on the deadline, and degraded bodies
     /// depend on breaker state, not the request.
+    ///
+    /// Cold misses are single-flighted: the first request for a key
+    /// becomes the leader and computes; concurrent duplicates park and
+    /// receive the leader's body verbatim when it was a cacheable 200.
+    /// A leader that produced anything else (error, degraded, 504)
+    /// releases its waiters to compute independently — coalescing must
+    /// never replay a response that depends on transient service state.
+    /// Parked waiters honor their own deadlines: a budget that expires
+    /// while parked answers 504 (stage `coalesce`) without waiting out
+    /// the leader.
     ///
     /// A deadline that is already dead when the body is parsed
     /// short-circuits to 504 here — before the cache lookup and before
@@ -474,45 +503,106 @@ impl Api {
             Ok(t) => t,
             Err(_) => return bad_request("body is not UTF-8"),
         };
+        // Wire memo: an exact byte-repeat of a previously answered
+        // cacheable request skips the parse and canonicalization below
+        // entirely. Only cacheable 200s are ever stored, and identical
+        // bytes always canonicalize to the same key, so this can never
+        // disagree with the canonical layers.
+        let t_wire = hpf_trace::enabled().then(std::time::Instant::now);
+        if let Some(hit) = self.cache.wire_lookup(&req.path, text) {
+            if let (Some(t0), Some(name)) = (t_wire, hit.kernel_metric.as_deref()) {
+                hpf_trace::sketch_record(name, t0.elapsed().as_secs_f64());
+            }
+            return ApiResponse {
+                status: 200,
+                body: hit.body.clone(),
+                cacheable: true,
+            };
+        }
         let body = match parse_json(text) {
             Ok(v @ Value::Obj(_)) => v,
             Ok(_) => return bad_request("body must be a JSON object"),
             Err(e) => return bad_request(format!("body is not valid JSON: {e}")),
         };
-        match deadline_from(&body) {
+        let deadline = match deadline_from(&body) {
             Ok(deadline) => {
                 if let Err(f) = deadline.check("parse") {
                     let source = body.get("source").and_then(Value::as_str);
                     let (status, value) = failure_value(&f, source);
                     return ApiResponse::json(status, &value);
                 }
+                deadline
             }
             Err(resp) => return resp,
-        }
-        let key = body_key(&req.path, &body);
+        };
+        let key = body_cache_key(&req.path, &body);
         // Per-kernel latency sketch: covers both the warm (body-cache
         // hit) and cold paths, so the distribution reflects what callers
         // of this kernel actually observed.
         let t0 = hpf_trace::enabled().then(std::time::Instant::now);
         let record_kernel = |resp: ApiResponse| {
             if let (Some(t0), Some(name)) = (t0, body.get("kernel").and_then(Value::as_str)) {
-                hpf_trace::sketch_record(
-                    &format!("serve.latency.kernel.{name}"),
-                    t0.elapsed().as_secs_f64(),
-                );
+                hpf_trace::sketch_record(&kernel_metric_name(name), t0.elapsed().as_secs_f64());
             }
             resp
         };
-        if let Some(cached) = self.cache.cached_body(&key) {
-            return record_kernel(ApiResponse {
+        let response = if let Some(cached) = self.cache.cached_body(&key) {
+            ApiResponse {
                 status: 200,
-                body: cached.as_ref().clone(),
+                body: cached,
                 cacheable: true,
-            });
-        }
-        let response = handler(self, &body, ctx);
+            }
+        } else {
+            match self.cache.join_flight(&key) {
+                FlightJoin::Leader(leader) => {
+                    hpf_trace::counter_add("serve.singleflight.leader", 1);
+                    let response = handler(self, &body, ctx);
+                    if response.status == 200 && response.cacheable {
+                        let shared = self.cache.store_body(&key, response.body.clone());
+                        leader.publish_shared(shared);
+                    }
+                    // Anything else: the leader guard drops unpublished and
+                    // the waiters recompute on their own (solo).
+                    response
+                }
+                FlightJoin::Waiter(flight) => {
+                    hpf_trace::counter_add("serve.singleflight.parked", 1);
+                    match flight.wait(&deadline) {
+                        FlightWait::Shared(shared) => ApiResponse {
+                            status: 200,
+                            body: shared,
+                            cacheable: true,
+                        },
+                        FlightWait::Solo => {
+                            let response = handler(self, &body, ctx);
+                            if response.status == 200 && response.cacheable {
+                                self.cache.store_body(&key, response.body.clone());
+                            }
+                            response
+                        }
+                        FlightWait::Expired => {
+                            hpf_trace::counter_add("serve.deadline_exceeded", 1);
+                            let f = ServeFailure::Deadline { stage: "coalesce" };
+                            let source = body.get("source").and_then(Value::as_str);
+                            let (status, value) = failure_value(&f, source);
+                            ApiResponse::json(status, &value)
+                        }
+                    }
+                }
+            }
+        };
         if response.status == 200 && response.cacheable {
-            self.cache.store_body(&key, response.body.clone());
+            self.cache.wire_store(
+                &req.path,
+                text,
+                WireEntry {
+                    body: response.body.clone(),
+                    kernel_metric: body
+                        .get("kernel")
+                        .and_then(Value::as_str)
+                        .map(|n| kernel_metric_name(n).into_owned()),
+                },
+            );
         }
         record_kernel(response)
     }
@@ -531,6 +621,40 @@ impl Api {
                 self.cache.bind_kernel(name, n, procs, deadline)
             }
             Target::Source(src) => self.cache.bind_source(src, n, procs, deadline),
+        }
+    }
+
+    /// Resolve the session-level artifact for a target once — the
+    /// batched-evaluation front half. Every subsequent point binds from
+    /// this resolved artifact through the same bind-cache keys the
+    /// per-request path uses, so a 50-point sweep does one session
+    /// lookup instead of fifty.
+    fn resolve_target(&self, target: &Target) -> Result<ResolvedTarget, ServeFailure> {
+        match target {
+            Target::Kernel(name) => Ok(ResolvedTarget::Kernel(
+                name.clone(),
+                self.cache.kernel_artifact(name)?,
+            )),
+            Target::Source(src) => Ok(ResolvedTarget::Source(self.cache.source_program(src)?)),
+        }
+    }
+
+    /// Bind one batched point from the resolved artifact.
+    fn bind_resolved(
+        &self,
+        resolved: &ResolvedTarget,
+        n: i64,
+        procs: usize,
+        deadline: &Deadline,
+    ) -> Result<std::sync::Arc<BoundArtifact>, ServeFailure> {
+        match resolved {
+            ResolvedTarget::Kernel(name, artifact) => self
+                .cache
+                .bind_kernel_artifact(name, artifact, n, procs, deadline),
+            ResolvedTarget::Source(program) => {
+                self.cache
+                    .bind_source_program(program, Some(n), procs, deadline)
+            }
         }
     }
 
@@ -648,6 +772,21 @@ impl Api {
             Err(resp) => return resp,
         };
 
+        // Batched evaluation: resolve the session artifact once, then
+        // bind-and-interpret every point from it — one `SweepSession`-style
+        // pass instead of a session lookup per point. Bind keys are
+        // identical to the per-request path, so batched and unbatched
+        // evaluation are interchangeable warm and byte-identical cold.
+        let _batch = hpf_trace::span("batch");
+        hpf_trace::counter_add("serve.batch.sessions", 1);
+        hpf_trace::counter_add("serve.batch.points", sizes.len() as u64);
+        let resolved = match self.resolve_target(&target) {
+            Ok(r) => r,
+            Err(f) => {
+                let (status, value) = failure_value(&f, target.source_text());
+                return ApiResponse::json(status, &value);
+            }
+        };
         let machine = report::pipeline::calibrated_machine(procs);
         let engine = InterpretationEngine::with_options(&machine, InterpOptions::default());
         let mut points = Vec::with_capacity(sizes.len());
@@ -657,7 +796,7 @@ impl Api {
                 let (status, value) = failure_value(&f, target.source_text());
                 return ApiResponse::json(status, &value);
             }
-            let bound = match self.bind_target(&target, Some(n as i64), procs, &deadline) {
+            let bound = match self.bind_resolved(&resolved, n as i64, procs, &deadline) {
                 Ok(b) => b,
                 Err(f) => {
                     let (status, value) = failure_value(&f, target.source_text());
@@ -831,6 +970,12 @@ impl Api {
         // the simulator fanned down to zero candidates — the analytic
         // ranking is identical (simulation never reorders it), only the
         // `simulated_s`/`sim_error_pct` columns disappear.
+        // The advisor search is already a bind-once/evaluate-many batch
+        // over its candidate directive space; count it on the same batch
+        // telemetry as sweeps so `/v1/advise` and `/v1/sweep` report
+        // comparable evaluation work.
+        let _batch = hpf_trace::span("batch");
+        hpf_trace::counter_add("serve.batch.sessions", 1);
         let shown_k = cfg.top_k;
         let (report, degraded) = match self.breaker.call(|| advisor.search(&cfg)) {
             BreakerOutcome::Ok(r) => (r, false),
@@ -851,6 +996,7 @@ impl Api {
                 return ApiResponse::json(400, &pipeline_error_value(&e, Some(source)));
             }
         };
+        hpf_trace::counter_add("serve.batch.points", report.candidates as u64);
 
         let ranked: Vec<Value> = report
             .ranked
@@ -1038,7 +1184,7 @@ mod tests {
         ] {
             let resp = api.handle(&post(path, body));
             assert_eq!(resp.status, 400, "{path} {body}");
-            let text = String::from_utf8(resp.body).unwrap();
+            let text = String::from_utf8(resp.body.to_vec()).unwrap();
             assert!(text.contains(needle), "{path} {body}: {text}");
         }
     }

@@ -1,17 +1,23 @@
 //! `serve` — the prediction service CLI.
 //!
 //! ```text
-//! serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--no-trace]
-//! serve loadgen [--quick] [--requests R] [--clients C] [--workers W] [--seed S]
+//! serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--shards N] [--no-trace]
+//! serve loadgen [--quick] [--overload] [--requests R] [--clients C] [--workers W]
+//!               [--seed S] [--shards N] [--pipeline D]
 //! serve chaos   [--quick] [--requests R] [--clients C] [--workers W] [--seed S]
 //!               [--metrics-out PATH]
 //! ```
 //!
 //! `serve serve` runs the HTTP service until a `POST /v1/shutdown`
-//! arrives, then drains in-flight work and exits 0. `serve loadgen`
+//! arrives, then drains in-flight work and exits 0. Workers default to
+//! the machine's available parallelism (clamped to [2, 64]) and cache
+//! shards default to the worker count rounded up to a power of two; the
+//! chosen values are logged at startup. `serve loadgen`
 //! starts a private in-process server, fires the seeded deterministic
 //! request mix at it, and prints throughput, latency percentiles, the
-//! warm-cache hit rate, and the order-independent response checksum.
+//! warm-cache hit rate, and the order-independent response checksum;
+//! `--overload` switches to the churn-heavy saturation profile that
+//! reports the shed/served split and served-only percentiles instead.
 //! `serve chaos` runs the seeded service-level fault-injection plan
 //! (handler panics, DES panics, deadline storms, slow-loris reads,
 //! truncated bodies, client aborts) against a private server and exits
@@ -22,12 +28,13 @@
 //! `/v1/metrics?since=` delta export as JSON — CI diffs it against a
 //! checked-in golden at several worker counts.
 
-use hpf_serve::{chaos, loadgen, server, ChaosConfig, LoadgenConfig, ServerConfig};
+use hpf_serve::{chaos, loadgen, server, ChaosConfig, LoadgenConfig, OverloadConfig, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--no-trace]\n\
-         \x20      serve loadgen [--quick] [--requests R] [--clients C] [--workers W] [--seed S]\n\
+        "usage: serve serve   [--addr HOST:PORT] [--workers N] [--queue N] [--shards N] [--no-trace]\n\
+         \x20      serve loadgen [--quick] [--overload] [--requests R] [--clients C] [--workers W]\n\
+         \x20                    [--seed S] [--shards N] [--pipeline D]\n\
          \x20      serve chaos   [--quick] [--requests R] [--clients C] [--workers W] [--seed S]\n\
          \x20                    [--metrics-out PATH]"
     );
@@ -64,6 +71,7 @@ fn run_server(args: &[String]) {
             "--addr" => addr = take(args, &mut i),
             "--workers" => cfg.workers = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--queue" => cfg.queue_depth = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--shards" => cfg.cache.shards = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--no-trace" => trace = false,
             "--help" | "-h" => usage(),
             other => {
@@ -78,6 +86,16 @@ fn run_server(args: &[String]) {
         // Feeds /v1/metrics; the pipeline is bit-neutral under tracing.
         hpf_trace::enable();
     }
+    // Mirror the derivations in `server::start` / `ShardedLru::new` so the
+    // startup line reports the effective values, not the raw flags.
+    let workers = cfg.workers.max(1);
+    let shards = if cfg.cache.shards == 0 {
+        workers
+    } else {
+        cfg.cache.shards
+    }
+    .max(1)
+    .next_power_of_two();
     let handle = match server::start(&addr, cfg) {
         Ok(h) => h,
         Err(e) => {
@@ -85,13 +103,17 @@ fn run_server(args: &[String]) {
             std::process::exit(1)
         }
     };
-    println!("serve: listening on http://{}", handle.addr());
+    println!(
+        "serve: listening on http://{} ({workers} workers, {shards} cache shards)",
+        handle.addr()
+    );
     handle.wait();
     println!("serve: drained, exiting");
 }
 
 fn run_loadgen(args: &[String]) {
     let mut cfg = LoadgenConfig::default();
+    let mut overload = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -102,10 +124,13 @@ fn run_loadgen(args: &[String]) {
                     ..cfg
                 }
             }
+            "--overload" => overload = true,
             "--requests" => cfg.requests = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--clients" => cfg.clients = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--workers" => cfg.workers = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--shards" => cfg.shards = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--pipeline" => cfg.pipeline = take(args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -113,6 +138,50 @@ fn run_loadgen(args: &[String]) {
             }
         }
         i += 1;
+    }
+
+    if overload {
+        // The overload preset supplies its own request count, client
+        // surplus, and seed; explicit flags still override it.
+        let quick = OverloadConfig::quick();
+        let defaults = LoadgenConfig::default();
+        let ocfg = OverloadConfig {
+            requests: if cfg.requests == defaults.requests {
+                quick.requests
+            } else {
+                cfg.requests
+            },
+            clients: if cfg.clients == defaults.clients {
+                quick.clients
+            } else {
+                cfg.clients
+            },
+            workers: if cfg.workers == defaults.workers {
+                quick.workers
+            } else {
+                cfg.workers
+            },
+            seed: if cfg.seed == defaults.seed {
+                quick.seed
+            } else {
+                cfg.seed
+            },
+            shards: cfg.shards,
+        };
+        match loadgen::run_overload(&ocfg) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.failed > 0 || report.mismatched_shapes > 0 {
+                    eprintln!("loadgen: overload contract violated");
+                    std::process::exit(1)
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1)
+            }
+        }
+        return;
     }
 
     match loadgen::run(&cfg) {

@@ -13,6 +13,23 @@
 //! * **response bodies** — the serialized JSON answer per canonical
 //!   request, the layer that makes a warm `/v1/predict` a hash lookup.
 //!
+//! Each layer is a [`ShardedLru`]: N power-of-two shards selected by the
+//! FNV-1a hash of the key, each shard its own mutex *and* its own LRU
+//! clock, so hot-path lookups from different workers stop convoying on
+//! one global lock. A failed `try_lock` (another worker holds the shard)
+//! is counted on `serve.cache.shard_contention` before falling back to a
+//! blocking lock — the counter is the observable proof that sharding is
+//! (or is not) pulling its weight at a given worker count.
+//!
+//! Cold misses are further deduplicated by a [`SingleFlight`] table keyed
+//! by the canonical body key ([`body_cache_key`]): the first request for
+//! a missing body becomes the *leader* and computes it; concurrent
+//! duplicates park on a condvar and receive the leader's `Arc<Vec<u8>>`
+//! verbatim. Only cacheable 200 bodies are shared — a degraded or failed
+//! leader publishes "solo", and every parked waiter then computes its own
+//! answer (degraded bodies depend on breaker state, not the request, so
+//! replaying them to waiters could serve a stale degradation).
+//!
 //! Functional-interpreter profiles are *not* cached here: they live in the
 //! process-wide memo behind [`report::shared_profile`], keyed by the
 //! directive-stripped source, so directive variants of one program share a
@@ -23,14 +40,18 @@
 //! insert is a harmless overwrite — responses stay bit-identical whatever
 //! the interleaving.
 
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
 use std::time::{Duration, Instant};
 
 use hpf_compiler::{compile, CompileOptions, SpmdProgram};
 use hpf_lang::{analyze, parse_program, AnalyzedProgram};
+use hpf_trace::json::Value;
 use kernels::CompiledKernel;
 use report::lru::LruMap;
 use report::{directive_free_source, PipelineError, PipelineStage};
+
+use crate::loadgen::{fnv1a, FNV_OFFSET};
 
 /// Capacities of the serving caches.
 #[derive(Debug, Clone)]
@@ -41,6 +62,10 @@ pub struct CacheConfig {
     pub binds: usize,
     /// Distinct serialized response bodies.
     pub bodies: usize,
+    /// Lock shards per cache layer, rounded up to a power of two.
+    /// `0` = derive: the server sets it from its worker count; a
+    /// standalone [`ServeCache::new`] falls back to a single shard.
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
@@ -49,8 +74,28 @@ impl Default for CacheConfig {
             sessions: 32,
             binds: 128,
             bodies: 512,
+            shards: 0,
         }
     }
+}
+
+/// Canonical cache key for a POST body: path + re-serialized (sorted,
+/// whitespace-normalized) JSON with the timing-only `deadline_ms` knob
+/// removed — so near-repeat requests (reordered keys, different
+/// formatting, different deadlines) share one cached response. This one
+/// function keys both the response-body cache and the single-flight
+/// table, so "same cached answer" and "same in-flight computation" can
+/// never disagree about request identity.
+pub fn body_cache_key(path: &str, body: &Value) -> String {
+    let canonical = match body {
+        Value::Obj(map) => {
+            let mut map = map.clone();
+            map.remove("deadline_ms");
+            Value::Obj(map)
+        }
+        other => other.clone(),
+    };
+    format!("{path}\u{0}{}", canonical.pretty())
 }
 
 /// A request deadline, checked between pipeline stages: work in progress
@@ -83,6 +128,13 @@ impl Deadline {
             }
             _ => Ok(()),
         }
+    }
+
+    /// Budget left: `None` = unbounded, `Some(ZERO)` = already expired.
+    /// Parked single-flight waiters use this to bound their condvar wait.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
     }
 }
 
@@ -139,14 +191,266 @@ pub struct BoundArtifact {
     pub canonical: String,
 }
 
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A bounded LRU map split into power-of-two lock shards.
+///
+/// The shard for a key is `fnv1a(key) & (shards - 1)`; each shard is an
+/// independent [`LruMap`] with its own capacity slice and its own logical
+/// clock, so recency ordering (and therefore eviction) is per-shard.
+/// Every cached value is a pure function of its key, so shard-local
+/// eviction can only ever cost a recompute, never correctness.
+///
+/// Lock acquisition first tries `try_lock`; when another thread holds the
+/// shard the miss is counted on `serve.cache.shard_contention` before
+/// blocking — making lock convoys visible instead of silent.
+#[derive(Debug)]
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<LruMap<String, V>>>,
+    mask: u64,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// `total_cap` entries spread over `shard_count` shards (rounded up
+    /// to a power of two, at least one; each shard holds at least one
+    /// entry).
+    pub fn new(total_cap: usize, shard_count: usize) -> Self {
+        let count = shard_count.max(1).next_power_of_two();
+        let per_shard = total_cap.div_ceil(count).max(1);
+        ShardedLru {
+            shards: (0..count)
+                .map(|_| Mutex::new(LruMap::new(per_shard)))
+                .collect(),
+            mask: count as u64 - 1,
+        }
+    }
+
+    /// Number of lock shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Capacity of each shard.
+    pub fn per_shard_cap(&self) -> usize {
+        lock_plain(&self.shards[0]).capacity()
+    }
+
+    /// The shard index `key` maps to.
+    pub fn shard_index(&self, key: &str) -> usize {
+        (fnv1a(FNV_OFFSET, key.as_bytes()) & self.mask) as usize
+    }
+
+    /// Entries currently held, per shard (for capacity assertions).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| lock_plain(s).len()).collect()
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shard_lens().iter().sum()
+    }
+
+    /// Is the whole map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, LruMap<String, V>> {
+        match self.shards[idx].try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                hpf_trace::counter_add("serve.cache.shard_contention", 1);
+                lock_plain(&self.shards[idx])
+            }
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        }
+    }
+
+    /// Look up `key`, marking it most recently used in its shard.
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.lock_shard(self.shard_index(key))
+            .get(&key.to_string())
+            .cloned()
+    }
+
+    /// Insert `key → value`; returns the entry the shard evicted, if any.
+    pub fn insert(&self, key: String, value: V) -> Option<(String, V)> {
+        let idx = self.shard_index(&key);
+        self.lock_shard(idx).insert(key, value)
+    }
+}
+
+/// Outcome of parking on an in-flight computation.
+#[derive(Debug)]
+pub enum FlightWait {
+    /// The leader published a cacheable 200 body — serve it verbatim.
+    Shared(Arc<Vec<u8>>),
+    /// The leader's answer was not shareable (error, degraded, 504):
+    /// compute independently.
+    Solo,
+    /// The waiter's own deadline expired before the leader finished.
+    Expired,
+}
+
+#[derive(Debug)]
+enum FlightState {
+    Pending,
+    Shared(Arc<Vec<u8>>),
+    Solo,
+}
+
+/// One in-flight computation: concurrent requests for the same canonical
+/// body park here until the leader publishes.
+#[derive(Debug)]
+pub struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    /// Park until the leader publishes, bounded by the waiter's own
+    /// deadline — a parked request is still subject to its caller's
+    /// budget and answers 504 rather than waiting past it.
+    pub fn wait(&self, deadline: &Deadline) -> FlightWait {
+        // The tick bounds each sleep so a deadline that lands mid-wait is
+        // honored promptly even if a wakeup is missed.
+        const TICK: Duration = Duration::from_millis(100);
+        let mut st = lock_plain(&self.state);
+        loop {
+            match &*st {
+                FlightState::Shared(b) => return FlightWait::Shared(b.clone()),
+                FlightState::Solo => return FlightWait::Solo,
+                FlightState::Pending => {}
+            }
+            let wait_for = match deadline.remaining() {
+                Some(rem) if rem.is_zero() => return FlightWait::Expired,
+                Some(rem) => rem.min(TICK),
+                None => TICK,
+            };
+            st = self
+                .cv
+                .wait_timeout(st, wait_for)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+}
+
+/// Leadership of one in-flight key. Publish a shareable body with
+/// [`publish_shared`](FlightLeader::publish_shared); dropping without
+/// publishing (error path, degraded answer, or a handler panic unwinding
+/// through) releases every waiter as [`FlightWait::Solo`] — waiters can
+/// never hang on a leader that failed.
+#[derive(Debug)]
+pub struct FlightLeader<'a> {
+    table: &'a SingleFlight,
+    key: String,
+    flight: Arc<Flight>,
+}
+
+impl FlightLeader<'_> {
+    /// Hand the leader's cacheable 200 body to every parked duplicate.
+    pub fn publish_shared(self, body: Arc<Vec<u8>>) {
+        *lock_plain(&self.flight.state) = FlightState::Shared(body);
+        // Drop removes the table entry and notifies the waiters.
+    }
+}
+
+impl Drop for FlightLeader<'_> {
+    fn drop(&mut self) {
+        // Remove the entry first so new arrivals start a fresh flight
+        // instead of parking on a finished one.
+        self.table.remove(&self.key);
+        {
+            let mut st = lock_plain(&self.flight.state);
+            if matches!(*st, FlightState::Pending) {
+                *st = FlightState::Solo;
+            }
+        }
+        self.flight.cv.notify_all();
+    }
+}
+
+/// Joining an in-flight table: either this request leads the computation
+/// or it parks behind whoever does.
+#[derive(Debug)]
+pub enum FlightJoin<'a> {
+    Leader(FlightLeader<'a>),
+    Waiter(Arc<Flight>),
+}
+
+/// The per-shard in-flight table: at most one leader per canonical body
+/// key at any moment. Sharded with the same FNV mapping as the caches so
+/// join/remove never funnel through one lock.
+#[derive(Debug)]
+pub struct SingleFlight {
+    shards: Vec<Mutex<HashMap<String, Arc<Flight>>>>,
+    mask: u64,
+}
+
+impl SingleFlight {
+    fn new(shard_count: usize) -> Self {
+        let count = shard_count.max(1).next_power_of_two();
+        SingleFlight {
+            shards: (0..count).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: count as u64 - 1,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Arc<Flight>>> {
+        &self.shards[(fnv1a(FNV_OFFSET, key.as_bytes()) & self.mask) as usize]
+    }
+
+    /// Become the leader for `key`, or park behind the current one.
+    pub fn join(&self, key: &str) -> FlightJoin<'_> {
+        let mut map = lock_plain(self.shard(key));
+        if let Some(f) = map.get(key) {
+            return FlightJoin::Waiter(f.clone());
+        }
+        let flight = Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        });
+        map.insert(key.to_string(), flight.clone());
+        FlightJoin::Leader(FlightLeader {
+            table: self,
+            key: key.to_string(),
+            flight,
+        })
+    }
+
+    fn remove(&self, key: &str) {
+        lock_plain(self.shard(key)).remove(key);
+    }
+}
+
 /// The shared cache stack. One instance per server, shared by every
 /// worker behind an `Arc`.
 #[derive(Debug)]
 pub struct ServeCache {
-    kernels: Mutex<LruMap<String, Arc<CompiledKernel>>>,
-    programs: Mutex<LruMap<String, Arc<SourceProgram>>>,
-    binds: Mutex<LruMap<String, Arc<BoundArtifact>>>,
-    bodies: Mutex<LruMap<String, Arc<Vec<u8>>>>,
+    kernels: ShardedLru<Arc<CompiledKernel>>,
+    programs: ShardedLru<Arc<SourceProgram>>,
+    binds: ShardedLru<Arc<BoundArtifact>>,
+    bodies: ShardedLru<Arc<Vec<u8>>>,
+    /// Exact-raw-bytes front memo over `bodies` — see [`ServeCache::wire_lookup`].
+    wire: ShardedLru<Arc<WireEntry>>,
+    flights: SingleFlight,
+}
+
+/// One wire-memo entry: the cached response for an exact raw request
+/// body, plus the per-kernel latency-sketch name the parsed path would
+/// have recorded into (kept so a memo hit feeds the same per-kernel
+/// distribution as a canonical-cache hit).
+#[derive(Debug)]
+pub struct WireEntry {
+    pub body: Arc<Vec<u8>>,
+    pub kernel_metric: Option<String>,
+}
+
+fn wire_key(path: &str, raw: &str) -> String {
+    format!("{path}\u{0}{raw}")
 }
 
 fn counter_pair(prefix: &'static str, hit: bool) {
@@ -162,27 +466,100 @@ fn counter_pair(prefix: &'static str, hit: bool) {
     );
 }
 
+/// The shared cold-bind body for suite kernels: semantic analysis + SPMD
+/// lowering + AAG construction from an already-resolved artifact, with
+/// the deadline checked between stages. Used by both the per-request path
+/// ([`ServeCache::bind_kernel`]) and the batched sweep path that resolves
+/// the artifact once for many points.
+fn build_kernel_bind(
+    compiled: &CompiledKernel,
+    n: i64,
+    procs: usize,
+    deadline: &Deadline,
+) -> Result<BoundArtifact, ServeFailure> {
+    deadline.check("analyze")?;
+    let (analyzed, spmd) = compiled.bind(n, procs, &CompileOptions::default())?;
+    deadline.check("build_aag")?;
+    let aag = appgraph::build_aag(&spmd);
+    Ok(BoundArtifact {
+        analyzed,
+        spmd,
+        aag,
+        canonical: directive_free_source(compiled.canonical_source()),
+    })
+}
+
+/// The shared cold-bind body for POSTed source, from an already-parsed
+/// program. Stage order and deadline checks match the historical inline
+/// path exactly, so error bodies are byte-identical.
+fn build_source_bind(
+    program: &SourceProgram,
+    n: Option<i64>,
+    procs: usize,
+    deadline: &Deadline,
+) -> Result<BoundArtifact, ServeFailure> {
+    deadline.check("analyze")?;
+    let mut overrides = std::collections::BTreeMap::new();
+    if let Some(n) = n {
+        overrides.insert("N".to_string(), n);
+    }
+    let analyzed = analyze(&program.program, &overrides).map_err(PipelineError::from)?;
+    deadline.check("compile")?;
+    let opts = CompileOptions {
+        nodes: procs,
+        ..CompileOptions::default()
+    };
+    let spmd = compile(&analyzed, &opts).map_err(PipelineError::from)?;
+    deadline.check("build_aag")?;
+    let aag = appgraph::build_aag(&spmd);
+    Ok(BoundArtifact {
+        analyzed,
+        spmd,
+        aag,
+        canonical: program.canonical.clone(),
+    })
+}
+
+fn kernel_bind_key(name: &str, n: i64, procs: usize) -> String {
+    format!("k\u{0}{name}\u{0}{n}\u{0}{procs}")
+}
+
+fn source_bind_key(source: &str, n: Option<i64>, procs: usize) -> String {
+    format!(
+        "s\u{0}{source}\u{0}{}\u{0}{procs}",
+        n.map(|v| v.to_string()).unwrap_or_default()
+    )
+}
+
 impl ServeCache {
     pub fn new(cfg: &CacheConfig) -> Self {
+        let shards = cfg.shards.max(1);
         ServeCache {
-            kernels: Mutex::new(LruMap::new(cfg.sessions)),
-            programs: Mutex::new(LruMap::new(cfg.sessions)),
-            binds: Mutex::new(LruMap::new(cfg.binds)),
-            bodies: Mutex::new(LruMap::new(cfg.bodies)),
+            kernels: ShardedLru::new(cfg.sessions, shards),
+            programs: ShardedLru::new(cfg.sessions, shards),
+            binds: ShardedLru::new(cfg.binds, shards),
+            bodies: ShardedLru::new(cfg.bodies, shards),
+            wire: ShardedLru::new(cfg.bodies, shards),
+            flights: SingleFlight::new(shards),
         }
     }
 
-    fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
-        m.lock().unwrap_or_else(|e| e.into_inner())
+    /// Lock shards per layer (for the startup log line).
+    pub fn shard_count(&self) -> usize {
+        self.bodies.shard_count()
+    }
+
+    /// Join the in-flight table for a canonical body key: lead or park.
+    pub fn join_flight(&self, key: &str) -> FlightJoin<'_> {
+        self.flights.join(key)
     }
 
     /// The compile-once artifact for a suite kernel (one parse per kernel
     /// shape, process lifetime permitting).
     pub fn kernel_artifact(&self, name: &str) -> Result<Arc<CompiledKernel>, ServeFailure> {
-        let key = name.to_string();
-        if let Some(k) = Self::lock(&self.kernels).get(&key) {
+        if let Some(k) = self.kernels.get(name) {
             counter_pair("session", true);
-            return Ok(k.clone());
+            return Ok(k);
         }
         counter_pair("session", false);
         let kernel = kernels::kernel_by_name(name).ok_or_else(|| {
@@ -192,17 +569,16 @@ impl ServeCache {
             ))
         })?;
         let compiled = Arc::new(CompiledKernel::new(&kernel)?);
-        Self::lock(&self.kernels).insert(key, compiled.clone());
+        self.kernels.insert(name.to_string(), compiled.clone());
         Ok(compiled)
     }
 
     /// The parsed AST for POSTed source (full text is the key: directive
     /// lines shape partitioning, so they are part of program identity).
     pub fn source_program(&self, source: &str) -> Result<Arc<SourceProgram>, ServeFailure> {
-        let key = source.to_string();
-        if let Some(p) = Self::lock(&self.programs).get(&key) {
+        if let Some(p) = self.programs.get(source) {
             counter_pair("session", true);
-            return Ok(p.clone());
+            return Ok(p);
         }
         counter_pair("session", false);
         let program = parse_program(source).map_err(PipelineError::from)?;
@@ -211,24 +587,24 @@ impl ServeCache {
             canonical: directive_free_source(source),
             program,
         });
-        Self::lock(&self.programs).insert(key, entry.clone());
+        self.programs.insert(source.to_string(), entry.clone());
         Ok(entry)
     }
 
     fn bind_cached(
         &self,
-        key: &String,
+        key: &str,
         deadline: &Deadline,
         build: impl FnOnce() -> Result<BoundArtifact, ServeFailure>,
     ) -> Result<Arc<BoundArtifact>, ServeFailure> {
-        if let Some(b) = Self::lock(&self.binds).get(key) {
+        if let Some(b) = self.binds.get(key) {
             counter_pair("bind", true);
-            return Ok(b.clone());
+            return Ok(b);
         }
         counter_pair("bind", false);
         deadline.check("bind")?;
         let built = Arc::new(build()?);
-        Self::lock(&self.binds).insert(key.clone(), built.clone());
+        self.binds.insert(key.to_string(), built.clone());
         Ok(built)
     }
 
@@ -241,19 +617,26 @@ impl ServeCache {
         procs: usize,
         deadline: &Deadline,
     ) -> Result<Arc<BoundArtifact>, ServeFailure> {
-        let key = format!("k\u{0}{name}\u{0}{n}\u{0}{procs}");
-        self.bind_cached(&key, deadline, || {
+        self.bind_cached(&kernel_bind_key(name, n, procs), deadline, || {
             let compiled = self.kernel_artifact(name)?;
-            deadline.check("analyze")?;
-            let (analyzed, spmd) = compiled.bind(n, procs, &CompileOptions::default())?;
-            deadline.check("build_aag")?;
-            let aag = appgraph::build_aag(&spmd);
-            Ok(BoundArtifact {
-                analyzed,
-                spmd,
-                aag,
-                canonical: directive_free_source(compiled.canonical_source()),
-            })
+            build_kernel_bind(&compiled, n, procs, deadline)
+        })
+    }
+
+    /// Bind an already-resolved kernel artifact — the batched sweep path:
+    /// the artifact is looked up once per request, then every point is
+    /// served through the *same* bind-cache keys as [`bind_kernel`](Self::bind_kernel),
+    /// so batched and per-request evaluation are interchangeable warm.
+    pub fn bind_kernel_artifact(
+        &self,
+        name: &str,
+        compiled: &Arc<CompiledKernel>,
+        n: i64,
+        procs: usize,
+        deadline: &Deadline,
+    ) -> Result<Arc<BoundArtifact>, ServeFailure> {
+        self.bind_cached(&kernel_bind_key(name, n, procs), deadline, || {
+            build_kernel_bind(compiled, n, procs, deadline)
         })
     }
 
@@ -267,40 +650,32 @@ impl ServeCache {
         procs: usize,
         deadline: &Deadline,
     ) -> Result<Arc<BoundArtifact>, ServeFailure> {
-        let key = format!(
-            "s\u{0}{source}\u{0}{}\u{0}{procs}",
-            n.map(|v| v.to_string()).unwrap_or_default()
-        );
-        self.bind_cached(&key, deadline, || {
+        self.bind_cached(&source_bind_key(source, n, procs), deadline, || {
             let program = self.source_program(source)?;
-            deadline.check("analyze")?;
-            let mut overrides = std::collections::BTreeMap::new();
-            if let Some(n) = n {
-                overrides.insert("N".to_string(), n);
-            }
-            let analyzed = analyze(&program.program, &overrides).map_err(PipelineError::from)?;
-            deadline.check("compile")?;
-            let opts = CompileOptions {
-                nodes: procs,
-                ..CompileOptions::default()
-            };
-            let spmd = compile(&analyzed, &opts).map_err(PipelineError::from)?;
-            deadline.check("build_aag")?;
-            let aag = appgraph::build_aag(&spmd);
-            Ok(BoundArtifact {
-                analyzed,
-                spmd,
-                aag,
-                canonical: program.canonical.clone(),
-            })
+            build_source_bind(&program, n, procs, deadline)
         })
+    }
+
+    /// Bind an already-parsed source program — the batched sweep
+    /// counterpart of [`bind_source`](Self::bind_source), sharing its keys.
+    pub fn bind_source_program(
+        &self,
+        program: &Arc<SourceProgram>,
+        n: Option<i64>,
+        procs: usize,
+        deadline: &Deadline,
+    ) -> Result<Arc<BoundArtifact>, ServeFailure> {
+        self.bind_cached(
+            &source_bind_key(&program.source, n, procs),
+            deadline,
+            || build_source_bind(program, n, procs, deadline),
+        )
     }
 
     /// Look up a serialized response body (`serve.cache.hit` /
     /// `serve.cache.miss` are the loadgen's warm-hit-rate counters).
     pub fn cached_body(&self, key: &str) -> Option<Arc<Vec<u8>>> {
-        let mut bodies = Self::lock(&self.bodies);
-        let hit = bodies.get(&key.to_string()).cloned();
+        let hit = self.bodies.get(key);
         hpf_trace::counter_add(
             if hit.is_some() {
                 "serve.cache.hit"
@@ -313,16 +688,42 @@ impl ServeCache {
     }
 
     /// Store a freshly computed response body.
-    pub fn store_body(&self, key: &str, body: Vec<u8>) -> Arc<Vec<u8>> {
-        let body = Arc::new(body);
-        Self::lock(&self.bodies).insert(key.to_string(), body.clone());
+    pub fn store_body(&self, key: &str, body: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+        self.bodies.insert(key.to_string(), body.clone());
         body
+    }
+
+    /// Wire-level memo lookup: exact raw request bytes → cached response.
+    ///
+    /// Strictly narrower than the canonical body cache — identical bytes
+    /// always canonicalize to the same [`body_cache_key`], so a memo hit
+    /// can never disagree with the canonical layer; it merely skips the
+    /// JSON parse and key canonicalization for exact byte-repeats, which
+    /// is most of a warm request's CPU. Only cacheable 200 responses are
+    /// ever stored, so degraded/error answers never replay from here. A
+    /// hit counts on `serve.cache.hit` (it *is* a body-cache hit, served
+    /// one layer earlier) and on `serve.cache.wire_hit` for its own rate.
+    pub fn wire_lookup(&self, path: &str, raw: &str) -> Option<Arc<WireEntry>> {
+        let hit = self.wire.get(&wire_key(path, raw));
+        if hit.is_some() {
+            hpf_trace::counter_add("serve.cache.hit", 1);
+            hpf_trace::counter_add("serve.cache.wire_hit", 1);
+        }
+        hit
+    }
+
+    /// Fill the wire memo after a cacheable 200 answer (canonical hit or
+    /// freshly computed). Only reached when [`Self::wire_lookup`] missed,
+    /// so warm exact-repeat traffic never pays this insert.
+    pub fn wire_store(&self, path: &str, raw: &str, entry: WireEntry) {
+        self.wire.insert(wire_key(path, raw), Arc::new(entry));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpf_trace::json::parse as parse_json;
 
     const PI_SRC: &str = "
 PROGRAM PI
@@ -357,6 +758,28 @@ END
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.spmd.nodes, 4);
         assert!(!a.canonical.contains("!HPF$"));
+    }
+
+    #[test]
+    fn batched_binds_share_keys_with_per_request_binds() {
+        let cache = ServeCache::new(&CacheConfig::default());
+        let a = cache.bind_kernel("PI", 256, 4, &Deadline::none()).unwrap();
+        let artifact = cache.kernel_artifact("PI").unwrap();
+        let b = cache
+            .bind_kernel_artifact("PI", &artifact, 256, 4, &Deadline::none())
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "batched bind must hit the per-request bind's cache entry"
+        );
+        let s1 = cache
+            .bind_source(PI_SRC, Some(96), 4, &Deadline::none())
+            .unwrap();
+        let program = cache.source_program(PI_SRC).unwrap();
+        let s2 = cache
+            .bind_source_program(&program, Some(96), 4, &Deadline::none())
+            .unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2));
     }
 
     #[test]
@@ -399,7 +822,110 @@ END
     fn body_cache_round_trips() {
         let cache = ServeCache::new(&CacheConfig::default());
         assert!(cache.cached_body("k").is_none());
-        cache.store_body("k", b"{\"x\":1}".to_vec());
+        cache.store_body("k", Arc::new(b"{\"x\":1}".to_vec()));
         assert_eq!(cache.cached_body("k").unwrap().as_slice(), b"{\"x\":1}");
+    }
+
+    #[test]
+    fn body_key_ignores_deadline_but_not_content() {
+        let a = parse_json(r#"{"kernel":"PI","n":128,"deadline_ms":5}"#).unwrap();
+        let b = parse_json(r#"{"deadline_ms": 9000, "n": 128, "kernel": "PI"}"#).unwrap();
+        let c = parse_json(r#"{"kernel":"PI","n":256,"deadline_ms":5}"#).unwrap();
+        // Differ only in deadline_ms (and formatting/key order): collide.
+        assert_eq!(
+            body_cache_key("/v1/predict", &a),
+            body_cache_key("/v1/predict", &b)
+        );
+        // Different payload: distinct keys.
+        assert_ne!(
+            body_cache_key("/v1/predict", &a),
+            body_cache_key("/v1/predict", &c)
+        );
+        // Same body on a different route: distinct keys.
+        assert_ne!(
+            body_cache_key("/v1/predict", &a),
+            body_cache_key("/v1/sweep", &a)
+        );
+    }
+
+    #[test]
+    fn sharded_lru_spreads_and_bounds_per_shard() {
+        let lru: ShardedLru<u32> = ShardedLru::new(8, 4);
+        assert_eq!(lru.shard_count(), 4);
+        assert_eq!(lru.per_shard_cap(), 2);
+        for i in 0..64 {
+            lru.insert(format!("key-{i}"), i);
+        }
+        let lens = lru.shard_lens();
+        assert!(
+            lens.iter().all(|&l| l <= 2),
+            "shard over capacity: {lens:?}"
+        );
+        assert!(
+            lens.iter().filter(|&&l| l > 0).count() >= 2,
+            "FNV sharding left all keys in one shard: {lens:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_lru_shard_count_rounds_up_to_power_of_two() {
+        let lru: ShardedLru<u32> = ShardedLru::new(16, 3);
+        assert_eq!(lru.shard_count(), 4);
+        let lru: ShardedLru<u32> = ShardedLru::new(16, 0);
+        assert_eq!(lru.shard_count(), 1);
+    }
+
+    #[test]
+    fn single_flight_leader_shares_with_waiter() {
+        let sf = SingleFlight::new(2);
+        let leader = match sf.join("k") {
+            FlightJoin::Leader(l) => l,
+            FlightJoin::Waiter(_) => panic!("first join must lead"),
+        };
+        let waiter = match sf.join("k") {
+            FlightJoin::Waiter(f) => f,
+            FlightJoin::Leader(_) => panic!("second join must park"),
+        };
+        let body = Arc::new(b"{}".to_vec());
+        let handle = std::thread::spawn({
+            let waiter = waiter.clone();
+            move || waiter.wait(&Deadline::none())
+        });
+        leader.publish_shared(body.clone());
+        match handle.join().unwrap() {
+            FlightWait::Shared(b) => assert!(Arc::ptr_eq(&b, &body)),
+            other => panic!("expected shared body, got {other:?}"),
+        }
+        // The finished flight is gone: the next join leads again.
+        assert!(matches!(sf.join("k"), FlightJoin::Leader(_)));
+    }
+
+    #[test]
+    fn single_flight_dropped_leader_releases_waiters_solo() {
+        let sf = SingleFlight::new(1);
+        let leader = match sf.join("k") {
+            FlightJoin::Leader(l) => l,
+            FlightJoin::Waiter(_) => panic!("first join must lead"),
+        };
+        let waiter = match sf.join("k") {
+            FlightJoin::Waiter(f) => f,
+            FlightJoin::Leader(_) => panic!("second join must park"),
+        };
+        drop(leader); // error path: nothing published
+        assert!(matches!(waiter.wait(&Deadline::none()), FlightWait::Solo));
+    }
+
+    #[test]
+    fn single_flight_waiter_honors_its_own_deadline() {
+        let sf = SingleFlight::new(1);
+        let _leader = sf.join("k"); // held pending for the whole test
+        let waiter = match sf.join("k") {
+            FlightJoin::Waiter(f) => f,
+            FlightJoin::Leader(_) => panic!("second join must park"),
+        };
+        assert!(matches!(
+            waiter.wait(&Deadline::in_ms(0)),
+            FlightWait::Expired
+        ));
     }
 }

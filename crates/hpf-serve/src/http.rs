@@ -197,19 +197,40 @@ pub fn response_bytes(
     retry_after_s: Option<u32>,
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 160);
-    let _ = write!(
+    let _ = write_response(
+        &mut out,
+        status,
+        content_type,
+        body,
+        keep_alive,
+        retry_after_s,
+    );
+    out
+}
+
+/// Serialize a response directly into a writer — the keep-alive hot path
+/// uses this to stream into the connection's write buffer instead of
+/// allocating and copying a temporary per response.
+pub fn write_response<W: Write>(
+    out: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    retry_after_s: Option<u32>,
+) -> std::io::Result<()> {
+    write!(
         out,
         "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
-    );
+    )?;
     if let Some(s) = retry_after_s {
-        let _ = write!(out, "retry-after: {s}\r\n");
+        write!(out, "retry-after: {s}\r\n")?;
     }
-    let _ = out.write_all(b"\r\n");
-    let _ = out.write_all(body);
-    out
+    out.write_all(b"\r\n")?;
+    out.write_all(body)
 }
 
 /// One parsed response: `(status, headers, body)`, header names lower-cased.

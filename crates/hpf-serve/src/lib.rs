@@ -68,11 +68,11 @@ pub mod status;
 
 pub use api::{Api, ApiResponse, SCHEMA};
 pub use breaker::{Breaker, BreakerConfig, BreakerOutcome};
-pub use cache::{CacheConfig, Deadline, ServeCache, ServeFailure};
+pub use cache::{body_cache_key, CacheConfig, Deadline, ServeCache, ServeFailure, ShardedLru};
 pub use chaos::{ChaosConfig, ChaosReport};
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{LoadgenConfig, LoadgenReport, OverloadConfig, OverloadReport};
 pub use metrics::{ServeMetrics, METRICS_SCHEMA};
-pub use server::{start, ServerConfig, ServerHandle};
+pub use server::{default_workers, start, ServerConfig, ServerHandle};
 pub use status::ServiceStatus;
 
 #[cfg(test)]

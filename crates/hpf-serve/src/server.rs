@@ -38,7 +38,7 @@
 //! [`crate::cache`] maintain.
 
 use std::collections::VecDeque;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -80,7 +80,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            workers: 4,
+            workers: default_workers(),
             queue_depth: 64,
             read_timeout_ms: 5_000,
             retry_after_s: 1,
@@ -89,6 +89,17 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
         }
     }
+}
+
+/// The default pool size: one worker per available hardware thread,
+/// clamped to [2, 64] — at least two so a single stalled connection
+/// never serializes the whole service, at most 64 because beyond that
+/// the bounded queue, not the pool, is the right lever.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 64)
 }
 
 /// A connection parked in the accept queue, timestamped so dequeue can
@@ -158,11 +169,24 @@ pub fn start(addr: &str, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let status = Arc::new(ServiceStatus::default());
+    let workers = cfg.workers.max(1);
+    // Cache lock shards default to the worker count (rounded up to a
+    // power of two inside the cache): enough shards that workers rarely
+    // collide, no more than could ever contend.
+    let cache = CacheConfig {
+        shards: if cfg.cache.shards == 0 {
+            workers
+        } else {
+            cfg.cache.shards
+        },
+        ..cfg.cache.clone()
+    };
     let shared = Arc::new(Shared {
-        api: Api::with_runtime(&cfg.cache, status.clone(), cfg.chaos),
+        api: Api::with_runtime(&cache, status.clone(), cfg.chaos),
         cfg: ServerConfig {
-            workers: cfg.workers.max(1),
+            workers,
             queue_depth: cfg.queue_depth.max(1),
+            cache,
             ..cfg
         },
         queue: Mutex::new(VecDeque::new()),
@@ -342,7 +366,7 @@ fn panic_response(payload: Box<dyn std::any::Any + Send>) -> crate::api::ApiResp
     .pretty();
     crate::api::ApiResponse {
         status: 500,
-        body: body.into_bytes(),
+        body: Arc::new(body.into_bytes()),
         cacheable: false,
     }
 }
@@ -418,8 +442,17 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut stream = stream;
+    let mut reader = BufReader::with_capacity(32 << 10, read_half);
+    // Responses go through a write buffer that is flushed only when the
+    // read buffer holds no further pipelined request: a client that
+    // writes a batch of requests in one burst gets its batch of
+    // responses in one burst (one syscall each way), while a one-request
+    // connection is flushed immediately. This is where the bulk of the
+    // per-request syscall cost goes away — the warm in-process path is
+    // microseconds, so write()+read() per request used to dominate. The
+    // buffer is sized so a pipelined burst of ~2.5 KB bodies coalesces
+    // into few write() calls.
+    let mut writer = BufWriter::with_capacity(128 << 10, stream);
     loop {
         match http::read_request(&mut reader) {
             // Peer closed between requests: normal end of a keep-alive
@@ -440,13 +473,14 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                     ),
                 ])
                 .pretty();
-                let _ = stream.write_all(&http::response_bytes(
+                let _ = writer.write_all(&http::response_bytes(
                     e.status,
                     JSON,
                     body.as_bytes(),
                     false,
                     None,
                 ));
+                let _ = writer.flush();
                 return;
             }
             Ok(Some(req)) => {
@@ -457,13 +491,14 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                         ("status", Value::Str("draining".into())),
                     ])
                     .pretty();
-                    let _ = stream.write_all(&http::response_bytes(
+                    let _ = writer.write_all(&http::response_bytes(
                         200,
                         JSON,
                         body.as_bytes(),
                         false,
                         None,
                     ));
+                    let _ = writer.flush();
                     return;
                 }
                 // Chaos-only: a `fatal` injection panics *outside* the
@@ -490,19 +525,18 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 // Once draining, answer the request in flight but refuse
                 // to keep the connection open for more.
                 let keep = !req.wants_close() && !shared.shutting_down() && !panicked;
-                if stream
-                    .write_all(&http::response_bytes(
-                        resp.status,
-                        JSON,
-                        &resp.body,
-                        keep,
-                        None,
-                    ))
+                if http::write_response(&mut writer, resp.status, JSON, &resp.body, keep, None)
                     .is_err()
                 {
                     return;
                 }
                 if !keep {
+                    let _ = writer.flush();
+                    return;
+                }
+                // Flush only when no further request is already buffered:
+                // the client is (or will be) blocked waiting on us.
+                if reader.buffer().is_empty() && writer.flush().is_err() {
                     return;
                 }
             }
