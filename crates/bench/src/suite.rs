@@ -75,6 +75,7 @@ fn table2_case(max_size: usize, runs: usize) -> BenchCase {
                     retries: 0,
                 },
                 share_artifacts: true,
+                machine: hpf_machines::DEFAULT_MACHINE.to_string(),
             };
             let out = table2(&cfg);
             assert!(!out.rows.is_empty(), "sweep produced no rows");
@@ -107,6 +108,33 @@ fn sweep_point_case(kernel: &str, n: usize, procs: usize) -> BenchCase {
     let name_frag = name_frag.trim_end_matches('_');
     BenchCase {
         name: format!("sweep_point_{name_frag}_n{n}_p{procs}"),
+        run: Box::new(move || {
+            let s = session.evaluate(n, procs).expect("evaluates");
+            assert!(s.predicted_s > 0.0 && s.measured_s > 0.0);
+        }),
+    }
+}
+
+/// Steady-state cost of one compile-once sweep point on a non-default
+/// machine backend: same shape as [`sweep_point_case`], but the session
+/// predicts on the named backend's calibrated model and the discrete-event
+/// simulator routes every message through the generic topology walk
+/// (dimension-ordered torus / up-down fat-tree) instead of the dedicated
+/// hypercube path — the per-point cost the machine registry adds.
+fn sweep_point_machine_case(machine: &str, kernel: &str, n: usize, procs: usize) -> BenchCase {
+    let k = kernels::kernel_by_name(kernel).expect("kernel");
+    let cfg = SweepConfig {
+        runs: 20,
+        profile_steps: 2_000_000,
+        machine: machine.to_string(),
+        ..Default::default()
+    };
+    let session = Arc::new(SweepSession::new(&k, &cfg).expect("session"));
+    // Warm the profile cache (and the backend's calibration memo) outside
+    // the timed region.
+    session.evaluate(n, procs).expect("evaluates");
+    BenchCase {
+        name: format!("sweep_point_{machine}_n{n}_p{procs}"),
         run: Box::new(move || {
             let s = session.evaluate(n, procs).expect("evaluates");
             assert!(s.predicted_s > 0.0 && s.measured_s > 0.0);
@@ -245,6 +273,8 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             laplace_case(64, 4, 30),
             table2_case(128, 20),
             sweep_point_case("PI", 512, 4),
+            sweep_point_machine_case("torus3d", "PI", 512, 4),
+            sweep_point_machine_case("fattree", "PI", 512, 4),
             advisor_case(96, 8),
             faults_case(64, 4, 30),
             serve_predict_case(256),
@@ -259,6 +289,8 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             table2_case(512, 50),
             sweep_point_case("PI", 512, 4),
             sweep_point_case("Laplace (Blk-Blk)", 256, 8),
+            sweep_point_machine_case("torus3d", "PI", 512, 4),
+            sweep_point_machine_case("fattree", "PI", 512, 4),
             advisor_case(96, 8),
             faults_case(64, 4, 30),
             faults_case(256, 8, 100),

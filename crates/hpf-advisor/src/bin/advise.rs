@@ -2,26 +2,31 @@
 //!
 //! ```text
 //! advise [--kernel NAME | --file PATH] [--size N] [--procs P] [--top K]
-//!        [--runs R] [--threads T] [--seed S] [--quick] [--trace]
+//!        [--runs R] [--threads T] [--seed S] [--machine NAME]
+//!        [--machines A,B,...] [--quick] [--trace]
 //! ```
 //!
 //! Prints a ranked table of directive candidates for the kernel (or for an
 //! HPF source file given with `--file`): predicted time (analytic
 //! interpretation), comp/comm split, DES-simulated time and error for the
-//! top-k, and the search's pruning / session-reuse accounting. Output is
-//! bit-identical across runs and `--threads` values; `--trace`
-//! additionally prints the deterministic trace counters to stderr.
+//! top-k, and the search's pruning / session-reuse accounting.
+//! `--machine` runs the search on one registered backend;
+//! `--machines a,b,c` runs it on each and prints a single merged
+//! cross-machine ranking. Output is bit-identical across runs and
+//! `--threads` values; `--trace` additionally prints the deterministic
+//! trace counters to stderr.
 //!
 //! Malformed HPF source is reported as a spanned diagnostic on stderr
 //! (source line + caret) with exit status 1 — the same diagnostic
 //! `hpf-serve` returns as a structured 400 body.
 
-use hpf_advisor::{render_table, Advisor, AdvisorConfig};
+use hpf_advisor::{render_cross_table, render_table, Advisor, AdvisorConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: advise [--kernel NAME | --file PATH] [--size N] [--procs P] \
-         [--top K] [--runs R] [--threads T] [--seed S] [--quick] [--trace]"
+         [--top K] [--runs R] [--threads T] [--seed S] [--machine NAME] \
+         [--machines A,B,...] [--quick] [--trace]"
     );
     std::process::exit(2)
 }
@@ -30,6 +35,7 @@ fn main() {
     let mut kernel_name = "Laplace (Blk-Blk)".to_string();
     let mut source_path: Option<String> = None;
     let mut cfg = AdvisorConfig::default();
+    let mut machines: Option<Vec<String>> = None;
     let mut trace = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,10 +54,22 @@ fn main() {
             "--runs" => cfg.sim_runs = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--threads" => cfg.threads = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--machine" => cfg.machine = take(&mut i),
+            "--machines" => {
+                machines = Some(
+                    take(&mut i)
+                        .split(',')
+                        .map(|m| m.trim().to_string())
+                        .filter(|m| !m.is_empty())
+                        .collect(),
+                );
+            }
             "--quick" => {
                 let threads = cfg.threads;
+                let machine = std::mem::take(&mut cfg.machine);
                 cfg = AdvisorConfig::quick();
                 cfg.threads = threads;
+                cfg.machine = machine;
             }
             "--trace" => trace = true,
             "--help" | "-h" => usage(),
@@ -95,11 +113,22 @@ fn main() {
     if trace {
         hpf_trace::enable();
     }
-    let report = advisor.search(&cfg).unwrap_or_else(|e| {
-        eprintln!("advise: search failed: {e}");
-        std::process::exit(1)
-    });
-    print!("{}", render_table(&report));
+    match &machines {
+        Some(names) => {
+            let report = advisor.search_cross(&cfg, names).unwrap_or_else(|e| {
+                eprintln!("advise: search failed: {e}");
+                std::process::exit(1)
+            });
+            print!("{}", render_cross_table(&report));
+        }
+        None => {
+            let report = advisor.search(&cfg).unwrap_or_else(|e| {
+                eprintln!("advise: search failed: {e}");
+                std::process::exit(1)
+            });
+            print!("{}", render_table(&report));
+        }
+    }
 
     if trace {
         hpf_trace::disable();

@@ -32,5 +32,8 @@ pub mod pool;
 pub mod search;
 pub mod space;
 
-pub use search::{render_table, Advisor, AdvisorConfig, AdvisorReport, RankedCandidate};
+pub use search::{
+    render_cross_table, render_table, Advisor, AdvisorConfig, AdvisorReport, CrossMachineReport,
+    CrossMachineRow, RankedCandidate,
+};
 pub use space::{enumerate_candidates, ordered_factorizations, Candidate};

@@ -26,8 +26,7 @@ use hpf_lang::{analyze, parse_program, AnalyzedProgram};
 use interp::{InterpOptions, InterpretationEngine, Metrics};
 use ipsc_sim::{SimConfig, Simulator};
 use kernels::Kernel;
-use machine::ipsc860;
-use report::pipeline::calibrated_machine;
+use report::pipeline::{calibrated_machine_for, machine_params};
 use report::{shared_profile, PipelineError, PipelineStage};
 
 use crate::pool;
@@ -55,6 +54,9 @@ pub struct AdvisorConfig {
     pub wave_width: usize,
     /// Step budget for the functional-interpreter profile.
     pub profile_steps: u64,
+    /// Registered machine backend the search predicts and cross-checks on
+    /// (see `hpf_machines::machine_names`).
+    pub machine: String,
 }
 
 impl Default for AdvisorConfig {
@@ -69,6 +71,7 @@ impl Default for AdvisorConfig {
             seed: 0x5EED_CAFE,
             wave_width: 8,
             profile_steps: 40_000_000,
+            machine: hpf_machines::DEFAULT_MACHINE.to_string(),
         }
     }
 }
@@ -114,6 +117,8 @@ pub struct AdvisorReport {
     pub kernel: String,
     pub n: usize,
     pub procs: usize,
+    /// Registry name of the machine the search ran on.
+    pub machine: String,
     /// Size of the enumerated directive space.
     pub candidates: usize,
     /// Candidates skipped because their lower bound met the incumbent.
@@ -195,7 +200,7 @@ impl Advisor {
         hpf_trace::counter_add("advisor.candidates", cands.len() as u64);
         let labels: Vec<String> = cands.iter().map(|c| c.label()).collect();
 
-        let machine = calibrated_machine(cfg.procs);
+        let machine = calibrated_machine_for(&cfg.machine, cfg.procs)?;
         let lb_engine = InterpretationEngine::with_options(
             &machine,
             InterpOptions {
@@ -297,7 +302,7 @@ impl Advisor {
             p
         });
         let profile = profile.flatten();
-        let sim_machine = ipsc860(cfg.procs);
+        let sim_machine = machine_params(&cfg.machine, cfg.procs)?;
         let sims: Vec<f64> = pool::map_indexed(top.len(), cfg.threads, |j| {
             let _s = hpf_trace::span("simulate");
             hpf_trace::counter_add("advisor.sessions_reused", 1);
@@ -342,6 +347,7 @@ impl Advisor {
             kernel: self.name.clone(),
             n: cfg.n,
             procs: cfg.procs,
+            machine: cfg.machine.clone(),
             candidates: cands.len(),
             pruned,
             invalid,
@@ -377,6 +383,144 @@ impl Advisor {
             lower_bound_s: 0.0,
         })
     }
+}
+
+/// One row of the merged cross-machine ranking: a candidate evaluated on
+/// a specific registered machine.
+#[derive(Debug, Clone)]
+pub struct CrossMachineRow {
+    /// Registry name of the machine this row was evaluated on.
+    pub machine: String,
+    pub candidate: RankedCandidate,
+}
+
+/// The paper's cluster-comparison question as one artifact: the same
+/// directive space searched on several registered machines, merged into a
+/// single ranking by predicted time.
+#[derive(Debug, Clone)]
+pub struct CrossMachineReport {
+    pub kernel: String,
+    pub n: usize,
+    pub procs: usize,
+    /// Per-machine search reports, in the caller's machine order.
+    pub reports: Vec<AdvisorReport>,
+    /// All evaluated candidates across machines, best predicted first.
+    pub ranked: Vec<CrossMachineRow>,
+}
+
+impl Advisor {
+    /// Run [`Advisor::search`] once per named machine and merge the ranked
+    /// tables into a single cross-machine ranking. Each per-machine search
+    /// keeps its own determinism contract, and the merge orders rows by
+    /// predicted time with the same seeded tie-break (over
+    /// `machine::label`), so the combined table is bit-identical across
+    /// runs and thread counts. An unknown machine name fails the whole
+    /// call with the registry's structured error.
+    pub fn search_cross(
+        &self,
+        cfg: &AdvisorConfig,
+        machines: &[String],
+    ) -> Result<CrossMachineReport, PipelineError> {
+        let mut reports = Vec::with_capacity(machines.len());
+        for name in machines {
+            let per = AdvisorConfig {
+                machine: name.clone(),
+                ..cfg.clone()
+            };
+            reports.push(self.search(&per)?);
+        }
+        let mut ranked: Vec<CrossMachineRow> = reports
+            .iter()
+            .flat_map(|r| {
+                r.ranked.iter().map(|c| CrossMachineRow {
+                    machine: r.machine.clone(),
+                    candidate: c.clone(),
+                })
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            let ka = format!("{}::{}", a.machine, a.candidate.label);
+            let kb = format!("{}::{}", b.machine, b.candidate.label);
+            a.candidate
+                .predicted_s
+                .total_cmp(&b.candidate.predicted_s)
+                .then_with(|| tie_break(cfg.seed, &ka).cmp(&tie_break(cfg.seed, &kb)))
+        });
+        Ok(CrossMachineReport {
+            kernel: self.name.clone(),
+            n: cfg.n,
+            procs: cfg.procs,
+            reports,
+            ranked,
+        })
+    }
+}
+
+/// Render the merged cross-machine ranking, in the same fixed-precision
+/// style as [`render_table`] with a leading machine column. Shared by the
+/// `advise --machines` CLI and the golden artifact.
+pub fn render_cross_table(r: &CrossMachineReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "hpf-advisor cross-machine: {}  n={}  budget P={}",
+        r.kernel, r.n, r.procs
+    );
+    let machines: Vec<&str> = r.reports.iter().map(|m| m.machine.as_str()).collect();
+    let _ = writeln!(out, "machines: {}", machines.join(", "));
+    for rep in &r.reports {
+        let _ = writeln!(
+            out,
+            "  {:<12} space: {} candidates   evaluated: {}   pruned: {}   invalid: {}",
+            rep.machine,
+            rep.candidates,
+            rep.ranked.len(),
+            rep.pruned,
+            rep.invalid
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<12} {:<38} {:>13} {:>6} {:>6} {:>13} {:>7}",
+        "rank", "machine", "directives", "predicted(s)", "comp%", "comm%", "simulated(s)", "err%"
+    );
+    for (i, row) in r.ranked.iter().enumerate() {
+        let c = &row.candidate;
+        let t = c.predicted_s;
+        let comp_pct = if t > 0.0 {
+            100.0 * c.metrics.comp / t
+        } else {
+            0.0
+        };
+        let comm_pct = if t > 0.0 {
+            100.0 * c.metrics.comm / t
+        } else {
+            0.0
+        };
+        let sim = c
+            .simulated_s
+            .map(|s| format!("{s:.6}"))
+            .unwrap_or_else(|| "-".to_string());
+        let err = c
+            .sim_error_pct
+            .map(|e| format!("{e:.2}"))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<12} {:<38} {:>13.6} {:>6.1} {:>6.1} {:>13} {:>7}",
+            i + 1,
+            row.machine,
+            c.label,
+            t,
+            comp_pct,
+            comm_pct,
+            sim,
+            err
+        );
+    }
+    out
 }
 
 /// Seeded FNV-1a over the candidate label: the total, stable tie-break

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use hpf_advisor::{enumerate_candidates, render_table, Advisor, AdvisorConfig};
+use hpf_advisor::{enumerate_candidates, render_cross_table, render_table, Advisor, AdvisorConfig};
 use hpf_compiler::{compile, CompileOptions};
 use hpf_lang::{analyze, parse_program};
 use proptest::prelude::*;
@@ -137,6 +137,67 @@ fn search_is_bit_identical_across_runs_and_threads() {
         }
         assert_eq!(render_table(&run), render_table(&baseline));
     }
+}
+
+/// The machine axis keeps the determinism contract: for every registered
+/// backend, the per-machine search is bit-identical across thread counts,
+/// and the merged cross-machine table is one stable ranking spanning all
+/// of them.
+#[test]
+fn cross_machine_search_is_bit_identical_across_threads() {
+    let kernel = kernels::kernel_by_name("Laplace (Blk-Blk)").unwrap();
+    let advisor = Advisor::for_kernel(&kernel).unwrap();
+    let machines: Vec<String> = hpf_machines::machine_names()
+        .iter()
+        .map(|m| m.to_string())
+        .collect();
+
+    let baseline = advisor.search_cross(&small_cfg(1), &machines).unwrap();
+    assert_eq!(baseline.reports.len(), machines.len());
+    // The merged table genuinely spans machines, in predicted order.
+    let seen: std::collections::BTreeSet<&str> =
+        baseline.ranked.iter().map(|r| r.machine.as_str()).collect();
+    assert_eq!(
+        seen.len(),
+        machines.len(),
+        "ranking must span every machine"
+    );
+    for pair in baseline.ranked.windows(2) {
+        assert!(pair[0].candidate.predicted_s <= pair[1].candidate.predicted_s);
+    }
+
+    for threads in [2usize, 8] {
+        let run = advisor
+            .search_cross(&small_cfg(threads), &machines)
+            .unwrap();
+        assert_eq!(
+            render_cross_table(&run),
+            render_cross_table(&baseline),
+            "threads={threads}"
+        );
+        for (a, b) in run.ranked.iter().zip(&baseline.ranked) {
+            assert_eq!(a.machine, b.machine, "threads={threads}");
+            assert_eq!(
+                a.candidate.predicted_s.to_bits(),
+                b.candidate.predicted_s.to_bits(),
+                "threads={threads} {}::{}",
+                a.machine,
+                a.candidate.label
+            );
+        }
+    }
+}
+
+/// An unknown machine fails the whole cross search with the registry's
+/// structured error instead of panicking.
+#[test]
+fn cross_machine_search_rejects_unknown_machine() {
+    let kernel = kernels::kernel_by_name("Laplace (Blk-Blk)").unwrap();
+    let advisor = Advisor::for_kernel(&kernel).unwrap();
+    let err = advisor
+        .search_cross(&small_cfg(1), &["cm5".to_string()])
+        .expect_err("cm5 is not registered");
+    assert!(err.to_string().contains("cm5"), "{err}");
 }
 
 /// The paper-loop acceptance numbers on the Laplace kernel at P = 8:

@@ -1,0 +1,39 @@
+//! # hpf-machines — the multi-backend machine registry
+//!
+//! The paper's system-characterization methodology (a SAG of SAUs, §3.1)
+//! is explicitly machine-generic, but the original reproduction hardwired
+//! the one machine the paper measured: the iPSC/860 hypercube. This crate
+//! is the abstraction seam that makes the rest of the stack retargetable:
+//!
+//! * [`Topology`] — node-count validation, neighbor/route enumeration and
+//!   link indexing for the DES occupancy model. Four implementations:
+//!   the binary hypercube (e-cube routing), a k-ary torus/mesh
+//!   (dimension-ordered shortest-wrap routing), a two-level fat tree
+//!   (up/down routing through switch vertices), and an idealized
+//!   crossbar (receiver-port serialization).
+//! * [`MachineModel`] — a named machine backend: SAU parameter tables
+//!   (via [`machine::MachineModel`]), a topology factory, and the
+//!   fault-plan degradation hook. The iPSC/860 is re-expressed as the
+//!   first registered backend with zero behavioral change.
+//! * [`mod@registry`]/[`fn@machine`] — the `MachineRegistry`: name → backend,
+//!   following the ReFrame/HPL per-system reference-table idiom
+//!   (machine name → expected calibration numbers ± tolerance, see
+//!   [`refs::calibration_references`]).
+//! * [`TopologyError`] — the typed error that replaces the old
+//!   route-table hard assertions; `report` converts it into a
+//!   `PipelineError` so serve answers a structured 400 and the CLIs
+//!   print a diagnostic instead of panicking.
+//!
+//! The crate deliberately depends only on `machine`: calibration runs
+//! (which need the DES) live in `ipsc-sim::calibrate_backend`, and the
+//! registry's reference tables are validated by tests there.
+
+pub mod error;
+pub mod refs;
+pub mod registry;
+pub mod topology;
+
+pub use error::TopologyError;
+pub use refs::{calibration_references, CalibrationReference};
+pub use registry::{machine, machine_names, registry, MachineModel, DEFAULT_MACHINE};
+pub use topology::{build_topology, Topology};

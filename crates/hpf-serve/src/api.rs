@@ -300,6 +300,47 @@ fn kernel_metric_name(name: &str) -> std::borrow::Cow<'static, str> {
     }
 }
 
+/// The per-machine latency sketch name (`serve.latency.machine.<name>`),
+/// preallocated for every registered backend. Only requests that name a
+/// machine explicitly record here — the default-machine bulk of traffic
+/// already lands on the per-endpoint sketches.
+fn machine_metric_name(name: &str) -> std::borrow::Cow<'static, str> {
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<HashMap<&'static str, String>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| {
+        hpf_machines::machine_names()
+            .iter()
+            .map(|m| (*m, format!("serve.latency.machine.{m}")))
+            .collect()
+    });
+    match names.get(name) {
+        Some(s) => std::borrow::Cow::Borrowed(s.as_str()),
+        None => std::borrow::Cow::Owned(format!("serve.latency.machine.{name}")),
+    }
+}
+
+/// The optional `"machine"` body field: absent means the default backend
+/// (and the response does not echo a machine), present means the named
+/// registry backend. An unknown name is the registry's typed
+/// `TopologyError`, surfaced as the same structured 400 pipeline body the
+/// CLI diagnostics map to (stage `machine`).
+fn machine_from(body: &Value, source: Option<&str>) -> Result<Option<String>, ApiResponse> {
+    match body.get("machine") {
+        None => Ok(None),
+        Some(v) => match v.as_str() {
+            Some(name) => match hpf_machines::machine(name) {
+                Ok(_) => Ok(Some(name.to_string())),
+                Err(e) => {
+                    let err = PipelineError::from(e);
+                    Err(ApiResponse::json(400, &pipeline_error_value(&err, source)))
+                }
+            },
+            None => Err(bad_request("`machine` must be a string")),
+        },
+    }
+}
+
 impl Api {
     pub fn new(cfg: &CacheConfig) -> Api {
         Self::with_runtime(cfg, Arc::new(ServiceStatus::default()), false)
@@ -510,8 +551,14 @@ impl Api {
         // disagree with the canonical layers.
         let t_wire = hpf_trace::enabled().then(std::time::Instant::now);
         if let Some(hit) = self.cache.wire_lookup(&req.path, text) {
-            if let (Some(t0), Some(name)) = (t_wire, hit.kernel_metric.as_deref()) {
-                hpf_trace::sketch_record(name, t0.elapsed().as_secs_f64());
+            if let Some(t0) = t_wire {
+                let elapsed = t0.elapsed().as_secs_f64();
+                if let Some(name) = hit.kernel_metric.as_deref() {
+                    hpf_trace::sketch_record(name, elapsed);
+                }
+                if let Some(name) = hit.machine_metric.as_deref() {
+                    hpf_trace::sketch_record(name, elapsed);
+                }
             }
             return ApiResponse {
                 status: 200,
@@ -541,8 +588,14 @@ impl Api {
         // of this kernel actually observed.
         let t0 = hpf_trace::enabled().then(std::time::Instant::now);
         let record_kernel = |resp: ApiResponse| {
-            if let (Some(t0), Some(name)) = (t0, body.get("kernel").and_then(Value::as_str)) {
-                hpf_trace::sketch_record(&kernel_metric_name(name), t0.elapsed().as_secs_f64());
+            if let Some(t0) = t0 {
+                let elapsed = t0.elapsed().as_secs_f64();
+                if let Some(name) = body.get("kernel").and_then(Value::as_str) {
+                    hpf_trace::sketch_record(&kernel_metric_name(name), elapsed);
+                }
+                if let Some(name) = body.get("machine").and_then(Value::as_str) {
+                    hpf_trace::sketch_record(&machine_metric_name(name), elapsed);
+                }
             }
             resp
         };
@@ -601,6 +654,10 @@ impl Api {
                         .get("kernel")
                         .and_then(Value::as_str)
                         .map(|n| kernel_metric_name(n).into_owned()),
+                    machine_metric: body
+                        .get("machine")
+                        .and_then(Value::as_str)
+                        .map(|n| machine_metric_name(n).into_owned()),
                 },
             );
         }
@@ -664,6 +721,7 @@ impl Api {
         target: &Target,
         n: Option<i64>,
         procs: usize,
+        machine: Option<&str>,
     ) -> Value {
         let phases: Vec<Value> = aag
             .aaus
@@ -690,11 +748,17 @@ impl Api {
         if let Some(n) = n {
             top.push(("n", num(n as f64)));
         }
+        if let Some(m) = machine {
+            top.push(("machine", Value::Str(m.to_string())));
+        }
         Value::obj(top)
     }
 
     /// `POST /v1/predict` — per-phase predicted times for one
-    /// `(target, n, procs)` point.
+    /// `(target, n, procs)` point. An optional `"machine"` field selects
+    /// a registered backend; the response echoes it only when the request
+    /// named one, so default-machine bodies are byte-identical to the
+    /// pre-registry service.
     fn predict(&self, body: &Value, _ctx: ReqCtx) -> ApiResponse {
         let _span = hpf_trace::span("serve.predict");
         let target = match Target::from_body(body) {
@@ -703,6 +767,10 @@ impl Api {
         };
         let (n, procs, deadline) = match Self::point_params(body) {
             Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let machine_name = match machine_from(body, target.source_text()) {
+            Ok(m) => m,
             Err(resp) => return resp,
         };
         let bound = match self.bind_target(&target, n, procs, &deadline) {
@@ -716,12 +784,29 @@ impl Api {
             let (status, value) = failure_value(&f, target.source_text());
             return ApiResponse::json(status, &value);
         }
-        let machine = report::pipeline::calibrated_machine(procs);
+        let machine = match report::pipeline::calibrated_machine_for(
+            machine_name
+                .as_deref()
+                .unwrap_or(hpf_machines::DEFAULT_MACHINE),
+            procs,
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                return ApiResponse::json(400, &pipeline_error_value(&e, target.source_text()))
+            }
+        };
         let engine = InterpretationEngine::with_options(&machine, InterpOptions::default());
         let prediction = engine.interpret(&bound.aag);
         ApiResponse::json(
             200,
-            &Self::predict_value(&bound.aag, &prediction, &target, n, procs),
+            &Self::predict_value(
+                &bound.aag,
+                &prediction,
+                &target,
+                n,
+                procs,
+                machine_name.as_deref(),
+            ),
         )
     }
 
@@ -771,6 +856,10 @@ impl Api {
             Ok(_) => return bad_request("`runs` must be between 1 and 10000"),
             Err(resp) => return resp,
         };
+        let machine_name = match machine_from(body, target.source_text()) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
 
         // Batched evaluation: resolve the session artifact once, then
         // bind-and-interpret every point from it — one `SweepSession`-style
@@ -787,7 +876,17 @@ impl Api {
                 return ApiResponse::json(status, &value);
             }
         };
-        let machine = report::pipeline::calibrated_machine(procs);
+        let machine = match report::pipeline::calibrated_machine_for(
+            machine_name
+                .as_deref()
+                .unwrap_or(hpf_machines::DEFAULT_MACHINE),
+            procs,
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                return ApiResponse::json(400, &pipeline_error_value(&e, target.source_text()))
+            }
+        };
         let engine = InterpretationEngine::with_options(&machine, InterpOptions::default());
         let mut points = Vec::with_capacity(sizes.len());
         let mut degraded = false;
@@ -820,13 +919,17 @@ impl Api {
                 // The whole cross-check runs under the breaker: a panic or
                 // an open breaker degrades this point to analytic-only.
                 let sim_panic = ctx.sim_panic;
+                let sim_machine_name = machine_name
+                    .as_deref()
+                    .unwrap_or(hpf_machines::DEFAULT_MACHINE);
                 let outcome = self.breaker.call(|| {
                     if sim_panic {
                         panic!("chaos: injected DES cross-check panic");
                     }
                     let (profile, _) =
                         report::shared_profile(&bound.canonical, n, 50_000_000, &bound.analyzed);
-                    let sim_machine = machine::ipsc860(procs);
+                    let sim_machine = report::pipeline::machine_params(sim_machine_name, procs)
+                        .expect("machine validated before the sweep loop");
                     let sim = Simulator::with_config(
                         &sim_machine,
                         SimConfig {
@@ -858,6 +961,9 @@ impl Api {
             ("procs", num(procs as f64)),
             ("points", Value::Arr(points)),
         ];
+        if let Some(m) = &machine_name {
+            top.push(("machine", Value::Str(m.clone())));
+        }
         if degraded {
             top.push(("degraded", Value::Bool(true)));
         }
@@ -950,6 +1056,20 @@ impl Api {
             let (status, value) = failure_value(&f, target.source_text());
             return ApiResponse::json(status, &value);
         }
+        let machine_name = match machine_from(body, target.source_text()) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        let machines_list = match Self::machines_param(body, target.source_text()) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        if machine_name.is_some() && machines_list.is_some() {
+            return bad_request("give either `machine` or `machines`, not both");
+        }
+        if let Some(m) = &machine_name {
+            cfg.machine = m.clone();
+        }
 
         let advisor = match &target {
             Target::Kernel(name) => match kernels::kernel_by_name(name) {
@@ -977,6 +1097,9 @@ impl Api {
         let _batch = hpf_trace::span("batch");
         hpf_trace::counter_add("serve.batch.sessions", 1);
         let shown_k = cfg.top_k;
+        if let Some(names) = &machines_list {
+            return self.advise_cross(&advisor, &cfg, names, &target, shown_k);
+        }
         let (report, degraded) = match self.breaker.call(|| advisor.search(&cfg)) {
             BreakerOutcome::Ok(r) => (r, false),
             BreakerOutcome::Rejected | BreakerOutcome::Failed(_) => {
@@ -1025,6 +1148,124 @@ impl Api {
             ("procs", num(cfg.procs as f64)),
             ("candidates", num(report.candidates as f64)),
             ("pruned", num(report.pruned as f64)),
+            ("ranked", Value::Arr(ranked)),
+        ];
+        if machine_name.is_some() {
+            top.push(("machine", Value::Str(report.machine.clone())));
+        }
+        if degraded {
+            top.push(("degraded", Value::Bool(true)));
+        }
+        let value = Value::obj(top);
+        if degraded {
+            ApiResponse::json_uncacheable(200, &value)
+        } else {
+            ApiResponse::json(200, &value)
+        }
+    }
+
+    /// The optional `"machines"` array on `/v1/advise`: every entry must
+    /// name a registered backend (typed registry error otherwise).
+    fn machines_param(
+        body: &Value,
+        source: Option<&str>,
+    ) -> Result<Option<Vec<String>>, ApiResponse> {
+        const MAX_MACHINES: usize = 8;
+        match body.get("machines") {
+            None => Ok(None),
+            Some(Value::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for it in items {
+                    let name = match it.as_str() {
+                        Some(n) => n,
+                        None => return Err(bad_request("`machines` entries must be strings")),
+                    };
+                    if let Err(e) = hpf_machines::machine(name) {
+                        let err = PipelineError::from(e);
+                        return Err(ApiResponse::json(400, &pipeline_error_value(&err, source)));
+                    }
+                    out.push(name.to_string());
+                }
+                if out.is_empty() || out.len() > MAX_MACHINES {
+                    return Err(bad_request(format!(
+                        "`machines` must have 1..={MAX_MACHINES} entries"
+                    )));
+                }
+                Ok(Some(out))
+            }
+            Some(_) => Err(bad_request("`machines` must be an array of machine names")),
+        }
+    }
+
+    /// The cross-machine advise: one merged ranking spanning every named
+    /// backend. The whole multi-machine search runs under the breaker;
+    /// when it is open, every per-machine search degrades to
+    /// analytic-only (`top_k = 0`) exactly like single-machine advise.
+    fn advise_cross(
+        &self,
+        advisor: &hpf_advisor::Advisor,
+        cfg: &hpf_advisor::AdvisorConfig,
+        names: &[String],
+        target: &Target,
+        shown_k: usize,
+    ) -> ApiResponse {
+        let (report, degraded) = match self.breaker.call(|| advisor.search_cross(cfg, names)) {
+            BreakerOutcome::Ok(r) => (r, false),
+            BreakerOutcome::Rejected | BreakerOutcome::Failed(_) => {
+                hpf_trace::counter_add("serve.degraded", 1);
+                self.metrics.note_degraded();
+                let degraded_cfg = hpf_advisor::AdvisorConfig {
+                    top_k: 0,
+                    ..cfg.clone()
+                };
+                (advisor.search_cross(&degraded_cfg, names), true)
+            }
+        };
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => {
+                let source = target.source_text().unwrap_or("");
+                return ApiResponse::json(400, &pipeline_error_value(&e, Some(source)));
+            }
+        };
+        let candidates: usize = report.reports.iter().map(|r| r.candidates).sum();
+        let pruned: usize = report.reports.iter().map(|r| r.pruned).sum();
+        hpf_trace::counter_add("serve.batch.points", candidates as u64);
+
+        let shown = shown_k.saturating_mul(names.len());
+        let ranked: Vec<Value> = report
+            .ranked
+            .iter()
+            .take(shown)
+            .map(|row| {
+                let c = &row.candidate;
+                let mut entry: Vec<(&str, Value)> = vec![
+                    ("machine", Value::Str(row.machine.clone())),
+                    ("directives", Value::Str(c.label.clone())),
+                    ("predicted_s", num(c.predicted_s)),
+                    ("metrics", metrics_value(&c.metrics)),
+                ];
+                if let Some(s) = c.simulated_s {
+                    entry.push(("simulated_s", num(s)));
+                }
+                if let Some(e) = c.sim_error_pct {
+                    entry.push(("sim_error_pct", num(e)));
+                }
+                Value::obj(entry)
+            })
+            .collect();
+        let mut top: Vec<(&str, Value)> = vec![
+            ("schema", Value::Str(SCHEMA.into())),
+            ("kind", Value::Str("advise".into())),
+            ("target", target.describe()),
+            ("n", num(report.n as f64)),
+            ("procs", num(report.procs as f64)),
+            (
+                "machines",
+                Value::Arr(names.iter().map(|m| Value::Str(m.clone())).collect()),
+            ),
+            ("candidates", num(candidates as f64)),
+            ("pruned", num(pruned as f64)),
             ("ranked", Value::Arr(ranked)),
         ];
         if degraded {
@@ -1187,6 +1428,88 @@ mod tests {
             let text = String::from_utf8(resp.body.to_vec()).unwrap();
             assert!(text.contains(needle), "{path} {body}: {text}");
         }
+    }
+
+    #[test]
+    fn predict_with_machine_echoes_and_changes_the_numbers() {
+        let api = api();
+        let a = api.handle(&post(
+            "/v1/predict",
+            r#"{"kernel": "PI", "n": 256, "procs": 4}"#,
+        ));
+        let b = api.handle(&post(
+            "/v1/predict",
+            r#"{"kernel": "PI", "n": 256, "procs": 4, "machine": "torus3d"}"#,
+        ));
+        assert_eq!(a.status, 200, "{}", String::from_utf8_lossy(&a.body));
+        assert_eq!(b.status, 200, "{}", String::from_utf8_lossy(&b.body));
+        let va = parse_json(std::str::from_utf8(&a.body).unwrap()).unwrap();
+        let vb = parse_json(std::str::from_utf8(&b.body).unwrap()).unwrap();
+        // Conditional echo: only the request that named a machine gets one
+        // back — the default body stays byte-compatible with the
+        // pre-registry service.
+        assert!(va.get("machine").is_none(), "default must not echo");
+        assert_eq!(vb.get("machine").and_then(Value::as_str), Some("torus3d"));
+        let pa = va.get("predicted_s").and_then(Value::as_f64).unwrap();
+        let pb = vb.get("predicted_s").and_then(Value::as_f64).unwrap();
+        assert!(pa > 0.0 && pb > 0.0 && pa != pb, "{pa} vs {pb}");
+    }
+
+    #[test]
+    fn unknown_machine_is_a_structured_400_from_the_registry() {
+        let resp = api().handle(&post(
+            "/v1/predict",
+            r#"{"kernel": "PI", "n": 64, "procs": 4, "machine": "cm5"}"#,
+        ));
+        assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Value::as_str), Some("pipeline"));
+        assert_eq!(err.get("stage").and_then(Value::as_str), Some("machine"));
+        let msg = err.get("message").and_then(Value::as_str).unwrap();
+        assert!(msg.contains("cm5"), "{msg}");
+        assert!(msg.contains("ipsc860"), "should list available: {msg}");
+    }
+
+    #[test]
+    fn machine_node_range_is_enforced_as_a_structured_400() {
+        // The multicore backend tops out at 128 nodes; 256 is in the
+        // generic procs range but out of this machine's.
+        let resp = api().handle(&post(
+            "/v1/predict",
+            r#"{"kernel": "PI", "n": 64, "procs": 256, "machine": "multicore"}"#,
+        ));
+        assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("stage").and_then(Value::as_str), Some("machine"));
+    }
+
+    #[test]
+    fn advise_machines_returns_one_merged_ranking() {
+        let resp = api().handle(&post(
+            "/v1/advise",
+            r#"{"kernel": "Laplace (Blk-Blk)", "n": 96, "procs": 4, "top_k": 1,
+                "machines": ["ipsc860", "multicore"]}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let machines = v.get("machines").and_then(Value::as_arr).unwrap();
+        assert_eq!(machines.len(), 2);
+        let ranked = v.get("ranked").and_then(Value::as_arr).unwrap();
+        assert!(!ranked.is_empty());
+        let row_machines: Vec<&str> = ranked
+            .iter()
+            .map(|r| r.get("machine").and_then(Value::as_str).unwrap())
+            .collect();
+        // The merged table is one ranking: the idealized multicore node
+        // beats the 1994 hypercube, and rows are predicted-time ordered.
+        assert_eq!(row_machines[0], "multicore");
+        let times: Vec<f64> = ranked
+            .iter()
+            .map(|r| r.get("predicted_s").and_then(Value::as_f64).unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
     }
 
     #[test]

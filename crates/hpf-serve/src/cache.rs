@@ -447,6 +447,9 @@ pub struct ServeCache {
 pub struct WireEntry {
     pub body: Arc<Vec<u8>>,
     pub kernel_metric: Option<String>,
+    /// `serve.latency.machine.<name>` sketch name, for requests that
+    /// named a machine explicitly.
+    pub machine_metric: Option<String>,
 }
 
 fn wire_key(path: &str, raw: &str) -> String {

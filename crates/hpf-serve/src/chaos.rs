@@ -23,6 +23,11 @@
 //! * **abort** — a client that writes a full request and hangs up without
 //!   reading; the worker must shrug and move on.
 //!
+//! A second independent draw ([`machine_at`]) splices a non-default
+//! `"machine"` into a small slice of the generated requests, so the
+//! machine-keyed cache rows and per-machine latency sketches stay under
+//! test while faults fly.
+//!
 //! [`run`] executes the plan twice against fresh in-process servers — a
 //! fault-free **baseline** pass (only the plan's healthy requests) and
 //! the **chaos** pass (everything) — and asserts the resilience contract:
@@ -132,6 +137,31 @@ const FAULTS: [Fault; 7] = [
     Fault::TruncatedBody,
     Fault::Abort,
 ];
+
+/// Non-default machines the plan splices into a slice of its requests.
+const SPLICE_MACHINES: [&str; 3] = ["torus3d", "fattree", "multicore"];
+
+/// The deterministic machine override at index `i`: a small (~6%) slice
+/// of the plan's generated requests names a non-default registry machine,
+/// exercising the machine-keyed cache rows and per-machine latency
+/// sketches under chaos. Drawn independently of [`fault_at`] and pure in
+/// `(seed, i)`, so the baseline and chaos passes splice identical bodies
+/// and the healthy checksum still matches bit for bit.
+pub fn machine_at(seed: u64, i: usize) -> Option<&'static str> {
+    let r = splitmix64(seed.rotate_left(29) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 100;
+    (r < 6).then(|| SPLICE_MACHINES[(r % SPLICE_MACHINES.len() as u64) as usize])
+}
+
+/// The body the plan fires at index `i`: the loadgen mix, with the
+/// machine override (if any) spliced in before the closing brace.
+fn plan_request(seed: u64, i: usize) -> (&'static str, String) {
+    let (path, mut body) = request_at(seed, i);
+    if let Some(machine) = machine_at(seed, i) {
+        body.pop();
+        body.push_str(&format!(r#", "machine": "{machine}"}}"#));
+    }
+    (path, body)
+}
 
 /// The deterministic fault at index `i` — ~70% healthy, the rest spread
 /// over the six fault classes. Same `(seed, i)`, same fault, forever:
@@ -346,7 +376,7 @@ fn fire(addr: SocketAddr, cfg: &ChaosConfig, i: usize, fault: Fault) -> Outcome 
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         match fault {
             Fault::Healthy | Fault::HandlerPanic => {
-                let (path, body) = request_at(cfg.seed, i);
+                let (path, body) = plan_request(cfg.seed, i);
                 let chaos = matches!(fault, Fault::HandlerPanic).then_some("handler");
                 send_post(&mut stream, path, &body, chaos)?;
             }
@@ -377,7 +407,7 @@ fn fire(addr: SocketAddr, cfg: &ChaosConfig, i: usize, fault: Fault) -> Outcome 
                 stream.shutdown(Shutdown::Write)?;
             }
             Fault::Abort => {
-                let (path, body) = request_at(cfg.seed, i);
+                let (path, body) = plan_request(cfg.seed, i);
                 send_post(&mut stream, path, &body, None)?;
                 // Hang up without reading: the worker's write may fail
                 // mid-response; it must survive and move on.
@@ -747,6 +777,18 @@ fn summarize_delta(cfg: &ChaosConfig, delta: &Value, healthy_checksum: u64) -> V
                     sketch_count("serve.latency.predict"),
                 ),
                 ("serve.latency.sweep", sketch_count("serve.latency.sweep")),
+                (
+                    "serve.latency.machine.torus3d",
+                    sketch_count("serve.latency.machine.torus3d"),
+                ),
+                (
+                    "serve.latency.machine.fattree",
+                    sketch_count("serve.latency.machine.fattree"),
+                ),
+                (
+                    "serve.latency.machine.multicore",
+                    sketch_count("serve.latency.machine.multicore"),
+                ),
             ]),
         ),
     ])
@@ -769,6 +811,31 @@ mod tests {
         // Every fault class occurs: the plan exercises the whole surface.
         for f in FAULTS {
             assert!(a.contains(&f), "fault {:?} never drawn", f);
+        }
+    }
+
+    #[test]
+    fn machine_splice_is_deterministic_small_and_well_formed() {
+        let a: Vec<Option<&str>> = (0..1000).map(|i| machine_at(0xFEED, i)).collect();
+        let b: Vec<Option<&str>> = (0..1000).map(|i| machine_at(0xFEED, i)).collect();
+        assert_eq!(a, b, "same seed must give the same machine splice");
+        let named = a.iter().filter(|m| m.is_some()).count();
+        assert!(
+            (20..=120).contains(&named),
+            "machine share {named}/1000 outside the ~6% design point"
+        );
+        for m in SPLICE_MACHINES {
+            assert!(a.contains(&Some(m)), "machine {m} never drawn");
+            assert!(hpf_machines::machine(m).is_ok(), "{m} must be registered");
+        }
+        // Spliced bodies stay valid JSON carrying the named machine.
+        for i in 0..1000 {
+            let (_, body) = plan_request(0xFEED, i);
+            let v = parse_json(&body).unwrap_or_else(|e| panic!("request {i}: {e}: {body}"));
+            assert_eq!(
+                v.get("machine").and_then(Value::as_str),
+                machine_at(0xFEED, i)
+            );
         }
     }
 

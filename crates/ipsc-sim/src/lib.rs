@@ -13,12 +13,12 @@ pub mod simulator;
 pub mod trace;
 
 pub use network::{
-    route_table, simulate_phase, simulate_phase_faulty, simulate_phase_with, FaultStats, Message,
-    PhaseTiming, RouteTable, ROUTE_TABLE_MAX_DIM,
+    route_table, simulate_phase, simulate_phase_faulty, simulate_phase_topo, simulate_phase_with,
+    FaultStats, Message, PhaseTiming, RouteTable, ROUTE_TABLE_MAX_DIM,
 };
 pub use simulator::{
-    calibrate, collective_base_time, collective_base_time_with, sim_ops_time, FaultSession,
-    SimConfig, SimResult, Simulator,
+    calibrate, calibrate_backend, calibrate_params, collective_base_time,
+    collective_base_time_with, sim_ops_time, FaultSession, SimConfig, SimResult, Simulator,
 };
 pub use trace::{trace_program, Activity, SimTrace, TraceEvent};
 
@@ -152,6 +152,126 @@ END
             with.mean,
             without.mean
         );
+    }
+}
+
+#[cfg(test)]
+mod machine_backend_tests {
+    use super::*;
+    use hpf_machines::topology::HypercubeTopo;
+    use machine::{ipsc860_comm, CollectiveOp, Hypercube};
+
+    /// Driving a hypercube through the generic topology walk must time
+    /// phases bit-identically to the dedicated hypercube path — the
+    /// refactor's zero-behavioral-change contract at the phase level.
+    #[test]
+    fn generic_walk_matches_hypercube_path_bit_for_bit() {
+        let comm = ipsc860_comm();
+        for dim in 1u32..=4 {
+            let cube = Hypercube { dim };
+            let nodes = cube.nodes();
+            let topo = HypercubeTopo { cube };
+            // A deliberately contended mix: ring shift plus long-haul pairs.
+            let mut ms = network::patterns::shift(nodes, 900);
+            for n in 0..nodes {
+                ms.push(Message {
+                    from: n,
+                    to: nodes - 1 - n,
+                    bytes: 64 + 100 * n as u64,
+                });
+            }
+            let dedicated = simulate_phase(cube, &comm, nodes, &ms);
+            let generic = simulate_phase_topo(&topo, &comm, nodes, &ms);
+            assert_eq!(dedicated.duration.to_bits(), generic.duration.to_bits());
+            for (a, b) in dedicated.node_done.iter().zip(&generic.node_done) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// A hypercube-topology machine must take the dedicated code path in
+    /// `collective_base_time` (not merely agree with it), which the
+    /// registry's iPSC backend relies on for byte-identical goldens.
+    #[test]
+    fn registry_ipsc_collectives_match_direct_machine_bit_for_bit() {
+        let direct = machine::ipsc860(8);
+        let via = hpf_machines::machine("ipsc860").unwrap().params(8).unwrap();
+        for op in [
+            CollectiveOp::Shift,
+            CollectiveOp::Reduce,
+            CollectiveOp::Broadcast,
+            CollectiveOp::AllToAll,
+        ] {
+            for bytes in [4u64, 100, 1024, 65536] {
+                let a = collective_base_time(&direct, op, 8, bytes);
+                let b = collective_base_time(&via, op, 8, bytes);
+                assert_eq!(a.to_bits(), b.to_bits(), "{op:?} {bytes}B");
+            }
+        }
+    }
+
+    fn op_for_label(label: &str) -> CollectiveOp {
+        match label {
+            "shift" => CollectiveOp::Shift,
+            "reduce" => CollectiveOp::Reduce,
+            "maxloc" => CollectiveOp::ReduceLoc,
+            "broadcast" => CollectiveOp::Broadcast,
+            "all-to-all" => CollectiveOp::AllToAll,
+            "gather" => CollectiveOp::Gather,
+            "barrier" => CollectiveOp::Barrier,
+            other => panic!("unknown op label {other}"),
+        }
+    }
+
+    /// The ReFrame/HPL-style per-machine reference tables: recalibrate
+    /// every registered backend and check each pinned expectation within
+    /// its tolerance. Catches parameter/routing drift by name.
+    #[test]
+    fn registry_backends_match_reference_tables() {
+        let mut calibrated: std::collections::HashMap<(&str, usize), machine::MachineModel> =
+            std::collections::HashMap::new();
+        for r in hpf_machines::calibration_references() {
+            let m = calibrated.entry((r.machine, r.nodes)).or_insert_with(|| {
+                let backend = hpf_machines::machine(r.machine).unwrap();
+                calibrate_backend(backend, r.nodes).unwrap()
+            });
+            let fitted_us = m.collective_time(op_for_label(r.op), r.p, r.bytes) * 1e6;
+            let err_pct = (fitted_us - r.expected_us).abs() / r.expected_us * 100.0;
+            assert!(
+                err_pct <= r.tol_pct,
+                "{} {} p={} {}B: fitted {fitted_us:.3}µs vs reference {:.3}µs ({err_pct:.2}% > {}%)",
+                r.machine,
+                r.op,
+                r.p,
+                r.bytes,
+                r.expected_us,
+                r.tol_pct
+            );
+        }
+    }
+
+    /// Non-hypercube backends produce *different* collective timings than
+    /// the iPSC/860 — the registry is a real machine axis, not a relabel.
+    #[test]
+    fn backends_disagree_on_collective_cost() {
+        let ipsc = machine::ipsc860(8);
+        for name in ["torus3d", "fattree", "multicore"] {
+            let m = hpf_machines::machine(name).unwrap().params(8).unwrap();
+            let a = collective_base_time(&ipsc, CollectiveOp::AllToAll, 8, 1024);
+            let b = collective_base_time(&m, CollectiveOp::AllToAll, 8, 1024);
+            assert_ne!(a.to_bits(), b.to_bits(), "{name}");
+        }
+    }
+
+    /// `calibrate_backend` surfaces out-of-range node counts as the typed
+    /// error, not a panic.
+    #[test]
+    fn calibrate_backend_rejects_bad_nodes() {
+        let backend = hpf_machines::machine("multicore").unwrap();
+        assert!(matches!(
+            calibrate_backend(backend, 0),
+            Err(hpf_machines::TopologyError::InvalidNodes { .. })
+        ));
     }
 }
 
@@ -410,6 +530,31 @@ END
         );
         for pc in cal.comm.values() {
             assert!(pc.small.alpha_s >= 0.0 && pc.large.alpha_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn calibrate_params_is_calibrate_bit_for_bit() {
+        // The backend-generic characterization pass must be the original
+        // `calibrate` exactly: same probes, same fits, same bits.
+        let a = calibrate(8);
+        let b = calibrate_params(ipsc860(8));
+        let ca = a.calibration.as_ref().unwrap();
+        let cb = b.calibration.as_ref().unwrap();
+        assert_eq!(ca.compute_scale.to_bits(), cb.compute_scale.to_bits());
+        assert_eq!(ca.comm.len(), cb.comm.len());
+        for (k, pa) in &ca.comm {
+            let pb = &cb.comm[k];
+            assert_eq!(pa.small.alpha_s.to_bits(), pb.small.alpha_s.to_bits());
+            assert_eq!(
+                pa.small.beta_s_per_byte.to_bits(),
+                pb.small.beta_s_per_byte.to_bits()
+            );
+            assert_eq!(pa.large.alpha_s.to_bits(), pb.large.alpha_s.to_bits());
+            assert_eq!(
+                pa.large.beta_s_per_byte.to_bits(),
+                pb.large.beta_s_per_byte.to_bits()
+            );
         }
     }
 

@@ -210,6 +210,50 @@ pub fn simulate_phase_with(
     }
 }
 
+/// Generic-topology variant of [`simulate_phase`]: the same
+/// store-and-forward occupancy walk, with link slots, routes and link
+/// indices supplied by an [`hpf_machines::Topology`] instead of the
+/// hard-wired hypercube tables. Each traversed link adds `wire + hop`
+/// to the occupancy start in the same f64 association order as
+/// `LinkTable::occupy`, so a hypercube driven through this path times
+/// phases bit-identically to [`simulate_phase`].
+pub fn simulate_phase_topo(
+    topo: &dyn hpf_machines::Topology,
+    comm: &CommComponent,
+    nodes: usize,
+    messages: &[Message],
+) -> PhaseTiming {
+    let limit = nodes.min(topo.nodes());
+    let mut node_done = vec![0.0f64; nodes];
+    let mut free = vec![0.0f64; topo.link_slots()];
+    for m in messages {
+        if m.from == m.to || m.from >= limit || m.to >= limit {
+            continue;
+        }
+        let startup = if m.bytes <= comm.short_threshold {
+            comm.short_latency_s
+        } else {
+            comm.long_latency_s
+        };
+        let wire = m.bytes as f64 * comm.per_byte_s;
+        let mut t = node_done[m.from] + startup;
+        for (a, b) in topo.route_links(m.from, m.to) {
+            let i = topo.link_index(a, b);
+            let start = t.max(free[i]);
+            let end = start + wire + comm.per_hop_s;
+            free[i] = end;
+            t = end;
+        }
+        node_done[m.from] = node_done[m.from].max(node_done[m.from] + startup + wire);
+        node_done[m.to] = node_done[m.to].max(t);
+    }
+    let duration = node_done.iter().copied().fold(0.0, f64::max);
+    PhaseTiming {
+        node_done,
+        duration,
+    }
+}
+
 /// Counts of fault events observed while delivering messages.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {

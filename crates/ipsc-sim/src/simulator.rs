@@ -10,9 +10,12 @@
 //! between the two is therefore an honest prediction error, not a tuned
 //! constant.
 
-use crate::network::{patterns, simulate_phase, simulate_phase_faulty, FaultStats, Message};
+use crate::network::{
+    patterns, simulate_phase, simulate_phase_faulty, simulate_phase_topo, FaultStats, Message,
+};
 use hpf_compiler::{CommPhase, CompPhase, OpCounts, SeqBlock, SpmdNode, SpmdProgram};
 use hpf_eval::ExecutionProfile;
+use hpf_machines::{Topology, TopologyError};
 use machine::{CollectiveOp, CommComponent, FaultPlan, Hypercube, MachineModel, OpClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -514,7 +517,16 @@ fn stage_time(
     nodes: usize,
     ms: &[Message],
     faults: &mut Option<&mut FaultSession<'_>>,
+    topo: Option<&dyn Topology>,
 ) -> f64 {
+    if let Some(topo) = topo {
+        // Non-hypercube machine: the generic occupancy walk. Network-level
+        // fault injection (loss draws, detour routing) is hypercube-only;
+        // degraded operation of other backends is modeled analytically via
+        // `MachineModel::degrade` upstream, so the fault session is not
+        // consumed here.
+        return simulate_phase_topo(topo, comm, nodes, ms).duration;
+    }
     match faults {
         None => simulate_phase(cube, comm, nodes, ms).duration,
         Some(s) => {
@@ -543,15 +555,25 @@ pub fn collective_base_time_with(
     let nodes = participants.max(1);
     // The collective runs on the subcube spanning its participants (which
     // may exceed the configured machine during characterization probes).
+    // Collective *schedules* are always built over this virtual hypercube;
+    // only per-message routing differs between physical topologies.
     let cube = machine::Hypercube::fitting(nodes.max(machine.nodes));
     let comm = &machine.comm;
     if nodes <= 1 {
         return 0.0;
     }
+    let topo: Option<Box<dyn Topology>> = match &machine.topology {
+        machine::TopologyDesc::Hypercube => None,
+        desc => Some(
+            hpf_machines::build_topology(desc, machine.nodes)
+                .expect("machine topology validated by the registry"),
+        ),
+    };
+    let topo = topo.as_deref();
     match op {
         CollectiveOp::Shift => {
             let ms = patterns::shift(nodes, bytes_per_node);
-            stage_time(cube, comm, nodes, &ms, &mut faults)
+            stage_time(cube, comm, nodes, &ms, &mut faults, topo)
         }
         CollectiveOp::Reduce | CollectiveOp::ReduceLoc | CollectiveOp::Barrier => {
             let bytes = match op {
@@ -561,7 +583,7 @@ pub fn collective_base_time_with(
             };
             let mut t = 0.0;
             for stage in patterns::reduce_stages(cube, nodes, bytes.max(4)) {
-                t += stage_time(cube, comm, nodes, &stage, &mut faults);
+                t += stage_time(cube, comm, nodes, &stage, &mut faults, topo);
                 t += machine.node_processing.op_time(OpClass::FAdd) * (bytes as f64 / 4.0).max(1.0);
             }
             t
@@ -569,7 +591,7 @@ pub fn collective_base_time_with(
         CollectiveOp::Broadcast => {
             let mut t = 0.0;
             for stage in patterns::broadcast_stages(cube, nodes, bytes_per_node) {
-                t += stage_time(cube, comm, nodes, &stage, &mut faults);
+                t += stage_time(cube, comm, nodes, &stage, &mut faults, topo);
             }
             t
         }
@@ -577,13 +599,13 @@ pub fn collective_base_time_with(
             let per_pair = (bytes_per_node / nodes as u64).max(4);
             let mut t = 0.0;
             for round in patterns::all_to_all_rounds(nodes, per_pair) {
-                t += stage_time(cube, comm, nodes, &round, &mut faults);
+                t += stage_time(cube, comm, nodes, &round, &mut faults, topo);
             }
             t
         }
         CollectiveOp::Gather | CollectiveOp::Scatter => {
             let ms = patterns::gather(cube, nodes, bytes_per_node);
-            stage_time(cube, comm, nodes, &ms, &mut faults)
+            stage_time(cube, comm, nodes, &ms, &mut faults, topo)
         }
     }
 }
@@ -594,7 +616,25 @@ pub fn collective_base_time_with(
 /// estimates. Returns the machine with its calibration installed — the
 /// "off-line, performed only once" system abstraction step.
 pub fn calibrate(nodes: usize) -> MachineModel {
-    let mut machine = machine::ipsc860(nodes);
+    calibrate_params(machine::ipsc860(nodes))
+}
+
+/// Calibrate a registered machine backend: fetch its parameter tables for
+/// `nodes` (typed error on an out-of-range node count) and run the same
+/// §4.4 benchmarking/fitting pass [`calibrate`] runs for the iPSC/860 —
+/// against the backend's own topology, since [`collective_base_time`]
+/// routes over whatever `MachineModel::topology` describes.
+pub fn calibrate_backend(
+    backend: &dyn hpf_machines::MachineModel,
+    nodes: usize,
+) -> Result<MachineModel, TopologyError> {
+    Ok(calibrate_params(backend.params(nodes)?))
+}
+
+/// The characterization pass itself, over caller-supplied parameter
+/// tables. `calibrate(n)` is exactly `calibrate_params(ipsc860(n))`.
+pub fn calibrate_params(mut machine: MachineModel) -> MachineModel {
+    let nodes = machine.nodes;
     let mut cal = machine::Calibration {
         compute_scale: compute_scale(&machine),
         comm: Default::default(),

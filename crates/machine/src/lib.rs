@@ -25,7 +25,7 @@ pub use collectives::{CollectiveModel, CollectiveOp};
 pub use components::{CommComponent, IoComponent, MemoryComponent, OpClass, ProcessingComponent};
 pub use faults::{FaultPlan, LinkFault, LinkState, NodeFault, RetryPolicy};
 pub use sag::Sau;
-pub use topology::Hypercube;
+pub use topology::{Hypercube, TopologyDesc};
 
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,12 @@ pub struct MachineModel {
     /// computed op times.
     #[serde(default)]
     pub calibration: Option<Calibration>,
+    /// Physical interconnect the DES routes messages over. Defaults to
+    /// the iPSC/860 hypercube, so existing machine descriptions are
+    /// unchanged; non-hypercube values switch the simulator onto the
+    /// generic topology path implemented in `hpf-machines`.
+    #[serde(default)]
+    pub topology: TopologyDesc,
 }
 
 impl MachineModel {
@@ -208,6 +214,7 @@ pub fn ipsc860(nodes: usize) -> MachineModel {
         comm,
         io,
         calibration: None,
+        topology: TopologyDesc::Hypercube,
     }
 }
 
@@ -316,6 +323,7 @@ pub fn now_cluster(nodes: usize) -> MachineModel {
         comm,
         io,
         calibration: None,
+        topology: TopologyDesc::Hypercube,
     }
 }
 

@@ -1,6 +1,48 @@
 //! Hypercube topology of the iPSC/860: node addressing, e-cube routing and
 //! neighbor relations, shared by the communication cost models and by the
 //! discrete-event simulator's network.
+//!
+//! Also declares [`TopologyDesc`], the serializable interconnect
+//! description a [`crate::MachineModel`] carries so the simulator can
+//! route messages over the machine's physical network. The concrete
+//! routing/link-occupancy implementations for non-hypercube topologies
+//! live in the `hpf-machines` crate behind its `Topology` trait; this
+//! enum is only the data the SAU tables travel with.
+
+use serde::{Deserialize, Serialize};
+
+/// The physical interconnect of an abstracted machine. `Hypercube` is the
+/// serde default, so every pre-existing machine description (and every
+/// constructor in this crate) keeps the iPSC/860 network unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TopologyDesc {
+    /// Binary hypercube with e-cube (dimension-ordered) routing — the
+    /// iPSC/860 Direct-Connect network.
+    #[default]
+    Hypercube,
+    /// k-ary torus/mesh with dimension-ordered shortest-wrap routing;
+    /// `dims` are the per-dimension extents (2 entries = 2D, 3 = 3D).
+    Torus { dims: Vec<usize> },
+    /// Two-level fat tree: `radix` nodes per leaf switch, leaf switches
+    /// under one root layer, up/down routing.
+    FatTree { radix: usize },
+    /// Idealized full crossbar (a modern multicore node): every pair one
+    /// hop apart, contention only at the receiver port.
+    Crossbar,
+}
+
+impl TopologyDesc {
+    /// Short stable label used in diagnostics and metric names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologyDesc::Hypercube => "hypercube",
+            TopologyDesc::Torus { dims } if dims.len() == 2 => "torus2d",
+            TopologyDesc::Torus { .. } => "torus3d",
+            TopologyDesc::FatTree { .. } => "fat-tree",
+            TopologyDesc::Crossbar => "crossbar",
+        }
+    }
+}
 
 /// A hypercube of `2^dim` nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -3,15 +3,84 @@
 //! models produced by the benchmarking runs.
 //!
 //! Usage: `characterize [nodes]`
+//!        `characterize --machine <name> [nodes]`
+//!        `characterize --list-machines`
 
 use machine::{CollectiveOp, OpClass};
 
+/// One line per registered backend: name, interconnect, supported node
+/// range, and where its SAU parameter tables come from.
+fn list_machines() {
+    println!("Registered machines (hpf-machines registry):");
+    println!(
+        "  {:<12} {:<10} {:<12} calibration provenance",
+        "name", "topology", "nodes"
+    );
+    for name in hpf_machines::machine_names() {
+        let backend = hpf_machines::machine(name).expect("registered");
+        let (lo, hi) = backend.node_range();
+        let topo = backend
+            .params(8usize.clamp(lo, hi))
+            .map(|m| m.topology.label())
+            .unwrap_or("?");
+        println!(
+            "  {:<12} {:<10} {:<12} {}",
+            name,
+            topo,
+            format!("{lo}..{hi}"),
+            backend.provenance()
+        );
+        println!("               {}", backend.description());
+    }
+}
+
 fn main() {
-    let nodes: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
-    let m = ipsc_sim::calibrate(nodes);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-machines") {
+        list_machines();
+        return;
+    }
+    let mut machine_name: Option<String> = None;
+    let mut positional: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--machine" => {
+                machine_name = args.get(i + 1).cloned();
+                if machine_name.is_none() {
+                    eprintln!("--machine requires a name (try --list-machines)");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            a => {
+                positional = a.parse().ok();
+                i += 1;
+            }
+        }
+    }
+    let nodes: usize = positional.unwrap_or(8);
+    let m = match machine_name.as_deref() {
+        // The default path is byte-identical to the historical
+        // `characterize [nodes]` output: same calibration entry point.
+        None => ipsc_sim::calibrate(nodes),
+        Some(name) => {
+            let backend = match hpf_machines::machine(name) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match ipsc_sim::calibrate_backend(backend, nodes) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
 
     println!("System characterization: {}", m.name);
     println!("\n== System Abstraction Graph ==");

@@ -1,14 +1,13 @@
 //! Experiment drivers for the paper's tables and figures.
 
 use crate::harness::{run_batch, HarnessConfig, JobFailure, SweepFailure};
-use crate::pipeline::{calibrated_machine, compile_source, PredictOptions};
+use crate::pipeline::{calibrated_machine_for, compile_source, machine_params, PredictOptions};
 use crate::sweep::SweepSession;
 use hpf_compiler::{CompileOptions, SpmdProgram};
 use hpf_eval::ExecutionProfile;
 use interp::{InterpOptions, InterpretationEngine};
 use ipsc_sim::{SimConfig, Simulator};
 use kernels::{all_kernels, Kernel, KernelKind, LaplaceDist};
-use machine::ipsc860;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -56,6 +55,10 @@ pub struct SweepConfig {
     /// source from scratch at every point — the pre-session behaviour, kept
     /// for the bit-identity cross-check.
     pub share_artifacts: bool,
+    /// Registered machine backend the sweep predicts and simulates on
+    /// (see `hpf_machines::machine_names`). Defaults to the paper's
+    /// iPSC/860.
+    pub machine: String,
 }
 
 impl Default for SweepConfig {
@@ -67,6 +70,7 @@ impl Default for SweepConfig {
             profile_steps: 40_000_000,
             harness: HarnessConfig::default(),
             share_artifacts: true,
+            machine: hpf_machines::DEFAULT_MACHINE.to_string(),
         }
     }
 }
@@ -84,6 +88,7 @@ impl SweepConfig {
                 retries: 0,
             },
             share_artifacts: true,
+            machine: hpf_machines::DEFAULT_MACHINE.to_string(),
         }
     }
 }
@@ -100,18 +105,45 @@ pub fn sample_from_artifact(
     procs: usize,
     runs: usize,
 ) -> AccuracySample {
+    sample_from_artifact_on(
+        app,
+        spmd,
+        profile,
+        size,
+        procs,
+        runs,
+        hpf_machines::DEFAULT_MACHINE,
+    )
+    .expect("the default machine is always registered")
+}
+
+/// [`sample_from_artifact`] generalised over the machine registry: predict
+/// on the named backend's calibrated model and simulate on its raw
+/// parameter tables. The default machine takes exactly the historical
+/// code path (same calibration memo, same `ipsc860` constructor), so
+/// existing sweeps stay bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_from_artifact_on(
+    app: &str,
+    spmd: &SpmdProgram,
+    profile: Option<&ExecutionProfile>,
+    size: usize,
+    procs: usize,
+    runs: usize,
+    machine_name: &str,
+) -> Result<AccuracySample, crate::PipelineError> {
     let pred = {
         let _span = hpf_trace::span("predict");
         let machine = {
             let _s = hpf_trace::span("calibrate");
-            calibrated_machine(procs)
+            calibrated_machine_for(machine_name, procs)?
         };
         let aag = appgraph::build_aag(spmd);
         let engine = InterpretationEngine::with_options(&machine, InterpOptions::default());
         engine.interpret(&aag)
     };
 
-    let machine = ipsc860(procs);
+    let machine = machine_params(machine_name, procs)?;
     let sim = Simulator::with_config(
         &machine,
         SimConfig {
@@ -126,7 +158,7 @@ pub fn sample_from_artifact(
     } else {
         0.0
     };
-    AccuracySample {
+    Ok(AccuracySample {
         app: app.to_string(),
         size,
         procs,
@@ -134,7 +166,7 @@ pub fn sample_from_artifact(
         measured_s: meas.mean,
         measured_std_s: meas.std,
         abs_error_pct: err,
-    }
+    })
 }
 
 /// Run one accuracy sample from scratch: generate source, compile once,
@@ -162,14 +194,15 @@ pub fn accuracy_sample(
             .ok()
             .map(|o| o.profile)
     };
-    Ok(sample_from_artifact(
+    sample_from_artifact_on(
         kernel.name,
         &spmd,
         profile.as_ref(),
         size,
         procs,
         cfg.runs,
-    ))
+        &cfg.machine,
+    )
 }
 
 /// Everything the Table 2 sweep produced: the aggregated rows, every
@@ -511,6 +544,7 @@ mod tests {
                 retries: 0,
             },
             share_artifacts: true,
+            machine: hpf_machines::DEFAULT_MACHINE.to_string(),
         };
         let scratch_cfg = SweepConfig {
             share_artifacts: false,

@@ -5,6 +5,7 @@
 
 use hpf_compiler::{compile, CompileOptions, SpmdProgram};
 use hpf_lang::{analyze, parse_program, LangError};
+use hpf_machines::TopologyError;
 use interp::{InterpOptions, InterpretationEngine, Prediction};
 use ipsc_sim::{SimConfig, SimResult, Simulator};
 use machine::MachineModel;
@@ -24,6 +25,36 @@ pub fn calibrated_machine(nodes: usize) -> MachineModel {
         .clone()
 }
 
+/// [`calibrated_machine`] for any registered backend. The default machine
+/// shares the original per-node-count memo (so the iPSC path stays on the
+/// exact same cached models); other backends get their own (name, nodes)
+/// memo. Unknown names and out-of-range node counts come back as a typed
+/// [`PipelineStage::Machine`] error.
+pub fn calibrated_machine_for(name: &str, nodes: usize) -> Result<MachineModel, PipelineError> {
+    let backend = hpf_machines::machine(name)?;
+    backend.validate_nodes(nodes)?;
+    if name == hpf_machines::DEFAULT_MACHINE {
+        return Ok(calibrated_machine(nodes));
+    }
+    static CACHE: OnceLock<Mutex<HashMap<(String, usize), MachineModel>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.entry((name.to_string(), nodes)) {
+        std::collections::hash_map::Entry::Occupied(e) => Ok(e.get().clone()),
+        std::collections::hash_map::Entry::Vacant(v) => {
+            let m = ipsc_sim::calibrate_backend(backend, nodes)?;
+            Ok(v.insert(m).clone())
+        }
+    }
+}
+
+/// Uncalibrated parameter tables of a registered backend (the DES side of
+/// a sweep runs against these, mirroring how the iPSC path simulates on
+/// `machine::ipsc860` rather than the calibrated copy).
+pub fn machine_params(name: &str, nodes: usize) -> Result<MachineModel, PipelineError> {
+    Ok(hpf_machines::machine(name)?.params(nodes)?)
+}
+
 /// Options for [`predict_source`].
 #[derive(Debug, Clone)]
 pub struct PredictOptions {
@@ -32,6 +63,9 @@ pub struct PredictOptions {
     pub param_overrides: BTreeMap<String, i64>,
     pub compile: CompileOptions,
     pub interp: InterpOptions,
+    /// Registered machine backend to predict for (`hpf_machines` registry
+    /// name; the default is the paper's iPSC/860).
+    pub machine: String,
 }
 
 impl Default for PredictOptions {
@@ -41,6 +75,7 @@ impl Default for PredictOptions {
             param_overrides: BTreeMap::new(),
             compile: CompileOptions::default(),
             interp: InterpOptions::default(),
+            machine: hpf_machines::DEFAULT_MACHINE.to_string(),
         }
     }
 }
@@ -64,6 +99,8 @@ pub struct SimulateOptions {
     /// Run the functional interpreter to collect the dynamic profile
     /// (actual trip counts / mask densities) before simulating.
     pub use_profile: bool,
+    /// Registered machine backend to simulate on.
+    pub machine: String,
 }
 
 impl Default for SimulateOptions {
@@ -74,6 +111,7 @@ impl Default for SimulateOptions {
             compile: CompileOptions::default(),
             sim: SimConfig::default(),
             use_profile: true,
+            machine: hpf_machines::DEFAULT_MACHINE.to_string(),
         }
     }
 }
@@ -104,6 +142,9 @@ pub enum PipelineStage {
     Simulate,
     /// The experiment sweep harness itself (panics, timeouts).
     Sweep,
+    /// Machine-registry lookup/validation (unknown machine name,
+    /// unsupported node count for the machine's topology).
+    Machine,
 }
 
 impl PipelineStage {
@@ -116,6 +157,7 @@ impl PipelineStage {
             PipelineStage::Predict => "predict",
             PipelineStage::Simulate => "simulate",
             PipelineStage::Sweep => "sweep",
+            PipelineStage::Machine => "machine",
         }
     }
 }
@@ -257,6 +299,16 @@ impl From<kernels::KernelBindError> for PipelineError {
     }
 }
 
+impl From<TopologyError> for PipelineError {
+    fn from(e: TopologyError) -> Self {
+        PipelineError {
+            stage: PipelineStage::Machine,
+            message: e.to_string(),
+            span: None,
+        }
+    }
+}
+
 impl From<hpf_eval::EvalError> for PipelineError {
     fn from(e: hpf_eval::EvalError) -> Self {
         PipelineError {
@@ -288,7 +340,7 @@ pub fn predict_source(src: &str, opts: &PredictOptions) -> Result<Prediction, Pi
     let _span = hpf_trace::span("predict");
     let machine = {
         let _s = hpf_trace::span("calibrate");
-        calibrated_machine(opts.nodes)
+        calibrated_machine_for(&opts.machine, opts.nodes)?
     };
     predict_source_on(src, &machine, opts)
 }
@@ -314,7 +366,7 @@ pub fn predict_source_full(
 ) -> Result<(Prediction, appgraph::Aag, SpmdProgram), PipelineError> {
     let (_, spmd) = compile_source(src, opts.nodes, &opts.param_overrides, &opts.compile)?;
     let aag = appgraph::build_aag(&spmd);
-    let machine = calibrated_machine(opts.nodes);
+    let machine = calibrated_machine_for(&opts.machine, opts.nodes)?;
     let engine = InterpretationEngine::with_options(&machine, opts.interp.clone());
     Ok((engine.interpret(&aag), aag, spmd))
 }
@@ -329,7 +381,7 @@ pub fn simulate_source(src: &str, opts: &SimulateOptions) -> Result<SimResult, P
     } else {
         None
     };
-    let machine = machine::ipsc860(opts.nodes);
+    let machine = machine_params(&opts.machine, opts.nodes)?;
     let sim = Simulator::with_config(&machine, opts.sim.clone());
     Ok(sim.simulate(&spmd, profile.as_ref()))
 }
@@ -373,6 +425,34 @@ END
     #[test]
     fn bad_source_is_error() {
         assert!(predict_source("NOT FORTRAN", &PredictOptions::default()).is_err());
+    }
+
+    #[test]
+    fn unknown_machine_fails_at_the_machine_stage() {
+        let mut opts = PredictOptions::with_nodes(4);
+        opts.machine = "cm5".into();
+        let err = predict_source(PI_SRC, &opts).expect_err("unregistered");
+        assert_eq!(err.stage, PipelineStage::Machine);
+        assert_eq!(err.stage.label(), "machine");
+        assert!(err.message.contains("cm5"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_nodes_for_a_machine_fail_at_the_machine_stage() {
+        let mut opts = SimulateOptions::with_nodes(256);
+        opts.machine = "multicore".into(); // tops out at 128 nodes
+        let err = simulate_source(PI_SRC, &opts).expect_err("out of range");
+        assert_eq!(err.stage, PipelineStage::Machine);
+        assert!(err.message.contains("256"), "{err}");
+    }
+
+    #[test]
+    fn default_machine_paths_are_the_historical_functions_verbatim() {
+        let via_registry = calibrated_machine_for(hpf_machines::DEFAULT_MACHINE, 8).unwrap();
+        let direct = calibrated_machine(8);
+        assert_eq!(format!("{via_registry:?}"), format!("{direct:?}"));
+        let params = machine_params(hpf_machines::DEFAULT_MACHINE, 8).unwrap();
+        assert_eq!(format!("{params:?}"), format!("{:?}", machine::ipsc860(8)));
     }
 
     #[test]

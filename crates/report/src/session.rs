@@ -224,6 +224,7 @@ impl Session {
             param_overrides: self.overrides.clone(),
             compile: self.copts.clone(),
             interp: self.iopts.clone(),
+            ..Default::default()
         }
     }
 

@@ -27,7 +27,7 @@ use hpf_eval::ExecutionProfile;
 use hpf_lang::AnalyzedProgram;
 use kernels::{CompiledKernel, Kernel};
 
-use crate::experiments::{sample_from_artifact, AccuracySample, SweepConfig};
+use crate::experiments::{sample_from_artifact_on, AccuracySample, SweepConfig};
 use crate::lru::LruMap;
 use crate::pipeline::PipelineError;
 
@@ -83,18 +83,21 @@ pub struct SweepSession {
     compiled: CompiledKernel,
     profile_steps: u64,
     runs: usize,
+    machine: String,
     profiles: Mutex<HashMap<usize, Option<Arc<ExecutionProfile>>>>,
 }
 
 impl SweepSession {
     /// Parse the kernel once and capture the sweep-relevant limits from
-    /// `cfg` (profile step budget, simulated runs per measurement).
+    /// `cfg` (profile step budget, simulated runs per measurement, target
+    /// machine).
     pub fn new(kernel: &Kernel, cfg: &SweepConfig) -> Result<Self, PipelineError> {
         let compiled = CompiledKernel::new(kernel)?;
         Ok(SweepSession {
             compiled,
             profile_steps: cfg.profile_steps,
             runs: cfg.runs,
+            machine: cfg.machine.clone(),
             profiles: Mutex::new(HashMap::new()),
         })
     }
@@ -117,14 +120,15 @@ impl SweepSession {
                 .bind(n as i64, procs, &CompileOptions::default())?
         };
         let profile = self.profile_for(n, &analyzed);
-        Ok(sample_from_artifact(
+        sample_from_artifact_on(
             self.compiled.kernel().name,
             &spmd,
             profile.as_deref(),
             n,
             procs,
             self.runs,
-        ))
+            &self.machine,
+        )
     }
 
     /// The functional-interpreter profile for problem size `n`, computed
@@ -229,6 +233,32 @@ mod tests {
             assert_eq!(a.measured_std_s.to_bits(), b.measured_std_s.to_bits());
             assert_eq!(a.abs_error_pct.to_bits(), b.abs_error_pct.to_bits());
         }
+    }
+
+    /// A non-default machine threads all the way through the session path
+    /// and still matches the from-scratch path bit-for-bit — and actually
+    /// changes the numbers relative to the default backend.
+    #[test]
+    fn session_matches_scratch_on_non_default_machine() {
+        let k = kernels::kernel_by_name("PI").unwrap();
+        let cfg = SweepConfig {
+            machine: "torus3d".to_string(),
+            ..SweepConfig::quick()
+        };
+        let session = SweepSession::new(&k, &cfg).unwrap();
+        let a = session.evaluate(128, 4).unwrap();
+        let b = accuracy_sample(&k, 128, 4, &cfg).unwrap();
+        assert_eq!(a.predicted_s.to_bits(), b.predicted_s.to_bits());
+        assert_eq!(a.measured_s.to_bits(), b.measured_s.to_bits());
+        assert_eq!(a.measured_std_s.to_bits(), b.measured_std_s.to_bits());
+
+        let default_session = SweepSession::new(&k, &SweepConfig::quick()).unwrap();
+        let d = default_session.evaluate(128, 4).unwrap();
+        assert_ne!(
+            a.measured_s.to_bits(),
+            d.measured_s.to_bits(),
+            "torus backend should not time like the hypercube"
+        );
     }
 
     /// Profiles are reused across processor counts: the functional
