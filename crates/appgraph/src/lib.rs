@@ -52,6 +52,9 @@ pub enum AauKind {
         phase: CommPhase,
         table_index: usize,
     },
+    /// A parallel I/O phase (striped READ/WRITE/CHECKPOINT over the
+    /// machine's I/O servers).
+    Io { phase: hpf_io::IoPhase },
 }
 
 /// One Application Abstraction Unit.
@@ -110,6 +113,7 @@ impl Aag {
                 AauKind::IterD { .. } => c.iterd += 1,
                 AauKind::CondtD { .. } => c.condtd += 1,
                 AauKind::Comm { .. } => c.comm += 1,
+                AauKind::Io { .. } => c.io += 1,
             }
         }
         c
@@ -142,6 +146,9 @@ impl Aag {
                 AauKind::Seq { .. } => out.push_str(&format!("{pad}Seq    {}\n", a.label)),
                 AauKind::Comm { phase, .. } => {
                     out.push_str(&format!("{pad}Comm   {} {:?}\n", a.label, phase.op))
+                }
+                AauKind::Io { phase } => {
+                    out.push_str(&format!("{pad}Io     {}\n", phase.outline()))
                 }
                 AauKind::IterD {
                     trips, comp, body, ..
@@ -176,6 +183,7 @@ pub struct AagCensus {
     pub iterd: usize,
     pub condtd: usize,
     pub comm: usize,
+    pub io: usize,
 }
 
 /// Build the AAG/SAAG from a compiled SPMD program — the abstraction parse.
@@ -228,6 +236,13 @@ impl Builder {
                 pending_comms.push(id);
                 id
             }
+            SpmdNode::Io { phase, span } => self.push(
+                AauKind::Io {
+                    phase: phase.clone(),
+                },
+                format!("{} io", phase.kind.label()),
+                *span,
+            ),
             SpmdNode::Comp(c) => {
                 let id = self.comp(c);
                 // SAAG edges: the gather communications this computation

@@ -7,6 +7,7 @@ use hpf_advisor::{Advisor, AdvisorConfig};
 use hpf_serve::api::Api;
 use hpf_serve::cache::CacheConfig;
 use hpf_serve::http::Request;
+use report::checkpoint::{checkpoint_experiment, CheckpointExperimentConfig};
 use report::experiments::{table2, SweepConfig};
 use report::faults::{default_plans, fault_experiment, FaultExperimentConfig};
 use report::sweep::SweepSession;
@@ -142,6 +143,52 @@ fn sweep_point_machine_case(machine: &str, kernel: &str, n: usize, procs: usize)
     }
 }
 
+/// Steady-state cost of one compile-once sweep point over an out-of-core
+/// kernel: same session shape as [`sweep_point_case`], but every evaluation
+/// prices the striped-I/O phases in both frames (analytic `IoComponent` and
+/// the DES server queues) — the per-point cost the I/O subsystem adds to a
+/// warm sweep.
+fn sweep_point_ooc_case(n: usize, procs: usize) -> BenchCase {
+    let k = kernels::kernel_by_name("Laplace OOC").expect("kernel");
+    let cfg = SweepConfig {
+        runs: 20,
+        profile_steps: 2_000_000,
+        ..Default::default()
+    };
+    let session = Arc::new(SweepSession::new(&k, &cfg).expect("session"));
+    // Warm the profile cache outside the timed region.
+    session.evaluate(n, procs).expect("evaluates");
+    BenchCase {
+        name: format!("sweep_point_ooc_n{n}_p{procs}"),
+        run: Box::new(move || {
+            let s = session.evaluate(n, procs).expect("evaluates");
+            assert!(s.predicted_s > 0.0 && s.measured_s > 0.0);
+        }),
+    }
+}
+
+/// The checkpoint/restart campaign: sweeps checkpoint counts for an
+/// out-of-core kernel under a slow-node fault plan, pricing recovery in
+/// both frames. Exercises the FaultPlan × CheckpointSchedule composition
+/// end to end (compile, I/O phase extraction, degraded interpret, DES with
+/// fault injection).
+fn checkpoint_restart_case(size: usize, procs: usize, runs: usize) -> BenchCase {
+    BenchCase {
+        name: format!("checkpoint_restart_n{size}_p{procs}"),
+        run: Box::new(move || {
+            let cfg = CheckpointExperimentConfig {
+                size,
+                procs,
+                runs,
+                profile_steps: 2_000_000,
+                ..Default::default()
+            };
+            let rows = checkpoint_experiment(&cfg).expect("checkpoint experiment runs");
+            assert_eq!(rows.len(), cfg.checkpoint_counts.len());
+        }),
+    }
+}
+
 /// The fault-injection campaign (all five standard plans) at bench size:
 /// exercises the degraded predictor and the fault-aware network walk.
 fn faults_case(size: usize, procs: usize, runs: usize) -> BenchCase {
@@ -273,10 +320,12 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             laplace_case(64, 4, 30),
             table2_case(128, 20),
             sweep_point_case("PI", 512, 4),
+            sweep_point_ooc_case(64, 4),
             sweep_point_machine_case("torus3d", "PI", 512, 4),
             sweep_point_machine_case("fattree", "PI", 512, 4),
             advisor_case(96, 8),
             faults_case(64, 4, 30),
+            checkpoint_restart_case(32, 4, 20),
             serve_predict_case(256),
             serve_sweep_batched_case(),
         ],
@@ -289,11 +338,15 @@ pub fn bench_suite(kind: SuiteKind) -> Vec<BenchCase> {
             table2_case(512, 50),
             sweep_point_case("PI", 512, 4),
             sweep_point_case("Laplace (Blk-Blk)", 256, 8),
+            sweep_point_ooc_case(64, 4),
+            sweep_point_ooc_case(128, 8),
             sweep_point_machine_case("torus3d", "PI", 512, 4),
             sweep_point_machine_case("fattree", "PI", 512, 4),
             advisor_case(96, 8),
             faults_case(64, 4, 30),
             faults_case(256, 8, 100),
+            checkpoint_restart_case(32, 4, 20),
+            checkpoint_restart_case(64, 8, 50),
             serve_predict_case(256),
             serve_sweep_batched_case(),
         ],

@@ -41,6 +41,11 @@ pub struct CompileOptions {
     /// critical variable on a compile-once artifact: the caller supplies
     /// the grid the equivalent regenerated source would declare.
     pub grid_extents: Option<Vec<i64>>,
+    /// Parallel I/O configuration (stripe factor, I/O-server count) applied
+    /// to READ/WRITE/CHECKPOINT statements. The default leaves both on the
+    /// machine's own table, so programs without I/O statements compile
+    /// identically to builds that predate the I/O subsystem.
+    pub io: hpf_io::IoConfig,
 }
 
 impl Default for CompileOptions {
@@ -53,6 +58,7 @@ impl Default for CompileOptions {
             critical_values: BTreeMap::new(),
             loop_reorder: false,
             grid_extents: None,
+            io: hpf_io::IoConfig::default(),
         }
     }
 }
@@ -62,6 +68,22 @@ impl Default for CompileOptions {
 pub struct CompileError {
     pub message: String,
     pub span: Span,
+    /// When the failure came from parallel-I/O validation, the typed cause.
+    /// Pipeline consumers route these to the `io` stage instead of
+    /// `compile`, so services and CLIs can answer with I/O-specific
+    /// diagnostics.
+    pub io: Option<hpf_io::IoError>,
+}
+
+impl CompileError {
+    /// Wrap a typed I/O subsystem error at `span`.
+    pub fn from_io(err: hpf_io::IoError, span: Span) -> CompileError {
+        CompileError {
+            message: err.to_string(),
+            span,
+            io: Some(err),
+        }
+    }
 }
 
 impl std::fmt::Display for CompileError {
@@ -78,6 +100,7 @@ fn cerr<T>(message: impl Into<String>, span: Span) -> CResult<T> {
     Err(CompileError {
         message: message.into(),
         span,
+        io: None,
     })
 }
 
@@ -89,6 +112,7 @@ pub fn compile(analyzed: &AnalyzedProgram, opts: &CompileOptions) -> CResult<Spm
         normalize(analyzed).map_err(|e| CompileError {
             message: e.message,
             span: e.span,
+            io: None,
         })?
     };
     let dist = {
@@ -97,6 +121,7 @@ pub fn compile(analyzed: &AnalyzedProgram, opts: &CompileOptions) -> CResult<Spm
             .map_err(|e| CompileError {
                 message: e.message,
                 span: e.span,
+                io: None,
             })?
     };
 
@@ -151,6 +176,7 @@ impl<'a> Lower<'a> {
             Ok(v) => v.as_i64().ok_or_else(|| CompileError {
                 message: "bound did not evaluate to an integer".into(),
                 span: e.span(),
+                io: None,
             }),
             Err(err) => cerr(
                 format!(
@@ -336,12 +362,106 @@ impl<'a> Lower<'a> {
                 Ok(())
             }
             Stmt::Stop { .. } => Ok(()),
+            Stmt::Io { kind, arrays, span } => self.lower_io(*kind, arrays, *span, out),
             Stmt::Where { span, .. } => cerr("WHERE should have been normalized away", *span),
             Stmt::Call { name, span, .. } => cerr(
                 format!("CALL `{name}`: user procedures are outside the subset"),
                 *span,
             ),
         }
+    }
+
+    /// Lower a READ/WRITE/CHECKPOINT statement to a single parallel-I/O
+    /// phase. Each named array must be distributed (parallel I/O moves the
+    /// partitioned sections; replicated data goes through the host's normal
+    /// sequential path and is outside the model). A bare CHECKPOINT snapshots
+    /// every distributed array in the program.
+    fn lower_io(
+        &mut self,
+        kind: IoStmtKind,
+        arrays: &[String],
+        span: Span,
+        out: &mut Vec<SpmdNode>,
+    ) -> CResult<()> {
+        let io_kind = match kind {
+            IoStmtKind::Read => hpf_io::IoKind::Read,
+            IoStmtKind::Write => hpf_io::IoKind::Write,
+            IoStmtKind::Checkpoint => hpf_io::IoKind::Checkpoint,
+        };
+
+        let names: Vec<String> = if arrays.is_empty() {
+            // Bare CHECKPOINT: all distributed arrays, in deterministic
+            // (BTreeMap) order.
+            self.dist
+                .arrays
+                .iter()
+                .filter(|(_, ad)| !ad.replicated)
+                .map(|(n, _)| n.clone())
+                .collect()
+        } else {
+            arrays.to_vec()
+        };
+        if names.is_empty() {
+            return Err(CompileError::from_io(
+                hpf_io::IoError::UnpartitionedArray {
+                    array: "<none>".into(),
+                },
+                span,
+            ));
+        }
+
+        let nodes = self.dist.grid.total();
+        let mut total_bytes = 0u64;
+        let mut per_node = vec![0u64; nodes];
+        for name in &names {
+            let ad = match self.dist.get(name) {
+                Some(ad) if !ad.replicated => ad,
+                Some(_) => {
+                    return Err(CompileError::from_io(
+                        hpf_io::IoError::UnpartitionedArray {
+                            array: name.clone(),
+                        },
+                        span,
+                    ))
+                }
+                None => {
+                    let err = if self.analyzed.symbols.contains_key(name) {
+                        hpf_io::IoError::UnpartitionedArray {
+                            array: name.clone(),
+                        }
+                    } else {
+                        hpf_io::IoError::UnknownArray {
+                            array: name.clone(),
+                        }
+                    };
+                    return Err(CompileError::from_io(err, span));
+                }
+            };
+            total_bytes += ad.elems() * ad.elem_bytes;
+            for (n, acc) in per_node.iter_mut().enumerate() {
+                *acc += ad.local_elems(&self.dist.grid.coords(n)) * ad.elem_bytes;
+            }
+        }
+
+        let (servers, stripe_factor) = self
+            .opts
+            .io
+            .resolve(self.opts.nodes)
+            .map_err(|e| CompileError::from_io(e, span))?;
+
+        out.push(SpmdNode::Io {
+            phase: hpf_io::IoPhase {
+                kind: io_kind,
+                arrays: names,
+                total_bytes,
+                bytes_per_node: per_node.iter().copied().max().unwrap_or(0),
+                participants: nodes,
+                servers,
+                stripe_factor,
+            },
+            span,
+        });
+        Ok(())
     }
 
     /// Recognize `DO WHILE (v > c)` / `DO WHILE (v >= c)` with a body step
@@ -441,6 +561,7 @@ impl<'a> Lower<'a> {
             let ad = self.dist.get(&arr).ok_or_else(|| CompileError {
                 message: format!("no distribution for `{arr}`"),
                 span: rspan,
+                io: None,
             })?;
             let elem_bytes = ad.elem_bytes;
 
@@ -602,6 +723,7 @@ impl<'a> Lower<'a> {
             let lhs_dist = self.dist.get(&lhs.name).ok_or_else(|| CompileError {
                 message: format!("no distribution for `{}`", lhs.name),
                 span: lhs.span,
+                io: None,
             })?;
 
             // Map each triplet dummy to the LHS dimension it indexes

@@ -62,6 +62,31 @@ impl SpmdProgram {
         walk(&self.body)
     }
 
+    /// All parallel-I/O phases in the program, in source order (loop and
+    /// branch bodies are walked once, not multiplied by trip counts).
+    pub fn io_phases(&self) -> Vec<&hpf_io::IoPhase> {
+        fn walk<'a>(nodes: &'a [SpmdNode], out: &mut Vec<&'a hpf_io::IoPhase>) {
+            for n in nodes {
+                match n {
+                    SpmdNode::Io { phase, .. } => out.push(phase),
+                    SpmdNode::Loop { body, .. } => walk(body, out),
+                    SpmdNode::Branch {
+                        arms, else_body, ..
+                    } => {
+                        for (_, b) in arms {
+                            walk(b, out);
+                        }
+                        walk(else_body, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut v = Vec::new();
+        walk(&self.body, &mut v);
+        v
+    }
+
     /// Render the phase structure as an indented outline (Figure-2 style).
     pub fn outline(&self) -> String {
         let mut out = String::new();
@@ -87,6 +112,9 @@ impl SpmdProgram {
                             "{pad}Comm    {} {:?} [{} B/node, p={}] ({})\n",
                             c.label, c.op, c.bytes_per_node, c.participants, c.span
                         ));
+                    }
+                    SpmdNode::Io { phase, span } => {
+                        out.push_str(&format!("{pad}Io      {} ({})\n", phase.outline(), span));
                     }
                     SpmdNode::Loop {
                         var, trips, body, ..
@@ -126,6 +154,9 @@ pub enum SpmdNode {
     Comp(CompPhase),
     /// Global communication phase.
     Comm(CommPhase),
+    /// Parallel I/O phase: a striped READ/WRITE/CHECKPOINT over the I/O
+    /// servers (descriptor defined in `hpf-io`).
+    Io { phase: hpf_io::IoPhase, span: Span },
     /// Counted loop around nested phases.
     Loop {
         var: String,
@@ -152,7 +183,9 @@ impl SpmdNode {
             SpmdNode::Seq(s) => s.span,
             SpmdNode::Comp(c) => c.span,
             SpmdNode::Comm(c) => c.span,
-            SpmdNode::Loop { span, .. } | SpmdNode::Branch { span, .. } => *span,
+            SpmdNode::Loop { span, .. }
+            | SpmdNode::Branch { span, .. }
+            | SpmdNode::Io { span, .. } => *span,
         }
     }
 }

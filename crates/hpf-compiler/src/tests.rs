@@ -702,3 +702,127 @@ END
     let a = p.dist.get("A").unwrap();
     assert!(matches!(a.dims[0], DimDist::Cyclic { k: 1, .. }));
 }
+
+#[test]
+fn io_statements_lower_to_phases() {
+    let src = "
+PROGRAM OOC
+INTEGER, PARAMETER :: N = 64
+REAL A(N), B(N)
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE TPL(N)
+!HPF$ ALIGN A(I) WITH TPL(I)
+!HPF$ ALIGN B(I) WITH TPL(I)
+!HPF$ DISTRIBUTE TPL(BLOCK) ONTO P
+A = 0.0
+READ(A)
+B = A
+CHECKPOINT
+WRITE(B)
+END
+";
+    let p = compile_src(src, 4);
+    let io: Vec<_> = p.io_phases();
+    assert_eq!(io.len(), 3);
+    assert_eq!(io[0].kind, hpf_io::IoKind::Read);
+    assert_eq!(io[0].arrays, vec!["A".to_string()]);
+    assert_eq!(io[0].total_bytes, 64 * 4);
+    assert_eq!(io[0].bytes_per_node, 16 * 4);
+    assert_eq!(io[0].participants, 4);
+    // Bare CHECKPOINT snapshots every distributed array, in name order.
+    assert_eq!(io[1].kind, hpf_io::IoKind::Checkpoint);
+    assert_eq!(io[1].arrays, vec!["A".to_string(), "B".to_string()]);
+    assert_eq!(io[1].total_bytes, 2 * 64 * 4);
+    assert_eq!(io[2].kind, hpf_io::IoKind::Write);
+}
+
+#[test]
+fn io_of_unknown_array_is_a_compile_error() {
+    let src = "
+PROGRAM BAD
+INTEGER, PARAMETER :: N = 16
+REAL A(N)
+!HPF$ PROCESSORS P(2)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+A = 0.0
+READ(NOSUCH)
+END
+";
+    let p = parse_program(src).unwrap();
+    let a = analyze(&p, &BTreeMap::new());
+    // Semantic analysis may reject the unknown name first; if it passes,
+    // lowering must produce a typed I/O error.
+    if let Ok(a) = a {
+        let err = compile(
+            &a,
+            &CompileOptions {
+                nodes: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err.io, Some(hpf_io::IoError::UnknownArray { .. })),
+            "expected UnknownArray, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn io_server_count_validated_against_nodes() {
+    let src = "
+PROGRAM BAD
+INTEGER, PARAMETER :: N = 16
+REAL A(N)
+!HPF$ PROCESSORS P(2)
+!HPF$ DISTRIBUTE A(BLOCK) ONTO P
+A = 0.0
+WRITE(A)
+END
+";
+    let p = parse_program(src).unwrap();
+    let a = analyze(&p, &BTreeMap::new()).unwrap();
+    let err = compile(
+        &a,
+        &CompileOptions {
+            nodes: 2,
+            io: hpf_io::IoConfig {
+                io_servers: 8,
+                stripe_factor: 1,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err.io, Some(hpf_io::IoError::ServersExceedNodes { .. })),
+        "expected ServersExceedNodes, got {err:?}"
+    );
+}
+
+#[test]
+fn checkpoint_of_replicated_only_program_is_an_error() {
+    // No distributed arrays at all: a bare CHECKPOINT has nothing durable
+    // to snapshot and must be rejected with the typed error.
+    let src = "
+PROGRAM SCALARS
+REAL X
+X = 1.0
+CHECKPOINT
+END
+";
+    let p = parse_program(src).unwrap();
+    let a = analyze(&p, &BTreeMap::new()).unwrap();
+    let err = compile(
+        &a,
+        &CompileOptions {
+            nodes: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err.io, Some(hpf_io::IoError::UnpartitionedArray { .. })),
+        "expected UnpartitionedArray, got {err:?}"
+    );
+}

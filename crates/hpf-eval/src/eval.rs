@@ -336,6 +336,13 @@ impl<'a> Evaluator<'a> {
                 self.stopped = true;
                 Ok(())
             }
+            // Parallel I/O moves data between memory and the striped file
+            // system; the functional semantics of the program are unchanged,
+            // so evaluation treats it as a (counted) no-op.
+            Stmt::Io { span, .. } => {
+                self.tick(1, *span)?;
+                Ok(())
+            }
         }
     }
 

@@ -226,6 +226,33 @@ pub enum Stmt {
     Print { items: Vec<Expr>, span: Span },
     /// `STOP`.
     Stop { span: Span },
+    /// Parallel I/O statement: `READ(arrays)`, `WRITE(arrays)`, or
+    /// `CHECKPOINT[(arrays)]` (a bare `CHECKPOINT` snapshots every
+    /// distributed array). Arrays are whole-variable references; the striped
+    /// transfer itself is priced by the performance pipeline, not evaluated.
+    Io {
+        kind: IoStmtKind,
+        arrays: Vec<String>,
+        span: Span,
+    },
+}
+
+/// Which parallel I/O operation an [`Stmt::Io`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoStmtKind {
+    Read,
+    Write,
+    Checkpoint,
+}
+
+impl IoStmtKind {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            IoStmtKind::Read => "READ",
+            IoStmtKind::Write => "WRITE",
+            IoStmtKind::Checkpoint => "CHECKPOINT",
+        }
+    }
 }
 
 impl Stmt {
@@ -239,6 +266,7 @@ impl Stmt {
             | Stmt::If { span, .. }
             | Stmt::Call { span, .. }
             | Stmt::Print { span, .. }
+            | Stmt::Io { span, .. }
             | Stmt::Stop { span } => *span,
         }
     }

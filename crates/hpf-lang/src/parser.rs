@@ -551,6 +551,9 @@ impl Parser {
                     self.eol()?;
                     Ok(Stmt::Stop { span: start })
                 }
+                "READ" if self.io_stmt_follows(true) => self.io_stmt(IoStmtKind::Read),
+                "WRITE" if self.io_stmt_follows(true) => self.io_stmt(IoStmtKind::Write),
+                "CHECKPOINT" if self.io_stmt_follows(false) => self.io_stmt(IoStmtKind::Checkpoint),
                 _ => self.assignment(),
             },
             other => Err(LangError::parse(
@@ -558,6 +561,51 @@ impl Parser {
                 start,
             )),
         }
+    }
+
+    /// Lookahead that decides whether a `READ`/`WRITE`/`CHECKPOINT` keyword
+    /// begins a parallel I/O statement rather than an assignment to a
+    /// variable of the same name. The statement shape is strict — the
+    /// keyword, then `( IDENT [, IDENT]* )` (mandatory when
+    /// `requires_list`), then end of line — so `READ(I) = 5` and
+    /// `CHECKPOINT = 3` still parse as assignments.
+    fn io_stmt_follows(&self, requires_list: bool) -> bool {
+        if !matches!(self.peek_at(1), TokenKind::LParen) {
+            return !requires_list
+                && matches!(self.peek_at(1), TokenKind::Newline | TokenKind::Eof);
+        }
+        let mut j = 2;
+        loop {
+            if !matches!(self.peek_at(j), TokenKind::Ident(_)) {
+                return false;
+            }
+            j += 1;
+            match self.peek_at(j) {
+                TokenKind::Comma => j += 1,
+                TokenKind::RParen => {
+                    return matches!(self.peek_at(j + 1), TokenKind::Newline | TokenKind::Eof);
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn io_stmt(&mut self, kind: IoStmtKind) -> LangResult<Stmt> {
+        let start = self.span();
+        self.bump(); // keyword
+        let mut arrays = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            loop {
+                arrays.push(self.expect_ident()?.0);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let span = start.merge(self.span());
+        self.eol()?;
+        Ok(Stmt::Io { kind, arrays, span })
     }
 
     fn assignment(&mut self) -> LangResult<Stmt> {
@@ -1261,6 +1309,48 @@ END PROGRAM LAPLACE
             }
             other => panic!("expected DO, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_parallel_io_statements() {
+        let src =
+            "PROGRAM T\nREAL A(8), B(8)\nREAD(A)\nWRITE(A, B)\nCHECKPOINT(B)\nCHECKPOINT\nEND\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.body.len(), 4);
+        match &p.body[0] {
+            Stmt::Io { kind, arrays, .. } => {
+                assert_eq!(*kind, IoStmtKind::Read);
+                assert_eq!(arrays, &["A".to_string()]);
+            }
+            other => panic!("expected READ, got {other:?}"),
+        }
+        match &p.body[1] {
+            Stmt::Io { kind, arrays, .. } => {
+                assert_eq!(*kind, IoStmtKind::Write);
+                assert_eq!(arrays.len(), 2);
+            }
+            other => panic!("expected WRITE, got {other:?}"),
+        }
+        // Bare CHECKPOINT: empty list = all distributed arrays.
+        match &p.body[3] {
+            Stmt::Io { kind, arrays, .. } => {
+                assert_eq!(*kind, IoStmtKind::Checkpoint);
+                assert!(arrays.is_empty());
+            }
+            other => panic!("expected CHECKPOINT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_keywords_still_parse_as_assignments() {
+        // `READ(I) = 5` is an element assignment to an array named READ;
+        // `CHECKPOINT = 3` is a scalar assignment. The I/O statement shape
+        // (keyword + ident list + end of line) must not shadow either.
+        let src =
+            "PROGRAM T\nREAL READ(8)\nINTEGER CHECKPOINT\nREAD(2) = 5.0\nCHECKPOINT = 3\nEND\n";
+        let p = parse_program(src).unwrap();
+        assert!(matches!(p.body[0], Stmt::Assign { .. }));
+        assert!(matches!(p.body[1], Stmt::Assign { .. }));
     }
 
     #[test]

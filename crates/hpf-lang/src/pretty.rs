@@ -287,6 +287,14 @@ fn pretty_stmt(s: &Stmt, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("STOP\n");
         }
+        Stmt::Io { kind, arrays, .. } => {
+            indent(level, out);
+            out.push_str(kind.keyword());
+            if !arrays.is_empty() {
+                let _ = write!(out, "({})", arrays.join(", "));
+            }
+            out.push('\n');
+        }
     }
 }
 

@@ -497,6 +497,14 @@ impl<'a> Analyzer<'a> {
                 span: *span,
             },
             Stmt::Stop { span } => Stmt::Stop { span: *span },
+            // Parallel I/O names whole arrays; there are no expressions to
+            // rewrite. Validation (declared? distributed?) happens in the
+            // compiler's lowering, where the distribution map exists.
+            Stmt::Io { kind, arrays, span } => Stmt::Io {
+                kind: *kind,
+                arrays: arrays.clone(),
+                span: *span,
+            },
         })
     }
 

@@ -223,6 +223,13 @@ impl MachineModel for Torus3d {
             load_bandwidth_bps: 2048.0 * 1024.0,
             load_latency_s: 1.0,
             transfer_bandwidth_bps: 1024.0 * 1024.0,
+            // Paragon-class PFS: four I/O partitions striping 64 KB units,
+            // seek-dominated SCSI disks behind each.
+            io_servers: 4,
+            stripe_bytes: 64 * 1024,
+            disk_latency_s: 20e-3,
+            disk_bandwidth_bps: 3.0 * 1024.0 * 1024.0,
+            server_overhead_s: 0.4e-3,
         };
         Ok(assemble(
             format!("3-D torus ({nodes} nodes)"),
@@ -302,6 +309,13 @@ impl MachineModel for FatTreeCluster {
             load_bandwidth_bps: 4096.0 * 1024.0,
             load_latency_s: 0.5,
             transfer_bandwidth_bps: 2048.0 * 1024.0,
+            // SP-2-class Vesta/PIOFS: dedicated server nodes on the switch,
+            // 32 KB stripe units.
+            io_servers: 4,
+            stripe_bytes: 32 * 1024,
+            disk_latency_s: 12e-3,
+            disk_bandwidth_bps: 6.0 * 1024.0 * 1024.0,
+            server_overhead_s: 0.25e-3,
         };
         Ok(assemble(
             format!("fat-tree cluster ({nodes} nodes)"),
@@ -379,6 +393,14 @@ impl MachineModel for MulticoreNode {
             load_bandwidth_bps: 512.0 * 1024.0 * 1024.0,
             load_latency_s: 0.01,
             transfer_bandwidth_bps: 256.0 * 1024.0 * 1024.0,
+            // Single shared SSD-class device: one logical server, large
+            // stripe unit, negligible seek cost relative to the other
+            // backends.
+            io_servers: 1,
+            stripe_bytes: 1024 * 1024,
+            disk_latency_s: 0.1e-3,
+            disk_bandwidth_bps: 512.0 * 1024.0 * 1024.0,
+            server_overhead_s: 0.02e-3,
         };
         Ok(assemble(
             format!("multicore node ({nodes} cores)"),

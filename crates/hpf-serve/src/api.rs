@@ -134,13 +134,19 @@ fn latency_value() -> Value {
 }
 
 fn metrics_value(m: &interp::Metrics) -> Value {
-    Value::obj(vec![
+    let mut fields = vec![
         ("comp_s", num(m.comp)),
         ("comm_s", num(m.comm)),
         ("overhead_s", num(m.overhead)),
         ("wait_s", num(m.wait)),
-        ("time_s", num(m.time())),
-    ])
+    ];
+    // Emitted only when an I/O phase actually ran, so responses for
+    // I/O-free programs stay byte-identical to the pre-I/O schema.
+    if m.io != 0.0 {
+        fields.push(("io_s", num(m.io)));
+    }
+    fields.push(("time_s", num(m.time())));
+    Value::obj(fields)
 }
 
 fn kind_label(kind: &appgraph::AauKind) -> &'static str {
@@ -151,6 +157,7 @@ fn kind_label(kind: &appgraph::AauKind) -> &'static str {
         appgraph::AauKind::IterD { .. } => "iterd",
         appgraph::AauKind::CondtD { .. } => "condtd",
         appgraph::AauKind::Comm { .. } => "comm",
+        appgraph::AauKind::Io { .. } => "io",
     }
 }
 

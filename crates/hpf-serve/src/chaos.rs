@@ -26,7 +26,9 @@
 //! A second independent draw ([`machine_at`]) splices a non-default
 //! `"machine"` into a small slice of the generated requests, so the
 //! machine-keyed cache rows and per-machine latency sketches stay under
-//! test while faults fly.
+//! test while faults fly. A third ([`io_at`]) turns ~5% of the traffic
+//! into out-of-core predicts, so the striped-I/O pricing path (and its
+//! `io_s` response field) is exercised under the same conditions.
 //!
 //! [`run`] executes the plan twice against fresh in-process servers — a
 //! fault-free **baseline** pass (only the plan's healthy requests) and
@@ -141,6 +143,22 @@ const FAULTS: [Fault; 7] = [
 /// Non-default machines the plan splices into a slice of its requests.
 const SPLICE_MACHINES: [&str; 3] = ["torus3d", "fattree", "multicore"];
 
+/// Out-of-core predict requests the plan splices into a slice of its
+/// traffic: `(kernel, n, procs)`.
+const SPLICE_OOC: [(&str, usize, usize); 2] = [("Laplace OOC", 32, 4), ("N-Body OOC", 128, 4)];
+
+/// The deterministic out-of-core override at index `i`: a small (~5%)
+/// slice of the plan's generated requests becomes a `/v1/predict` over an
+/// out-of-core kernel, so the striped-I/O pricing path (and its `io_s`
+/// response field) stays under test while faults fly. Drawn independently
+/// of [`fault_at`] and [`machine_at`] and pure in `(seed, i)`, so the
+/// baseline and chaos passes splice identical bodies and the healthy
+/// checksum still matches bit for bit.
+pub fn io_at(seed: u64, i: usize) -> Option<(&'static str, usize, usize)> {
+    let r = splitmix64(seed.rotate_left(41) ^ (i as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)) % 100;
+    (r < 5).then(|| SPLICE_OOC[(r % SPLICE_OOC.len() as u64) as usize])
+}
+
 /// The deterministic machine override at index `i`: a small (~6%) slice
 /// of the plan's generated requests names a non-default registry machine,
 /// exercising the machine-keyed cache rows and per-machine latency
@@ -152,10 +170,17 @@ pub fn machine_at(seed: u64, i: usize) -> Option<&'static str> {
     (r < 6).then(|| SPLICE_MACHINES[(r % SPLICE_MACHINES.len() as u64) as usize])
 }
 
-/// The body the plan fires at index `i`: the loadgen mix, with the
-/// machine override (if any) spliced in before the closing brace.
+/// The body the plan fires at index `i`: the loadgen mix (or an
+/// out-of-core predict, when [`io_at`] says so), with the machine
+/// override (if any) spliced in before the closing brace.
 fn plan_request(seed: u64, i: usize) -> (&'static str, String) {
-    let (path, mut body) = request_at(seed, i);
+    let (path, mut body) = match io_at(seed, i) {
+        Some((kernel, n, procs)) => (
+            "/v1/predict",
+            format!(r#"{{"kernel": "{kernel}", "n": {n}, "procs": {procs}}}"#),
+        ),
+        None => request_at(seed, i),
+    };
     if let Some(machine) = machine_at(seed, i) {
         body.pop();
         body.push_str(&format!(r#", "machine": "{machine}"}}"#));
@@ -510,7 +535,13 @@ fn run_pass(cfg: &ChaosConfig, chaos: bool) -> std::io::Result<PassResult> {
         "127.0.0.1:0",
         ServerConfig {
             workers: cfg.workers.max(1),
-            queue_depth: cfg.workers.max(1) * 4,
+            // Deep enough that the full client population can wait out a
+            // loris-held worker alongside a few abandoned (abort)
+            // connections without tripping accept-queue backpressure even
+            // at one worker: this harness asserts *zero* spurious sheds
+            // of answered traffic; structural shedding under real
+            // overload is loadgen's `--overload` profile, not chaos.
+            queue_depth: cfg.workers.max(1) * 4 + cfg.clients.max(1),
             read_timeout_ms: cfg.read_timeout_ms,
             queue_wait_cap_ms: cfg.queue_wait_cap_ms,
             chaos,
@@ -836,6 +867,44 @@ mod tests {
                 v.get("machine").and_then(Value::as_str),
                 machine_at(0xFEED, i)
             );
+        }
+    }
+
+    #[test]
+    fn io_splice_is_deterministic_small_and_well_formed() {
+        let a: Vec<Option<(&str, usize, usize)>> = (0..1000).map(|i| io_at(0xFEED, i)).collect();
+        let b: Vec<Option<(&str, usize, usize)>> = (0..1000).map(|i| io_at(0xFEED, i)).collect();
+        assert_eq!(a, b, "same seed must give the same io splice");
+        let spliced = a.iter().filter(|m| m.is_some()).count();
+        assert!(
+            (15..=100).contains(&spliced),
+            "io share {spliced}/1000 outside the ~5% design point"
+        );
+        for (kernel, n, procs) in SPLICE_OOC {
+            assert!(
+                a.contains(&Some((kernel, n, procs))),
+                "ooc request {kernel} never drawn"
+            );
+            assert!(
+                kernels::kernel_by_name(kernel).is_some(),
+                "{kernel} must resolve in the suite"
+            );
+        }
+        // Spliced bodies stay valid JSON naming the out-of-core kernel,
+        // and the machine override still composes on top.
+        for i in 0..1000 {
+            if let Some((kernel, n, procs)) = io_at(0xFEED, i) {
+                let (path, body) = plan_request(0xFEED, i);
+                assert_eq!(path, "/v1/predict");
+                let v = parse_json(&body).unwrap_or_else(|e| panic!("request {i}: {e}: {body}"));
+                assert_eq!(v.get("kernel").and_then(Value::as_str), Some(kernel));
+                assert_eq!(v.get("n").and_then(Value::as_f64), Some(n as f64));
+                assert_eq!(v.get("procs").and_then(Value::as_f64), Some(procs as f64));
+                assert_eq!(
+                    v.get("machine").and_then(Value::as_str),
+                    machine_at(0xFEED, i)
+                );
+            }
         }
     }
 

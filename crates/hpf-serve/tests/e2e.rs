@@ -252,3 +252,48 @@ fn loadgen_mix_runs_warm() {
     assert!(report.p99_ms >= report.p50_ms);
     assert!(report.throughput_rps > 0.0);
 }
+
+/// A CHECKPOINT with nothing distributed to snapshot must come back as a
+/// structured 400 with pipeline stage `io` — never a panic, never a
+/// generic compile error.
+#[test]
+fn io_error_maps_to_structured_400_with_io_stage() {
+    let api = Api::new(&CacheConfig::default());
+    let src = "\nPROGRAM SCALARS\nREAL X\nX = 1.0\nCHECKPOINT\nEND\n";
+    let body = hpf_trace::json::Value::obj(vec![
+        ("source", hpf_trace::json::Value::Str(src.to_string())),
+        ("procs", hpf_trace::json::Value::Num(4.0)),
+    ])
+    .pretty();
+    let resp = api.handle(&post("/v1/predict", &body));
+    assert_eq!(resp.status, 400);
+    let text = String::from_utf8(resp.body.to_vec()).unwrap();
+    assert!(text.contains("\"stage\": \"io\""), "body: {text}");
+    assert!(text.contains("\"kind\": \"pipeline\""), "body: {text}");
+}
+
+/// An out-of-core kernel's predict response carries the `io_s` metric
+/// (present only when nonzero, so I/O-free responses keep the old schema).
+#[test]
+fn ooc_kernel_predict_reports_io_seconds() {
+    let api = Api::new(&CacheConfig::default());
+    let body = r#"{"kernel": "Laplace OOC", "n": 32, "procs": 4}"#;
+    let resp = api.handle(&post("/v1/predict", body));
+    assert_eq!(
+        resp.status,
+        200,
+        "body: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    let text = String::from_utf8(resp.body.to_vec()).unwrap();
+    assert!(text.contains("\"io_s\""), "body: {text}");
+
+    // And an I/O-free kernel's body must not mention the field at all.
+    let resp = api.handle(&post(
+        "/v1/predict",
+        r#"{"kernel": "PI", "n": 128, "procs": 4}"#,
+    ));
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body.to_vec()).unwrap();
+    assert!(!text.contains("\"io_s\""), "body: {text}");
+}

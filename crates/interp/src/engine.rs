@@ -104,6 +104,7 @@ impl<'m> InterpretationEngine<'m> {
     fn seq(&self, aag: &Aag, ids: &[AauId], weight: f64, per_aau: &mut [Metrics]) -> Metrics {
         let mut total = Metrics::ZERO;
         let mut pending_overlap: f64 = 0.0; // overlappable wire time carried
+        let mut pending_io_overlap: f64 = 0.0; // overlappable I/O streaming
         for &id in ids {
             let mut m = self.aau(aag, id, weight, per_aau);
             if self.options.overlap_comp_comm && !self.options.zero_comm {
@@ -113,11 +114,22 @@ impl<'m> InterpretationEngine<'m> {
                         let wire = self.comm_wire_time(phase);
                         pending_overlap += wire * self.options.overlap_fraction;
                     }
+                    AauKind::Io { phase } => {
+                        // Streamed server transfers hide under later
+                        // computation the same way wire time does (the
+                        // asynchronous-request half of the two-phase
+                        // access).
+                        let t = hpf_io::phase_time_on(self.machine, phase);
+                        pending_io_overlap += t * self.options.overlap_fraction;
+                    }
                     AauKind::IterD { comp: Some(_), .. } => {
                         let hidden = pending_overlap.min(m.comp);
                         m.comm -= hidden;
+                        let hidden_io = pending_io_overlap.min(m.comp - hidden);
+                        m.io -= hidden_io;
                         total.wait += 0.0;
                         pending_overlap = 0.0;
+                        pending_io_overlap = 0.0;
                     }
                     _ => {}
                 }
@@ -134,6 +146,7 @@ impl<'m> InterpretationEngine<'m> {
             AauKind::Start | AauKind::End => Metrics::ZERO,
             AauKind::Seq { ops } => self.interpret_seq(ops),
             AauKind::Comm { phase, .. } => self.interpret_comm(phase),
+            AauKind::Io { phase } => self.interpret_io(phase),
             AauKind::IterD {
                 trips, comp, body, ..
             } => match comp {
@@ -213,6 +226,7 @@ impl<'m> InterpretationEngine<'m> {
             comm: 0.0,
             overhead,
             wait,
+            io: 0.0,
         }
     }
 
@@ -228,6 +242,19 @@ impl<'m> InterpretationEngine<'m> {
         Metrics {
             comm: lib,
             overhead: pack,
+            ..Metrics::ZERO
+        }
+    }
+
+    /// Io AAU: the striped-server phase, priced by the fitted I/O
+    /// calibration when the machine has one, otherwise the closed form.
+    /// `zero_comm` deliberately leaves I/O charged: the lower bound it
+    /// certifies is over communication placements, and I/O statements are
+    /// part of the program being bounded.
+    fn interpret_io(&self, p: &hpf_io::IoPhase) -> Metrics {
+        let io = hpf_io::phase_time_on(self.machine, p);
+        Metrics {
+            io,
             ..Metrics::ZERO
         }
     }

@@ -18,6 +18,8 @@ pub struct Metrics {
     /// Idle time on non-critical nodes due to load imbalance (reported but
     /// not part of the critical-path clock).
     pub wait: f64,
+    /// Parallel I/O time (striped server transfers, disk service, commit).
+    pub io: f64,
 }
 
 impl Metrics {
@@ -26,12 +28,13 @@ impl Metrics {
         comm: 0.0,
         overhead: 0.0,
         wait: 0.0,
+        io: 0.0,
     };
 
     /// Critical-path time of this unit (computation + communication +
     /// overheads; waits overlap the critical path by construction).
     pub fn time(&self) -> f64 {
-        self.comp + self.comm + self.overhead
+        self.comp + self.comm + self.overhead + self.io
     }
 
     pub fn as_duration(&self) -> Duration {
@@ -57,6 +60,7 @@ impl Add for Metrics {
             comm: self.comm + o.comm,
             overhead: self.overhead + o.overhead,
             wait: self.wait + o.wait,
+            io: self.io + o.io,
         }
     }
 }
@@ -75,6 +79,7 @@ impl Mul<f64> for Metrics {
             comm: self.comm * k,
             overhead: self.overhead * k,
             wait: self.wait * k,
+            io: self.io * k,
         }
     }
 }
@@ -90,6 +95,7 @@ mod tests {
             comm: 2.0,
             overhead: 0.5,
             wait: 0.1,
+            io: 0.0,
         };
         let b = a + a;
         assert_eq!(b.comp, 2.0);
@@ -107,6 +113,7 @@ mod tests {
             comm: 0.25,
             overhead: 0.0,
             wait: 0.0,
+            io: 0.0,
         };
         assert_eq!(m.as_duration(), Duration::from_millis(500));
     }

@@ -18,7 +18,8 @@ pub use network::{
 };
 pub use simulator::{
     calibrate, calibrate_backend, calibrate_params, collective_base_time,
-    collective_base_time_with, sim_ops_time, FaultSession, SimConfig, SimResult, Simulator,
+    collective_base_time_with, io_base_time, sim_ops_time, FaultSession, SimConfig, SimResult,
+    Simulator,
 };
 pub use trace::{trace_program, Activity, SimTrace, TraceEvent};
 

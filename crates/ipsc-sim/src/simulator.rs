@@ -63,6 +63,9 @@ pub struct SimResult {
     pub comp: f64,
     pub comm: f64,
     pub overhead: f64,
+    /// Parallel-I/O phase time (striped server transfers; zero for
+    /// programs without I/O statements).
+    pub io: f64,
     /// Fault events accumulated over every run (all zero when the config's
     /// fault plan is empty).
     pub fault_stats: FaultStats,
@@ -158,7 +161,7 @@ impl<'m> Simulator<'m> {
             &mut comm_cache,
         );
         let base_total = base.run(&spmd.body);
-        let (comp, comm, overhead) = (base.comp, base.comm, base.overhead);
+        let (comp, comm, overhead, io) = (base.comp, base.comm, base.overhead, base.io);
         let base_events = base.events;
         let mut fault_stats = base.faults.take().map(|s| s.stats).unwrap_or_default();
 
@@ -211,6 +214,7 @@ impl<'m> Simulator<'m> {
             comp,
             comm,
             overhead,
+            io,
             fault_stats,
         }
     }
@@ -249,6 +253,7 @@ struct Walk<'a, 'm> {
     comp: f64,
     comm: f64,
     overhead: f64,
+    io: f64,
     /// Phase-tree nodes visited (weighted by loop trips) — the walk's
     /// event count, reported to the trace registry as `sim.events`.
     events: u64,
@@ -278,6 +283,7 @@ impl<'a, 'm> Walk<'a, 'm> {
             comp: 0.0,
             comm: 0.0,
             overhead: 0.0,
+            io: 0.0,
             events: 0,
             comm_cache,
         }
@@ -308,6 +314,7 @@ impl<'a, 'm> Walk<'a, 'm> {
             SpmdNode::Seq(s) => self.seq(s),
             SpmdNode::Comp(c) => self.comp_phase(c),
             SpmdNode::Comm(c) => self.comm_phase(c),
+            SpmdNode::Io { phase, .. } => self.io_phase(phase),
             SpmdNode::Loop {
                 trips, body, span, ..
             } => {
@@ -485,6 +492,16 @@ impl<'a, 'm> Walk<'a, 'm> {
         collective_base_time(self.machine, c.op, c.participants, c.bytes_per_node)
     }
 
+    fn io_phase(&mut self, p: &hpf_io::IoPhase) -> f64 {
+        // Deterministic for a fixed machine and descriptor (the I/O servers
+        // are not subject to network fault injection: the subsystem stays
+        // healthy under node/link faults, matching `FaultPlan::degrade`).
+        let base = io_base_time(self.machine, p);
+        let t = base * self.jitter();
+        self.io += base;
+        t
+    }
+
     fn ops_time(&self, ops: &OpCounts, hit: f64) -> f64 {
         self.ops_time_hit(ops, hit)
     }
@@ -610,6 +627,53 @@ pub fn collective_base_time_with(
     }
 }
 
+/// Event-simulated base duration of one parallel-I/O phase (no jitter):
+/// striped blocks assigned round-robin to per-server FIFO disk queues, each
+/// block a routed message serialized at its server's NIC. This is the DES
+/// ground truth the analytic `hpf_io::phase_cost` model predicts and the
+/// I/O characterization pass fits against.
+pub fn io_base_time(machine: &MachineModel, phase: &hpf_io::IoPhase) -> f64 {
+    let io = &machine.io;
+    if phase.total_bytes == 0 {
+        return 0.0;
+    }
+    let servers = phase.resolved_servers(io, machine.nodes);
+    let block = (io.stripe_bytes * phase.stripe_factor.max(1) as u64).max(1);
+    let comm = &machine.comm;
+    let hops = ((machine.nodes.max(2) as f64).log2() / 2.0).max(1.0);
+    let nblocks = phase.total_bytes.div_ceil(block);
+
+    // Event loop: block i lands on server i mod S once its NIC is free,
+    // then queues FIFO behind the disk.
+    let mut nic_free = vec![0.0f64; servers];
+    let mut disk_free = vec![0.0f64; servers];
+    let mut done = 0.0f64;
+    for i in 0..nblocks {
+        let b = (phase.total_bytes - i * block).min(block);
+        let lat = if b <= comm.short_threshold {
+            comm.short_latency_s
+        } else {
+            comm.long_latency_s
+        };
+        let net = (lat + hops * comm.per_hop_s + b as f64 * comm.per_byte_s) * DISTORTION.comm_sw;
+        let s = (i % servers as u64) as usize;
+        let arrive = nic_free[s] + net;
+        nic_free[s] = arrive;
+        let start = arrive.max(disk_free[s]);
+        disk_free[s] =
+            start + io.disk_latency_s + io.server_overhead_s + b as f64 / io.disk_bandwidth_bps;
+        done = done.max(disk_free[s]);
+    }
+
+    // Compute-side packing (software cost, distorted like other comm
+    // software paths) and, for checkpoints, the shared commit term.
+    let mut t = done + comm.pack_time(phase.bytes_per_node) * DISTORTION.comm_sw;
+    if phase.kind == hpf_io::IoKind::Checkpoint {
+        t += hpf_io::checkpoint_commit_s(io, comm, phase);
+    }
+    t
+}
+
 /// Run the machine characterization (§4.4): benchmark every collective at a
 /// spread of message sizes and fit `α + β·m` per (op, p), and measure the
 /// compute-scale of a representative operation mix against instruction-count
@@ -638,6 +702,7 @@ pub fn calibrate_params(mut machine: MachineModel) -> MachineModel {
     let mut cal = machine::Calibration {
         compute_scale: compute_scale(&machine),
         comm: Default::default(),
+        io: Default::default(),
     };
 
     let ops = [
@@ -667,6 +732,42 @@ pub fn calibrate_params(mut machine: MachineModel) -> MachineModel {
                 machine::Calibration::key(op, p),
                 machine::PiecewiseCost::fit(&samples, boundary),
             );
+        }
+        if p >= nodes {
+            break;
+        }
+        p *= 2;
+    }
+
+    // I/O characterization: benchmark striped writes per (server count,
+    // participant count) at a spread of phase sizes and fit the same
+    // two-segment model, with the regime boundary at one stripe unit.
+    let io_sizes = [1024u64, 4096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304];
+    let io_boundary = machine.io.stripe_bytes.max(1);
+    let mut p = 1usize;
+    while p <= nodes.max(1) {
+        let mut s = 1usize;
+        while s <= p {
+            let samples: Vec<(u64, f64)> = io_sizes
+                .iter()
+                .map(|&b| {
+                    let probe = hpf_io::IoPhase {
+                        kind: hpf_io::IoKind::Write,
+                        arrays: vec!["probe".into()],
+                        total_bytes: b,
+                        bytes_per_node: b.div_ceil(p as u64),
+                        participants: p,
+                        servers: s,
+                        stripe_factor: 1,
+                    };
+                    (b, io_base_time(&machine, &probe))
+                })
+                .collect();
+            cal.io.insert(
+                machine::Calibration::io_key(s, p),
+                machine::PiecewiseCost::fit(&samples, io_boundary),
+            );
+            s *= 2;
         }
         if p >= nodes {
             break;

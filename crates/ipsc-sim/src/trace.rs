@@ -14,6 +14,8 @@ pub enum Activity {
     Busy,
     /// Communication (library + wire).
     Comm,
+    /// Parallel I/O (striped server transfers + disk service).
+    Io,
     /// Waiting at the loosely synchronous phase boundary.
     Idle,
 }
@@ -47,7 +49,9 @@ impl SimTrace {
             let a = &mut acc[e.node];
             match e.activity {
                 Activity::Busy => a.0 += d,
-                Activity::Comm => a.1 += d,
+                // I/O counts toward the communication share: from a compute
+                // node's view it is time spent moving data off-node.
+                Activity::Comm | Activity::Io => a.1 += d,
                 Activity::Idle => a.2 += d,
             }
         }
@@ -73,6 +77,7 @@ impl SimTrace {
                 let ch = match e.activity {
                     Activity::Busy => '#',
                     Activity::Comm => '~',
+                    Activity::Io => '=',
                     Activity::Idle => '.',
                 };
                 for c in row.iter_mut().take(b).skip(a.min(width)) {
@@ -85,7 +90,7 @@ impl SimTrace {
             out.extend(row);
             out.push('\n');
         }
-        out.push_str("         # busy   ~ communication   . idle\n");
+        out.push_str("         # busy   ~ communication   = i/o   . idle\n");
         out
     }
 }
@@ -169,6 +174,14 @@ impl<'a> Tracer<'a> {
                             + self.machine.comm.pack_time(c.bytes_per_node);
                     for node in 0..self.nodes {
                         self.emit(node, t, Activity::Comm, &c.label, repeat);
+                    }
+                    self.clock += t;
+                }
+                SpmdNode::Io { phase, .. } => {
+                    let t = crate::simulator::io_base_time(self.machine, phase);
+                    let label = phase.outline();
+                    for node in 0..self.nodes {
+                        self.emit(node, t, Activity::Io, &label, repeat);
                     }
                     self.clock += t;
                 }

@@ -15,4 +15,4 @@ pub mod compiled;
 pub mod suite;
 
 pub use compiled::{CompiledKernel, KernelBindError};
-pub use suite::{all_kernels, kernel_by_name, Kernel, KernelKind, LaplaceDist};
+pub use suite::{all_kernels, kernel_by_name, ooc_kernels, Kernel, KernelKind, LaplaceDist};

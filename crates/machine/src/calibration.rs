@@ -22,6 +22,12 @@ pub struct Calibration {
     /// benchmarking runs — the NX library shows distinct short- and
     /// long-message regimes, so one line per regime.
     pub comm: BTreeMap<(u8, u8), PiecewiseCost>,
+    /// Fitted striped parallel-I/O model: per (log₂ server-count,
+    /// log₂ participant-count) piecewise `α + β·m` over total phase bytes,
+    /// fitted against the DES I/O subsystem the same way `comm` is fitted
+    /// against its network. Empty before an I/O calibration pass.
+    #[serde(default)]
+    pub io: BTreeMap<(u8, u8), PiecewiseCost>,
 }
 
 /// Two-regime `α + β·m` model with a byte boundary between regimes.
@@ -112,6 +118,21 @@ impl Calibration {
     /// Fitted collective time, if characterized for this (op, p).
     pub fn collective_time(&self, op: CollectiveOp, p: usize, bytes: u64) -> Option<f64> {
         self.comm.get(&Self::key(op, p)).map(|pc| pc.time(bytes))
+    }
+
+    pub fn io_key(servers: usize, participants: usize) -> (u8, u8) {
+        (
+            servers.next_power_of_two().trailing_zeros() as u8,
+            participants.next_power_of_two().trailing_zeros() as u8,
+        )
+    }
+
+    /// Fitted striped-I/O phase time for `total_bytes` over `servers`
+    /// servers and `participants` compute nodes, if characterized.
+    pub fn io_time(&self, servers: usize, participants: usize, total_bytes: u64) -> Option<f64> {
+        self.io
+            .get(&Self::io_key(servers, participants))
+            .map(|pc| pc.time(total_bytes))
     }
 }
 

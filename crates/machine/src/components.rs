@@ -191,8 +191,9 @@ impl CommComponent {
 }
 
 /// I/O component: host (SRM) interaction — program load, cross-compiled
-/// executable transfer, and the host↔cube channel. Only the experimentation
-/// workflow model (Figure 8) and program-startup overheads consult this.
+/// executable transfer, and the host↔cube channel — plus the striped
+/// parallel-I/O subsystem (ViPIOS-style dedicated I/O server processes with
+/// local disks, serving READ/WRITE/CHECKPOINT phases in stripe-sized blocks).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IoComponent {
     /// Bandwidth of the SRM→cube load channel, bytes/second.
@@ -201,12 +202,39 @@ pub struct IoComponent {
     pub load_latency_s: f64,
     /// Host filesystem transfer bandwidth (for copying executables in).
     pub transfer_bandwidth_bps: f64,
+    /// Default number of dedicated I/O server processes files are striped
+    /// across (a compile-time `IoConfig` can override per program).
+    pub io_servers: usize,
+    /// Stripe unit in bytes: the round-robin distribution granularity of a
+    /// file across the I/O servers.
+    pub stripe_bytes: u64,
+    /// Per-request service latency at one server disk (seek + rotational),
+    /// seconds.
+    pub disk_latency_s: f64,
+    /// Streaming bandwidth of one server disk, bytes/second.
+    pub disk_bandwidth_bps: f64,
+    /// Software overhead a server spends per striped block (request parsing,
+    /// buffer management), seconds.
+    pub server_overhead_s: f64,
 }
 
 impl IoComponent {
     /// Time to load an executable of `bytes` onto the nodes.
     pub fn load_time(&self, bytes: u64) -> f64 {
         self.load_latency_s + bytes as f64 / self.load_bandwidth_bps
+    }
+
+    /// Serialized host↔cube channel time for `bytes` (checkpoint commit
+    /// records and other host-side metadata traffic).
+    pub fn host_channel_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.transfer_bandwidth_bps
+    }
+
+    /// FIFO disk-queue service time at one server handling `blocks` striped
+    /// requests totalling `bytes`.
+    pub fn disk_service_time(&self, blocks: u64, bytes: u64) -> f64 {
+        blocks as f64 * (self.disk_latency_s + self.server_overhead_s)
+            + bytes as f64 / self.disk_bandwidth_bps
     }
 }
 

@@ -381,6 +381,7 @@ mod tests {
         let mut cal = crate::Calibration {
             compute_scale: 1.0,
             comm: Default::default(),
+            io: Default::default(),
         };
         cal.comm.insert(
             crate::Calibration::key(crate::CollectiveOp::Reduce, 4),

@@ -148,12 +148,19 @@ pub fn ipsc860_comm() -> CommComponent {
     }
 }
 
-/// I/O component: the 80386 SRM host and its channel to the cube.
+/// I/O component: the 80386 SRM host and its channel to the cube, plus the
+/// Concurrent-File-System-style striped I/O subsystem (two I/O nodes with
+/// ~25 ms disks and ~1 MB/s streaming bandwidth, 4 KB stripe units).
 pub fn ipsc860_io() -> IoComponent {
     IoComponent {
         load_bandwidth_bps: 500.0 * 1024.0,
         load_latency_s: 2.0,
         transfer_bandwidth_bps: 200.0 * 1024.0,
+        io_servers: 2,
+        stripe_bytes: 4096,
+        disk_latency_s: 25e-3,
+        disk_bandwidth_bps: 1024.0 * 1024.0,
+        server_overhead_s: 0.5e-3,
     }
 }
 
@@ -300,6 +307,11 @@ pub fn now_cluster(nodes: usize) -> MachineModel {
         load_bandwidth_bps: 1024.0 * 1024.0,
         load_latency_s: 0.5,
         transfer_bandwidth_bps: 1024.0 * 1024.0,
+        io_servers: 1,
+        stripe_bytes: 8192,
+        disk_latency_s: 15e-3,
+        disk_bandwidth_bps: 2.0 * 1024.0 * 1024.0,
+        server_overhead_s: 0.3e-3,
     };
 
     let mut lan = Sau::structural("shared LAN");

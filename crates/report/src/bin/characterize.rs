@@ -31,6 +31,16 @@ fn list_machines() {
             backend.provenance()
         );
         println!("               {}", backend.description());
+        // Whether the calibration pass fits a striped-I/O table for this
+        // backend, or predictions fall back to the default closed form.
+        let io_note = match ipsc_sim::calibrate_backend(backend, 8usize.clamp(lo, hi)) {
+            Ok(m) => match &m.calibration {
+                Some(cal) if !cal.io.is_empty() => "fitted (calibration pass)",
+                _ => "default (closed form)",
+            },
+            Err(_) => "default (closed form)",
+        };
+        println!("               i/o table: {io_note}");
     }
 }
 
@@ -132,7 +142,18 @@ fn main() {
         m.comm.per_hop_s * 1e6
     );
 
-    println!("\n== I/O component (SRM host) ==");
+    println!("\n== I/O component (striped servers + SRM host) ==");
+    println!(
+        "  servers: {} (default), stripe unit {} KB",
+        m.io.io_servers,
+        m.io.stripe_bytes / 1024
+    );
+    println!(
+        "  disk: {:.2} ms latency, {:.2} MB/s stream, {:.3} ms/req server overhead",
+        m.io.disk_latency_s * 1e3,
+        m.io.disk_bandwidth_bps / (1024.0 * 1024.0),
+        m.io.server_overhead_s * 1e3
+    );
     println!(
         "  load: {:.1} s latency + {:.0} KB/s; transfer {:.0} KB/s",
         m.io.load_latency_s,
@@ -179,6 +200,25 @@ fn main() {
                 break;
             }
             p2 *= 2;
+        }
+
+        if !cal.io.is_empty() {
+            println!("\n  striped i/o (α + β·bytes, per regime; fitted at stripe factor 1):");
+            println!(
+                "  {:<8} {:>4}  {:>12} {:>12}   {:>12} {:>12}",
+                "servers", "p", "α_small(µs)", "β_s(ns/B)", "α_large(µs)", "β_l(ns/B)"
+            );
+            for (&(s_log2, p_log2), pc) in &cal.io {
+                println!(
+                    "  {:<8} {:>4}  {:>12.1} {:>12.2}   {:>12.1} {:>12.2}",
+                    1usize << s_log2,
+                    1usize << p_log2,
+                    pc.small.alpha_s * 1e6,
+                    pc.small.beta_s_per_byte * 1e9,
+                    pc.large.alpha_s * 1e6,
+                    pc.large.beta_s_per_byte * 1e9
+                );
+            }
         }
     }
 }

@@ -13,10 +13,12 @@
 //! | Figure 8   | [`workflow`], `bin/figure8`             |
 
 pub mod autotune;
+pub mod checkpoint;
 pub mod csv;
 pub mod experiments;
 pub mod faults;
 pub mod harness;
+pub mod io_accuracy;
 pub mod lru;
 pub mod pipeline;
 pub mod session;

@@ -145,6 +145,9 @@ pub enum PipelineStage {
     /// Machine-registry lookup/validation (unknown machine name,
     /// unsupported node count for the machine's topology).
     Machine,
+    /// Parallel-I/O validation (bad stripe factor, more servers than
+    /// nodes, checkpoint of an unpartitioned array).
+    Io,
 }
 
 impl PipelineStage {
@@ -158,6 +161,7 @@ impl PipelineStage {
             PipelineStage::Simulate => "simulate",
             PipelineStage::Sweep => "sweep",
             PipelineStage::Machine => "machine",
+            PipelineStage::Io => "io",
         }
     }
 }
@@ -283,7 +287,14 @@ impl From<LangError> for PipelineError {
 impl From<hpf_compiler::CompileError> for PipelineError {
     fn from(e: hpf_compiler::CompileError) -> Self {
         PipelineError {
-            stage: PipelineStage::Compile,
+            // Typed I/O-subsystem failures surface as their own stage so
+            // services and CLIs can distinguish them from general lowering
+            // errors.
+            stage: if e.io.is_some() {
+                PipelineStage::Io
+            } else {
+                PipelineStage::Compile
+            },
             message: e.message,
             span: Some(e.span),
         }

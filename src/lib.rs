@@ -47,6 +47,7 @@
 pub use appgraph;
 pub use hpf_compiler as compiler;
 pub use hpf_eval as eval;
+pub use hpf_io as io;
 pub use hpf_lang as lang;
 pub use interp;
 pub use ipsc_sim as sim;
